@@ -1,0 +1,107 @@
+// Command h2pbench regenerates the paper's tables and figures: each
+// experiment runs the corresponding simulation or measurement campaign and
+// prints the same rows/series the paper reports.
+//
+// Usage:
+//
+//	h2pbench -list
+//	h2pbench -exp fig14 [-servers 1000] [-seed 42]
+//	h2pbench -exp all -csv results/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"github.com/h2p-sim/h2p/internal/experiments"
+	"github.com/h2p-sim/h2p/internal/report"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id (see -list) or 'all'")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	servers := flag.Int("servers", 1000, "cluster size for trace-driven experiments")
+	seed := flag.Int64("seed", 42, "workload generator seed")
+	csvDir := flag.String("csv", "", "also write each table as CSV into this directory")
+	reportPath := flag.String("report", "", "write a markdown report of every experiment to this file and exit")
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+	params := experiments.EvalParams{Servers: *servers, Seed: *seed}
+	if *reportPath != "" {
+		if err := writeReport(*reportPath, params); err != nil {
+			fmt.Fprintln(os.Stderr, "h2pbench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("report written to %s\n", *reportPath)
+		return
+	}
+	if err := run(os.Stdout, *exp, params, *csvDir); err != nil {
+		fmt.Fprintln(os.Stderr, "h2pbench:", err)
+		os.Exit(1)
+	}
+}
+
+func writeReport(path string, params experiments.EvalParams) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := report.Generate(f, report.DefaultOptions(params)); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func run(out io.Writer, exp string, params experiments.EvalParams, csvDir string) error {
+	var tables []*experiments.Table
+	if exp == "all" {
+		ts, err := experiments.RunAll(params)
+		if err != nil {
+			return err
+		}
+		tables = ts
+	} else {
+		t, err := experiments.Run(exp, params)
+		if err != nil {
+			return err
+		}
+		tables = []*experiments.Table{t}
+	}
+	for i, t := range tables {
+		if i > 0 {
+			fmt.Fprintln(out)
+		}
+		if err := t.WriteText(out); err != nil {
+			return err
+		}
+		if csvDir != "" {
+			if err := os.MkdirAll(csvDir, 0o755); err != nil {
+				return err
+			}
+			path := filepath.Join(csvDir, t.ID+".csv")
+			f, err := os.Create(path)
+			if err != nil {
+				return err
+			}
+			if err := t.WriteCSV(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "(csv written to %s)\n", path)
+		}
+	}
+	return nil
+}

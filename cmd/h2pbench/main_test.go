@@ -1,0 +1,64 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/h2p-sim/h2p/internal/experiments"
+)
+
+func smallParams() experiments.EvalParams {
+	return experiments.EvalParams{Servers: 60, Seed: 42}
+}
+
+func TestRunSingleExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "fig8", smallParams(), ""); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "== FIG8") {
+		t.Errorf("output missing FIG8 header:\n%s", buf.String())
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "nope", smallParams(), ""); err == nil {
+		t.Error("unknown experiment should error")
+	}
+}
+
+func TestRunWritesCSV(t *testing.T) {
+	dir := t.TempDir()
+	var buf bytes.Buffer
+	if err := run(&buf, "fig13", smallParams(), dir); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "FIG13.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "plane,") {
+		t.Errorf("CSV content: %q", string(data)[:40])
+	}
+}
+
+func TestWriteReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment sweep skipped in short mode")
+	}
+	path := filepath.Join(t.TempDir(), "REPORT.md")
+	if err := writeReport(path, smallParams()); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "# H2P reproduction report") {
+		t.Error("report header missing")
+	}
+}

@@ -1,0 +1,52 @@
+// Command h2pdesign explores the water-circulation design space of Sec. V-A:
+// how many servers should share one chiller + pump + cooling setting.
+//
+// Usage:
+//
+//	h2pdesign [-servers 1000] [-mu 58] [-sigma 4] [-tsafe 62]
+//	          [-flow 50] [-chiller-cost 1000] [-price 0.13]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/h2p-sim/h2p/internal/circdesign"
+	"github.com/h2p-sim/h2p/internal/experiments"
+	"github.com/h2p-sim/h2p/internal/stats"
+	"github.com/h2p-sim/h2p/internal/units"
+)
+
+func main() {
+	servers := flag.Int("servers", 1000, "cluster size")
+	mu := flag.Float64("mu", 58, "mean CPU temperature (°C)")
+	sigma := flag.Float64("sigma", 4, "CPU temperature standard deviation (°C)")
+	tsafe := flag.Float64("tsafe", 62, "safe CPU operating temperature (°C)")
+	flow := flag.Float64("flow", 50, "per-server coolant flow (L/H)")
+	chillerCost := flag.Float64("chiller-cost", 1000, "amortized chiller cost per circulation over the horizon ($)")
+	price := flag.Float64("price", 0.13, "electricity price ($/kWh)")
+	flag.Parse()
+
+	cfg := circdesign.PaperConfig()
+	cfg.TotalServers = *servers
+	cfg.CPUTemp = stats.Normal{Mu: *mu, Sigma: *sigma}
+	cfg.TSafe = units.Celsius(*tsafe)
+	cfg.Flow = units.LitersPerHour(*flow)
+	cfg.ChillerAmortized = units.USD(*chillerCost)
+	cfg.ElectricityPrice = units.USD(*price)
+
+	if err := write(os.Stdout, cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "h2pdesign:", err)
+		os.Exit(1)
+	}
+}
+
+func write(out io.Writer, cfg circdesign.Config) error {
+	table, err := experiments.CirculationWith(cfg)
+	if err != nil {
+		return err
+	}
+	return table.WriteText(out)
+}

@@ -1,0 +1,29 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/h2p-sim/h2p/internal/circdesign"
+)
+
+func TestWriteDesignTable(t *testing.T) {
+	var buf bytes.Buffer
+	if err := write(&buf, circdesign.PaperConfig()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "== CIRC") || !strings.Contains(out, "optimum") {
+		t.Errorf("design output incomplete:\n%s", out[:200])
+	}
+}
+
+func TestWriteRejectsBadConfig(t *testing.T) {
+	cfg := circdesign.PaperConfig()
+	cfg.TotalServers = 0
+	var buf bytes.Buffer
+	if err := write(&buf, cfg); err == nil {
+		t.Error("invalid config should error")
+	}
+}

@@ -1,0 +1,110 @@
+// Command h2psim runs the H2P trace-driven evaluation (Sec. V-C of the
+// paper): it generates (or loads) the three workload traces, simulates the
+// datacenter under TEG_Original and TEG_LoadBalance, and prints the Fig. 14
+// power table and the Fig. 15 PRE table.
+//
+// Usage:
+//
+//	h2psim [-servers 1000] [-circ 25] [-seed 42] [-trace file.csv] [-series]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/h2p-sim/h2p/internal/core"
+	"github.com/h2p-sim/h2p/internal/sched"
+	"github.com/h2p-sim/h2p/internal/trace"
+)
+
+func main() {
+	servers := flag.Int("servers", 1000, "number of servers in the simulated cluster")
+	circ := flag.Int("circ", 25, "servers per water circulation")
+	seed := flag.Int64("seed", 42, "workload generator seed")
+	traceFile := flag.String("trace", "", "optional CSV trace file (replaces the synthetic traces)")
+	series := flag.Bool("series", false, "also print the per-interval power series")
+	flag.Parse()
+
+	if err := run(os.Stdout, *servers, *circ, *seed, *traceFile, *series); err != nil {
+		fmt.Fprintln(os.Stderr, "h2psim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(out io.Writer, servers, circ int, seed int64, traceFile string, series bool) error {
+	var traces []*trace.Trace
+	if traceFile != "" {
+		f, err := os.Open(traceFile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		tr, err := trace.ReadCSV(f)
+		if err != nil {
+			return err
+		}
+		traces = []*trace.Trace{tr}
+	} else {
+		var err error
+		traces, err = trace.GenerateAll(servers, seed)
+		if err != nil {
+			return err
+		}
+	}
+
+	cfg := core.DefaultConfig(sched.Original)
+	cfg.ServersPerCirculation = circ
+
+	fmt.Fprintln(out, "Fig. 14 — generated electricity per CPU (W):")
+	fmt.Fprintf(out, "%-12s %-10s %-10s %-10s %-10s %-10s %-10s\n",
+		"trace", "orig avg", "orig peak", "lb avg", "lb peak", "gain%", "meanU")
+	var sumOrig, sumLB float64
+	results := make(map[string][2]*core.Result)
+	for _, tr := range traces {
+		orig, lb, err := core.Compare(tr, cfg)
+		if err != nil {
+			return err
+		}
+		s, err := tr.Describe()
+		if err != nil {
+			return err
+		}
+		gain := (float64(lb.AvgTEGPowerPerServer)/float64(orig.AvgTEGPowerPerServer) - 1) * 100
+		fmt.Fprintf(out, "%-12s %-10.3f %-10.3f %-10.3f %-10.3f %-10.2f %-10.3f\n",
+			tr.Class,
+			float64(orig.AvgTEGPowerPerServer), float64(orig.PeakTEGPowerPerServer),
+			float64(lb.AvgTEGPowerPerServer), float64(lb.PeakTEGPowerPerServer),
+			gain, s.Mean)
+		sumOrig += float64(orig.AvgTEGPowerPerServer)
+		sumLB += float64(lb.AvgTEGPowerPerServer)
+		results[string(tr.Class)] = [2]*core.Result{orig, lb}
+		if series {
+			fmt.Fprintf(out, "  interval series (%s): t, origW, lbW, avgU, maxU\n", tr.Class)
+			for i := range orig.Intervals {
+				fmt.Fprintf(out, "  %4d %7.3f %7.3f %6.3f %6.3f\n", i,
+					float64(orig.Intervals[i].TEGPowerPerServer),
+					float64(lb.Intervals[i].TEGPowerPerServer),
+					orig.Intervals[i].AvgUtilization,
+					orig.Intervals[i].MaxUtilization)
+			}
+		}
+	}
+	n := float64(len(traces))
+	fmt.Fprintf(out, "%-12s %-10.3f %-10s %-10.3f %-10s %-10.2f\n",
+		"average", sumOrig/n, "-", sumLB/n, "-", (sumLB/sumOrig-1)*100)
+
+	fmt.Fprintln(out)
+	fmt.Fprintln(out, "Fig. 15 — power reusing efficiency (PRE, %):")
+	fmt.Fprintf(out, "%-12s %-10s %-10s\n", "trace", "orig", "lb")
+	var preOrig, preLB float64
+	for _, tr := range traces {
+		r := results[string(tr.Class)]
+		fmt.Fprintf(out, "%-12s %-10.2f %-10.2f\n", tr.Class, r[0].PRE*100, r[1].PRE*100)
+		preOrig += r[0].PRE
+		preLB += r[1].PRE
+	}
+	fmt.Fprintf(out, "%-12s %-10.2f %-10.2f\n", "average", preOrig/n*100, preLB/n*100)
+	return nil
+}

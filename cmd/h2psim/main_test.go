@@ -1,0 +1,69 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/h2p-sim/h2p/internal/trace"
+)
+
+func TestRunSyntheticTraces(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, 60, 20, 42, "", false); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"Fig. 14", "Fig. 15",
+		"drastic", "irregular", "common", "average",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunWithSeriesFlag(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, 40, 20, 42, "", true); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "interval series") {
+		t.Error("series output missing")
+	}
+}
+
+func TestRunCSVTrace(t *testing.T) {
+	tr, err := trace.Generate(trace.CommonConfig(30), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "trace.csv")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.WriteCSV(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := run(&buf, 0, 15, 0, path, false); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "common") {
+		t.Errorf("CSV trace output missing class:\n%s", buf.String())
+	}
+}
+
+func TestRunMissingTraceFile(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, 10, 5, 1, "/nonexistent/trace.csv", false); err == nil {
+		t.Error("missing trace file should error")
+	}
+}

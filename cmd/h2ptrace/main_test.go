@@ -1,0 +1,79 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestGenerateToStdout(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "common", 5, 1, "", "", ""); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "#h2p-trace,google-common,common") {
+		t.Errorf("CSV header missing: %q", buf.String()[:60])
+	}
+}
+
+func TestGenerateToFileAndInspect(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "d.csv")
+	var buf bytes.Buffer
+	if err := run(&buf, "drastic", 20, 7, path, "", ""); err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := run(&buf, "", 0, 0, "", path, ""); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"class: drastic", "servers: 20", "utilization: mean", "dispersion"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("inspect output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestUnknownClass(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "bogus", 5, 1, "", "", ""); err == nil {
+		t.Error("unknown class should error")
+	}
+}
+
+func TestNoActionErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "", 5, 1, "", "", ""); err == nil {
+		t.Error("no action should error")
+	}
+}
+
+func TestInspectMissingFile(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "", 0, 0, "", "/nonexistent.csv", ""); err == nil {
+		t.Error("missing file should error")
+	}
+}
+
+func TestImportLongFormat(t *testing.T) {
+	src := filepath.Join(t.TempDir(), "usage.csv")
+	if err := os.WriteFile(src, []byte("m_1,0,30\nm_1,300,60\nm_2,10,20\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := run(&buf, "", 0, 0, "", "", src); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "#h2p-trace,alibaba-machine-usage") {
+		t.Errorf("import output: %q", buf.String()[:50])
+	}
+}
+
+func TestImportMissingFile(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "", 0, 0, "", "", "/nonexistent.csv"); err == nil {
+		t.Error("missing import file should error")
+	}
+}

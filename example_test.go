@@ -1,0 +1,69 @@
+package h2p_test
+
+import (
+	"fmt"
+
+	h2p "github.com/h2p-sim/h2p"
+)
+
+// ExampleRun simulates one day of a small warm water-cooled cluster with TEG
+// harvesting under workload balancing.
+func ExampleRun() {
+	traces, err := h2p.GenerateTraces(100, 42)
+	if err != nil {
+		panic(err)
+	}
+	common := traces[2]
+	res, err := h2p.Run(common, h2p.DefaultConfig(h2p.LoadBalance))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("avg %.3f W/CPU, PRE %.1f%%\n",
+		float64(res.AvgTEGPowerPerServer), res.PRE*100)
+	// Output:
+	// avg 4.099 W/CPU, PRE 12.3%
+}
+
+// ExamplePaperTCO reproduces the Sec. V-D cost analysis at the paper's
+// published LoadBalance operating point.
+func ExamplePaperTCO() {
+	analysis, err := h2p.PaperTCO().Analyze(4.177)
+	if err != nil {
+		panic(err)
+	}
+	fleet, err := h2p.PaperTCO().Fleet(4.177, 100000, 25)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("TCO reduction %.2f%%, break-even %.0f days\n",
+		analysis.ReductionPercent, fleet.BreakEvenDays)
+	// Output:
+	// TCO reduction 0.57%, break-even 921 days
+}
+
+// ExampleTEGDevice evaluates the calibrated SP 1848-27145 fits at the
+// paper's reference gradient.
+func ExampleTEGDevice() {
+	dev := h2p.TEGDevice()
+	fmt.Printf("v(25°C) = %.4f V, Pmax(25°C) = %.4f W\n",
+		float64(dev.OpenCircuitVoltage(25)),
+		float64(dev.MaxPowerEmpirical(25)))
+	// Output:
+	// v(25°C) = 1.1149 V, Pmax(25°C) = 0.1811 W
+}
+
+// ExampleCompare contrasts the two scheduling schemes of the evaluation.
+func ExampleCompare() {
+	traces, err := h2p.GenerateTraces(100, 42)
+	if err != nil {
+		panic(err)
+	}
+	orig, lb, err := h2p.Compare(traces[0], h2p.DefaultConfig(h2p.Original))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("balancing gains %.1f%%\n",
+		(float64(lb.AvgTEGPowerPerServer)/float64(orig.AvgTEGPowerPerServer)-1)*100)
+	// Output:
+	// balancing gains 17.9%
+}

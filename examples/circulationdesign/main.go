@@ -1,0 +1,49 @@
+// Circulation design: how many servers should share one water circulation?
+// Reproduces the Sec. V-A study — the expected hottest CPU of n sharers via
+// order statistics, the chiller energy to protect it (Eq. 10), and the total
+// cost objective (Eq. 12) — then shows how the optimum moves with chiller
+// price.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	h2p "github.com/h2p-sim/h2p"
+	"github.com/h2p-sim/h2p/internal/units"
+)
+
+func main() {
+	cfg := h2p.PaperCirculationDesign()
+
+	fmt.Println("Cost vs circulation size (1,000 servers, CPU temps ~ N(58, 4²), T_safe 62 °C):")
+	fmt.Printf("%-6s %-8s %-10s %-12s %-12s %-12s\n",
+		"n", "E(Tmax)", "chill ΔT", "energy $", "equipment $", "total $")
+	for _, n := range []int{1, 5, 10, 20, 40, 80, 200, 1000} {
+		ev, err := cfg.Evaluate(n)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-6d %-8.2f %-10.2f %-12.0f %-12.0f %-12.0f\n",
+			ev.N, float64(ev.ExpectedMaxCPUTemp), float64(ev.ExpectedCoolantReduction),
+			float64(ev.EnergyCost), float64(ev.EquipmentCost), float64(ev.TotalCost))
+	}
+
+	opt, err := cfg.Optimize()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\noptimum: n = %d servers per circulation ($%.0f/year)\n",
+		opt.N, float64(opt.TotalCost))
+
+	fmt.Println("\nSensitivity to chiller price:")
+	for _, price := range []float64{200, 500, 1000, 2000, 5000} {
+		c := cfg
+		c.ChillerAmortized = units.USD(price)
+		o, err := c.Optimize()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  $%-6.0f/chiller-year -> optimal n = %d\n", price, o.N)
+	}
+}

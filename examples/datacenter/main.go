@@ -1,0 +1,59 @@
+// Datacenter evaluation: the full Sec. V comparison on a 1,000-server
+// cluster — TEG_Original versus TEG_LoadBalance across the three workload
+// classes, with the TCO consequences (Fig. 14, Fig. 15 and Table I in one
+// run).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	h2p "github.com/h2p-sim/h2p"
+)
+
+func main() {
+	servers := flag.Int("servers", 1000, "cluster size")
+	seed := flag.Int64("seed", 42, "workload seed")
+	flag.Parse()
+
+	traces, err := h2p.GenerateTraces(*servers, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ev, err := h2p.Evaluate(traces, h2p.DefaultConfig(h2p.Original))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Per-CPU generated power (W):")
+	fmt.Printf("%-12s %-22s %-22s\n", "trace", "TEG_Original", "TEG_LoadBalance")
+	for i, tr := range ev.Traces {
+		o, l := ev.Original[i], ev.LoadBalance[i]
+		fmt.Printf("%-12s avg %.3f / peak %.3f   avg %.3f / peak %.3f   (PRE %.1f%% -> %.1f%%)\n",
+			tr.Class,
+			float64(o.AvgTEGPowerPerServer), float64(o.PeakTEGPowerPerServer),
+			float64(l.AvgTEGPowerPerServer), float64(l.PeakTEGPowerPerServer),
+			o.PRE*100, l.PRE*100)
+	}
+	fmt.Printf("\naverage: %.3f W -> %.3f W (+%.2f%% from workload balancing)\n",
+		float64(ev.AvgOriginal), float64(ev.AvgLoadBalance), ev.GainPercent)
+
+	fmt.Println("\nTCO (per server and month):")
+	fmt.Printf("  without TEGs: $%.2f\n", float64(ev.TCOOriginal.TCONoTEG))
+	fmt.Printf("  TEG_Original:    $%.3f (-%.3f%%)\n",
+		float64(ev.TCOOriginal.TCOWithH2P), ev.TCOOriginal.ReductionPercent)
+	fmt.Printf("  TEG_LoadBalance: $%.3f (-%.3f%%)\n",
+		float64(ev.TCOLoadBalance.TCOWithH2P), ev.TCOLoadBalance.ReductionPercent)
+
+	// Warm water keeps the chiller off: show the plant split for the
+	// common trace under load balancing.
+	last := ev.LoadBalance[len(ev.LoadBalance)-1]
+	var tower, chill float64
+	for _, ir := range last.Intervals {
+		tower += float64(ir.TowerPower)
+		chill += float64(ir.ChillerPower)
+	}
+	fmt.Printf("\nfacility plant on %s: tower %.1f kW avg, chiller %.1f kW avg (warm water keeps chillers off)\n",
+		last.Class, tower/float64(len(last.Intervals))/1000, chill/float64(len(last.Intervals))/1000)
+}

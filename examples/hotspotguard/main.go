@@ -1,0 +1,47 @@
+// Hot-spot guard: the transient that motivates hybrid warm-water cooling.
+// A server running warm suddenly jumps to 100 % utilization; the chiller
+// needs minutes to deliver colder water, but the die responds in seconds.
+// This example runs the utilization-step transient with and without the
+// TEG-assisted thermoelectric cooler (TEC) guard, at both the H2P operating
+// point and the legacy low-flow danger zone of Sec. II-B.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/h2p-sim/h2p/internal/hotspot"
+)
+
+func main() {
+	fmt.Println("Utilization step 20% -> 100%, cooling setting frozen for 5 minutes:")
+	fmt.Printf("%-28s %-6s %-8s %-9s %-12s %-12s %-10s\n",
+		"setting", "TEC", "peak°C", "settle°C", ">safe (s)", ">max (s)", "TEC J")
+
+	run := func(label string, mutate func(*hotspot.Scenario), withTEC bool) {
+		s := hotspot.DefaultScenario(withTEC)
+		if mutate != nil {
+			mutate(&s)
+		}
+		out, err := s.Run()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-28s %-6v %-8.2f %-9.2f %-12.1f %-12.1f %-10.0f\n",
+			label, withTEC, float64(out.PeakTemp), float64(out.SettleTemp),
+			out.SecondsAboveSafe, out.SecondsAboveMax, float64(out.TECEnergy))
+		if withTEC && out.TECEnergy > 0 {
+			fmt.Printf("%-28s        TEG budget covered %.1f%% of the TEC's input energy\n",
+				"", float64(out.TEGCoveredEnergy)/float64(out.TECEnergy)*100)
+		}
+	}
+
+	run("H2P (250 L/H, 53.5°C)", nil, false)
+	run("H2P (250 L/H, 53.5°C)", nil, true)
+	legacy := func(s *hotspot.Scenario) { s.Flow = 20; s.Inlet = 50 }
+	run("legacy (20 L/H, 50°C)", legacy, false)
+	run("legacy (20 L/H, 50°C)", legacy, true)
+
+	fmt.Println("\n=> at the H2P point the guard holds the die at T_safe within seconds;")
+	fmt.Println("   at the legacy point the unguarded die exceeds the 78.9 °C vendor limit.")
+}

@@ -1,0 +1,45 @@
+// Prototype replay: re-run the paper's hardware measurement campaigns on the
+// digital twin — the Fig. 3 "TEG can hardly conduct heat" transient and the
+// Fig. 8 series-scaling sweep — and print the recorded series.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	h2p "github.com/h2p-sim/h2p"
+	"github.com/h2p-sim/h2p/internal/proto"
+	"github.com/h2p-sim/h2p/internal/units"
+)
+
+func main() {
+	p := h2p.NewPrototype()
+
+	// Fig. 3: two identical CPUs, one with a TEG wedged between die and
+	// cold plate, through a 50-minute 0/10/20/0 % load profile.
+	res, err := p.RunFig3(proto.DefaultFig3Phases(), 28, 20, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Fig. 3 — TEG as on-die heat path (CPU0) vs direct cold plate (CPU1):")
+	fmt.Printf("%-8s %-12s %-12s %-10s %-8s\n", "minute", "CPU0 (TEG)", "CPU1", "coolant", "Voc")
+	for _, s := range res.Samples {
+		fmt.Printf("%-8.1f %-12.2f %-12.2f %-10.2f %-8.3f\n",
+			s.Minute, float64(s.CPU0Temp), float64(s.CPU1Temp),
+			float64(s.CoolantTemp), float64(s.TEGVoltage))
+	}
+	fmt.Printf("peak: CPU0 %.1f°C vs CPU1 %.1f°C (max operating %.1f°C)\n",
+		float64(res.PeakCPU0), float64(res.PeakCPU1), float64(res.MaxOperating))
+	fmt.Println("=> a TEG between die and plate chokes the heat path; H2P mounts TEGs at the CPU outlet instead.")
+
+	// Fig. 8: series scaling at the 200 L/H reference flow.
+	fmt.Println("\nFig. 8 — series scaling at deltaT = 25 °C:")
+	series, err := p.RunFig8([]int{1, 2, 4, 6, 12}, []units.Celsius{25})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, s := range series {
+		fmt.Printf("  n=%-3d Voc %.3f V, Pmax %.3f W\n",
+			s.N, float64(s.Voltage[0].Voltage), float64(s.Power[0].Power))
+	}
+}

@@ -1,0 +1,3 @@
+module github.com/h2p-sim/h2p
+
+go 1.22

@@ -1,0 +1,132 @@
+package h2p
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	traces, err := GenerateTraces(60, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traces) != 3 {
+		t.Fatalf("traces = %d", len(traces))
+	}
+	cfg := DefaultConfig(LoadBalance)
+	cfg.ServersPerCirculation = 20
+	res, err := Run(traces[0], cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AvgTEGPowerPerServer <= 0 {
+		t.Errorf("avg power = %v", res.AvgTEGPowerPerServer)
+	}
+	if res.PRE <= 0 || res.PRE > 0.25 {
+		t.Errorf("PRE = %v", res.PRE)
+	}
+}
+
+func TestCompareAndEvaluate(t *testing.T) {
+	traces, err := GenerateTraces(60, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(Original)
+	cfg.ServersPerCirculation = 20
+	o, l, err := Compare(traces[0], cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.AvgTEGPowerPerServer <= o.AvgTEGPowerPerServer {
+		t.Error("LoadBalance should beat Original")
+	}
+	ev, err := Evaluate(traces, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ev.Original) != 3 || len(ev.LoadBalance) != 3 {
+		t.Fatalf("evaluation shape: %d/%d", len(ev.Original), len(ev.LoadBalance))
+	}
+	if ev.GainPercent <= 0 {
+		t.Errorf("gain = %v%%", ev.GainPercent)
+	}
+	if ev.TCOLoadBalance.ReductionPercent <= ev.TCOOriginal.ReductionPercent {
+		t.Error("LoadBalance must reduce TCO more than Original")
+	}
+}
+
+func TestTraceCSVRoundTripThroughPublicAPI(t *testing.T) {
+	traces, err := GenerateTraces(10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := traces[2].WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Servers() != 10 {
+		t.Errorf("servers = %d", back.Servers())
+	}
+}
+
+func TestPaperTCOExposed(t *testing.T) {
+	a, err := PaperTCO().Analyze(4.177)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a.ReductionPercent-0.57) > 0.03 {
+		t.Errorf("reduction = %v, want ~0.57", a.ReductionPercent)
+	}
+}
+
+func TestPrototypeAndDevicesExposed(t *testing.T) {
+	p := NewPrototype()
+	res, err := p.RunFig3(nil, 28, 20, 1)
+	if err == nil {
+		t.Error("empty phases should error")
+	}
+	_ = res
+	if TEGDevice().Model != "SP 1848-27145" {
+		t.Error("wrong TEG model")
+	}
+	if CPUSpec().Model != "Intel Xeon E5-2650 V3" {
+		t.Error("wrong CPU model")
+	}
+}
+
+func TestCirculationDesignExposed(t *testing.T) {
+	opt, err := PaperCirculationDesign().Optimize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.N <= 1 || opt.N >= 1000 {
+		t.Errorf("optimal n = %d, want interior", opt.N)
+	}
+}
+
+func TestLoadAlibabaTraceThroughPublicAPI(t *testing.T) {
+	raw := "m_1,0,30\nm_1,300,60\nm_2,10,20\nm_2,310,40\n"
+	tr, err := LoadAlibabaTrace(strings.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Servers() != 2 || tr.Intervals() != 2 {
+		t.Errorf("shape = %dx%d", tr.Servers(), tr.Intervals())
+	}
+	cfg := DefaultConfig(LoadBalance)
+	cfg.ServersPerCirculation = 2
+	res, err := Run(tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AvgTEGPowerPerServer <= 0 {
+		t.Error("imported trace should drive the engine")
+	}
+}

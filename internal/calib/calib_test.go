@@ -1,0 +1,170 @@
+package calib
+
+import (
+	"math"
+	"testing"
+
+	"github.com/h2p-sim/h2p/internal/units"
+)
+
+func TestTEGVoltageFitRecoversEq3(t *testing.T) {
+	// Noise-free samples from the Eq. 3 line must recover its
+	// coefficients exactly.
+	var vs []VoltageSample
+	for dt := 1.0; dt <= 25; dt++ {
+		vs = append(vs, VoltageSample{
+			DeltaT:  units.Celsius(dt),
+			Voltage: units.Volts(0.0448*dt - 0.0051),
+		})
+	}
+	fit, err := TEGVoltageFit(vs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Slope-0.0448) > 1e-12 || math.Abs(fit.Intercept+0.0051) > 1e-12 {
+		t.Errorf("fit = %+v", fit)
+	}
+}
+
+func TestTEGVoltageFitErrors(t *testing.T) {
+	if _, err := TEGVoltageFit(nil); err == nil {
+		t.Error("empty should error")
+	}
+	two := []VoltageSample{{1, 1}, {2, 2}}
+	if _, err := TEGVoltageFit(two); err == nil {
+		t.Error("two samples should error")
+	}
+}
+
+func TestTEGPowerFitRecoversEq6(t *testing.T) {
+	var ps []PowerSample
+	for dt := 1.0; dt <= 25; dt++ {
+		ps = append(ps, PowerSample{
+			DeltaT: units.Celsius(dt),
+			Power:  units.Watts(0.0003*dt*dt - 0.0003*dt + 0.0011),
+		})
+	}
+	fit, err := TEGPowerFit(ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0.0011, -0.0003, 0.0003}
+	for i, c := range want {
+		if math.Abs(fit.Coeffs[i]-c) > 1e-10 {
+			t.Errorf("coeff[%d] = %v, want %v", i, fit.Coeffs[i], c)
+		}
+	}
+	if _, err := TEGPowerFit(ps[:3]); err == nil {
+		t.Error("three samples should error")
+	}
+}
+
+func TestFitCPUPowerRecoversEq20(t *testing.T) {
+	var cs []CPUPowerSample
+	for u := 0.0; u <= 1.0; u += 0.1 {
+		cs = append(cs, CPUPowerSample{
+			Utilization: u,
+			Power:       units.Watts(109.71*math.Log(u+1.17) - 7.83),
+		})
+	}
+	fit, err := FitCPUPower(cs, 1.17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.LogCoeff-109.71) > 1e-9 || math.Abs(fit.Offset+7.83) > 1e-9 {
+		t.Errorf("fit = %+v", fit)
+	}
+	if fit.RMSE > 1e-9 {
+		t.Errorf("noise-free RMSE = %v", fit.RMSE)
+	}
+	if err := fit.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFitCPUPowerErrors(t *testing.T) {
+	if _, err := FitCPUPower(nil, 1.17); err == nil {
+		t.Error("empty should error")
+	}
+	cs := []CPUPowerSample{{0, 9}, {0.5, 50}, {1, 77}}
+	if _, err := FitCPUPower(cs, 0); err == nil {
+		t.Error("zero shift should error")
+	}
+	bad := []CPUPowerSample{{-0.2, 9}, {0.5, 50}, {1, 77}}
+	if _, err := FitCPUPower(bad, 1.17); err == nil {
+		t.Error("out-of-range utilization should error")
+	}
+}
+
+func TestValidateRejectsPoorFit(t *testing.T) {
+	f := CPUPowerFit{RMSE: 5.1}
+	if err := f.Validate(); err == nil {
+		t.Error("RMSE above 5 W should fail validation")
+	}
+}
+
+func TestCampaignRoundTripUnderNoise(t *testing.T) {
+	res, err := DefaultCampaign(42).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Recovered Eq. 3 slope within 2% of 0.0448 despite DAQ noise.
+	if math.Abs(res.Voltage.Slope-0.0448)/0.0448 > 0.02 {
+		t.Errorf("voltage slope = %v, want ~0.0448", res.Voltage.Slope)
+	}
+	// Worst-case voltage prediction error a few millivolts.
+	if res.VoltageErr > 0.01 {
+		t.Errorf("voltage fit error = %v V", res.VoltageErr)
+	}
+	// Quadratic coefficient of Eq. 6 within 5%.
+	if math.Abs(res.Power.Coeffs[2]-0.0003)/0.0003 > 0.05 {
+		t.Errorf("power quadratic coeff = %v, want ~0.0003", res.Power.Coeffs[2])
+	}
+	if res.PowerErr > 0.01 {
+		t.Errorf("power fit error = %v W", res.PowerErr)
+	}
+	// CPU power: the paper's own bar is RMSE < 5 W.
+	if res.CPUPower.RMSE >= 5 {
+		t.Errorf("CPU power RMSE = %v", res.CPUPower.RMSE)
+	}
+	if math.Abs(res.CPUPower.LogCoeff-109.71)/109.71 > 0.05 {
+		t.Errorf("CPU log coeff = %v, want ~109.71", res.CPUPower.LogCoeff)
+	}
+	if res.CPUPowerErrW > 5 {
+		t.Errorf("CPU power fit error = %v W", res.CPUPowerErrW)
+	}
+}
+
+func TestCampaignDeterministic(t *testing.T) {
+	a, err := DefaultCampaign(7).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := DefaultCampaign(7).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Voltage.Slope != b.Voltage.Slope || a.CPUPower.RMSE != b.CPUPower.RMSE {
+		t.Error("campaign not deterministic")
+	}
+	c, err := DefaultCampaign(8).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Voltage.Slope == c.Voltage.Slope {
+		t.Error("different seeds should differ")
+	}
+}
+
+func TestCampaignValidatesDevices(t *testing.T) {
+	c := DefaultCampaign(1)
+	c.Device.SeebeckSlope = 0
+	if _, err := c.Run(); err == nil {
+		t.Error("invalid device should error")
+	}
+	c = DefaultCampaign(1)
+	c.Spec.MaxOperatingTemp = 0
+	if _, err := c.Run(); err == nil {
+		t.Error("invalid spec should error")
+	}
+}

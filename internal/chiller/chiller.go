@@ -1,0 +1,134 @@
+// Package chiller models the active and passive heat-rejection equipment of
+// the facility water system (Fig. 1): the energy-hungry chiller whose usage
+// warm water cooling seeks to minimize, and the evaporative cooling tower
+// that carries the main load.
+package chiller
+
+import (
+	"errors"
+	"math"
+
+	"github.com/h2p-sim/h2p/internal/units"
+)
+
+// Chiller is a vapor-compression water chiller characterized by its
+// coefficient of performance, COP = heat removed / electricity consumed
+// (Sec. V-A; the paper assumes COP = 3.6 following Jiang et al.).
+type Chiller struct {
+	// COP is the coefficient of performance, > 0.
+	COP float64
+	// CapEx is the amortized purchase cost used by the circulation-design
+	// objective (Eq. 12), in dollars per chiller.
+	CapEx units.USD
+}
+
+// Default returns the paper's chiller assumption.
+func Default() Chiller { return Chiller{COP: 3.6, CapEx: 10000} }
+
+// Validate reports configuration errors.
+func (c Chiller) Validate() error {
+	if c.COP <= 0 {
+		return errors.New("chiller: COP must be positive")
+	}
+	if c.CapEx < 0 {
+		return errors.New("chiller: CapEx must be non-negative")
+	}
+	return nil
+}
+
+// CoolingEnergy implements Eq. 10: the electrical energy to cool a stream of
+// n servers, each at flow f, by deltaT degrees over a duration of t seconds:
+//
+//	E = c_w * deltaT * (n * f * t) * rho / COP.
+//
+// A non-positive deltaT means the chiller is bypassed and costs nothing.
+func (c Chiller) CoolingEnergy(deltaT units.Celsius, n int, f units.LitersPerHour, seconds float64) (units.Joules, error) {
+	if err := c.Validate(); err != nil {
+		return 0, err
+	}
+	if n < 0 {
+		return 0, errors.New("chiller: negative server count")
+	}
+	if f < 0 || seconds < 0 {
+		return 0, errors.New("chiller: negative flow or duration")
+	}
+	if deltaT <= 0 {
+		return 0, nil
+	}
+	// Total mass of water processed: n branches * volumetric flow *
+	// duration * density. Flow is L/H, duration s: litres = f * t/3600;
+	// 1 L of water = 1 kg.
+	kg := float64(n) * float64(f) * seconds / 3600.0
+	heat := units.WaterSpecificHeat * float64(deltaT) * kg
+	return units.Joules(heat / c.COP), nil
+}
+
+// PowerToRemove returns the electrical power to continuously remove the given
+// heat load.
+func (c Chiller) PowerToRemove(heat units.Watts) units.Watts {
+	if heat <= 0 {
+		return 0
+	}
+	return units.Watts(float64(heat) / c.COP)
+}
+
+// CoolingTower is an evaporative tower: it can cool the facility water down
+// to the ambient wet-bulb temperature plus an approach, at a small fan/spray
+// energy cost relative to a chiller.
+type CoolingTower struct {
+	// Approach is how close to wet-bulb the tower can get, typically
+	// 3-6 °C.
+	Approach units.Celsius
+	// FanCOP is heat rejected per unit electricity; towers reject heat
+	// an order of magnitude more efficiently than chillers (>= 20).
+	FanCOP float64
+}
+
+// DefaultTower returns a typical datacenter tower.
+func DefaultTower() CoolingTower { return CoolingTower{Approach: 4, FanCOP: 25} }
+
+// MinOutlet returns the lowest water temperature the tower can deliver for
+// the given ambient wet-bulb temperature.
+func (t CoolingTower) MinOutlet(wetBulb units.Celsius) units.Celsius {
+	return wetBulb + t.Approach
+}
+
+// PowerToRemove returns the fan/spray power needed to reject the given heat.
+func (t CoolingTower) PowerToRemove(heat units.Watts) units.Watts {
+	if heat <= 0 || t.FanCOP <= 0 {
+		return 0
+	}
+	return units.Watts(float64(heat) / t.FanCOP)
+}
+
+// Plant couples a tower and a chiller: the tower carries the load whenever it
+// can reach the target supply temperature; the chiller only trims the
+// remainder. This is the dispatch that makes warm water cheap — raising the
+// target temperature pushes the whole load onto the tower.
+type Plant struct {
+	Tower   CoolingTower
+	Chiller Chiller
+}
+
+// Dispatch returns the electrical power to reject `heat` from facility water
+// returning at returnTemp so it is re-supplied at target, under the given
+// ambient wet-bulb temperature. The tower pre-cools the water as far as it
+// can (its wet-bulb-limited outlet); the chiller trims the remainder. Heat
+// splits in proportion to each stage's share of the total temperature drop.
+func (p Plant) Dispatch(heat units.Watts, returnTemp, target, wetBulb units.Celsius) (tower, chill units.Watts) {
+	if heat <= 0 || returnTemp <= target {
+		return 0, 0
+	}
+	reachable := p.Tower.MinOutlet(wetBulb)
+	if target >= reachable {
+		// Warm-water regime: the tower alone reaches the target.
+		return p.Tower.PowerToRemove(heat), 0
+	}
+	towerStop := units.Celsius(math.Min(float64(returnTemp), float64(reachable)))
+	total := float64(returnTemp - target)
+	towerShare := float64(returnTemp-towerStop) / total
+	chillShare := 1 - towerShare
+	towerHeat := units.Watts(float64(heat) * towerShare)
+	chillHeat := units.Watts(float64(heat) * chillShare)
+	return p.Tower.PowerToRemove(towerHeat), p.Chiller.PowerToRemove(chillHeat)
+}

@@ -1,0 +1,163 @@
+package chiller
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/h2p-sim/h2p/internal/units"
+)
+
+func TestChillerCoolingEnergyEq10(t *testing.T) {
+	c := Default()
+	// Eq. 10 worked example: cool 2°C, 10 servers at 50 L/H for one hour.
+	// Mass = 10*50 L = 500 kg; heat = 4200*2*500 = 4.2e6 J;
+	// energy = 4.2e6/3.6 J.
+	e, err := c.CoolingEnergy(2, 10, 50, 3600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := units.Joules(4200.0 * 2 * 500 / 3.6)
+	if math.Abs(float64(e-want)) > 1e-6 {
+		t.Errorf("energy = %v, want %v", e, want)
+	}
+}
+
+func TestChillerBypassesOnNonPositiveDeltaT(t *testing.T) {
+	c := Default()
+	for _, dt := range []units.Celsius{0, -3} {
+		e, err := c.CoolingEnergy(dt, 100, 50, 3600)
+		if err != nil || e != 0 {
+			t.Errorf("deltaT=%v: energy = %v err = %v, want 0, nil", dt, e, err)
+		}
+	}
+}
+
+func TestChillerErrors(t *testing.T) {
+	bad := Chiller{COP: 0}
+	if _, err := bad.CoolingEnergy(2, 10, 50, 3600); err == nil {
+		t.Error("zero COP should error")
+	}
+	c := Default()
+	if _, err := c.CoolingEnergy(2, -1, 50, 3600); err == nil {
+		t.Error("negative count should error")
+	}
+	if _, err := c.CoolingEnergy(2, 1, -50, 3600); err == nil {
+		t.Error("negative flow should error")
+	}
+	if _, err := c.CoolingEnergy(2, 1, 50, -1); err == nil {
+		t.Error("negative duration should error")
+	}
+	neg := Chiller{COP: 3.6, CapEx: -1}
+	if err := neg.Validate(); err == nil {
+		t.Error("negative CapEx should error")
+	}
+}
+
+func TestChillerEnergyLinearityProperty(t *testing.T) {
+	c := Default()
+	f := func(dtRaw float64, nRaw uint8) bool {
+		if math.IsNaN(dtRaw) || math.IsInf(dtRaw, 0) {
+			return true
+		}
+		dt := units.Celsius(math.Abs(math.Mod(dtRaw, 20)))
+		n := int(nRaw%100) + 1
+		e1, err1 := c.CoolingEnergy(dt, n, 50, 300)
+		e2, err2 := c.CoolingEnergy(dt, 2*n, 50, 300)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return math.Abs(float64(e2-2*e1)) < 1e-6*math.Max(1, float64(e2))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPowerToRemove(t *testing.T) {
+	c := Default()
+	if p := c.PowerToRemove(3600); math.Abs(float64(p)-1000) > 1e-9 {
+		t.Errorf("power = %v, want 1000", p)
+	}
+	if p := c.PowerToRemove(-5); p != 0 {
+		t.Errorf("negative heat power = %v, want 0", p)
+	}
+}
+
+func TestTower(t *testing.T) {
+	tw := DefaultTower()
+	if got := tw.MinOutlet(18); got != 22 {
+		t.Errorf("min outlet = %v, want 22", got)
+	}
+	// Tower rejects heat much more cheaply than the chiller.
+	c := Default()
+	heat := units.Watts(10000)
+	if tw.PowerToRemove(heat) >= c.PowerToRemove(heat) {
+		t.Error("tower should be cheaper than chiller")
+	}
+	if tw.PowerToRemove(0) != 0 {
+		t.Error("zero heat should cost nothing")
+	}
+	if (CoolingTower{Approach: 4}).PowerToRemove(100) != 0 {
+		t.Error("zero FanCOP should cost nothing rather than divide by zero")
+	}
+}
+
+func TestPlantDispatchWarmWaterUsesOnlyTower(t *testing.T) {
+	p := Plant{Tower: DefaultTower(), Chiller: Default()}
+	// Warm-water target of 45 °C with wet-bulb 18 °C: tower reaches 22,
+	// easily above target? No: 45 >= 22, tower alone suffices.
+	tower, chill := p.Dispatch(50000, 52, 45, 18)
+	if chill != 0 {
+		t.Errorf("warm target should not use chiller, got %v", chill)
+	}
+	if tower <= 0 {
+		t.Errorf("tower power = %v, want positive", tower)
+	}
+}
+
+func TestPlantDispatchColdWaterNeedsChiller(t *testing.T) {
+	p := Plant{Tower: DefaultTower(), Chiller: Default()}
+	// Traditional cold-water target of 8 °C with wet-bulb 18 °C: the
+	// chiller must span 22 -> 8.
+	tower, chill := p.Dispatch(50000, 30, 8, 18)
+	if chill <= 0 {
+		t.Errorf("cold target requires chiller, got %v", chill)
+	}
+	total := float64(tower + chill)
+	warmTower, _ := p.Dispatch(50000, 52, 45, 18)
+	if total <= float64(warmTower) {
+		t.Errorf("cold-water plant power %v should exceed warm-water %v", total, warmTower)
+	}
+}
+
+func TestPlantDispatchEdgeCases(t *testing.T) {
+	p := Plant{Tower: DefaultTower(), Chiller: Default()}
+	if tw, ch := p.Dispatch(0, 50, 45, 18); tw != 0 || ch != 0 {
+		t.Error("zero heat should cost nothing")
+	}
+	if tw, ch := p.Dispatch(100, 40, 45, 18); tw != 0 || ch != 0 {
+		t.Error("return below target should cost nothing")
+	}
+	// Return temperature below what the tower can reach: the whole load
+	// goes to the chiller.
+	tw, ch := p.Dispatch(1000, 20, 8, 18)
+	if tw != 0 || ch <= 0 {
+		t.Errorf("all-chiller case: tower %v chiller %v", tw, ch)
+	}
+}
+
+func TestWarmVsColdWaterSavings(t *testing.T) {
+	// Raising facility water temperature saves a large fraction of plant
+	// power (the paper cites up to ~40% going from 7-10°C to 18-20°C).
+	p := Plant{Tower: DefaultTower(), Chiller: Default()}
+	heat := units.Watts(1e6)
+	coldT, coldC := p.Dispatch(heat, 25, 8, 18)
+	warmT, warmC := p.Dispatch(heat, 32, 19, 18)
+	cold := float64(coldT + coldC)
+	warm := float64(warmT + warmC)
+	saving := (cold - warm) / cold
+	if saving < 0.25 {
+		t.Errorf("warm-water saving = %.2f, want >= 0.25", saving)
+	}
+}

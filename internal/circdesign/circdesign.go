@@ -1,0 +1,182 @@
+// Package circdesign implements the water-circulation design analysis of
+// Sec. V-A: how many servers should share one water circulation (chiller +
+// centralized pump + common cooling setting)?
+//
+// Small circulations track each server's own cooling need (maximum TEG
+// output, minimum chiller work) but multiply chiller capital cost; large
+// circulations amortize equipment but must over-cool everyone to protect the
+// statistically hottest CPU. The paper models per-CPU temperatures as i.i.d.
+// normals, takes the expected maximum via order statistics (Eqs. 13-18),
+// prices the over-cooling with the chiller energy equation (Eqs. 10-11) and
+// minimizes the combined objective (Eq. 12) over the circulation size n.
+package circdesign
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"github.com/h2p-sim/h2p/internal/chiller"
+	"github.com/h2p-sim/h2p/internal/numeric"
+	"github.com/h2p-sim/h2p/internal/stats"
+	"github.com/h2p-sim/h2p/internal/units"
+)
+
+// Config parameterizes the design study.
+type Config struct {
+	// TotalServers is the cluster size (the paper uses 1,000).
+	TotalServers int
+	// CPUTemp is the distribution of per-CPU temperatures under the
+	// current cooling setting (Sec. V-A: T_i ~ N(mu, sigma^2)).
+	CPUTemp stats.Normal
+	// TSafe is the safe CPU operating temperature.
+	TSafe units.Celsius
+	// Coupling is k in T_CPU = k*T_coolant + b (within [1, 1.3]); a
+	// required coolant reduction is the CPU excess divided by k (Eq. 18).
+	Coupling float64
+	// Flow is the per-server coolant flow f, assumed constant (50 L/H).
+	Flow units.LitersPerHour
+	// Horizon is the accounting period in hours (Eq. 10's t).
+	Horizon float64
+	// Chiller provides COP and capital cost.
+	Chiller chiller.Chiller
+	// ChillerAmortized is the per-circulation chiller cost attributed to
+	// the horizon (capital / lifetime horizons).
+	ChillerAmortized units.USD
+	// ElectricityPrice is the tariff in $/kWh.
+	ElectricityPrice units.USD
+}
+
+// PaperConfig returns the Sec. V-A setting: 1,000 servers, 50 L/H, COP 3.6,
+// a CPU temperature population centered a few degrees below T_safe, and a
+// one-year accounting horizon with the chiller amortized over ten years.
+func PaperConfig() Config {
+	return Config{
+		TotalServers:     1000,
+		CPUTemp:          stats.Normal{Mu: 58, Sigma: 4},
+		TSafe:            62,
+		Coupling:         1.15,
+		Flow:             50,
+		Horizon:          365 * 24,
+		Chiller:          chiller.Default(),
+		ChillerAmortized: 1000, // $10k chiller over a 10-year life
+		ElectricityPrice: 0.13,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.TotalServers <= 0 {
+		return errors.New("circdesign: TotalServers must be positive")
+	}
+	if c.CPUTemp.Sigma <= 0 {
+		return errors.New("circdesign: CPU temperature sigma must be positive")
+	}
+	if c.Coupling < 1 {
+		return errors.New("circdesign: coupling k must be >= 1")
+	}
+	if c.Flow <= 0 {
+		return errors.New("circdesign: flow must be positive")
+	}
+	if c.Horizon <= 0 {
+		return errors.New("circdesign: horizon must be positive")
+	}
+	if c.ElectricityPrice <= 0 {
+		return errors.New("circdesign: electricity price must be positive")
+	}
+	if c.ChillerAmortized < 0 {
+		return errors.New("circdesign: negative chiller cost")
+	}
+	return c.Chiller.Validate()
+}
+
+// Evaluation is the objective breakdown for one circulation size.
+type Evaluation struct {
+	// N is the servers per circulation.
+	N int
+	// Circulations is ceil(TotalServers / N).
+	Circulations int
+	// ExpectedMaxCPUTemp is E(T_(n)) from the order statistics (Eq. 17).
+	ExpectedMaxCPUTemp units.Celsius
+	// ExpectedCoolantReduction is E(deltaT_i) (Eq. 18), >= 0.
+	ExpectedCoolantReduction units.Celsius
+	// ChillerEnergy is the Eq. 10/11 total over the horizon.
+	ChillerEnergy units.KilowattHours
+	// EnergyCost and EquipmentCost split the Eq. 12 objective.
+	EnergyCost, EquipmentCost units.USD
+	// TotalCost is the Eq. 12 objective.
+	TotalCost units.USD
+}
+
+// Evaluate computes the objective for one circulation size n.
+func (c Config) Evaluate(n int) (Evaluation, error) {
+	if err := c.Validate(); err != nil {
+		return Evaluation{}, err
+	}
+	if n < 1 || n > c.TotalServers {
+		return Evaluation{}, fmt.Errorf("circdesign: n=%d outside [1, %d]", n, c.TotalServers)
+	}
+	circulations := (c.TotalServers + n - 1) / n
+	eMax := units.Celsius(stats.MaxOrderStatistic{Base: c.CPUTemp, M: n}.Mean())
+	reduction := units.Celsius(math.Max(0, float64(eMax-c.TSafe)/c.Coupling))
+	// Eq. 10 per circulation over the horizon, summed over circulations
+	// (Eq. 11). The last circulation may be smaller; bill actual servers.
+	energy, err := c.Chiller.CoolingEnergy(reduction, c.TotalServers, c.Flow, c.Horizon*3600)
+	if err != nil {
+		return Evaluation{}, err
+	}
+	kwh := energy.KilowattHours()
+	ev := Evaluation{
+		N:                        n,
+		Circulations:             circulations,
+		ExpectedMaxCPUTemp:       eMax,
+		ExpectedCoolantReduction: reduction,
+		ChillerEnergy:            kwh,
+		EnergyCost:               units.USD(float64(kwh) * float64(c.ElectricityPrice)),
+		EquipmentCost:            units.USD(float64(c.ChillerAmortized) * float64(circulations)),
+	}
+	ev.TotalCost = ev.EnergyCost + ev.EquipmentCost
+	return ev, nil
+}
+
+// Curve evaluates every circulation size in [1, TotalServers] whose
+// circulation count changes, returning a cost curve suitable for plotting.
+// To keep the curve compact it samples all n up to 64 and then doubles.
+func (c Config) Curve() ([]Evaluation, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	var out []Evaluation
+	for n := 1; n <= c.TotalServers; {
+		ev, err := c.Evaluate(n)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ev)
+		if n < 64 {
+			n++
+		} else {
+			n *= 2
+		}
+	}
+	return out, nil
+}
+
+// Optimize minimizes the Eq. 12 objective over all circulation sizes and
+// returns the best evaluation.
+func (c Config) Optimize() (Evaluation, error) {
+	if err := c.Validate(); err != nil {
+		return Evaluation{}, err
+	}
+	best, _, err := numeric.ArgminInt(func(n int) float64 {
+		ev, err := c.Evaluate(n)
+		if err != nil {
+			return math.Inf(1)
+		}
+		return float64(ev.TotalCost)
+	}, 1, c.TotalServers)
+	if err != nil {
+		return Evaluation{}, err
+	}
+	return c.Evaluate(best)
+}

@@ -1,0 +1,169 @@
+package circdesign
+
+import (
+	"math"
+	"testing"
+
+	"github.com/h2p-sim/h2p/internal/stats"
+)
+
+func TestValidate(t *testing.T) {
+	if err := PaperConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []func(*Config){
+		func(c *Config) { c.TotalServers = 0 },
+		func(c *Config) { c.CPUTemp.Sigma = 0 },
+		func(c *Config) { c.Coupling = 0.9 },
+		func(c *Config) { c.Flow = 0 },
+		func(c *Config) { c.Horizon = 0 },
+		func(c *Config) { c.ElectricityPrice = 0 },
+		func(c *Config) { c.ChillerAmortized = -1 },
+		func(c *Config) { c.Chiller.COP = 0 },
+	}
+	for i, mut := range cases {
+		cfg := PaperConfig()
+		mut(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func TestEvaluateBounds(t *testing.T) {
+	cfg := PaperConfig()
+	if _, err := cfg.Evaluate(0); err == nil {
+		t.Error("n=0 should error")
+	}
+	if _, err := cfg.Evaluate(cfg.TotalServers + 1); err == nil {
+		t.Error("n beyond cluster should error")
+	}
+}
+
+func TestExpectedMaxGrowsWithN(t *testing.T) {
+	cfg := PaperConfig()
+	prev := -1e18
+	for _, n := range []int{1, 2, 10, 50, 200, 1000} {
+		ev, err := cfg.Evaluate(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if float64(ev.ExpectedMaxCPUTemp) <= prev {
+			t.Errorf("E(Tmax) not increasing at n=%d", n)
+		}
+		prev = float64(ev.ExpectedMaxCPUTemp)
+		if ev.ExpectedCoolantReduction < 0 {
+			t.Errorf("negative reduction at n=%d", n)
+		}
+	}
+}
+
+func TestMonopolizedCirculationNeedsNoChiller(t *testing.T) {
+	// With one server per circulation and the mean CPU temperature below
+	// T_safe, no over-cooling is needed — "each server monopolizing one
+	// circulation is the most energy-efficient" (Sec. V-A) — but the
+	// equipment bill explodes.
+	cfg := PaperConfig()
+	ev, err := cfg.Evaluate(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.ChillerEnergy != 0 || ev.EnergyCost != 0 {
+		t.Errorf("n=1 should need no chiller energy, got %v", ev.ChillerEnergy)
+	}
+	if ev.Circulations != 1000 {
+		t.Errorf("circulations = %d, want 1000", ev.Circulations)
+	}
+	if ev.EquipmentCost != 1000*cfg.ChillerAmortized {
+		t.Errorf("equipment cost = %v", ev.EquipmentCost)
+	}
+}
+
+func TestCostCurveIsUShaped(t *testing.T) {
+	cfg := PaperConfig()
+	curve, err := cfg.Curve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curve) < 10 {
+		t.Fatalf("curve too short: %d", len(curve))
+	}
+	first := curve[0]
+	last := curve[len(curve)-1]
+	opt, err := cfg.Optimize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The optimum beats both extremes: the equipment-dominated n=1 end
+	// and the over-cooling-dominated shared end.
+	if opt.TotalCost >= first.TotalCost || opt.TotalCost >= last.TotalCost {
+		t.Errorf("optimum %v should beat extremes %v and %v",
+			opt.TotalCost, first.TotalCost, last.TotalCost)
+	}
+	if opt.N <= 1 || opt.N >= cfg.TotalServers {
+		t.Errorf("optimal n = %d should be interior", opt.N)
+	}
+	// Energy cost rises with n along the curve; equipment cost falls.
+	for i := 1; i < len(curve); i++ {
+		if curve[i].EnergyCost < curve[i-1].EnergyCost-1e-9 {
+			t.Errorf("energy cost decreasing at n=%d", curve[i].N)
+		}
+		if curve[i].EquipmentCost > curve[i-1].EquipmentCost {
+			t.Errorf("equipment cost increasing at n=%d", curve[i].N)
+		}
+	}
+}
+
+func TestOptimizeShiftsWithChillerPrice(t *testing.T) {
+	// Pricier chillers push the optimum toward larger circulations.
+	cheap := PaperConfig()
+	cheap.ChillerAmortized = 100
+	expensive := PaperConfig()
+	expensive.ChillerAmortized = 10000
+	co, err := cheap.Optimize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	eo, err := expensive.Optimize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eo.N <= co.N {
+		t.Errorf("expensive chillers (n=%d) should favor larger circulations than cheap (n=%d)", eo.N, co.N)
+	}
+}
+
+func TestOptimizeShiftsWithTemperatureSpread(t *testing.T) {
+	// A wider CPU-temperature spread makes sharing costlier, shrinking
+	// the optimal circulation.
+	tight := PaperConfig()
+	tight.CPUTemp = stats.Normal{Mu: 58, Sigma: 1.5}
+	wide := PaperConfig()
+	wide.CPUTemp = stats.Normal{Mu: 58, Sigma: 8}
+	to, err := tight.Optimize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wo, err := wide.Optimize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wo.N >= to.N {
+		t.Errorf("wide spread optimum n=%d should be below tight spread n=%d", wo.N, to.N)
+	}
+}
+
+func TestEvaluateCostConsistency(t *testing.T) {
+	cfg := PaperConfig()
+	ev, err := cfg.Evaluate(40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(float64(ev.TotalCost-(ev.EnergyCost+ev.EquipmentCost))) > 1e-9 {
+		t.Error("total cost must equal energy + equipment")
+	}
+	wantCircs := (1000 + 39) / 40
+	if ev.Circulations != wantCircs {
+		t.Errorf("circulations = %d, want %d", ev.Circulations, wantCircs)
+	}
+}

@@ -1,0 +1,106 @@
+// Package coolant provides thermophysical properties of the working fluids
+// used in water-cooling loops: pure water and propylene-glycol (PG)
+// mixtures. The paper's prototype runs dyed coolant (a glycol mix) in its
+// two loops; glycol buys freeze/corrosion protection at the price of a lower
+// specific heat, which changes the outlet temperature rise and pump duty.
+//
+// Correlations are low-order fits to published property tables, valid over
+// the datacenter range 0-90 °C and glycol volume fractions 0-0.5. They are
+// intentionally simple — property errors under 1 % are far below the
+// calibration uncertainty of the system models consuming them.
+package coolant
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"github.com/h2p-sim/h2p/internal/units"
+)
+
+// Mixture is a water/propylene-glycol blend.
+type Mixture struct {
+	// Name labels the blend.
+	Name string
+	// GlycolFraction is the PG volume fraction in [0, 0.5].
+	GlycolFraction float64
+}
+
+// Water returns the pure-water reference fluid.
+func Water() Mixture { return Mixture{Name: "water", GlycolFraction: 0} }
+
+// PG25 returns a 25 % propylene-glycol blend (typical closed-loop coolant).
+func PG25() Mixture { return Mixture{Name: "PG 25%", GlycolFraction: 0.25} }
+
+// PG50 returns a 50 % blend (deep-freeze protection).
+func PG50() Mixture { return Mixture{Name: "PG 50%", GlycolFraction: 0.50} }
+
+// Validate reports parameter errors.
+func (m Mixture) Validate() error {
+	if m.GlycolFraction < 0 || m.GlycolFraction > 0.5 {
+		return fmt.Errorf("coolant: glycol fraction %v outside [0, 0.5]", m.GlycolFraction)
+	}
+	return nil
+}
+
+// SpecificHeat returns c_p in J/(kg·°C) at temperature T.
+func (m Mixture) SpecificHeat(t units.Celsius) float64 {
+	// Water: shallow parabola with minimum near 35 °C (4178), ~4217 at
+	// 0 °C and ~4196 at 90 °C.
+	x := float64(t)
+	water := 4178 + 0.013*(x-35)*(x-35)*0.35
+	// Glycol depresses c_p roughly linearly: PG50 at 20 °C is ~3560.
+	// The glycol term also grows slightly with temperature.
+	depression := m.GlycolFraction * (1240 - 3.0*x)
+	return water - depression
+}
+
+// Density returns rho in kg/m^3 at temperature T.
+func (m Mixture) Density(t units.Celsius) float64 {
+	x := float64(t)
+	// Water: 999.8 at 0 °C falling to ~965 at 90 °C.
+	water := 1000.6 - 0.012*x - 0.0035*x*x
+	// Glycol raises density: PG50 at 20 °C is ~1041.
+	return water + m.GlycolFraction*(86-0.2*x)
+}
+
+// FreezingPoint returns the blend's freezing temperature.
+func (m Mixture) FreezingPoint() units.Celsius {
+	// 0 °C for water, -10 °C at 25 %, -34 °C at 50 % (nonlinear fit).
+	x := m.GlycolFraction
+	return units.Celsius(-(184*x*x - 96*x*x*x))
+}
+
+// HeatCapacityRate returns m_dot*c_p in W/°C for a volumetric flow of this
+// mixture at temperature T.
+func (m Mixture) HeatCapacityRate(f units.LitersPerHour, t units.Celsius) float64 {
+	kgPerSecond := float64(f) / 3600.0 * m.Density(t) / 1000.0
+	return kgPerSecond * m.SpecificHeat(t)
+}
+
+// AdvectionDeltaT returns the temperature rise of a stream of this mixture
+// absorbing power p at flow f and temperature t.
+func (m Mixture) AdvectionDeltaT(p units.Watts, f units.LitersPerHour, t units.Celsius) (units.Celsius, error) {
+	if err := m.Validate(); err != nil {
+		return 0, err
+	}
+	rate := m.HeatCapacityRate(f, t)
+	if rate <= 0 {
+		return 0, errors.New("coolant: non-positive heat capacity rate")
+	}
+	return units.Celsius(float64(p) / rate), nil
+}
+
+// RelativePumpPenalty estimates the extra pumping power of the blend
+// relative to water at the same volumetric flow, from the viscosity increase
+// (laminar head loss scales with viscosity). PG50 at 20 °C is roughly 4-5x
+// water's viscosity; the penalty shrinks as the loop warms.
+func (m Mixture) RelativePumpPenalty(t units.Celsius) float64 {
+	if m.GlycolFraction == 0 {
+		return 1
+	}
+	x := float64(t)
+	// Viscosity ratio vs water, decaying with temperature.
+	ratio := 1 + m.GlycolFraction*(7.5-0.07*math.Min(x, 80))
+	return ratio
+}

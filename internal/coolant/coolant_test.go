@@ -1,0 +1,123 @@
+package coolant
+
+import (
+	"math"
+	"testing"
+
+	"github.com/h2p-sim/h2p/internal/units"
+)
+
+func TestValidate(t *testing.T) {
+	for _, m := range []Mixture{Water(), PG25(), PG50()} {
+		if err := m.Validate(); err != nil {
+			t.Errorf("%s: %v", m.Name, err)
+		}
+	}
+	if err := (Mixture{GlycolFraction: 0.6}).Validate(); err == nil {
+		t.Error("fraction above 0.5 should error")
+	}
+	if err := (Mixture{GlycolFraction: -0.1}).Validate(); err == nil {
+		t.Error("negative fraction should error")
+	}
+}
+
+func TestWaterPropertiesMatchTables(t *testing.T) {
+	w := Water()
+	// c_p within 1% of 4186 J/(kg·°C) across the datacenter range.
+	for _, temp := range []units.Celsius{10, 20, 40, 60, 80} {
+		cp := w.SpecificHeat(temp)
+		if math.Abs(cp-4186)/4186 > 0.012 {
+			t.Errorf("water cp(%v) = %v, want ~4186", temp, cp)
+		}
+	}
+	// Density ~998 at 20 °C, ~965-975 at 90 °C, decreasing.
+	if rho := w.Density(20); math.Abs(rho-998)/998 > 0.005 {
+		t.Errorf("water rho(20) = %v", rho)
+	}
+	if w.Density(90) >= w.Density(20) {
+		t.Error("water density should fall with temperature")
+	}
+	if fp := w.FreezingPoint(); fp != 0 {
+		t.Errorf("water freezing point = %v", fp)
+	}
+}
+
+func TestGlycolDepressesCpAndFreezingPoint(t *testing.T) {
+	if PG25().SpecificHeat(20) >= Water().SpecificHeat(20) {
+		t.Error("glycol should depress specific heat")
+	}
+	if PG50().SpecificHeat(20) >= PG25().SpecificHeat(20) {
+		t.Error("more glycol should depress cp further")
+	}
+	// PG50 at 20 °C near the tabulated ~3560 J/(kg·°C).
+	if cp := PG50().SpecificHeat(20); math.Abs(cp-3560)/3560 > 0.05 {
+		t.Errorf("PG50 cp(20) = %v, want ~3560", cp)
+	}
+	// Freezing protection: PG25 ~ -10 °C, PG50 ~ -34 °C.
+	if fp := PG25().FreezingPoint(); fp > -7 || fp < -15 {
+		t.Errorf("PG25 freezing point = %v, want ~-10", fp)
+	}
+	if fp := PG50().FreezingPoint(); fp > -28 || fp < -40 {
+		t.Errorf("PG50 freezing point = %v, want ~-34", fp)
+	}
+}
+
+func TestGlycolRaisesDensity(t *testing.T) {
+	if PG50().Density(20) <= Water().Density(20) {
+		t.Error("glycol should raise density")
+	}
+	// PG50 at 20 °C ~ 1041 kg/m³.
+	if rho := PG50().Density(20); math.Abs(rho-1041)/1041 > 0.01 {
+		t.Errorf("PG50 rho(20) = %v, want ~1041", rho)
+	}
+}
+
+func TestAdvectionMatchesUnitsForWater(t *testing.T) {
+	// Pure water must agree with the units-package constant to ~1%.
+	w := Water()
+	got, err := w.AdvectionDeltaT(77.2, 20, 45)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := units.AdvectionDeltaT(77.2, 20)
+	if math.Abs(float64(got-want))/float64(want) > 0.015 {
+		t.Errorf("water advection %v vs units %v", got, want)
+	}
+}
+
+func TestGlycolRaisesOutletDeltaT(t *testing.T) {
+	// Same heat, same volumetric flow: the glycol blend warms more
+	// because each litre carries less heat.
+	w, err := Water().AdvectionDeltaT(77.2, 20, 45)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := PG25().AdvectionDeltaT(77.2, 20, 45)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g <= w {
+		t.Errorf("PG25 rise %v should exceed water %v", g, w)
+	}
+	if float64(g)/float64(w) > 1.15 {
+		t.Errorf("PG25 penalty %v too large", float64(g)/float64(w))
+	}
+	if _, err := (Mixture{GlycolFraction: 0.9}).AdvectionDeltaT(1, 1, 20); err == nil {
+		t.Error("invalid mixture should error")
+	}
+}
+
+func TestPumpPenalty(t *testing.T) {
+	if Water().RelativePumpPenalty(20) != 1 {
+		t.Error("water penalty must be 1")
+	}
+	p25 := PG25().RelativePumpPenalty(20)
+	p50 := PG50().RelativePumpPenalty(20)
+	if p25 <= 1 || p50 <= p25 {
+		t.Errorf("penalties not ordered: %v, %v", p25, p50)
+	}
+	// Warming the loop thins the glycol.
+	if PG50().RelativePumpPenalty(60) >= PG50().RelativePumpPenalty(20) {
+		t.Error("penalty should shrink with temperature")
+	}
+}

@@ -1,0 +1,283 @@
+// Package core is the H2P engine: it ties the TEG modules, the CPU thermal
+// model, the look-up-space cooling controller and the workload schedulers
+// into a trace-driven, time-stepped simulation of a warm water-cooled
+// datacenter (the evaluation of Sec. V-C).
+//
+// A datacenter of S servers is partitioned into water circulations of n
+// servers sharing one CDU, pump and cooling setting. Every control interval
+// (5 minutes in the paper) each circulation reads its servers' utilizations,
+// optionally balances the load, picks the cooling setting from the look-up
+// space, and harvests TEG power from every server's outlet.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/h2p-sim/h2p/internal/chiller"
+	"github.com/h2p-sim/h2p/internal/cpu"
+	"github.com/h2p-sim/h2p/internal/hydro"
+	"github.com/h2p-sim/h2p/internal/lookup"
+	"github.com/h2p-sim/h2p/internal/sched"
+	"github.com/h2p-sim/h2p/internal/stats"
+	"github.com/h2p-sim/h2p/internal/teg"
+	"github.com/h2p-sim/h2p/internal/trace"
+	"github.com/h2p-sim/h2p/internal/units"
+)
+
+// Config parameterizes a datacenter simulation.
+type Config struct {
+	// ServersPerCirculation is n of Sec. V-A: how many servers share one
+	// water circulation (CDU + pump + cooling setting).
+	ServersPerCirculation int
+	// Scheme is the workload-scheduling strategy.
+	Scheme sched.Scheme
+	// Spec is the server CPU model.
+	Spec cpu.Spec
+	// Axes defines the look-up space sampling grid.
+	Axes lookup.Axes
+	// TEGsPerServer is the module size at each CPU outlet (12).
+	TEGsPerServer int
+	// ColdSource is the TEG cold-side natural water temperature (20 °C).
+	ColdSource units.Celsius
+	// WetBulb is the ambient wet-bulb temperature for plant dispatch.
+	WetBulb units.Celsius
+	// HXApproach is the CDU heat-exchanger approach: the facility water
+	// must be this much colder than the TCS inlet target.
+	HXApproach units.Celsius
+	// PumpRatedPower/PumpMaxFlow size the per-server share of the
+	// circulation pump.
+	PumpRatedPower units.Watts
+	PumpMaxFlow    units.LitersPerHour
+}
+
+// DefaultConfig returns the paper's evaluation configuration for the given
+// scheme: 25-server circulations, 12 TEGs per server, a 20 °C cold source.
+func DefaultConfig(scheme sched.Scheme) Config {
+	return Config{
+		ServersPerCirculation: 25,
+		Scheme:                scheme,
+		Spec:                  cpu.XeonE52650V3(),
+		Axes:                  lookup.DefaultAxes(),
+		TEGsPerServer:         12,
+		ColdSource:            20,
+		WetBulb:               18,
+		HXApproach:            2,
+		PumpRatedPower:        4,
+		PumpMaxFlow:           300,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.ServersPerCirculation <= 0 {
+		return errors.New("core: ServersPerCirculation must be positive")
+	}
+	if c.TEGsPerServer <= 0 {
+		return errors.New("core: TEGsPerServer must be positive")
+	}
+	if c.Scheme != sched.Original && c.Scheme != sched.LoadBalance {
+		return fmt.Errorf("core: unknown scheme %q", c.Scheme)
+	}
+	if c.PumpMaxFlow <= 0 {
+		return errors.New("core: PumpMaxFlow must be positive")
+	}
+	return c.Spec.Validate()
+}
+
+// IntervalResult captures one control interval of the whole datacenter.
+type IntervalResult struct {
+	// AvgUtilization and MaxUtilization summarize the raw workload.
+	AvgUtilization, MaxUtilization float64
+	// TEGPowerPerServer is the datacenter-wide mean TEG output per server
+	// — the Fig. 14 series.
+	TEGPowerPerServer units.Watts
+	// TotalTEGPower and TotalCPUPower are datacenter sums.
+	TotalTEGPower, TotalCPUPower units.Watts
+	// MeanInlet and MeanFlow average the chosen cooling settings.
+	MeanInlet units.Celsius
+	MeanFlow  units.LitersPerHour
+	// MaxCPUTemp is the hottest die across all circulations.
+	MaxCPUTemp units.Celsius
+	// PumpPower is the total circulation-pump draw.
+	PumpPower units.Watts
+	// TowerPower and ChillerPower are the facility plant draws.
+	TowerPower, ChillerPower units.Watts
+}
+
+// Result is a complete trace-driven evaluation run.
+type Result struct {
+	TraceName string
+	Class     trace.Class
+	Scheme    sched.Scheme
+	Interval  time.Duration
+	Servers   int
+	Intervals []IntervalResult
+
+	// Summary metrics.
+	AvgTEGPowerPerServer  units.Watts // the headline Fig. 14 number
+	PeakTEGPowerPerServer units.Watts
+	PRE                   float64 // Eq. 19: TEG generation / CPU consumption
+	TEGEnergy             units.KilowattHours
+	CPUEnergy             units.KilowattHours
+	PlantEnergy           units.KilowattHours // pumps + tower + chiller
+}
+
+// Engine runs trace-driven simulations under a fixed configuration.
+type Engine struct {
+	cfg        Config
+	controller *sched.Controller
+	plant      chiller.Plant
+}
+
+// NewEngine builds the look-up space and controller for cfg.
+func NewEngine(cfg Config) (*Engine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	space, err := lookup.Build(cfg.Spec, cfg.Axes)
+	if err != nil {
+		return nil, err
+	}
+	mod, err := teg.NewModule(teg.SP1848(), cfg.TEGsPerServer)
+	if err != nil {
+		return nil, err
+	}
+	mod.FlowDerating = teg.DefaultFlowDerating()
+	ctl, err := sched.NewController(space, mod, cfg.ColdSource)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{cfg: cfg, controller: ctl, plant: chiller.Plant{
+		Tower:   chiller.DefaultTower(),
+		Chiller: chiller.Default(),
+	}}, nil
+}
+
+// Controller exposes the engine's cooling controller (used by benches and
+// ablations).
+func (e *Engine) Controller() *sched.Controller { return e.controller }
+
+// Run evaluates the trace under the engine's configuration.
+func (e *Engine) Run(tr *trace.Trace) (*Result, error) {
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	nServers := tr.Servers()
+	n := e.cfg.ServersPerCirculation
+	if n > nServers {
+		n = nServers
+	}
+	res := &Result{
+		TraceName: tr.Name,
+		Class:     tr.Class,
+		Scheme:    e.cfg.Scheme,
+		Interval:  tr.Interval,
+		Servers:   nServers,
+		Intervals: make([]IntervalResult, 0, tr.Intervals()),
+	}
+	secs := tr.Interval.Seconds()
+	col := make([]float64, nServers)
+	for i := 0; i < tr.Intervals(); i++ {
+		var err error
+		col, err = tr.Column(i, col)
+		if err != nil {
+			return nil, err
+		}
+		ir := IntervalResult{
+			AvgUtilization: stats.Mean(col),
+			MaxUtilization: stats.Max(col),
+		}
+		circs := 0
+		for lo := 0; lo < nServers; lo += n {
+			hi := lo + n
+			if hi > nServers {
+				hi = nServers
+			}
+			d, err := e.controller.Decide(col[lo:hi], e.cfg.Scheme)
+			if err != nil {
+				return nil, fmt.Errorf("interval %d circulation %d: %w", i, circs, err)
+			}
+			ir.TotalTEGPower += d.TotalTEGPower()
+			ir.TotalCPUPower += d.TotalCPUPower()
+			ir.MeanInlet += d.Setting.Inlet
+			ir.MeanFlow += d.Setting.Flow
+			if d.MaxCPUTemp > ir.MaxCPUTemp {
+				ir.MaxCPUTemp = d.MaxCPUTemp
+			}
+			// Per-server pump share at the commanded flow.
+			pump := hydro.Pump{
+				Name:       "circ",
+				MaxFlow:    e.cfg.PumpMaxFlow,
+				RatedPower: e.cfg.PumpRatedPower,
+			}
+			flow := d.Setting.Flow
+			if flow > e.cfg.PumpMaxFlow {
+				flow = e.cfg.PumpMaxFlow
+			}
+			if err := pump.SetFlow(flow); err != nil {
+				return nil, err
+			}
+			ir.PumpPower += pump.Power() * units.Watts(float64(hi-lo))
+			// Facility plant: reject the circulation's heat, returning
+			// water at the mean outlet, re-supplied below the inlet
+			// target by the HX approach.
+			heat := d.TotalCPUPower()
+			meanOutlet := e.controller.Space.OutletTemp(d.PlaneU, d.Setting.Flow, d.Setting.Inlet)
+			target := d.Setting.Inlet - e.cfg.HXApproach
+			tw, ch := e.plant.Dispatch(heat, meanOutlet, target, e.cfg.WetBulb)
+			ir.TowerPower += tw
+			ir.ChillerPower += ch
+			circs++
+		}
+		ir.MeanInlet /= units.Celsius(circs)
+		ir.MeanFlow /= units.LitersPerHour(circs)
+		ir.TEGPowerPerServer = ir.TotalTEGPower / units.Watts(float64(nServers))
+		res.Intervals = append(res.Intervals, ir)
+
+		res.TEGEnergy += units.EnergyOver(ir.TotalTEGPower, secs).KilowattHours()
+		res.CPUEnergy += units.EnergyOver(ir.TotalCPUPower, secs).KilowattHours()
+		plant := ir.PumpPower + ir.TowerPower + ir.ChillerPower
+		res.PlantEnergy += units.EnergyOver(plant, secs).KilowattHours()
+
+		if ir.TEGPowerPerServer > res.PeakTEGPowerPerServer {
+			res.PeakTEGPowerPerServer = ir.TEGPowerPerServer
+		}
+	}
+	if len(res.Intervals) > 0 {
+		var sum units.Watts
+		for _, ir := range res.Intervals {
+			sum += ir.TEGPowerPerServer
+		}
+		res.AvgTEGPowerPerServer = sum / units.Watts(float64(len(res.Intervals)))
+	}
+	if res.CPUEnergy > 0 {
+		res.PRE = float64(res.TEGEnergy) / float64(res.CPUEnergy)
+	}
+	return res, nil
+}
+
+// Compare runs the same trace under both schemes with otherwise identical
+// configuration and returns (original, loadBalance).
+func Compare(tr *trace.Trace, base Config) (*Result, *Result, error) {
+	base.Scheme = sched.Original
+	eo, err := NewEngine(base)
+	if err != nil {
+		return nil, nil, err
+	}
+	orig, err := eo.Run(tr)
+	if err != nil {
+		return nil, nil, err
+	}
+	base.Scheme = sched.LoadBalance
+	el, err := NewEngine(base)
+	if err != nil {
+		return nil, nil, err
+	}
+	lb, err := el.Run(tr)
+	if err != nil {
+		return nil, nil, err
+	}
+	return orig, lb, nil
+}

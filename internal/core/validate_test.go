@@ -1,0 +1,76 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/h2p-sim/h2p/internal/sched"
+	"github.com/h2p-sim/h2p/internal/trace"
+)
+
+func TestValidateQuasiStaticSmallErrors(t *testing.T) {
+	// The die RC time constant (~30 s) is far below the 5-minute control
+	// interval, so end-of-interval temperatures must sit on the steady
+	// map to within a fraction of a degree even on the drastic trace.
+	tr, err := trace.Generate(trace.DrasticConfig(40), 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewEngine(smallConfig(sched.LoadBalance))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := eng.ValidateQuasiStatic(tr, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.IntervalsChecked != 40 || rep.ServersChecked != 20 {
+		t.Fatalf("sample = %d intervals x %d servers", rep.IntervalsChecked, rep.ServersChecked)
+	}
+	if rep.MaxEndOfIntervalError > 0.5 {
+		t.Errorf("end-of-interval error = %v, want < 0.5°C", rep.MaxEndOfIntervalError)
+	}
+	// Mid-interval transients stay bounded: utilization steps can push
+	// the die past the new steady state only by the RC overshoot, which
+	// is zero for a first-order system — excursions above steady come
+	// only from the previous interval's hotter state decaying.
+	if rep.MaxMidIntervalExcursion > 8 {
+		t.Errorf("mid-interval excursion = %v, implausible for first-order RC", rep.MaxMidIntervalExcursion)
+	}
+	if rep.MaxTempSeen <= 0 || rep.MaxTempSeen > 80 {
+		t.Errorf("max temp seen = %v", rep.MaxTempSeen)
+	}
+}
+
+func TestValidateQuasiStaticOriginalScheme(t *testing.T) {
+	tr, err := trace.Generate(trace.CommonConfig(30), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewEngine(smallConfig(sched.Original))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := eng.ValidateQuasiStatic(tr, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.MaxEndOfIntervalError > 1.0 {
+		t.Errorf("Original-scheme end error = %v", rep.MaxEndOfIntervalError)
+	}
+}
+
+func TestValidateQuasiStaticErrors(t *testing.T) {
+	eng, err := NewEngine(smallConfig(sched.Original))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, _ := trace.Generate(trace.CommonConfig(10), 1)
+	if _, err := eng.ValidateQuasiStatic(tr, 0); err == nil {
+		t.Error("zero intervals should error")
+	}
+	bad, _ := trace.New("bad", trace.Common, 2, 2, tr.Interval)
+	bad.U[0][0] = 9
+	if _, err := eng.ValidateQuasiStatic(bad, 5); err == nil {
+		t.Error("invalid trace should error")
+	}
+}

@@ -1,0 +1,48 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/h2p-sim/h2p/internal/circdesign"
+)
+
+// Circulation reproduces the Sec. V-A water-circulation design study: the
+// cost objective (Eq. 12) as a function of the circulation size n, and the
+// optimum.
+func Circulation() (*Table, error) {
+	return CirculationWith(circdesign.PaperConfig())
+}
+
+// CirculationWith runs the study for a custom configuration.
+func CirculationWith(cfg circdesign.Config) (*Table, error) {
+	curve, err := cfg.Curve()
+	if err != nil {
+		return nil, err
+	}
+	opt, err := cfg.Optimize()
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:      "CIRC",
+		Title:   "Water circulation design: total cost vs servers per circulation (Eq. 12)",
+		Columns: []string{"n", "circulations", "E_Tmax_C", "coolant_reduction_C", "chiller_kWh", "energy_cost_$", "equipment_cost_$", "total_cost_$"},
+	}
+	for _, ev := range curve {
+		t.AddRow(
+			fmt.Sprintf("%d", ev.N),
+			fmt.Sprintf("%d", ev.Circulations),
+			fmt.Sprintf("%.2f", float64(ev.ExpectedMaxCPUTemp)),
+			fmt.Sprintf("%.2f", float64(ev.ExpectedCoolantReduction)),
+			fmt.Sprintf("%.0f", float64(ev.ChillerEnergy)),
+			fmt.Sprintf("%.0f", float64(ev.EnergyCost)),
+			fmt.Sprintf("%.0f", float64(ev.EquipmentCost)),
+			fmt.Sprintf("%.0f", float64(ev.TotalCost)),
+		)
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("optimum: n=%d servers per circulation, total cost $%.0f over the horizon",
+			opt.N, float64(opt.TotalCost)),
+		"the curve is U-shaped: small n multiplies chiller capital, large n over-cools for the hottest CPU")
+	return t, nil
+}

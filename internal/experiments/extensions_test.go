@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"strconv"
+	"testing"
+)
+
+func TestCalibrationTable(t *testing.T) {
+	tab, err := Calibration()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 5 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// Recovered Eq. 3 slope close to 0.0448.
+	slope := cellFloat(t, tab, 0, 2)
+	if slope < 0.043 || slope > 0.047 {
+		t.Errorf("recovered slope = %v", slope)
+	}
+}
+
+func TestFutureZTTable(t *testing.T) {
+	tab, err := FutureZT()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// Power strictly increases along the ZT roadmap.
+	prev := 0.0
+	for r := range tab.Rows {
+		p := cellFloat(t, tab, r, 3)
+		if p <= prev {
+			t.Errorf("row %d: power %v not increasing", r, p)
+		}
+		prev = p
+	}
+	// Bi2Te3 row reproduces the headline ~4.17 W and ~0.57% TCO cut.
+	if p := cellFloat(t, tab, 0, 3); p < 4.0 || p > 4.35 {
+		t.Errorf("Bi2Te3 power = %v", p)
+	}
+	if red := cellFloat(t, tab, 0, 5); red < 0.5 || red > 0.65 {
+		t.Errorf("Bi2Te3 TCO reduction = %v", red)
+	}
+	// Heusler projection lands in the 2-3x band.
+	if ratio := cellFloat(t, tab, 2, 3) / cellFloat(t, tab, 0, 3); ratio < 1.8 || ratio > 3.5 {
+		t.Errorf("Heusler/Bi2Te3 power ratio = %v", ratio)
+	}
+}
+
+func TestReuseComparisonTable(t *testing.T) {
+	tab, err := ReuseComparison()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 12 { // 3 climates x 4 paths
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// TEG net value is identical across climates and positive.
+	var tegNets []float64
+	for _, row := range tab.Rows {
+		if row[1] == "TEG recycling (H2P)" {
+			v, err := strconv.ParseFloat(row[4], 64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tegNets = append(tegNets, v)
+		}
+	}
+	if len(tegNets) != 3 {
+		t.Fatalf("TEG rows = %d", len(tegNets))
+	}
+	for _, v := range tegNets {
+		if v != tegNets[0] || v <= 0 {
+			t.Errorf("TEG nets = %v, want equal and positive", tegNets)
+		}
+	}
+	// District heating revenue decays from high latitude (row 0) to the
+	// tropics (row 8; each climate contributes 4 rows).
+	if hl, tp := cellFloat(t, tab, 0, 3), cellFloat(t, tab, 8, 3); hl <= tp {
+		t.Errorf("district heating revenue %v should exceed tropical %v", hl, tp)
+	}
+	// The stacked path out-earns both components in the heating climate.
+	if st, dh := cellFloat(t, tab, 3, 3), cellFloat(t, tab, 0, 3); st <= dh {
+		t.Errorf("stacked revenue %v should exceed district heating alone %v", st, dh)
+	}
+}
+
+func TestMPPTTrackingTable(t *testing.T) {
+	tab, err := MPPTTracking()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	for r := range tab.Rows {
+		eff := cellFloat(t, tab, r, 1)
+		if eff < 95 || eff > 100.01 {
+			t.Errorf("row %d: tracking efficiency %v%%", r, eff)
+		}
+	}
+}
+
+func TestJobMigrationTable(t *testing.T) {
+	tab, err := JobMigration(EvalParams{Servers: 50, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 6 { // orig + 4 budgets + ideal
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// Gain captured increases with budget and tops out near 100%.
+	prev := -1.0
+	for r := 1; r <= 4; r++ {
+		cap := cellFloat(t, tab, r, 5)
+		if cap < prev-5 { // small non-monotonic wiggle allowed
+			t.Errorf("row %d: captured %v%% fell from %v%%", r, cap, prev)
+		}
+		prev = cap
+	}
+	if prev < 70 {
+		t.Errorf("largest budget captured only %v%% of the ideal gain", prev)
+	}
+}

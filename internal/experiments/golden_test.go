@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// The golden tests freeze the exact CSV output of the deterministic
+// experiments (device campaigns and closed-form analyses — everything that
+// does not depend on the trace-driven engine). Any model or formatting drift
+// fails loudly; intentional recalibration updates the files with
+//
+//	go test ./internal/experiments -run Golden -update
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenIDs are the experiments whose output is a pure function of the
+// calibrated constants (no EvalParams dependence).
+var goldenIDs = []string{"fig7", "fig8", "fig9", "fig10", "fig11", "fig13",
+	"abl-tec", "aging", "dc-bus", "coolant", "sens-price"}
+
+func TestGoldenExperiments(t *testing.T) {
+	for _, id := range goldenIDs {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			tab, err := Run(id, EvalParams{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var buf bytes.Buffer
+			if err := tab.WriteCSV(&buf); err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join("testdata", id+".golden.csv")
+			if *update {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("golden file missing (run with -update): %v", err)
+			}
+			if !bytes.Equal(buf.Bytes(), want) {
+				t.Errorf("%s output drifted from golden file; run with -update if the change is intentional", id)
+			}
+		})
+	}
+}

@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Runner produces one experiment's table at the given evaluation scale.
+type Runner func(EvalParams) (*Table, error)
+
+// registry maps experiment ids to runners. Measurement-campaign experiments
+// ignore the scale parameter.
+var registry = map[string]Runner{
+	"fig3":      func(EvalParams) (*Table, error) { return Fig3() },
+	"fig7":      func(EvalParams) (*Table, error) { return Fig7() },
+	"fig8":      func(EvalParams) (*Table, error) { return Fig8() },
+	"fig9":      func(EvalParams) (*Table, error) { return Fig9() },
+	"fig10":     func(EvalParams) (*Table, error) { return Fig10() },
+	"fig11":     func(EvalParams) (*Table, error) { return Fig11() },
+	"fig12":     func(EvalParams) (*Table, error) { return Fig12() },
+	"fig13":     func(EvalParams) (*Table, error) { return Fig13() },
+	"fig14":     Fig14,
+	"fig15":     Fig15,
+	"tab1":      TableI,
+	"circ":      func(EvalParams) (*Table, error) { return Circulation() },
+	"abl-flow":  func(EvalParams) (*Table, error) { return AblationFlow() },
+	"abl-store": func(EvalParams) (*Table, error) { return AblationStorage() },
+	"abl-tec":   func(EvalParams) (*Table, error) { return AblationTEC() },
+	"calib":     func(EvalParams) (*Table, error) { return Calibration() },
+	"future-zt": func(EvalParams) (*Table, error) { return FutureZT() },
+	"reuse":     func(EvalParams) (*Table, error) { return ReuseComparison() },
+	"mppt":      func(EvalParams) (*Table, error) { return MPPTTracking() },
+	"jobs":      JobMigration,
+	"hotspot":   func(EvalParams) (*Table, error) { return HotSpot() },
+	"sens-cold": SensitivityColdSource,
+	"sens-price": func(EvalParams) (*Table, error) {
+		return SensitivityPrice()
+	},
+	"sens-circ": SensitivityCirculationSize,
+	"qs-valid":  QuasiStaticValidation,
+	"mc-tco":    func(EvalParams) (*Table, error) { return MonteCarloTCO() },
+	"aging":     func(EvalParams) (*Table, error) { return AgingAnalysis() },
+	"dc-bus":    func(EvalParams) (*Table, error) { return DCBus() },
+	"coolant":   func(EvalParams) (*Table, error) { return CoolantChoice() },
+	"skus":      SKUGenerality,
+	"stability": ControlStability,
+}
+
+// IDs returns the registered experiment ids, sorted.
+func IDs() []string {
+	out := make([]string, 0, len(registry))
+	for id := range registry {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Run executes one experiment by id.
+func Run(id string, p EvalParams) (*Table, error) {
+	r, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q (known: %v)", id, IDs())
+	}
+	return r(p)
+}
+
+// RunAll executes every registered experiment in id order.
+func RunAll(p EvalParams) ([]*Table, error) {
+	var out []*Table
+	for _, id := range IDs() {
+		t, err := Run(id, p)
+		if err != nil {
+			return nil, fmt.Errorf("experiment %s: %w", id, err)
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}

@@ -1,0 +1,172 @@
+package experiments
+
+import "testing"
+
+func TestHotSpotTable(t *testing.T) {
+	tab, err := HotSpot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// Rows: H2P noTEC, H2P TEC, legacy noTEC, legacy TEC.
+	// The TEC must slash the H2P point's time above safe.
+	if cellFloat(t, tab, 1, 4) >= cellFloat(t, tab, 0, 4)/2 {
+		t.Error("TEC did not cut time above safe at the H2P point")
+	}
+	// The unguarded legacy point exceeds the vendor max; the guarded one
+	// does not.
+	if cellFloat(t, tab, 2, 5) == 0 {
+		t.Error("legacy unguarded step should exceed the max operating temperature")
+	}
+	if cellFloat(t, tab, 3, 5) != 0 {
+		t.Error("guarded legacy step should stay under the max operating temperature")
+	}
+	// Guarded peaks are lower.
+	if cellFloat(t, tab, 3, 2) >= cellFloat(t, tab, 2, 2) {
+		t.Error("TEC should lower the legacy peak")
+	}
+}
+
+func TestQuasiStaticValidationTable(t *testing.T) {
+	tab, err := QuasiStaticValidation(EvalParams{Servers: 40, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 6 { // 3 traces x 2 schemes
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	for r := range tab.Rows {
+		if e := cellFloat(t, tab, r, 3); e > 0.5 {
+			t.Errorf("row %d: end-of-interval error %v too large", r, e)
+		}
+		if mt := cellFloat(t, tab, r, 5); mt > 80 {
+			t.Errorf("row %d: transient max temp %v exceeds safety", r, mt)
+		}
+	}
+}
+
+func TestSensitivityColdSourceTable(t *testing.T) {
+	tab, err := SensitivityColdSource(EvalParams{Servers: 50, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 5 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// Power strictly decreases as the cold source warms.
+	prev := 1e18
+	for r := range tab.Rows {
+		p := cellFloat(t, tab, r, 1)
+		if p >= prev {
+			t.Errorf("row %d: power %v not decreasing", r, p)
+		}
+		prev = p
+	}
+	// The 20 °C row reproduces the headline ~4.1-4.2 W.
+	if p := cellFloat(t, tab, 2, 1); p < 3.9 || p > 4.4 {
+		t.Errorf("20°C power = %v", p)
+	}
+}
+
+func TestSensitivityPriceTable(t *testing.T) {
+	tab, err := SensitivityPrice()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 5 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// Break-even shrinks as the tariff rises; the $0.13 row matches the
+	// paper's 920-day point.
+	prev := 1e18
+	for r := range tab.Rows {
+		be := cellFloat(t, tab, r, 3)
+		if be >= prev {
+			t.Errorf("row %d: break-even %v not decreasing", r, be)
+		}
+		prev = be
+	}
+	if be := cellFloat(t, tab, 2, 3); be < 900 || be > 940 {
+		t.Errorf("break-even at $0.13 = %v, want ~920", be)
+	}
+}
+
+func TestSensitivityCirculationSizeTable(t *testing.T) {
+	tab, err := SensitivityCirculationSize(EvalParams{Servers: 100, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) < 4 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// The balancing gain vanishes at n=1 and grows with sharing.
+	if g := cellFloat(t, tab, 0, 3); g > 0.01 {
+		t.Errorf("n=1 gain = %v%%, want 0", g)
+	}
+	prev := -1.0
+	for r := range tab.Rows {
+		g := cellFloat(t, tab, r, 3)
+		if g < prev-0.5 {
+			t.Errorf("row %d: gain %v%% fell from %v%%", r, g, prev)
+		}
+		prev = g
+	}
+	// Original power decreases with circulation size.
+	if cellFloat(t, tab, len(tab.Rows)-1, 1) >= cellFloat(t, tab, 0, 1) {
+		t.Error("Original power should fall as circulations grow")
+	}
+}
+
+func TestSKUGeneralityTable(t *testing.T) {
+	tab, err := SKUGenerality(EvalParams{Servers: 50, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 { // 3 SKUs + the mixed fleet
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// Every SKU (and the mixed fleet) harvests meaningfully and cuts TCO.
+	for r := range tab.Rows {
+		if p := cellFloat(t, tab, r, 3); p < 3.5 || p > 5.5 {
+			t.Errorf("row %d: harvest %v W outside the plausible band", r, p)
+		}
+		if red := cellFloat(t, tab, r, 5); red <= 0.3 {
+			t.Errorf("row %d: TCO reduction %v", r, red)
+		}
+	}
+	// The low-TDP SKU has the highest PRE (same harvest, smaller draw).
+	if cellFloat(t, tab, 0, 4) <= cellFloat(t, tab, 1, 4) {
+		t.Error("D-1540 PRE should exceed E5-2650's")
+	}
+}
+
+func TestControlStabilityTable(t *testing.T) {
+	tab, err := ControlStability(EvalParams{Servers: 50, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// Setting changes fall as the deadband widens; harvest loss grows
+	// but stays small; safety holds throughout.
+	prevChanges := 1 << 30
+	for r := range tab.Rows {
+		ch := int(cellFloat(t, tab, r, 1))
+		if ch > prevChanges {
+			t.Errorf("row %d: changes %d not non-increasing", r, ch)
+		}
+		prevChanges = ch
+		if loss := cellFloat(t, tab, r, 3); loss > 5 {
+			t.Errorf("row %d: harvest loss %v%% too large", r, loss)
+		}
+		if mt := cellFloat(t, tab, r, 4); mt > 63.2 {
+			t.Errorf("row %d: unsafe max temp %v", r, mt)
+		}
+	}
+	if last := int(cellFloat(t, tab, 3, 1)); last >= int(cellFloat(t, tab, 0, 1))/2 {
+		t.Error("widest deadband should at least halve the actuations")
+	}
+}

@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/h2p-sim/h2p/internal/core"
+	"github.com/h2p-sim/h2p/internal/cpu"
+	"github.com/h2p-sim/h2p/internal/sched"
+	"github.com/h2p-sim/h2p/internal/tco"
+	"github.com/h2p-sim/h2p/internal/trace"
+)
+
+// SKUGenerality backs the Sec. VII claim that "H2P suits all types of
+// CPUs": the same architecture and optimizer, recalibrated to three server
+// SKUs spanning 45-120 W TDP, all harvest meaningfully.
+func SKUGenerality(p EvalParams) (*Table, error) {
+	tr, err := trace.Generate(trace.CommonConfig(p.Servers), p.Seed)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:      "SKUS",
+		Title:   "SKU generality: the H2P pipeline on three server classes (common trace, LoadBalance)",
+		Columns: []string{"cpu", "full_load_W", "t_safe_C", "avg_teg_W", "PRE_pct", "tco_red_pct"},
+	}
+	params := tco.PaperParameters()
+	for _, spec := range []cpu.Spec{cpu.XeonD1540(), cpu.XeonE52650V3(), cpu.XeonE52680V4()} {
+		cfg := core.DefaultConfig(sched.LoadBalance)
+		cfg.Spec = spec
+		eng, err := core.NewEngine(cfg)
+		if err != nil {
+			return nil, err
+		}
+		res, err := eng.Run(tr)
+		if err != nil {
+			return nil, err
+		}
+		a, err := params.Analyze(res.AvgTEGPowerPerServer)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(spec.Model,
+			fmt.Sprintf("%.1f", float64(spec.Power(1))),
+			fmt.Sprintf("%.0f", float64(spec.SafeTemp)),
+			fmt.Sprintf("%.3f", float64(res.AvgTEGPowerPerServer)),
+			fmt.Sprintf("%.2f", res.PRE*100),
+			fmt.Sprintf("%.3f", a.ReductionPercent))
+	}
+	// Mixed fleet: the three SKUs round-robined across circulations of the
+	// same datacenter, each with its own calibrated controller.
+	cfg := core.DefaultConfig(sched.LoadBalance)
+	specs := []cpu.Spec{cpu.XeonD1540(), cpu.XeonE52650V3(), cpu.XeonE52680V4()}
+	het, err := core.NewHeterogeneousEngine(cfg, specs, core.RoundRobinAssignment(len(specs)))
+	if err != nil {
+		return nil, err
+	}
+	hres, err := het.Run(tr)
+	if err != nil {
+		return nil, err
+	}
+	a, err := params.Analyze(hres.AvgTEGPowerPerServer)
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("mixed fleet (1/3 each)", "-", "-",
+		fmt.Sprintf("%.3f", float64(hres.AvgTEGPowerPerServer)),
+		fmt.Sprintf("%.2f", hres.PRE*100),
+		fmt.Sprintf("%.3f", a.ReductionPercent))
+	t.Notes = append(t.Notes,
+		"unlike CPU-mounted TEG schemes, the outlet-mounted module needs no per-SKU integration (Sec. VII)",
+		"low-TDP SKUs yield higher PRE: the harvest depends on the inlet headroom, not the CPU's draw",
+		"the mixed fleet runs one calibrated controller per SKU; fleet PRE lands between the SKU extremes")
+	return t, nil
+}

@@ -1,0 +1,98 @@
+package experiments
+
+import "testing"
+
+func TestMonteCarloTCOTable(t *testing.T) {
+	tab, err := MonteCarloTCO()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 5 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// Median TCO reduction brackets the paper's 0.57%.
+	p50 := cellFloat(t, tab, 0, 2)
+	if p50 < 0.5 || p50 > 0.65 {
+		t.Errorf("median reduction = %v, want ~0.57", p50)
+	}
+	// Quantiles ordered.
+	if cellFloat(t, tab, 0, 1) > p50 || p50 > cellFloat(t, tab, 0, 3) {
+		t.Error("reduction quantiles out of order")
+	}
+	// Median break-even near 920 days.
+	if be := cellFloat(t, tab, 1, 2); be < 850 || be > 1000 {
+		t.Errorf("median break-even = %v", be)
+	}
+}
+
+func TestAgingAnalysisTable(t *testing.T) {
+	tab, err := AgingAnalysis()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 7 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// Output factor decays monotonically from 1 toward 0.8 at year 31.
+	prev := 1.1
+	for r := range tab.Rows {
+		f := cellFloat(t, tab, r, 1)
+		if f >= prev {
+			t.Errorf("row %d: factor %v not decaying", r, f)
+		}
+		prev = f
+	}
+	if f0 := cellFloat(t, tab, 0, 1); f0 != 1 {
+		t.Errorf("year-0 factor = %v", f0)
+	}
+	if fEnd := cellFloat(t, tab, 6, 1); fEnd < 0.79 || fEnd > 0.81 {
+		t.Errorf("year-31 factor = %v, want ~0.80", fEnd)
+	}
+	// Even at end of life the TCO reduction stays positive.
+	if red := cellFloat(t, tab, 6, 4); red <= 0.3 {
+		t.Errorf("end-of-life reduction = %v, should remain clearly positive", red)
+	}
+}
+
+func TestDCBusTable(t *testing.T) {
+	tab, err := DCBus()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// DC (row 1) delivers more TEG power and draws less grid power.
+	if cellFloat(t, tab, 1, 3) <= cellFloat(t, tab, 0, 3) {
+		t.Error("DC should deliver more TEG power")
+	}
+	if cellFloat(t, tab, 1, 4) >= cellFloat(t, tab, 0, 4) {
+		t.Error("DC should draw less grid power")
+	}
+}
+
+func TestCoolantChoiceTable(t *testing.T) {
+	tab, err := CoolantChoice()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// Glycol rows have lower cp, lower freezing point, higher rise and
+	// higher pump penalty than water (row 0).
+	for r := 1; r < 3; r++ {
+		if cellFloat(t, tab, r, 1) >= cellFloat(t, tab, 0, 1) {
+			t.Errorf("row %d: cp not depressed", r)
+		}
+		if cellFloat(t, tab, r, 3) >= cellFloat(t, tab, 0, 3) {
+			t.Errorf("row %d: freezing point not depressed", r)
+		}
+		if cellFloat(t, tab, r, 4) <= cellFloat(t, tab, 0, 4) {
+			t.Errorf("row %d: outlet rise not increased", r)
+		}
+		if cellFloat(t, tab, r, 5) <= cellFloat(t, tab, 0, 5) {
+			t.Errorf("row %d: pump penalty not increased", r)
+		}
+	}
+}

@@ -1,0 +1,272 @@
+// Package heatreuse models the economics of the three waste-heat reuse
+// paths Sec. II-C weighs against each other:
+//
+//   - district heating: sell heat to an urban heating system (CloudHeat-
+//     style), which needs heavy piping capital and only earns during the
+//     heating season — long in high latitudes, nearly absent in the tropics;
+//   - heat-to-electricity (H2P): TEG modules at the CPU outlets, tiny
+//     capital, modest conversion, earns year-round;
+//   - CCHP: a combined cooling/heat/power plant with high capital and
+//     conversion, viable only at large scale.
+//
+// The paper argues qualitatively that H2P's niche is low capital and
+// climate independence; this package makes the comparison quantitative with
+// a per-server annualized net value so the argument can be reproduced,
+// swept and stress-tested.
+package heatreuse
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"github.com/h2p-sim/h2p/internal/units"
+)
+
+// Climate characterizes a deployment site by its heating demand.
+type Climate struct {
+	// Name labels the site class.
+	Name string
+	// HeatingSeasonFraction is the fraction of the year with district
+	// heating demand (~0.7 northern Europe, ~0.45 temperate, ~0.1
+	// tropics like Singapore).
+	HeatingSeasonFraction float64
+	// SummerMismatch is the fraction of heating-season heat that still
+	// cannot be sold because the datacenter's output exceeds demand
+	// (Sec. I's April-October mismatch).
+	SummerMismatch float64
+}
+
+// Standard site classes used by the comparison.
+func HighLatitude() Climate {
+	return Climate{Name: "high latitude (northern Europe)", HeatingSeasonFraction: 0.70, SummerMismatch: 0.10}
+}
+func Temperate() Climate {
+	return Climate{Name: "temperate (Washington D.C.)", HeatingSeasonFraction: 0.45, SummerMismatch: 0.25}
+}
+func Tropical() Climate {
+	return Climate{Name: "tropical (Singapore)", HeatingSeasonFraction: 0.08, SummerMismatch: 0.50}
+}
+
+// Validate reports parameter errors.
+func (c Climate) Validate() error {
+	if c.HeatingSeasonFraction < 0 || c.HeatingSeasonFraction > 1 {
+		return errors.New("heatreuse: HeatingSeasonFraction outside [0,1]")
+	}
+	if c.SummerMismatch < 0 || c.SummerMismatch > 1 {
+		return errors.New("heatreuse: SummerMismatch outside [0,1]")
+	}
+	return nil
+}
+
+// Site fixes the shared economics of a deployment.
+type Site struct {
+	Climate Climate
+	// Servers is the fleet size.
+	Servers int
+	// HeatPerServer is the average thermal output per server (W).
+	HeatPerServer units.Watts
+	// OutletTemp is the coolant temperature available for reuse; district
+	// heating needs high-grade heat (ASHRAE W5's >45 °C guidance).
+	OutletTemp units.Celsius
+	// ElectricityPrice is the tariff in $/kWh.
+	ElectricityPrice units.USD
+	// HeatPrice is the district-heating sale price in $/kWh(thermal).
+	HeatPrice units.USD
+	// HorizonYears is the amortization horizon.
+	HorizonYears float64
+}
+
+// DefaultSite returns a 1,000-server deployment with the paper's tariff.
+func DefaultSite(c Climate) Site {
+	return Site{
+		Climate:          c,
+		Servers:          1000,
+		HeatPerServer:    30, // ~mean CPU draw under the evaluated traces
+		OutletTemp:       54,
+		ElectricityPrice: 0.13,
+		HeatPrice:        0.03,
+		HorizonYears:     10,
+	}
+}
+
+// Validate reports parameter errors.
+func (s Site) Validate() error {
+	if err := s.Climate.Validate(); err != nil {
+		return err
+	}
+	if s.Servers <= 0 {
+		return errors.New("heatreuse: Servers must be positive")
+	}
+	if s.HeatPerServer <= 0 {
+		return errors.New("heatreuse: HeatPerServer must be positive")
+	}
+	if s.ElectricityPrice <= 0 || s.HeatPrice < 0 {
+		return errors.New("heatreuse: bad prices")
+	}
+	if s.HorizonYears <= 0 {
+		return errors.New("heatreuse: HorizonYears must be positive")
+	}
+	return nil
+}
+
+// Outcome is one reuse path's annualized economics at a site.
+type Outcome struct {
+	Path string
+	// CapExPerServer is the up-front capital attributed to one server.
+	CapExPerServer units.USD
+	// AnnualRevenuePerServer is the yearly income per server.
+	AnnualRevenuePerServer units.USD
+	// AnnualNetPerServer is revenue minus amortized capital.
+	AnnualNetPerServer units.USD
+	// PaybackYears is CapEx / revenue (Inf if no revenue).
+	PaybackYears float64
+	// Feasible reports hard constraints (heat grade, scale).
+	Feasible bool
+	// Reason explains infeasibility.
+	Reason string
+}
+
+func outcome(path string, capex, revenue units.USD, horizon float64, feasible bool, reason string) Outcome {
+	o := Outcome{
+		Path:                   path,
+		CapExPerServer:         capex,
+		AnnualRevenuePerServer: revenue,
+		AnnualNetPerServer:     revenue - units.USD(float64(capex)/horizon),
+		Feasible:               feasible,
+		Reason:                 reason,
+	}
+	if revenue > 0 {
+		o.PaybackYears = float64(capex) / float64(revenue)
+	} else {
+		o.PaybackYears = math.Inf(1)
+	}
+	return o
+}
+
+const hoursPerYear = 8760.0
+
+// DistrictHeating prices the CloudHeat-style path: pipingCapExPerServer
+// covers the heat exchangers, piping and integration with the urban system.
+func DistrictHeating(s Site, pipingCapExPerServer units.USD) (Outcome, error) {
+	if err := s.Validate(); err != nil {
+		return Outcome{}, err
+	}
+	if pipingCapExPerServer < 0 {
+		return Outcome{}, errors.New("heatreuse: negative piping capital")
+	}
+	const minGrade = units.Celsius(45) // ASHRAE W5 guidance for heat recovery
+	feasible := s.OutletTemp >= minGrade
+	reason := ""
+	if !feasible {
+		reason = fmt.Sprintf("outlet %.1f°C below the %.0f°C heat-recovery grade", float64(s.OutletTemp), float64(minGrade))
+	}
+	sellable := s.Climate.HeatingSeasonFraction * (1 - s.Climate.SummerMismatch)
+	kwhThermal := float64(s.HeatPerServer) * hoursPerYear / 1000 * sellable
+	revenue := units.USD(kwhThermal * float64(s.HeatPrice))
+	if !feasible {
+		revenue = 0
+	}
+	return outcome("district heating", pipingCapExPerServer, revenue, s.HorizonYears, feasible, reason), nil
+}
+
+// TEGRecycling prices the H2P path from a measured average per-server TEG
+// output (the Fig. 14 result) and the TEG fleet cost.
+func TEGRecycling(s Site, avgTEGPower units.Watts, tegCapExPerServer units.USD) (Outcome, error) {
+	if err := s.Validate(); err != nil {
+		return Outcome{}, err
+	}
+	if avgTEGPower < 0 || tegCapExPerServer < 0 {
+		return Outcome{}, errors.New("heatreuse: negative TEG inputs")
+	}
+	kwh := float64(avgTEGPower) * hoursPerYear / 1000
+	revenue := units.USD(kwh * float64(s.ElectricityPrice))
+	return outcome("TEG recycling (H2P)", tegCapExPerServer, revenue, s.HorizonYears, true, ""), nil
+}
+
+// CCHPParams prices the combined cooling/heat/power path.
+type CCHPParams struct {
+	// CapExPerServer is the plant capital attributed to one server —
+	// an order of magnitude above TEGs (plant, piping, fire protection).
+	CapExPerServer units.USD
+	// ElectricalEfficiency converts recovered heat to electricity
+	// (bottoming-cycle ORC class, ~10-15 % at these grades).
+	ElectricalEfficiency float64
+	// MinServers is the scale below which the plant is not economical to
+	// operate at all.
+	MinServers int
+}
+
+// DefaultCCHP returns representative bottoming-cycle numbers.
+func DefaultCCHP() CCHPParams {
+	return CCHPParams{CapExPerServer: 400, ElectricalEfficiency: 0.12, MinServers: 5000}
+}
+
+// CCHP prices the combined plant.
+func CCHP(s Site, p CCHPParams) (Outcome, error) {
+	if err := s.Validate(); err != nil {
+		return Outcome{}, err
+	}
+	if p.CapExPerServer < 0 || p.ElectricalEfficiency <= 0 || p.ElectricalEfficiency > 1 {
+		return Outcome{}, errors.New("heatreuse: bad CCHP parameters")
+	}
+	feasible := s.Servers >= p.MinServers
+	reason := ""
+	if !feasible {
+		reason = fmt.Sprintf("%d servers below the %d-server plant scale", s.Servers, p.MinServers)
+	}
+	kwh := float64(s.HeatPerServer) * hoursPerYear / 1000 * p.ElectricalEfficiency
+	revenue := units.USD(kwh * float64(s.ElectricityPrice))
+	if !feasible {
+		revenue = 0
+	}
+	return outcome("CCHP", p.CapExPerServer, revenue, s.HorizonYears, feasible, reason), nil
+}
+
+// Stacked prices the combined path the paper suggests in Sec. II-C ("CCHP
+// and TEG-integrated solutions can be combined"): TEG modules harvest first,
+// and the coolant — still warm, since a Bi2Te3 module converts only a couple
+// of percent and drops the stream by a degree or two — is then sold to the
+// district heating system. Capital and revenue stack.
+func Stacked(s Site, avgTEGPower units.Watts, pipingCapExPerServer, tegCapExPerServer units.USD) (Outcome, error) {
+	tegOut, err := TEGRecycling(s, avgTEGPower, tegCapExPerServer)
+	if err != nil {
+		return Outcome{}, err
+	}
+	// Downstream of the TEG plates the stream is slightly cooler and
+	// carries slightly less heat (the converted electricity).
+	downstream := s
+	downstream.OutletTemp = s.OutletTemp - 1.5
+	downstream.HeatPerServer = s.HeatPerServer - avgTEGPower
+	if downstream.HeatPerServer <= 0 {
+		return Outcome{}, errors.New("heatreuse: TEG power exceeds the heat stream")
+	}
+	dh, err := DistrictHeating(downstream, pipingCapExPerServer)
+	if err != nil {
+		return Outcome{}, err
+	}
+	out := outcome("TEG + district heating",
+		tegOut.CapExPerServer+dh.CapExPerServer,
+		tegOut.AnnualRevenuePerServer+dh.AnnualRevenuePerServer,
+		s.HorizonYears,
+		dh.Feasible, dh.Reason)
+	return out, nil
+}
+
+// Compare evaluates all three paths at a site with the given measured TEG
+// output, returning them in district-heating / TEG / CCHP order.
+func Compare(s Site, avgTEGPower units.Watts) ([]Outcome, error) {
+	dh, err := DistrictHeating(s, 150)
+	if err != nil {
+		return nil, err
+	}
+	tegOut, err := TEGRecycling(s, avgTEGPower, 12)
+	if err != nil {
+		return nil, err
+	}
+	cchp, err := CCHP(s, DefaultCCHP())
+	if err != nil {
+		return nil, err
+	}
+	return []Outcome{dh, tegOut, cchp}, nil
+}

@@ -1,0 +1,242 @@
+package heatreuse
+
+import (
+	"math"
+	"testing"
+)
+
+func TestClimateValidation(t *testing.T) {
+	for _, c := range []Climate{HighLatitude(), Temperate(), Tropical()} {
+		if err := c.Validate(); err != nil {
+			t.Errorf("%s: %v", c.Name, err)
+		}
+	}
+	if err := (Climate{HeatingSeasonFraction: 1.5}).Validate(); err == nil {
+		t.Error("bad season fraction should error")
+	}
+	if err := (Climate{SummerMismatch: -0.1}).Validate(); err == nil {
+		t.Error("bad mismatch should error")
+	}
+}
+
+func TestSiteValidation(t *testing.T) {
+	if err := DefaultSite(Temperate()).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []func(*Site){
+		func(s *Site) { s.Servers = 0 },
+		func(s *Site) { s.HeatPerServer = 0 },
+		func(s *Site) { s.ElectricityPrice = 0 },
+		func(s *Site) { s.HeatPrice = -1 },
+		func(s *Site) { s.HorizonYears = 0 },
+		func(s *Site) { s.Climate.SummerMismatch = 2 },
+	}
+	for i, mut := range cases {
+		s := DefaultSite(Temperate())
+		mut(&s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestDistrictHeatingClimateDependence(t *testing.T) {
+	// The paper's core argument: district heating pays in high latitudes
+	// and collapses in the tropics.
+	hl, err := DistrictHeating(DefaultSite(HighLatitude()), 150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp, err := DistrictHeating(DefaultSite(Tropical()), 150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hl.AnnualRevenuePerServer <= 3*tp.AnnualRevenuePerServer {
+		t.Errorf("high-latitude revenue %v should dwarf tropical %v",
+			hl.AnnualRevenuePerServer, tp.AnnualRevenuePerServer)
+	}
+	if !hl.Feasible || !tp.Feasible {
+		t.Error("warm outlet should satisfy the heat grade everywhere")
+	}
+}
+
+func TestDistrictHeatingNeedsHeatGrade(t *testing.T) {
+	s := DefaultSite(HighLatitude())
+	s.OutletTemp = 35 // conventional cold-water outlet: low-grade heat
+	out, err := DistrictHeating(s, 150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Feasible || out.AnnualRevenuePerServer != 0 {
+		t.Errorf("low-grade heat should be unsellable: %+v", out)
+	}
+	if out.Reason == "" {
+		t.Error("infeasibility should carry a reason")
+	}
+}
+
+func TestTEGRecyclingClimateIndependent(t *testing.T) {
+	a, err := TEGRecycling(DefaultSite(HighLatitude()), 4.177, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := TEGRecycling(DefaultSite(Tropical()), 4.177, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.AnnualRevenuePerServer != b.AnnualRevenuePerServer {
+		t.Error("TEG revenue must not depend on climate")
+	}
+	// ~4.177 W * 8760 h = 36.6 kWh -> ~$4.76/year, payback ~2.5 years,
+	// matching the paper's 920-day break-even.
+	if math.Abs(float64(a.AnnualRevenuePerServer)-4.76) > 0.1 {
+		t.Errorf("annual revenue = %v, want ~$4.76", a.AnnualRevenuePerServer)
+	}
+	if a.PaybackYears < 2.2 || a.PaybackYears > 2.9 {
+		t.Errorf("payback = %v years, want ~2.5", a.PaybackYears)
+	}
+	if !a.Feasible {
+		t.Error("TEG path is always feasible")
+	}
+}
+
+func TestCCHPScaleGate(t *testing.T) {
+	small := DefaultSite(Temperate()) // 1,000 servers
+	out, err := CCHP(small, DefaultCCHP())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Feasible {
+		t.Error("1,000 servers should be below CCHP plant scale")
+	}
+	big := small
+	big.Servers = 50000
+	out, err = CCHP(big, DefaultCCHP())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Feasible {
+		t.Error("50k servers should clear the plant scale")
+	}
+	if out.AnnualRevenuePerServer <= 0 {
+		t.Error("feasible CCHP should earn")
+	}
+}
+
+func TestCompareTropicalFavorsTEG(t *testing.T) {
+	// At a tropical 1,000-server site, H2P is the only path with positive
+	// annual net value — the niche the paper claims.
+	outs, err := Compare(DefaultSite(Tropical()), 4.177)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) != 3 {
+		t.Fatalf("outcomes = %d", len(outs))
+	}
+	dh, tegOut, cchp := outs[0], outs[1], outs[2]
+	if tegOut.AnnualNetPerServer <= 0 {
+		t.Errorf("TEG net = %v, want positive", tegOut.AnnualNetPerServer)
+	}
+	if dh.AnnualNetPerServer >= tegOut.AnnualNetPerServer {
+		t.Errorf("district heating net %v should lose to TEG %v in the tropics",
+			dh.AnnualNetPerServer, tegOut.AnnualNetPerServer)
+	}
+	if cchp.AnnualNetPerServer >= tegOut.AnnualNetPerServer {
+		t.Errorf("sub-scale CCHP net %v should lose to TEG %v",
+			cchp.AnnualNetPerServer, tegOut.AnnualNetPerServer)
+	}
+}
+
+func TestCompareHighLatitudeFavorsDistrictHeating(t *testing.T) {
+	// And the flip side: with a long heating season, selling heat beats
+	// converting it at ~2 % efficiency.
+	outs, err := Compare(DefaultSite(HighLatitude()), 4.177)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dh, tegOut := outs[0], outs[1]
+	if dh.AnnualRevenuePerServer <= tegOut.AnnualRevenuePerServer {
+		t.Errorf("high-latitude heat sales %v should out-earn TEGs %v",
+			dh.AnnualRevenuePerServer, tegOut.AnnualRevenuePerServer)
+	}
+}
+
+func TestParameterErrors(t *testing.T) {
+	s := DefaultSite(Temperate())
+	if _, err := DistrictHeating(s, -1); err == nil {
+		t.Error("negative piping capital should error")
+	}
+	if _, err := TEGRecycling(s, -1, 12); err == nil {
+		t.Error("negative power should error")
+	}
+	if _, err := TEGRecycling(s, 4, -1); err == nil {
+		t.Error("negative capital should error")
+	}
+	if _, err := CCHP(s, CCHPParams{CapExPerServer: 1, ElectricalEfficiency: 0}); err == nil {
+		t.Error("zero efficiency should error")
+	}
+	if _, err := CCHP(s, CCHPParams{CapExPerServer: -1, ElectricalEfficiency: 0.1}); err == nil {
+		t.Error("negative capital should error")
+	}
+	bad := s
+	bad.Servers = 0
+	if _, err := Compare(bad, 4); err == nil {
+		t.Error("invalid site should error")
+	}
+}
+
+func TestStackedPathCombinesRevenues(t *testing.T) {
+	s := DefaultSite(HighLatitude())
+	teg, err := TEGRecycling(s, 4.177, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dh, err := DistrictHeating(s, 150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stacked, err := Stacked(s, 4.177, 150, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stacked revenue approaches the sum of the parts (slightly less:
+	// the TEG plates cool the stream and skim converted heat).
+	sum := teg.AnnualRevenuePerServer + dh.AnnualRevenuePerServer
+	if stacked.AnnualRevenuePerServer >= sum {
+		t.Errorf("stacked %v should trail the naive sum %v", stacked.AnnualRevenuePerServer, sum)
+	}
+	if float64(stacked.AnnualRevenuePerServer) < 0.8*float64(sum) {
+		t.Errorf("stacked %v lost too much vs %v", stacked.AnnualRevenuePerServer, sum)
+	}
+	// And it beats either path alone in a heating climate.
+	if stacked.AnnualRevenuePerServer <= dh.AnnualRevenuePerServer ||
+		stacked.AnnualRevenuePerServer <= teg.AnnualRevenuePerServer {
+		t.Error("stacking should out-earn each component in a heating climate")
+	}
+	if stacked.CapExPerServer != teg.CapExPerServer+dh.CapExPerServer {
+		t.Error("stacked capital should be the sum of the parts")
+	}
+}
+
+func TestStackedGradeStillMatters(t *testing.T) {
+	s := DefaultSite(HighLatitude())
+	s.OutletTemp = 46 // barely above grade; the TEG drop pushes it below
+	stacked, err := Stacked(s, 4.177, 150, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stacked.Feasible {
+		t.Error("post-TEG stream below the heat grade should be unsellable")
+	}
+	// The TEG revenue survives even when heat sales do not.
+	if stacked.AnnualRevenuePerServer <= 0 {
+		t.Error("stacked should retain the TEG revenue")
+	}
+}
+
+func TestStackedRejectsImpossiblePower(t *testing.T) {
+	s := DefaultSite(Temperate())
+	if _, err := Stacked(s, 100, 150, 12); err == nil {
+		t.Error("TEG power above the heat stream should error")
+	}
+}

@@ -1,0 +1,177 @@
+// Package hotspot simulates the transient that motivates warm water
+// cooling's hybrid architecture (Sec. II-B): a server running under a warm
+// inlet suddenly jumps to high utilization. The facility needs minutes to
+// deliver colder water, but the die heats up on a ~30 s RC time constant —
+// so a thermoelectric cooler (TEC) must bridge the gap, and H2P's TEGs can
+// supply part of its drive power (Sec. VI-C1).
+//
+// The die follows the calibrated steady-state map T = k(f)*T_in + R_th(f)*P
+// re-expressed as a lumped RC system: a boundary at k(f)*T_in coupled to the
+// die through conductance 1/R_th(f), with the die's thermal capacitance
+// setting the transient speed. A proportional controller engages the TEC
+// after a detection latency and pumps just enough heat to hold the die at
+// its safe temperature.
+package hotspot
+
+import (
+	"errors"
+	"math"
+
+	"github.com/h2p-sim/h2p/internal/cpu"
+	"github.com/h2p-sim/h2p/internal/tec"
+	"github.com/h2p-sim/h2p/internal/units"
+)
+
+// Scenario is one utilization-step experiment.
+type Scenario struct {
+	// Spec is the CPU model.
+	Spec cpu.Spec
+	// Flow and Inlet fix the cooling setting, which cannot change during
+	// the episode (the chiller's response takes minutes).
+	Flow  units.LitersPerHour
+	Inlet units.Celsius
+	// UBefore and UAfter define the utilization step at t = 0.
+	UBefore, UAfter float64
+	// Seconds is the episode length (one control interval: 300 s).
+	Seconds float64
+	// TEC optionally provides spot cooling; nil disables it.
+	TEC *tec.Device
+	// DetectionLatency is how long after the step the TEC engages.
+	DetectionLatency float64
+	// TEGBudget is the electrical power available from the server's TEG
+	// module to offset the TEC input.
+	TEGBudget units.Watts
+}
+
+// DefaultScenario returns the canonical episode: a 20 % -> 100 % step under
+// the warm-water operating point, a 5-second detector and the paper's
+// average TEG budget.
+func DefaultScenario(withTEC bool) Scenario {
+	s := Scenario{
+		Spec:             cpu.XeonE52650V3(),
+		Flow:             250,
+		Inlet:            53.5,
+		UBefore:          0.2,
+		UAfter:           1.0,
+		Seconds:          300,
+		DetectionLatency: 5,
+		TEGBudget:        4.18,
+	}
+	if withTEC {
+		d := tec.TypicalCPU()
+		s.TEC = &d
+	}
+	return s
+}
+
+// Outcome summarizes the episode.
+type Outcome struct {
+	// StartTemp and PeakTemp bound the excursion; SettleTemp is the final
+	// temperature.
+	StartTemp, PeakTemp, SettleTemp units.Celsius
+	// SecondsAboveSafe and SecondsAboveMax measure the violation windows.
+	SecondsAboveSafe, SecondsAboveMax float64
+	// TECEnergy is the electrical energy the TEC consumed.
+	TECEnergy units.Joules
+	// TEGCoveredEnergy is the share of TECEnergy the TEG budget supplied.
+	TEGCoveredEnergy units.Joules
+	// MeanTECInput is the average TEC electrical power while engaged.
+	MeanTECInput units.Watts
+}
+
+// Validate reports scenario errors.
+func (s Scenario) Validate() error {
+	if err := s.Spec.Validate(); err != nil {
+		return err
+	}
+	if s.Flow <= 0 {
+		return errors.New("hotspot: flow must be positive")
+	}
+	if s.UBefore < 0 || s.UBefore > 1 || s.UAfter < 0 || s.UAfter > 1 {
+		return errors.New("hotspot: utilizations must be in [0,1]")
+	}
+	if s.Seconds <= 0 {
+		return errors.New("hotspot: episode length must be positive")
+	}
+	if s.DetectionLatency < 0 || s.DetectionLatency > s.Seconds {
+		return errors.New("hotspot: bad detection latency")
+	}
+	if s.TEGBudget < 0 {
+		return errors.New("hotspot: negative TEG budget")
+	}
+	return nil
+}
+
+// Run integrates the episode with 0.1 s explicit steps (the RC time constant
+// is ~30 s, so this is deeply stable) and returns the outcome.
+func (s Scenario) Run() (Outcome, error) {
+	if err := s.Validate(); err != nil {
+		return Outcome{}, err
+	}
+	g := 1 / s.Spec.ThermalResistance(s.Flow)              // W/°C die->coolant
+	boundary := s.Spec.Coupling(s.Flow) * float64(s.Inlet) // effective coolant node
+	c := s.Spec.ThermalCapacitance
+	pAfter := float64(s.Spec.Power(s.UAfter))
+
+	// Start from the pre-step steady state.
+	temp := float64(s.Spec.Temperature(s.UBefore, s.Flow, s.Inlet))
+	out := Outcome{StartTemp: units.Celsius(temp), PeakTemp: units.Celsius(temp)}
+
+	const dt = 0.1
+	tsafe := float64(s.Spec.SafeTemp)
+	tmax := float64(s.Spec.MaxOperatingTemp)
+	engagedSeconds := 0.0
+	for t := 0.0; t < s.Seconds; t += dt {
+		cooling := 0.0
+		if s.TEC != nil && t >= s.DetectionLatency && temp > tsafe-1 {
+			// Feedforward + proportional hold: pump the steady-state
+			// surplus at the hold target (just under T_safe) plus a
+			// correction for the remaining error, clamped to device
+			// capability.
+			target := tsafe - 0.5
+			want := units.Watts(math.Max(0,
+				pAfter-g*(target-boundary)+2*g*(temp-target)))
+			coldFace := units.Celsius(temp)
+			hotFace := units.Celsius(boundary)
+			op, err := s.TEC.MaxCooling(coldFace, hotFace)
+			if err != nil {
+				return Outcome{}, err
+			}
+			if op.CoolingPower < want {
+				want = op.CoolingPower
+			}
+			if want > 0 {
+				i, err := s.TEC.CurrentFor(want, coldFace, hotFace)
+				if err != nil {
+					return Outcome{}, err
+				}
+				run, err := s.TEC.Operate(i, coldFace, hotFace)
+				if err != nil {
+					return Outcome{}, err
+				}
+				cooling = float64(run.CoolingPower)
+				out.TECEnergy += units.Joules(float64(run.InputPower) * dt)
+				covered := math.Min(float64(run.InputPower), float64(s.TEGBudget))
+				out.TEGCoveredEnergy += units.Joules(covered * dt)
+				engagedSeconds += dt
+			}
+		}
+		// Explicit Euler on the single RC node.
+		dTemp := (pAfter - cooling - g*(temp-boundary)) / c
+		temp += dTemp * dt
+		if temp > float64(out.PeakTemp) {
+			out.PeakTemp = units.Celsius(temp)
+		}
+		if temp > tsafe {
+			out.SecondsAboveSafe += dt
+		}
+		if temp > tmax {
+			out.SecondsAboveMax += dt
+		}
+	}
+	out.SettleTemp = units.Celsius(temp)
+	if engagedSeconds > 0 {
+		out.MeanTECInput = units.Watts(float64(out.TECEnergy) / engagedSeconds)
+	}
+	return out, nil
+}

@@ -1,0 +1,148 @@
+package hotspot
+
+import (
+	"testing"
+
+	"github.com/h2p-sim/h2p/internal/units"
+)
+
+func TestValidate(t *testing.T) {
+	if err := DefaultScenario(false).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []func(*Scenario){
+		func(s *Scenario) { s.Flow = 0 },
+		func(s *Scenario) { s.UBefore = -0.1 },
+		func(s *Scenario) { s.UAfter = 1.1 },
+		func(s *Scenario) { s.Seconds = 0 },
+		func(s *Scenario) { s.DetectionLatency = -1 },
+		func(s *Scenario) { s.DetectionLatency = 1000 },
+		func(s *Scenario) { s.TEGBudget = -1 },
+		func(s *Scenario) { s.Spec.MaxOperatingTemp = 0 },
+	}
+	for i, mut := range cases {
+		s := DefaultScenario(false)
+		mut(&s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func TestWithoutTECDieRidesAboveSafe(t *testing.T) {
+	out, err := DefaultScenario(false).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The step drives the die well above T_safe (62 °C) for most of the
+	// interval, though the warm-water setting keeps it under the vendor
+	// max at this flow.
+	if out.PeakTemp <= 62 {
+		t.Errorf("peak %v should exceed T_safe", out.PeakTemp)
+	}
+	if out.SecondsAboveSafe < 150 {
+		t.Errorf("seconds above safe = %v, expected most of the interval", out.SecondsAboveSafe)
+	}
+	if out.SecondsAboveMax > 0 {
+		t.Errorf("warm-water high-flow setting should not exceed the 78.9 °C max, got %v s", out.SecondsAboveMax)
+	}
+	if out.SettleTemp <= out.StartTemp {
+		t.Error("die must settle hotter after the step")
+	}
+	if out.TECEnergy != 0 {
+		t.Error("no TEC should mean no TEC energy")
+	}
+}
+
+func TestWithTECDieHeldNearSafe(t *testing.T) {
+	base, err := DefaultScenario(false).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	guarded, err := DefaultScenario(true).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if guarded.SecondsAboveSafe >= base.SecondsAboveSafe/2 {
+		t.Errorf("TEC should cut time above safe: %v vs %v",
+			guarded.SecondsAboveSafe, base.SecondsAboveSafe)
+	}
+	// The hold keeps the settle temperature within ~1 °C of T_safe.
+	if guarded.SettleTemp > 63.5 {
+		t.Errorf("settle temp with TEC = %v, want near 62", guarded.SettleTemp)
+	}
+	if guarded.TECEnergy <= 0 {
+		t.Error("engaged TEC must consume energy")
+	}
+	// The TEG budget covers only part of the TEC input (Sec. VI-C1:
+	// TECs bring extra energy consumption).
+	if guarded.TEGCoveredEnergy <= 0 || guarded.TEGCoveredEnergy >= guarded.TECEnergy {
+		t.Errorf("TEG coverage = %v of %v, want a proper fraction",
+			guarded.TEGCoveredEnergy, guarded.TECEnergy)
+	}
+	if guarded.MeanTECInput <= 0 {
+		t.Error("mean TEC input missing")
+	}
+}
+
+func TestLegacyLowFlowEpisodeCanExceedMax(t *testing.T) {
+	// At the prototype's 20 L/H with a 50 °C inlet — the Sec. II-B danger
+	// zone — a full-load step drives the die past the vendor limit.
+	s := DefaultScenario(false)
+	s.Flow = 20
+	s.Inlet = 50
+	out, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.SecondsAboveMax == 0 {
+		t.Errorf("50°C/20 L/H at 100%% should exceed 78.9 °C, peak was %v", out.PeakTemp)
+	}
+}
+
+func TestSettleMatchesSteadyStateMap(t *testing.T) {
+	s := DefaultScenario(false)
+	out, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := s.Spec.Temperature(s.UAfter, s.Flow, s.Inlet)
+	if diff := float64(out.SettleTemp - want); diff > 0.2 || diff < -0.2 {
+		t.Errorf("settle %v, steady-state map %v", out.SettleTemp, want)
+	}
+}
+
+func TestDownStepCoolsWithoutViolation(t *testing.T) {
+	s := DefaultScenario(false)
+	s.UBefore, s.UAfter = 1.0, 0.1
+	out, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.SettleTemp >= out.StartTemp {
+		t.Error("down-step should cool")
+	}
+	if out.PeakTemp > out.StartTemp+units.Celsius(0.01) {
+		t.Errorf("down-step peak %v should not exceed start %v", out.PeakTemp, out.StartTemp)
+	}
+}
+
+func TestTimeConstantIsSeconds(t *testing.T) {
+	// The paper's motivation: the die responds in seconds, not minutes.
+	// After 60 s the excursion must already be most of the way to settle.
+	s := DefaultScenario(false)
+	s.Seconds = 60
+	short, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Seconds = 300
+	long, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	progress := float64(short.SettleTemp-short.StartTemp) / float64(long.SettleTemp-long.StartTemp)
+	if progress < 0.8 {
+		t.Errorf("after 60 s only %.0f%% of the excursion done; RC constant too slow", progress*100)
+	}
+}

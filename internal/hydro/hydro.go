@@ -1,0 +1,190 @@
+// Package hydro models the hydraulic building blocks of the H2P water loops
+// (Fig. 1 and the prototype of Fig. 6): cold plates, variable-speed pumps,
+// liquid-to-liquid heat exchangers, the natural cold-water source, and the
+// temperature/flow instrumentation of the test bed.
+//
+// All components are steady-state per simulation interval: coolant transport
+// delays (seconds) are far below the 5-minute control interval the paper
+// uses, so per-interval equilibrium is the appropriate fidelity.
+package hydro
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"github.com/h2p-sim/h2p/internal/units"
+)
+
+// ColdPlate is a metal water block pressed against a heat source. Heat enters
+// the coolant stream; the plate surface sits above the mean coolant
+// temperature by the plate's conductive resistance.
+type ColdPlate struct {
+	// Name identifies the plate in reports (e.g. "CPU", "TEG-hot-A").
+	Name string
+	// Rth is the surface-to-coolant thermal resistance in °C/W.
+	Rth float64
+}
+
+// Outlet returns the coolant outlet temperature when the plate absorbs power
+// q from a stream entering at tin with flow f.
+func (p ColdPlate) Outlet(tin units.Celsius, f units.LitersPerHour, q units.Watts) units.Celsius {
+	return tin + units.AdvectionDeltaT(q, f)
+}
+
+// SurfaceTemp returns the plate surface temperature: the mean coolant
+// temperature plus the conductive rise Rth*q.
+func (p ColdPlate) SurfaceTemp(tin units.Celsius, f units.LitersPerHour, q units.Watts) units.Celsius {
+	tout := p.Outlet(tin, f, q)
+	mean := (float64(tin) + float64(tout)) / 2
+	return units.Celsius(mean + p.Rth*float64(q))
+}
+
+// Pump is a variable-speed circulation pump. Electrical power follows the
+// cubic affinity law P = Idle + K*(f/MaxFlow)^3 * Rated.
+type Pump struct {
+	// Name identifies the pump.
+	Name string
+	// MaxFlow is the maximum deliverable flow.
+	MaxFlow units.LitersPerHour
+	// RatedPower is the shaft power at maximum flow.
+	RatedPower units.Watts
+	// IdlePower is the controller/standby draw at zero flow.
+	IdlePower units.Watts
+
+	flow units.LitersPerHour
+}
+
+// SetFlow commands the pump to the given flow. It returns an error if the
+// request is negative or exceeds the pump's capability.
+func (p *Pump) SetFlow(f units.LitersPerHour) error {
+	if f < 0 {
+		return fmt.Errorf("hydro: pump %s: negative flow %v", p.Name, f)
+	}
+	if f > p.MaxFlow {
+		return fmt.Errorf("hydro: pump %s: flow %v exceeds max %v", p.Name, f, p.MaxFlow)
+	}
+	p.flow = f
+	return nil
+}
+
+// Flow returns the current flow setpoint.
+func (p *Pump) Flow() units.LitersPerHour { return p.flow }
+
+// Power returns the pump's electrical draw at the current setpoint.
+func (p *Pump) Power() units.Watts {
+	if p.MaxFlow == 0 {
+		return p.IdlePower
+	}
+	ratio := float64(p.flow) / float64(p.MaxFlow)
+	return p.IdlePower + units.Watts(math.Pow(ratio, 3))*p.RatedPower
+}
+
+// HeatExchanger is a counter-flow liquid-to-liquid heat exchanger (the CDU
+// element separating TCS from FWS in Fig. 1), modeled with the
+// effectiveness-NTU method.
+type HeatExchanger struct {
+	// UA is the overall conductance in W/°C.
+	UA float64
+}
+
+// HXResult reports the outcome of one heat-exchanger evaluation.
+type HXResult struct {
+	HotOut, ColdOut units.Celsius
+	Heat            units.Watts // transferred from hot to cold stream
+	Effectiveness   float64
+}
+
+// Exchange computes the steady-state outlet temperatures for a hot stream
+// (hotIn, hotFlow) and a cold stream (coldIn, coldFlow).
+func (hx HeatExchanger) Exchange(hotIn units.Celsius, hotFlow units.LitersPerHour, coldIn units.Celsius, coldFlow units.LitersPerHour) (HXResult, error) {
+	ch := hotFlow.HeatCapacityRate()
+	cc := coldFlow.HeatCapacityRate()
+	if ch <= 0 || cc <= 0 {
+		return HXResult{}, errors.New("hydro: heat exchanger requires positive flows on both sides")
+	}
+	cmin, cmax := math.Min(ch, cc), math.Max(ch, cc)
+	cr := cmin / cmax
+	ntu := hx.UA / cmin
+	var eff float64
+	if math.Abs(cr-1) < 1e-12 {
+		eff = ntu / (1 + ntu)
+	} else {
+		e := math.Exp(-ntu * (1 - cr))
+		eff = (1 - e) / (1 - cr*e)
+	}
+	q := eff * cmin * float64(hotIn-coldIn)
+	return HXResult{
+		HotOut:        hotIn - units.Celsius(q/ch),
+		ColdOut:       coldIn + units.Celsius(q/cc),
+		Heat:          units.Watts(q),
+		Effectiveness: eff,
+	}, nil
+}
+
+// WaterSource models the natural cold-water supply on the TEG cold side
+// (Sec. III-C): domestic water or lake water around 20 °C. Deep-lake sources
+// such as Qiandao Lake stay within 15-20 °C year-round; the optional seasonal
+// swing models shallower sources.
+type WaterSource struct {
+	// MeanTemp is the annual mean supply temperature.
+	MeanTemp units.Celsius
+	// SeasonalSwing is the peak deviation from the mean over a year.
+	SeasonalSwing units.Celsius
+}
+
+// QiandaoLake returns the stable deep-lake source the paper cites.
+func QiandaoLake() WaterSource { return WaterSource{MeanTemp: 20, SeasonalSwing: 2.5} }
+
+// TempAt returns the supply temperature at the given fraction of the year
+// (0 = coldest point). A zero swing gives a constant source.
+func (w WaterSource) TempAt(yearFraction float64) units.Celsius {
+	phase := 2 * math.Pi * (yearFraction - 0.25) // coldest at fraction 0
+	return w.MeanTemp + units.Celsius(float64(w.SeasonalSwing)*math.Sin(phase))
+}
+
+// Temp returns the mean supply temperature (the constant-source view used by
+// the paper's evaluation, which assumes 20 °C throughout).
+func (w WaterSource) Temp() units.Celsius { return w.MeanTemp }
+
+// TemperatureSensor quantizes a reading like the prototype's DAQ channels.
+type TemperatureSensor struct {
+	// Resolution is the quantization step in °C (0 disables quantization).
+	Resolution units.Celsius
+	// Bias is a fixed calibration offset added to every reading.
+	Bias units.Celsius
+}
+
+// Read returns the sensor's report of the true temperature.
+func (s TemperatureSensor) Read(truth units.Celsius) units.Celsius {
+	v := truth + s.Bias
+	if s.Resolution > 0 {
+		steps := math.Round(float64(v) / float64(s.Resolution))
+		v = units.Celsius(steps) * s.Resolution
+	}
+	return v
+}
+
+// FlowMeter quantizes a flow reading.
+type FlowMeter struct {
+	// Resolution is the quantization step in L/H (0 disables quantization).
+	Resolution units.LitersPerHour
+}
+
+// Read returns the meter's report of the true flow.
+func (m FlowMeter) Read(truth units.LitersPerHour) units.LitersPerHour {
+	if m.Resolution <= 0 {
+		return truth
+	}
+	steps := math.Round(float64(truth) / float64(m.Resolution))
+	return units.LitersPerHour(steps) * m.Resolution
+}
+
+// Branch splits a flow evenly across n parallel branches, as the prototype
+// does for its two CPUs ("connected in parallel in the water circulation").
+func Branch(total units.LitersPerHour, n int) (units.LitersPerHour, error) {
+	if n <= 0 {
+		return 0, errors.New("hydro: Branch requires n >= 1")
+	}
+	return units.LitersPerHour(float64(total) / float64(n)), nil
+}

@@ -1,0 +1,231 @@
+// Package jobs makes the paper's "dynamic workload scheduling" concrete.
+//
+// Sec. V-B2 balances utilization across a circulation as if load were a
+// fluid; a real cluster moves discrete jobs, and moving them costs
+// migrations. This package decomposes each server's utilization into a
+// population of jobs, lets a greedy balancer migrate a bounded number of
+// jobs per control interval, and emits the resulting effective trace — so
+// the evaluation can ask how much of the ideal TEG_LoadBalance gain survives
+// a realistic migration budget.
+package jobs
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/h2p-sim/h2p/internal/trace"
+)
+
+// Job is one schedulable unit of work. Its demand over time is its share of
+// its home server's utilization series — migration moves where the work
+// runs, not where its demand signal comes from.
+type Job struct {
+	ID int
+	// Home is the server whose trace drives this job's demand.
+	Home int
+	// Share is the fraction of the home server's utilization this job
+	// carries.
+	Share float64
+	// Placement is the server currently running the job.
+	Placement int
+}
+
+// Assignment is a placement of jobs over servers bound to a trace.
+type Assignment struct {
+	tr   *trace.Trace
+	jobs []Job
+}
+
+// Decompose splits every server's workload into jobs with mean size
+// meanShare (as a fraction of the server's own utilization), deterministic
+// for a given seed. Each server gets at least one job.
+func Decompose(tr *trace.Trace, meanShare float64, seed int64) (*Assignment, error) {
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	if meanShare <= 0 || meanShare > 1 {
+		return nil, errors.New("jobs: meanShare must be in (0, 1]")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	a := &Assignment{tr: tr}
+	id := 0
+	for s := 0; s < tr.Servers(); s++ {
+		remaining := 1.0
+		for remaining > 1e-9 {
+			share := meanShare * (0.5 + rng.Float64()) // 0.5x..1.5x mean
+			if share > remaining || remaining < meanShare/2 {
+				share = remaining
+			}
+			a.jobs = append(a.jobs, Job{ID: id, Home: s, Share: share, Placement: s})
+			remaining -= share
+			id++
+		}
+	}
+	return a, nil
+}
+
+// Jobs returns the number of jobs in the assignment.
+func (a *Assignment) Jobs() int { return len(a.jobs) }
+
+// DemandAt fills dst (allocated if nil) with per-server utilization at the
+// given interval under the current placement.
+func (a *Assignment) DemandAt(interval int, dst []float64) ([]float64, error) {
+	if interval < 0 || interval >= a.tr.Intervals() {
+		return nil, fmt.Errorf("jobs: interval %d out of range", interval)
+	}
+	n := a.tr.Servers()
+	if cap(dst) < n {
+		dst = make([]float64, n)
+	}
+	dst = dst[:n]
+	for i := range dst {
+		dst[i] = 0
+	}
+	for _, j := range a.jobs {
+		dst[j.Placement] += j.Share * a.tr.U[j.Home][interval]
+	}
+	for i := range dst {
+		if dst[i] > 1 {
+			dst[i] = 1
+		}
+	}
+	return dst, nil
+}
+
+// RebalanceInterval migrates up to budget jobs to flatten the demand at the
+// given interval: repeatedly move a job from the most-loaded server to the
+// least-loaded one, choosing the job whose demand best fills half the gap.
+// It returns the number of migrations performed.
+func (a *Assignment) RebalanceInterval(interval, budget int) (int, error) {
+	if budget < 0 {
+		return 0, errors.New("jobs: negative budget")
+	}
+	demand, err := a.DemandAt(interval, nil)
+	if err != nil {
+		return 0, err
+	}
+	// Index jobs by placement for the greedy loop.
+	byServer := make([][]int, a.tr.Servers())
+	for idx, j := range a.jobs {
+		byServer[j.Placement] = append(byServer[j.Placement], idx)
+	}
+	migrations := 0
+	for migrations < budget {
+		hi, lo := argMax(demand), argMin(demand)
+		gap := demand[hi] - demand[lo]
+		if gap < 0.02 { // already flat to within 2% utilization
+			break
+		}
+		// The ideal move fills half the gap.
+		target := gap / 2
+		best, bestDiff := -1, math.Inf(1)
+		for _, idx := range byServer[hi] {
+			d := a.jobs[idx].Share * a.tr.U[a.jobs[idx].Home][interval]
+			if d <= 0 || d > gap { // moving more than the gap would overshoot
+				continue
+			}
+			if diff := math.Abs(d - target); diff < bestDiff {
+				best, bestDiff = idx, diff
+			}
+		}
+		if best < 0 {
+			break // no movable job improves the balance
+		}
+		moved := a.jobs[best].Share * a.tr.U[a.jobs[best].Home][interval]
+		a.jobs[best].Placement = lo
+		demand[hi] -= moved
+		demand[lo] += moved
+		byServer[hi] = remove(byServer[hi], best)
+		byServer[lo] = append(byServer[lo], best)
+		migrations++
+	}
+	return migrations, nil
+}
+
+func argMax(xs []float64) int {
+	best := 0
+	for i, x := range xs {
+		if x > xs[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+func argMin(xs []float64) int {
+	best := 0
+	for i, x := range xs {
+		if x < xs[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+func remove(xs []int, v int) []int {
+	for i, x := range xs {
+		if x == v {
+			xs[i] = xs[len(xs)-1]
+			return xs[:len(xs)-1]
+		}
+	}
+	return xs
+}
+
+// BalanceReport summarizes a constrained balancing run.
+type BalanceReport struct {
+	TotalMigrations int
+	Jobs            int
+	// MeanDispersionBefore/After average (Umax - Uavg) over intervals.
+	MeanDispersionBefore, MeanDispersionAfter float64
+}
+
+// BalancedTrace runs the constrained balancer over the whole trace with the
+// given per-interval migration budget and returns the effective trace plus a
+// report. The input trace is not modified.
+func BalancedTrace(tr *trace.Trace, meanShare float64, budgetPerInterval int, seed int64) (*trace.Trace, BalanceReport, error) {
+	a, err := Decompose(tr, meanShare, seed)
+	if err != nil {
+		return nil, BalanceReport{}, err
+	}
+	if budgetPerInterval < 0 {
+		return nil, BalanceReport{}, errors.New("jobs: negative budget")
+	}
+	out, err := trace.New(tr.Name+"-jobbalanced", tr.Class, tr.Servers(), tr.Intervals(), tr.Interval)
+	if err != nil {
+		return nil, BalanceReport{}, err
+	}
+	rep := BalanceReport{Jobs: a.Jobs()}
+	var demand []float64
+	for i := 0; i < tr.Intervals(); i++ {
+		before, err := tr.DispersionAt(i)
+		if err != nil {
+			return nil, BalanceReport{}, err
+		}
+		rep.MeanDispersionBefore += before
+		m, err := a.RebalanceInterval(i, budgetPerInterval)
+		if err != nil {
+			return nil, BalanceReport{}, err
+		}
+		rep.TotalMigrations += m
+		demand, err = a.DemandAt(i, demand)
+		if err != nil {
+			return nil, BalanceReport{}, err
+		}
+		var mx, sum float64
+		for s, d := range demand {
+			out.U[s][i] = d
+			sum += d
+			if d > mx {
+				mx = d
+			}
+		}
+		rep.MeanDispersionAfter += mx - sum/float64(len(demand))
+	}
+	n := float64(tr.Intervals())
+	rep.MeanDispersionBefore /= n
+	rep.MeanDispersionAfter /= n
+	return out, rep, out.Validate()
+}

@@ -1,0 +1,191 @@
+package jobs
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"github.com/h2p-sim/h2p/internal/trace"
+)
+
+func makeTrace(t *testing.T) *trace.Trace {
+	t.Helper()
+	tr, err := trace.Generate(trace.DrasticConfig(30), 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestDecomposeConservesWork(t *testing.T) {
+	tr := makeTrace(t)
+	a, err := Decompose(tr, 0.1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Jobs() < tr.Servers() {
+		t.Fatalf("jobs = %d, want at least one per server", a.Jobs())
+	}
+	// With the identity placement, demand equals the original trace.
+	for _, i := range []int{0, tr.Intervals() / 2, tr.Intervals() - 1} {
+		demand, err := a.DemandAt(i, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for s := range demand {
+			if math.Abs(demand[s]-tr.U[s][i]) > 1e-9 {
+				t.Fatalf("interval %d server %d: demand %v != trace %v", i, s, demand[s], tr.U[s][i])
+			}
+		}
+	}
+}
+
+func TestDecomposeErrors(t *testing.T) {
+	tr := makeTrace(t)
+	if _, err := Decompose(tr, 0, 1); err == nil {
+		t.Error("zero share should error")
+	}
+	if _, err := Decompose(tr, 1.5, 1); err == nil {
+		t.Error("share above 1 should error")
+	}
+	bad, _ := trace.New("bad", trace.Common, 2, 2, time.Minute)
+	bad.U[0][0] = 5
+	if _, err := Decompose(bad, 0.1, 1); err == nil {
+		t.Error("invalid trace should error")
+	}
+}
+
+func TestDemandAtErrors(t *testing.T) {
+	tr := makeTrace(t)
+	a, _ := Decompose(tr, 0.1, 3)
+	if _, err := a.DemandAt(-1, nil); err == nil {
+		t.Error("negative interval should error")
+	}
+	if _, err := a.DemandAt(tr.Intervals(), nil); err == nil {
+		t.Error("out-of-range interval should error")
+	}
+}
+
+func TestRebalanceReducesDispersion(t *testing.T) {
+	tr := makeTrace(t)
+	a, _ := Decompose(tr, 0.08, 3)
+	before, err := a.DemandAt(0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d0 := dispersion(before)
+	m, err := a.RebalanceInterval(0, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m == 0 {
+		t.Fatal("no migrations on a dispersed trace")
+	}
+	after, err := a.DemandAt(0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1 := dispersion(after)
+	if d1 >= d0/2 {
+		t.Errorf("dispersion %v -> %v, want at least halved", d0, d1)
+	}
+	// Work is conserved across migrations.
+	if math.Abs(sum(before)-sum(after)) > 1e-9 {
+		t.Errorf("work changed: %v -> %v", sum(before), sum(after))
+	}
+}
+
+func TestRebalanceRespectsBudget(t *testing.T) {
+	tr := makeTrace(t)
+	a, _ := Decompose(tr, 0.08, 3)
+	m, err := a.RebalanceInterval(0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m > 3 {
+		t.Errorf("migrations = %d, budget was 3", m)
+	}
+	if _, err := a.RebalanceInterval(0, -1); err == nil {
+		t.Error("negative budget should error")
+	}
+}
+
+func TestRebalanceZeroBudgetIsNoop(t *testing.T) {
+	tr := makeTrace(t)
+	a, _ := Decompose(tr, 0.08, 3)
+	before, _ := a.DemandAt(0, nil)
+	m, err := a.RebalanceInterval(0, 0)
+	if err != nil || m != 0 {
+		t.Fatalf("m=%d err=%v", m, err)
+	}
+	after, _ := a.DemandAt(0, nil)
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatal("zero budget changed placement")
+		}
+	}
+}
+
+func TestBalancedTraceApproachesIdealWithBudget(t *testing.T) {
+	tr := makeTrace(t)
+	// Tiny budget: barely improves. Large budget: near-flat.
+	_, small, err := BalancedTrace(tr, 0.08, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flatTr, large, err := BalancedTrace(tr, 0.08, 200, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.MeanDispersionAfter <= large.MeanDispersionAfter {
+		t.Errorf("larger budget should flatten more: %v vs %v",
+			small.MeanDispersionAfter, large.MeanDispersionAfter)
+	}
+	if large.MeanDispersionAfter > 0.25*large.MeanDispersionBefore {
+		t.Errorf("large budget left dispersion %v of %v",
+			large.MeanDispersionAfter, large.MeanDispersionBefore)
+	}
+	if err := flatTr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Work per interval is conserved in the emitted trace.
+	for _, i := range []int{0, tr.Intervals() - 1} {
+		a1, _ := tr.AvgAt(i)
+		a2, _ := flatTr.AvgAt(i)
+		if math.Abs(a1-a2) > 1e-9 {
+			t.Fatalf("interval %d: work %v -> %v", i, a1, a2)
+		}
+	}
+	if large.TotalMigrations <= small.TotalMigrations {
+		t.Error("larger budget should migrate more in total")
+	}
+}
+
+func TestBalancedTraceErrors(t *testing.T) {
+	tr := makeTrace(t)
+	if _, _, err := BalancedTrace(tr, 0, 10, 3); err == nil {
+		t.Error("bad share should error")
+	}
+	if _, _, err := BalancedTrace(tr, 0.1, -1, 3); err == nil {
+		t.Error("negative budget should error")
+	}
+}
+
+func dispersion(xs []float64) float64 {
+	mx, sum := 0.0, 0.0
+	for _, x := range xs {
+		sum += x
+		if x > mx {
+			mx = x
+		}
+	}
+	return mx - sum/float64(len(xs))
+}
+
+func sum(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}

@@ -1,0 +1,68 @@
+package lookup
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"github.com/h2p-sim/h2p/internal/cpu"
+	"github.com/h2p-sim/h2p/internal/numeric"
+)
+
+// persisted is the on-disk form of a Space: the calibrated spec, the
+// sampling axes and both sampled grids. Sec. V-B's "look-up space in
+// practical use" implies a deployable artifact; this is it.
+type persisted struct {
+	Format string          `json:"format"`
+	Spec   cpu.Spec        `json:"spec"`
+	Axes   Axes            `json:"axes"`
+	TCPU   *numeric.Grid3D `json:"tcpu"`
+	TOut   *numeric.Grid3D `json:"tout"`
+}
+
+const formatTag = "h2p-lookup-space-v1"
+
+// WriteJSON serializes the space.
+func (s *Space) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(persisted{
+		Format: formatTag,
+		Spec:   s.spec,
+		Axes:   s.axes,
+		TCPU:   s.tcpu,
+		TOut:   s.tout,
+	})
+}
+
+// ReadJSON deserializes a space previously written with WriteJSON,
+// validating its structure.
+func ReadJSON(r io.Reader) (*Space, error) {
+	var p persisted
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&p); err != nil {
+		return nil, fmt.Errorf("lookup: decode: %w", err)
+	}
+	if p.Format != formatTag {
+		return nil, fmt.Errorf("lookup: unknown format %q", p.Format)
+	}
+	if err := p.Spec.Validate(); err != nil {
+		return nil, err
+	}
+	if err := p.Axes.Validate(); err != nil {
+		return nil, err
+	}
+	if p.TCPU == nil || p.TOut == nil {
+		return nil, errors.New("lookup: missing grids")
+	}
+	wantLen := len(p.Axes.Utilization) * len(p.Axes.Flow) * len(p.Axes.Inlet)
+	for _, g := range []*numeric.Grid3D{p.TCPU, p.TOut} {
+		if len(g.V) != wantLen {
+			return nil, fmt.Errorf("lookup: grid has %d values, want %d", len(g.V), wantLen)
+		}
+		if len(g.X) != len(p.Axes.Utilization) || len(g.Y) != len(p.Axes.Flow) || len(g.Z) != len(p.Axes.Inlet) {
+			return nil, errors.New("lookup: grid axes disagree with declared axes")
+		}
+	}
+	return &Space{spec: p.Spec, axes: p.Axes, tcpu: p.TCPU, tout: p.TOut}, nil
+}

@@ -1,0 +1,84 @@
+package lookup
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/h2p-sim/h2p/internal/cpu"
+	"github.com/h2p-sim/h2p/internal/units"
+)
+
+func TestSpaceJSONRoundTrip(t *testing.T) {
+	ax := Axes{
+		Utilization: []float64{0, 0.5, 1},
+		Flow:        []float64{20, 100, 250},
+		Inlet:       []float64{30, 45, 55},
+	}
+	s, err := Build(cpu.XeonE52650V3(), ax)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := s.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Interpolated queries agree everywhere probed.
+	for _, u := range []float64{0.1, 0.42, 0.9} {
+		for _, f := range []units.LitersPerHour{30, 130, 240} {
+			for _, tin := range []units.Celsius{33, 44, 54} {
+				a := s.CPUTemp(u, f, tin)
+				b := back.CPUTemp(u, f, tin)
+				if math.Abs(float64(a-b)) > 1e-12 {
+					t.Fatalf("round trip changed CPUTemp(%v,%v,%v): %v vs %v", u, f, tin, a, b)
+				}
+				if o1, o2 := s.OutletTemp(u, f, tin), back.OutletTemp(u, f, tin); o1 != o2 {
+					t.Fatalf("round trip changed OutletTemp: %v vs %v", o1, o2)
+				}
+			}
+		}
+	}
+	if back.Spec().Model != s.Spec().Model {
+		t.Error("spec lost in round trip")
+	}
+}
+
+func TestReadJSONRejectsBadInput(t *testing.T) {
+	cases := []string{
+		"",
+		"not json",
+		`{"format":"wrong"}`,
+		`{"format":"h2p-lookup-space-v1"}`,
+	}
+	for i, raw := range cases {
+		if _, err := ReadJSON(strings.NewReader(raw)); err == nil {
+			t.Errorf("case %d should error", i)
+		}
+	}
+}
+
+func TestReadJSONRejectsTamperedGrid(t *testing.T) {
+	s, err := Build(cpu.XeonE52650V3(), Axes{
+		Utilization: []float64{0, 1},
+		Flow:        []float64{20, 250},
+		Inlet:       []float64{30, 55},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := s.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Truncate the grid values.
+	raw := buf.String()
+	tampered := strings.Replace(raw, `"V":[`, `"V":[999999,`, 1)
+	if _, err := ReadJSON(strings.NewReader(tampered)); err == nil {
+		t.Error("tampered grid length should be rejected")
+	}
+}

@@ -1,0 +1,146 @@
+// Package mppt implements maximum power point tracking for TEG modules.
+//
+// Sec. III-C of the paper notes that "the maximum output power occurs when
+// the load resistance equals the whole TEG module's resistance". A real
+// harvesting front-end cannot rely on a fixed matched resistor — the
+// module's operating point moves with the temperature difference — so a
+// DC-DC converter presents an adjustable effective load and a
+// perturb-and-observe (P&O) controller walks it to the maximum power point.
+// This package provides that front-end for the H2P energy path between the
+// TEG modules and the storage buffer.
+package mppt
+
+import (
+	"errors"
+
+	"github.com/h2p-sim/h2p/internal/teg"
+	"github.com/h2p-sim/h2p/internal/units"
+)
+
+// Converter models the DC-DC stage: a conversion efficiency and the range of
+// effective load resistances its duty cycle can synthesize.
+type Converter struct {
+	// Efficiency is the electrical conversion efficiency in (0, 1].
+	Efficiency float64
+	// MinLoad and MaxLoad bound the synthesizable effective load.
+	MinLoad, MaxLoad units.Ohms
+}
+
+// DefaultConverter returns a harvesting-class converter: 95 % efficient with
+// a wide load range.
+func DefaultConverter() Converter {
+	return Converter{Efficiency: 0.95, MinLoad: 0.5, MaxLoad: 200}
+}
+
+// Validate reports parameter errors.
+func (c Converter) Validate() error {
+	if c.Efficiency <= 0 || c.Efficiency > 1 {
+		return errors.New("mppt: converter efficiency must be in (0, 1]")
+	}
+	if c.MinLoad <= 0 || c.MaxLoad <= c.MinLoad {
+		return errors.New("mppt: bad load range")
+	}
+	return nil
+}
+
+// Tracker walks the converter's effective load toward the module's maximum
+// power point with perturb-and-observe.
+type Tracker struct {
+	Module    *teg.Module
+	Converter Converter
+	// Step is the multiplicative perturbation applied to the load each
+	// control step (e.g. 0.05 for 5 %).
+	Step float64
+
+	load      units.Ohms
+	lastPower units.Watts
+	direction float64 // +1 or -1
+	primed    bool
+}
+
+// NewTracker initializes a tracker at the geometric middle of the load range.
+func NewTracker(m *teg.Module, c Converter, step float64) (*Tracker, error) {
+	if m == nil {
+		return nil, errors.New("mppt: nil module")
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	if step <= 0 || step >= 1 {
+		return nil, errors.New("mppt: step must be in (0, 1)")
+	}
+	start := units.Ohms((float64(c.MinLoad) + float64(c.MaxLoad)) / 2)
+	return &Tracker{Module: m, Converter: c, Step: step, load: start, direction: 1}, nil
+}
+
+// Load returns the current effective load resistance.
+func (t *Tracker) Load() units.Ohms { return t.load }
+
+// StepOnce runs one P&O control step at the given operating conditions and
+// returns the power delivered downstream of the converter during the step.
+func (t *Tracker) StepOnce(dT units.Celsius, flow units.LitersPerHour) (units.Watts, error) {
+	raw, err := t.Module.PowerAtLoad(dT, flow, t.load)
+	if err != nil {
+		return 0, err
+	}
+	if t.primed {
+		if raw < t.lastPower {
+			t.direction = -t.direction
+		}
+	}
+	t.lastPower = raw
+	t.primed = true
+	// Perturb for the next step.
+	next := units.Ohms(float64(t.load) * (1 + t.direction*t.Step))
+	if next < t.Converter.MinLoad {
+		next = t.Converter.MinLoad
+		t.direction = 1
+	}
+	if next > t.Converter.MaxLoad {
+		next = t.Converter.MaxLoad
+		t.direction = -1
+	}
+	t.load = next
+	return units.Watts(float64(raw) * t.Converter.Efficiency), nil
+}
+
+// TrackingReport summarizes a tracking run.
+type TrackingReport struct {
+	Steps int
+	// DeliveredWh is the energy delivered downstream of the converter.
+	DeliveredWh float64
+	// IdealWh is the energy an oracle at the exact matched load with the
+	// same converter efficiency would deliver.
+	IdealWh float64
+	// TrackingEfficiency is Delivered/Ideal.
+	TrackingEfficiency float64
+}
+
+// Track runs the controller over a series of operating conditions, each held
+// for dtHours with `substeps` P&O iterations inside.
+func (t *Tracker) Track(dTs []units.Celsius, flow units.LitersPerHour, dtHours float64, substeps int) (TrackingReport, error) {
+	if len(dTs) == 0 {
+		return TrackingReport{}, errors.New("mppt: empty condition series")
+	}
+	if dtHours <= 0 || substeps <= 0 {
+		return TrackingReport{}, errors.New("mppt: bad step configuration")
+	}
+	var rep TrackingReport
+	sub := dtHours / float64(substeps)
+	for _, dT := range dTs {
+		for s := 0; s < substeps; s++ {
+			p, err := t.StepOnce(dT, flow)
+			if err != nil {
+				return TrackingReport{}, err
+			}
+			rep.DeliveredWh += float64(p) * sub
+			rep.Steps++
+		}
+		ideal := float64(t.Module.MaxPowerPhysics(dT, flow)) * t.Converter.Efficiency
+		rep.IdealWh += ideal * dtHours
+	}
+	if rep.IdealWh > 0 {
+		rep.TrackingEfficiency = rep.DeliveredWh / rep.IdealWh
+	}
+	return rep, nil
+}

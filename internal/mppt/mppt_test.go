@@ -1,0 +1,169 @@
+package mppt
+
+import (
+	"math"
+	"testing"
+
+	"github.com/h2p-sim/h2p/internal/teg"
+	"github.com/h2p-sim/h2p/internal/units"
+)
+
+func newModule(t *testing.T) *teg.Module {
+	t.Helper()
+	m, err := teg.NewModule(teg.SP1848(), 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestConverterValidation(t *testing.T) {
+	if err := DefaultConverter().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Converter{
+		{Efficiency: 0, MinLoad: 1, MaxLoad: 10},
+		{Efficiency: 1.1, MinLoad: 1, MaxLoad: 10},
+		{Efficiency: 0.9, MinLoad: 0, MaxLoad: 10},
+		{Efficiency: 0.9, MinLoad: 10, MaxLoad: 10},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestNewTrackerValidation(t *testing.T) {
+	m := newModule(t)
+	if _, err := NewTracker(nil, DefaultConverter(), 0.05); err == nil {
+		t.Error("nil module should error")
+	}
+	if _, err := NewTracker(m, Converter{}, 0.05); err == nil {
+		t.Error("invalid converter should error")
+	}
+	if _, err := NewTracker(m, DefaultConverter(), 0); err == nil {
+		t.Error("zero step should error")
+	}
+	if _, err := NewTracker(m, DefaultConverter(), 1); err == nil {
+		t.Error("unit step should error")
+	}
+}
+
+func TestTrackerConvergesToMatchedLoad(t *testing.T) {
+	m := newModule(t)
+	tr, err := NewTracker(m, DefaultConverter(), 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hold a constant 35 °C gradient; the matched load is the module's
+	// 24-ohm series resistance.
+	for i := 0; i < 300; i++ {
+		if _, err := tr.StepOnce(35, 200); err != nil {
+			t.Fatal(err)
+		}
+	}
+	load := float64(tr.Load())
+	if math.Abs(load-24)/24 > 0.15 {
+		t.Errorf("converged load = %v ohm, want ~24", load)
+	}
+	// Delivered power within a few percent of the oracle.
+	p, err := tr.StepOnce(35, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ideal := float64(m.MaxPowerPhysics(35, 200)) * 0.95
+	if float64(p) < 0.97*ideal {
+		t.Errorf("tracked power %v below 97%% of ideal %v", p, ideal)
+	}
+}
+
+func TestTrackerReconvergesAfterGradientShift(t *testing.T) {
+	m := newModule(t)
+	tr, err := NewTracker(m, DefaultConverter(), 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		if _, err := tr.StepOnce(35, 200); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The gradient collapses (midday peak): the maximum power point's
+	// load stays the module resistance, but the tracker must keep
+	// delivering near-ideal power rather than wandering off.
+	for i := 0; i < 200; i++ {
+		if _, err := tr.StepOnce(22, 200); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p, err := tr.StepOnce(22, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ideal := float64(m.MaxPowerPhysics(22, 200)) * 0.95
+	if float64(p) < 0.95*ideal {
+		t.Errorf("post-shift power %v below 95%% of ideal %v", p, ideal)
+	}
+}
+
+func TestTrackHighEfficiencyOverDiurnalSeries(t *testing.T) {
+	m := newModule(t)
+	tr, err := NewTracker(m, DefaultConverter(), 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A day of 5-minute gradients swinging 28..36 °C.
+	var dTs []units.Celsius
+	for i := 0; i < 288; i++ {
+		phase := 2 * math.Pi * float64(i) / 288
+		dTs = append(dTs, units.Celsius(32+4*math.Cos(phase)))
+	}
+	rep, err := tr.Track(dTs, 200, float64(5)/60, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Steps != 2880 {
+		t.Errorf("steps = %d", rep.Steps)
+	}
+	if rep.TrackingEfficiency < 0.95 {
+		t.Errorf("tracking efficiency = %v, want >= 0.95", rep.TrackingEfficiency)
+	}
+	if rep.TrackingEfficiency > 1.0001 {
+		t.Errorf("tracking efficiency = %v exceeds the oracle", rep.TrackingEfficiency)
+	}
+}
+
+func TestTrackErrors(t *testing.T) {
+	m := newModule(t)
+	tr, err := NewTracker(m, DefaultConverter(), 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Track(nil, 200, 0.1, 5); err == nil {
+		t.Error("empty series should error")
+	}
+	if _, err := tr.Track([]units.Celsius{30}, 200, 0, 5); err == nil {
+		t.Error("zero dt should error")
+	}
+	if _, err := tr.Track([]units.Celsius{30}, 200, 0.1, 0); err == nil {
+		t.Error("zero substeps should error")
+	}
+}
+
+func TestLoadStaysInConverterRange(t *testing.T) {
+	m := newModule(t)
+	c := Converter{Efficiency: 0.95, MinLoad: 20, MaxLoad: 30}
+	tr, err := NewTracker(m, c, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if _, err := tr.StepOnce(35, 200); err != nil {
+			t.Fatal(err)
+		}
+		if tr.Load() < c.MinLoad || tr.Load() > c.MaxLoad {
+			t.Fatalf("load %v escaped [%v, %v]", tr.Load(), c.MinLoad, c.MaxLoad)
+		}
+	}
+}

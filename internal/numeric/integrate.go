@@ -1,0 +1,71 @@
+// Package numeric provides the numerical substrate the H2P simulator needs
+// and that the Go standard library does not ship: quadrature, ODE
+// integration, root finding, scalar minimization and multi-dimensional
+// interpolation. Everything is deterministic and allocation-light so it can
+// run inside tight simulation loops.
+package numeric
+
+import (
+	"errors"
+	"math"
+)
+
+// Simpson integrates f over [a, b] with composite Simpson's rule using the
+// given (even, >= 2) number of intervals. Odd values are rounded up.
+func Simpson(f func(float64) float64, a, b float64, intervals int) float64 {
+	if intervals < 2 {
+		intervals = 2
+	}
+	if intervals%2 == 1 {
+		intervals++
+	}
+	h := (b - a) / float64(intervals)
+	sum := f(a) + f(b)
+	for i := 1; i < intervals; i++ {
+		w := 4.0
+		if i%2 == 0 {
+			w = 2.0
+		}
+		sum += w * f(a+float64(i)*h)
+	}
+	return sum * h / 3
+}
+
+// AdaptiveSimpson integrates f over [a, b] to the requested absolute
+// tolerance by recursive interval bisection, up to maxDepth levels.
+func AdaptiveSimpson(f func(float64) float64, a, b, tol float64, maxDepth int) float64 {
+	fa, fb := f(a), f(b)
+	m := (a + b) / 2
+	fm := f(m)
+	whole := (b - a) / 6 * (fa + 4*fm + fb)
+	return adaptiveAux(f, a, b, fa, fb, fm, whole, tol, maxDepth)
+}
+
+func adaptiveAux(f func(float64) float64, a, b, fa, fb, fm, whole, tol float64, depth int) float64 {
+	m := (a + b) / 2
+	lm, rm := (a+m)/2, (m+b)/2
+	flm, frm := f(lm), f(rm)
+	left := (m - a) / 6 * (fa + 4*flm + fm)
+	right := (b - m) / 6 * (fm + 4*frm + fb)
+	if depth <= 0 || math.Abs(left+right-whole) <= 15*tol {
+		return left + right + (left+right-whole)/15
+	}
+	return adaptiveAux(f, a, m, fa, fm, flm, left, tol/2, depth-1) +
+		adaptiveAux(f, m, b, fm, fb, frm, right, tol/2, depth-1)
+}
+
+// Trapezoid integrates tabulated samples ys taken at abscissae xs (sorted
+// ascending) with the trapezoidal rule.
+func Trapezoid(xs, ys []float64) (float64, error) {
+	if len(xs) != len(ys) {
+		return 0, errors.New("numeric: Trapezoid length mismatch")
+	}
+	if len(xs) < 2 {
+		return 0, errors.New("numeric: Trapezoid needs at least 2 points")
+	}
+	var sum float64
+	for i := 1; i < len(xs); i++ {
+		sum += (xs[i] - xs[i-1]) * (ys[i] + ys[i-1]) / 2
+	}
+	return sum, nil
+}

@@ -1,0 +1,66 @@
+package numeric
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSimpsonPolynomialExact(t *testing.T) {
+	// Simpson is exact for cubics.
+	f := func(x float64) float64 { return 2*x*x*x - x*x + 3*x - 5 }
+	got := Simpson(f, -1, 3, 2)
+	// Antiderivative: x^4/2 - x^3/3 + 3x^2/2 - 5x.
+	F := func(x float64) float64 { return x*x*x*x/2 - x*x*x/3 + 3*x*x/2 - 5*x }
+	want := F(3) - F(-1)
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("Simpson cubic = %v, want %v", got, want)
+	}
+}
+
+func TestSimpsonSin(t *testing.T) {
+	got := Simpson(math.Sin, 0, math.Pi, 1000)
+	if math.Abs(got-2) > 1e-10 {
+		t.Errorf("integral of sin over [0,pi] = %v, want 2", got)
+	}
+}
+
+func TestSimpsonOddIntervalsRoundedUp(t *testing.T) {
+	a := Simpson(math.Exp, 0, 1, 101)
+	b := Simpson(math.Exp, 0, 1, 102)
+	if a != b {
+		t.Errorf("odd interval count not rounded up: %v vs %v", a, b)
+	}
+	c := Simpson(math.Exp, 0, 1, 0)
+	d := Simpson(math.Exp, 0, 1, 2)
+	if c != d {
+		t.Errorf("tiny interval count not clamped: %v vs %v", c, d)
+	}
+}
+
+func TestAdaptiveSimpson(t *testing.T) {
+	// A peaked integrand that defeats a coarse uniform grid.
+	f := func(x float64) float64 { return 1 / (1 + 100*x*x) }
+	want := math.Atan(10*3)/10 - math.Atan(10*-3)/10
+	got := AdaptiveSimpson(f, -3, 3, 1e-10, 40)
+	if math.Abs(got-want) > 1e-8 {
+		t.Errorf("adaptive = %v, want %v", got, want)
+	}
+}
+
+func TestTrapezoid(t *testing.T) {
+	xs := []float64{0, 1, 2, 4}
+	ys := []float64{0, 2, 4, 8} // y = 2x, exact for trapezoid
+	got, err := Trapezoid(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-16) > 1e-12 {
+		t.Errorf("Trapezoid = %v, want 16", got)
+	}
+	if _, err := Trapezoid([]float64{0}, []float64{1}); err == nil {
+		t.Error("single point should error")
+	}
+	if _, err := Trapezoid([]float64{0, 1}, []float64{1}); err == nil {
+		t.Error("mismatch should error")
+	}
+}

@@ -1,0 +1,155 @@
+package numeric
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// Interp1D is a piecewise-linear interpolant over sorted knots. Queries
+// outside the knot range are linearly extrapolated from the end segments,
+// which matches how the paper extends its "limited measurements to a general
+// relationship" (Sec. V-B).
+type Interp1D struct {
+	xs, ys []float64
+}
+
+// NewInterp1D builds an interpolant from knot coordinates. xs must be
+// strictly increasing and at least two points long.
+func NewInterp1D(xs, ys []float64) (*Interp1D, error) {
+	if len(xs) != len(ys) {
+		return nil, errors.New("numeric: Interp1D length mismatch")
+	}
+	if len(xs) < 2 {
+		return nil, errors.New("numeric: Interp1D needs at least 2 knots")
+	}
+	for i := 1; i < len(xs); i++ {
+		if xs[i] <= xs[i-1] {
+			return nil, errors.New("numeric: Interp1D knots must be strictly increasing")
+		}
+	}
+	return &Interp1D{
+		xs: append([]float64(nil), xs...),
+		ys: append([]float64(nil), ys...),
+	}, nil
+}
+
+// Eval returns the interpolated (or extrapolated) value at x.
+func (in *Interp1D) Eval(x float64) float64 {
+	i := sort.SearchFloat64s(in.xs, x)
+	switch {
+	case i == 0:
+		i = 1
+	case i >= len(in.xs):
+		i = len(in.xs) - 1
+	}
+	x0, x1 := in.xs[i-1], in.xs[i]
+	y0, y1 := in.ys[i-1], in.ys[i]
+	t := (x - x0) / (x1 - x0)
+	return y0 + t*(y1-y0)
+}
+
+// Grid3D is a regular 3-D grid of samples supporting trilinear interpolation:
+// the continuous look-up space fitted over the (utilization, flow, inlet
+// temperature) measurement points of Fig. 12.
+type Grid3D struct {
+	X, Y, Z []float64 // strictly increasing axes
+	V       []float64 // len(X)*len(Y)*len(Z) values, x-major then y then z
+}
+
+// NewGrid3D allocates a grid over the given axes with zero values.
+func NewGrid3D(x, y, z []float64) (*Grid3D, error) {
+	for _, axis := range [][]float64{x, y, z} {
+		if len(axis) < 2 {
+			return nil, errors.New("numeric: Grid3D axes need at least 2 points")
+		}
+		for i := 1; i < len(axis); i++ {
+			if axis[i] <= axis[i-1] {
+				return nil, errors.New("numeric: Grid3D axes must be strictly increasing")
+			}
+		}
+	}
+	return &Grid3D{
+		X: append([]float64(nil), x...),
+		Y: append([]float64(nil), y...),
+		Z: append([]float64(nil), z...),
+		V: make([]float64, len(x)*len(y)*len(z)),
+	}, nil
+}
+
+func (g *Grid3D) idx(i, j, k int) int {
+	return (i*len(g.Y)+j)*len(g.Z) + k
+}
+
+// Set stores the value at grid indices (i, j, k).
+func (g *Grid3D) Set(i, j, k int, v float64) { g.V[g.idx(i, j, k)] = v }
+
+// At returns the value at grid indices (i, j, k).
+func (g *Grid3D) At(i, j, k int) float64 { return g.V[g.idx(i, j, k)] }
+
+// Fill populates every grid node from f(x, y, z).
+func (g *Grid3D) Fill(f func(x, y, z float64) float64) {
+	for i, x := range g.X {
+		for j, y := range g.Y {
+			for k, z := range g.Z {
+				g.Set(i, j, k, f(x, y, z))
+			}
+		}
+	}
+}
+
+// cell finds the lower index of the axis cell containing q, clamping to the
+// grid so out-of-range queries extrapolate from the boundary cell.
+func cell(axis []float64, q float64) (int, float64) {
+	i := sort.SearchFloat64s(axis, q)
+	if i <= 0 {
+		i = 1
+	}
+	if i >= len(axis) {
+		i = len(axis) - 1
+	}
+	t := (q - axis[i-1]) / (axis[i] - axis[i-1])
+	return i - 1, t
+}
+
+// Eval trilinearly interpolates the grid at (x, y, z), extrapolating from
+// boundary cells outside the grid.
+func (g *Grid3D) Eval(x, y, z float64) float64 {
+	i, tx := cell(g.X, x)
+	j, ty := cell(g.Y, y)
+	k, tz := cell(g.Z, z)
+	var v float64
+	for di := 0; di <= 1; di++ {
+		wx := 1 - tx
+		if di == 1 {
+			wx = tx
+		}
+		for dj := 0; dj <= 1; dj++ {
+			wy := 1 - ty
+			if dj == 1 {
+				wy = ty
+			}
+			for dk := 0; dk <= 1; dk++ {
+				wz := 1 - tz
+				if dk == 1 {
+					wz = tz
+				}
+				v += wx * wy * wz * g.At(i+di, j+dj, k+dk)
+			}
+		}
+	}
+	return v
+}
+
+// MaxAbsDiff returns the largest absolute difference between the grid values
+// of g and h, which must share axis lengths.
+func (g *Grid3D) MaxAbsDiff(h *Grid3D) float64 {
+	m := 0.0
+	for i := range g.V {
+		d := math.Abs(g.V[i] - h.V[i])
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}

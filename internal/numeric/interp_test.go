@@ -1,0 +1,132 @@
+package numeric
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestInterp1DExactAtKnots(t *testing.T) {
+	xs := []float64{0, 1, 3, 7}
+	ys := []float64{5, 6, 2, 10}
+	in, err := NewInterp1D(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range xs {
+		if got := in.Eval(xs[i]); math.Abs(got-ys[i]) > 1e-12 {
+			t.Errorf("Eval(%v) = %v, want %v", xs[i], got, ys[i])
+		}
+	}
+	if got := in.Eval(2); math.Abs(got-4) > 1e-12 {
+		t.Errorf("midpoint Eval(2) = %v, want 4", got)
+	}
+}
+
+func TestInterp1DExtrapolates(t *testing.T) {
+	in, _ := NewInterp1D([]float64{0, 1}, []float64{0, 2})
+	if got := in.Eval(2); math.Abs(got-4) > 1e-12 {
+		t.Errorf("extrapolation = %v, want 4", got)
+	}
+	if got := in.Eval(-1); math.Abs(got+2) > 1e-12 {
+		t.Errorf("extrapolation = %v, want -2", got)
+	}
+}
+
+func TestInterp1DErrors(t *testing.T) {
+	if _, err := NewInterp1D([]float64{0}, []float64{1}); err == nil {
+		t.Error("single knot should error")
+	}
+	if _, err := NewInterp1D([]float64{0, 0}, []float64{1, 2}); err == nil {
+		t.Error("duplicate knots should error")
+	}
+	if _, err := NewInterp1D([]float64{0, 1}, []float64{1}); err == nil {
+		t.Error("length mismatch should error")
+	}
+}
+
+func TestInterp1DDefensiveCopy(t *testing.T) {
+	xs := []float64{0, 1}
+	ys := []float64{0, 1}
+	in, _ := NewInterp1D(xs, ys)
+	xs[0] = 100
+	ys[1] = -1
+	if got := in.Eval(0.5); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("mutating inputs changed interpolant: %v", got)
+	}
+}
+
+func TestGrid3DReproducesLinearFieldExactly(t *testing.T) {
+	// Trilinear interpolation must be exact for multilinear fields.
+	g, err := NewGrid3D(Linspace(0, 1, 5), Linspace(0, 100, 4), Linspace(30, 55, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(x, y, z float64) float64 { return 2*x + 0.1*y - 3*z + 0.05*x*y + 0.01*y*z }
+	g.Fill(f)
+	probes := [][3]float64{{0.13, 37, 41.7}, {0.9, 5, 30}, {0.5, 50, 54.2}, {1, 100, 55}}
+	for _, p := range probes {
+		want := f(p[0], p[1], p[2])
+		if got := g.Eval(p[0], p[1], p[2]); math.Abs(got-want) > 1e-9 {
+			t.Errorf("Eval(%v) = %v, want %v", p, got, want)
+		}
+	}
+}
+
+func TestGrid3DExtrapolation(t *testing.T) {
+	g, _ := NewGrid3D([]float64{0, 1}, []float64{0, 1}, []float64{0, 1})
+	g.Fill(func(x, y, z float64) float64 { return x + y + z })
+	if got := g.Eval(2, 0, 0); math.Abs(got-2) > 1e-12 {
+		t.Errorf("extrapolated Eval = %v, want 2", got)
+	}
+	if got := g.Eval(-1, -1, -1); math.Abs(got+3) > 1e-12 {
+		t.Errorf("extrapolated Eval = %v, want -3", got)
+	}
+}
+
+func TestGrid3DErrors(t *testing.T) {
+	if _, err := NewGrid3D([]float64{0}, []float64{0, 1}, []float64{0, 1}); err == nil {
+		t.Error("short axis should error")
+	}
+	if _, err := NewGrid3D([]float64{0, 0}, []float64{0, 1}, []float64{0, 1}); err == nil {
+		t.Error("non-increasing axis should error")
+	}
+}
+
+func TestGrid3DInterpolationBoundsProperty(t *testing.T) {
+	// Within the hull, a trilinear interpolant never exceeds the node
+	// extremes.
+	g, _ := NewGrid3D(Linspace(0, 1, 4), Linspace(0, 1, 4), Linspace(0, 1, 4))
+	g.Fill(func(x, y, z float64) float64 { return math.Sin(7*x) * math.Cos(5*y) * math.Sin(3*z+1) })
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range g.V {
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	f := func(a, b, c float64) bool {
+		x, y, z := frac(a), frac(b), frac(c)
+		v := g.Eval(x, y, z)
+		return v >= lo-1e-12 && v <= hi+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func frac(x float64) float64 {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return 0.5
+	}
+	return math.Abs(x) - math.Floor(math.Abs(x))
+}
+
+func TestGrid3DMaxAbsDiff(t *testing.T) {
+	g, _ := NewGrid3D([]float64{0, 1}, []float64{0, 1}, []float64{0, 1})
+	h, _ := NewGrid3D([]float64{0, 1}, []float64{0, 1}, []float64{0, 1})
+	g.Fill(func(x, y, z float64) float64 { return 1 })
+	h.Fill(func(x, y, z float64) float64 { return 1 })
+	h.Set(1, 1, 1, 4)
+	if got := g.MaxAbsDiff(h); got != 3 {
+		t.Errorf("MaxAbsDiff = %v, want 3", got)
+	}
+}

@@ -1,0 +1,192 @@
+// Package plant composes the two-loop water cooling facility of Fig. 1: the
+// technology cooling system (TCS) loops through the servers, coolant
+// distribution units (CDUs) move heat across liquid-to-liquid heat exchangers
+// into the facility water system (FWS), and the FWS rejects it through the
+// cooling tower — with the chiller trimming only when the ambient cannot
+// reach the supply target. The facility's energy ledger feeds the PUE/ERE
+// metrics of Sec. II-C.
+package plant
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/h2p-sim/h2p/internal/chiller"
+	"github.com/h2p-sim/h2p/internal/hydro"
+	"github.com/h2p-sim/h2p/internal/tco"
+	"github.com/h2p-sim/h2p/internal/units"
+)
+
+// CDU is one coolant distribution unit: a TCS/FWS heat exchanger plus the
+// centralized TCS pump for its circulation.
+type CDU struct {
+	Name string
+	HX   hydro.HeatExchanger
+	Pump hydro.Pump
+}
+
+// Facility is the whole cooling plant.
+type Facility struct {
+	CDUs    []*CDU
+	Tower   chiller.CoolingTower
+	Chiller chiller.Chiller
+	// FWSPump circulates the facility loop.
+	FWSPump hydro.Pump
+	// FWSFlowPerCDU is the facility-side flow through each CDU exchanger.
+	FWSFlowPerCDU units.LitersPerHour
+	// LightingFraction approximates lighting as a fraction of IT power
+	// (~1 %, Sec. VI-C2).
+	LightingFraction float64
+	// PowerOverheadFraction approximates UPS/distribution losses as a
+	// fraction of IT power.
+	PowerOverheadFraction float64
+}
+
+// NewFacility builds a facility with n identical CDUs.
+func NewFacility(n int) (*Facility, error) {
+	if n <= 0 {
+		return nil, errors.New("plant: need at least one CDU")
+	}
+	f := &Facility{
+		Tower:                 chiller.DefaultTower(),
+		Chiller:               chiller.Default(),
+		FWSPump:               hydro.Pump{Name: "fws", MaxFlow: units.LitersPerHour(20000 * n), RatedPower: units.Watts(200 * n), IdlePower: 20},
+		FWSFlowPerCDU:         5000,
+		LightingFraction:      0.01,
+		PowerOverheadFraction: 0.08,
+	}
+	for i := 0; i < n; i++ {
+		f.CDUs = append(f.CDUs, &CDU{
+			Name: fmt.Sprintf("cdu-%d", i),
+			HX:   hydro.HeatExchanger{UA: 3000},
+			Pump: hydro.Pump{Name: fmt.Sprintf("tcs-pump-%d", i), MaxFlow: 15000, RatedPower: 120, IdlePower: 5},
+		})
+	}
+	return f, nil
+}
+
+// StepInput is one accounting interval of facility operation.
+type StepInput struct {
+	// ITPower is the total server electrical load (all of it becomes
+	// heat in the TCS).
+	ITPower units.Watts
+	// TCSReturn is the coolant temperature coming back from the servers.
+	TCSReturn units.Celsius
+	// TCSSupplyTarget is the inlet temperature the cooling controller
+	// asked for.
+	TCSSupplyTarget units.Celsius
+	// TCSFlowPerCDU is the technology-loop flow through each CDU.
+	TCSFlowPerCDU units.LitersPerHour
+	// WetBulb is the ambient wet-bulb temperature.
+	WetBulb units.Celsius
+	// ReusePower is electricity recycled by H2P's TEGs this interval.
+	ReusePower units.Watts
+	// Hours is the interval length.
+	Hours float64
+}
+
+// Ledger is the facility's energy account for one interval.
+type Ledger struct {
+	IT, CoolingPlant, PumpsTCS, PumpFWS units.KilowattHours
+	PowerOverhead, Lighting             units.KilowattHours
+	Reuse                               units.KilowattHours
+	FWSSupply                           units.Celsius // achieved facility supply temperature
+	PUE, ERE                            float64
+}
+
+// Step runs one interval and returns the energy ledger.
+func (f *Facility) Step(in StepInput) (Ledger, error) {
+	if len(f.CDUs) == 0 {
+		return Ledger{}, errors.New("plant: no CDUs")
+	}
+	if in.ITPower < 0 || in.Hours <= 0 || in.TCSFlowPerCDU <= 0 {
+		return Ledger{}, errors.New("plant: bad step input")
+	}
+	// FWS must supply each CDU cold enough for the exchanger to bring the
+	// TCS down to its target. The exchanger outlets are linear in the
+	// inlet temperatures, so solve for the supply with a two-point secant
+	// step, which is exact here.
+	hx := f.CDUs[0].HX
+	solveSupply := func() (units.Celsius, error) {
+		g := func(cold units.Celsius) (units.Celsius, error) {
+			r, err := hx.Exchange(in.TCSReturn, in.TCSFlowPerCDU, cold, f.FWSFlowPerCDU)
+			if err != nil {
+				return 0, err
+			}
+			return r.HotOut - in.TCSSupplyTarget, nil
+		}
+		c0 := in.TCSSupplyTarget - 3
+		f0, err := g(c0)
+		if err != nil {
+			return 0, err
+		}
+		c1 := c0 - 1
+		f1, err := g(c1)
+		if err != nil {
+			return 0, err
+		}
+		if f0 == f1 {
+			return c0, nil
+		}
+		return units.Celsius(float64(c0) - float64(f0)*(float64(c0)-float64(c1))/float64(f0-f1)), nil
+	}
+	fwsSupply, err := solveSupply()
+	if err != nil {
+		return Ledger{}, err
+	}
+
+	// TCS pumps.
+	var tcsPump units.Watts
+	for _, c := range f.CDUs {
+		flow := in.TCSFlowPerCDU
+		if flow > c.Pump.MaxFlow {
+			flow = c.Pump.MaxFlow
+		}
+		if err := c.Pump.SetFlow(flow); err != nil {
+			return Ledger{}, err
+		}
+		tcsPump += c.Pump.Power()
+	}
+	// FWS pump at aggregate flow.
+	fwsFlow := units.LitersPerHour(float64(f.FWSFlowPerCDU) * float64(len(f.CDUs)))
+	if fwsFlow > f.FWSPump.MaxFlow {
+		fwsFlow = f.FWSPump.MaxFlow
+	}
+	if err := f.FWSPump.SetFlow(fwsFlow); err != nil {
+		return Ledger{}, err
+	}
+
+	// The FWS return is warmer than supply by the transferred heat; the
+	// plant must cool it back down to fwsSupply.
+	fwsReturn := fwsSupply + units.AdvectionDeltaT(in.ITPower, fwsFlow)
+	towerW, chillW := (chiller.Plant{Tower: f.Tower, Chiller: f.Chiller}).
+		Dispatch(in.ITPower, fwsReturn, fwsSupply, in.WetBulb)
+
+	toKWh := func(w units.Watts) units.KilowattHours {
+		return units.EnergyOver(w, in.Hours*3600).KilowattHours()
+	}
+	led := Ledger{
+		IT:            toKWh(in.ITPower),
+		CoolingPlant:  toKWh(towerW + chillW),
+		PumpsTCS:      toKWh(tcsPump),
+		PumpFWS:       toKWh(f.FWSPump.Power()),
+		PowerOverhead: units.KilowattHours(float64(toKWh(in.ITPower)) * f.PowerOverheadFraction),
+		Lighting:      units.KilowattHours(float64(toKWh(in.ITPower)) * f.LightingFraction),
+		Reuse:         toKWh(in.ReusePower),
+		FWSSupply:     fwsSupply,
+	}
+	in2 := tco.EREInput{
+		IT:       led.IT,
+		Cooling:  led.CoolingPlant + led.PumpsTCS + led.PumpFWS,
+		Power:    led.PowerOverhead,
+		Lighting: led.Lighting,
+		Reuse:    led.Reuse,
+	}
+	if led.PUE, err = tco.PUE(in2); err != nil {
+		return Ledger{}, err
+	}
+	if led.ERE, err = tco.ERE(in2); err != nil {
+		return Ledger{}, err
+	}
+	return led, nil
+}

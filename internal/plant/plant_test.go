@@ -1,0 +1,193 @@
+package plant
+
+import (
+	"math"
+	"testing"
+)
+
+func defaultInput() StepInput {
+	return StepInput{
+		ITPower:         30000, // 1000 servers at ~30 W
+		TCSReturn:       54.6,
+		TCSSupplyTarget: 54.0,
+		TCSFlowPerCDU:   12000,
+		WetBulb:         18,
+		ReusePower:      4177, // 1000 TEG modules
+		Hours:           1,
+	}
+}
+
+func TestNewFacilityValidation(t *testing.T) {
+	if _, err := NewFacility(0); err == nil {
+		t.Error("zero CDUs should error")
+	}
+	f, err := NewFacility(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.CDUs) != 4 {
+		t.Errorf("CDUs = %d", len(f.CDUs))
+	}
+}
+
+func TestStepSolvesSupplyTemperature(t *testing.T) {
+	f, err := NewFacility(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := defaultInput()
+	led, err := f.Step(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The facility supply must sit below the TCS target (heat flows
+	// downhill through the exchanger) but within a sane approach.
+	if led.FWSSupply >= in.TCSSupplyTarget {
+		t.Errorf("FWS supply %v must be below the TCS target %v", led.FWSSupply, in.TCSSupplyTarget)
+	}
+	if in.TCSSupplyTarget-led.FWSSupply > 15 {
+		t.Errorf("approach %v unreasonably large", in.TCSSupplyTarget-led.FWSSupply)
+	}
+	// Verify the achieved TCS outlet actually lands on target.
+	r, err := f.CDUs[0].HX.Exchange(in.TCSReturn, in.TCSFlowPerCDU, led.FWSSupply, f.FWSFlowPerCDU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(float64(r.HotOut-in.TCSSupplyTarget)) > 1e-6 {
+		t.Errorf("TCS outlet %v misses target %v", r.HotOut, in.TCSSupplyTarget)
+	}
+}
+
+func TestWarmWaterKeepsEREBelowPUEAndChillersOff(t *testing.T) {
+	f, err := NewFacility(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	led, err := f.Step(defaultInput())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if led.ERE >= led.PUE {
+		t.Errorf("reuse must pull ERE (%v) below PUE (%v)", led.ERE, led.PUE)
+	}
+	if led.PUE < 1.05 || led.PUE > 1.4 {
+		t.Errorf("PUE = %v, implausible for a warm water-cooled facility", led.PUE)
+	}
+	// The energy ledger must be internally consistent.
+	if led.IT != 30 { // 30 kW for 1 h
+		t.Errorf("IT energy = %v, want 30 kWh", led.IT)
+	}
+	if led.Reuse <= 0 {
+		t.Error("reuse energy missing")
+	}
+}
+
+func TestColdWaterCostsMore(t *testing.T) {
+	f1, _ := NewFacility(2)
+	f2, _ := NewFacility(2)
+	warm := defaultInput()
+	cold := defaultInput()
+	cold.TCSReturn = 16
+	cold.TCSSupplyTarget = 10 // legacy chilled-water setpoint
+	wl, err := f1.Step(warm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := f2.Step(cold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cl.CoolingPlant <= wl.CoolingPlant {
+		t.Errorf("cold water plant energy %v should exceed warm %v", cl.CoolingPlant, wl.CoolingPlant)
+	}
+	if cl.PUE <= wl.PUE {
+		t.Errorf("cold water PUE %v should exceed warm %v", cl.PUE, wl.PUE)
+	}
+}
+
+func TestStepInputValidation(t *testing.T) {
+	f, _ := NewFacility(1)
+	bad := []StepInput{
+		{ITPower: -1, TCSFlowPerCDU: 100, Hours: 1},
+		{ITPower: 1, TCSFlowPerCDU: 0, Hours: 1},
+		{ITPower: 1, TCSFlowPerCDU: 100, Hours: 0},
+	}
+	for i, in := range bad {
+		if _, err := f.Step(in); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+	empty := &Facility{}
+	if _, err := empty.Step(defaultInput()); err == nil {
+		t.Error("facility without CDUs should error")
+	}
+}
+
+func TestMoreReuseLowersERE(t *testing.T) {
+	f, _ := NewFacility(2)
+	lo := defaultInput()
+	lo.ReusePower = 1000
+	hi := defaultInput()
+	hi.ReusePower = 6000
+	l1, err := f.Step(lo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2, err := f.Step(hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l2.ERE >= l1.ERE {
+		t.Errorf("more reuse should lower ERE: %v vs %v", l2.ERE, l1.ERE)
+	}
+	if math.Abs(l1.PUE-l2.PUE) > 1e-12 {
+		t.Error("PUE must ignore reuse")
+	}
+}
+
+func TestLedgerScalesWithHours(t *testing.T) {
+	f, _ := NewFacility(2)
+	in := defaultInput()
+	one, err := f.Step(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.Hours = 2
+	two, err := f.Step(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(float64(two.IT-2*one.IT)) > 1e-9 {
+		t.Errorf("IT energy did not scale: %v vs %v", two.IT, one.IT)
+	}
+	if math.Abs(two.PUE-one.PUE) > 1e-12 {
+		t.Error("PUE must be duration-invariant")
+	}
+}
+
+func TestStepClampsOversizedFlows(t *testing.T) {
+	f, err := NewFacility(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := defaultInput()
+	in.TCSFlowPerCDU = 1e9 // beyond the TCS pump rating
+	f.FWSFlowPerCDU = 1e9  // beyond the FWS pump rating
+	led, err := f.Step(in)
+	if err != nil {
+		t.Fatalf("oversized flows should clamp, got %v", err)
+	}
+	if led.PumpsTCS <= 0 || led.PumpFWS <= 0 {
+		t.Error("clamped pumps should still draw power")
+	}
+}
+
+func TestStepZeroITLoad(t *testing.T) {
+	f, _ := NewFacility(1)
+	in := defaultInput()
+	in.ITPower = 0
+	in.ReusePower = 0
+	if _, err := f.Step(in); err == nil {
+		t.Error("zero IT power should error through the ERE guard")
+	}
+}

@@ -1,0 +1,173 @@
+// Package power models the datacenter power-distribution paths of Sec. VI-D.
+//
+// Centralized AC UPS systems pay a double conversion (AC-DC-AC) on every
+// watt; IT giants have moved to decentralized 12/48 V DC buses to avoid it.
+// A TEG produces DC natively, so its output slots into a DC bus through a
+// single DC-DC stage but must be inverted (and then re-rectified in the
+// server PSU) in an AC plant — "our H2P system is appropriate for these
+// DC-supplied datacenters". This package quantifies that fit.
+package power
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/h2p-sim/h2p/internal/units"
+)
+
+// Stage is one conversion step with its efficiency.
+type Stage struct {
+	Name       string
+	Efficiency float64 // in (0, 1]
+}
+
+// Path is a chain of conversion stages from a source to the server load.
+type Path struct {
+	Name   string
+	Stages []Stage
+}
+
+// Validate reports stage errors.
+func (p Path) Validate() error {
+	if len(p.Stages) == 0 {
+		return fmt.Errorf("power: path %q has no stages", p.Name)
+	}
+	for _, s := range p.Stages {
+		if s.Efficiency <= 0 || s.Efficiency > 1 {
+			return fmt.Errorf("power: stage %q efficiency %v outside (0,1]", s.Name, s.Efficiency)
+		}
+	}
+	return nil
+}
+
+// Efficiency returns the end-to-end delivered fraction.
+func (p Path) Efficiency() float64 {
+	eff := 1.0
+	for _, s := range p.Stages {
+		eff *= s.Efficiency
+	}
+	return eff
+}
+
+// Architecture bundles the grid path and the TEG path of one distribution
+// design.
+type Architecture struct {
+	Name string
+	Grid Path // utility feed -> server
+	TEG  Path // TEG module -> server
+}
+
+// CentralizedAC returns the legacy double-conversion UPS architecture.
+func CentralizedAC() Architecture {
+	return Architecture{
+		Name: "centralized AC UPS",
+		Grid: Path{Name: "grid-AC", Stages: []Stage{
+			{Name: "UPS double conversion (AC-DC-AC)", Efficiency: 0.90},
+			{Name: "PDU", Efficiency: 0.99},
+			{Name: "server PSU (AC-DC)", Efficiency: 0.94},
+		}},
+		TEG: Path{Name: "teg-AC", Stages: []Stage{
+			{Name: "MPPT DC-DC", Efficiency: 0.95},
+			{Name: "grid-tie inverter (DC-AC)", Efficiency: 0.95},
+			{Name: "PDU", Efficiency: 0.99},
+			{Name: "server PSU (AC-DC)", Efficiency: 0.94},
+		}},
+	}
+}
+
+// DistributedDC returns the 48 V DC-bus architecture used by Google- and
+// Facebook-style racks.
+func DistributedDC() Architecture {
+	return Architecture{
+		Name: "distributed 48V DC",
+		Grid: Path{Name: "grid-DC", Stages: []Stage{
+			{Name: "rectifier (AC-DC)", Efficiency: 0.96},
+			{Name: "bus + VRM", Efficiency: 0.98},
+		}},
+		TEG: Path{Name: "teg-DC", Stages: []Stage{
+			{Name: "MPPT DC-DC", Efficiency: 0.95},
+			{Name: "bus + VRM", Efficiency: 0.98},
+		}},
+	}
+}
+
+// Validate checks both paths.
+func (a Architecture) Validate() error {
+	if err := a.Grid.Validate(); err != nil {
+		return err
+	}
+	return a.TEG.Validate()
+}
+
+// Delivery is the outcome of distributing a load mix through an
+// architecture.
+type Delivery struct {
+	Architecture string
+	// GridEfficiency and TEGEfficiency are the end-to-end fractions.
+	GridEfficiency, TEGEfficiency float64
+	// TEGDelivered is the TEG power that reaches server loads.
+	TEGDelivered units.Watts
+	// GridDraw is the utility power needed to deliver itLoad after the
+	// TEG contribution.
+	GridDraw units.Watts
+}
+
+// Distribute computes how much grid power an architecture draws to serve
+// itLoad when tegPower is harvested on site.
+func (a Architecture) Distribute(itLoad, tegPower units.Watts) (Delivery, error) {
+	if err := a.Validate(); err != nil {
+		return Delivery{}, err
+	}
+	if itLoad < 0 || tegPower < 0 {
+		return Delivery{}, errors.New("power: negative loads")
+	}
+	d := Delivery{
+		Architecture:   a.Name,
+		GridEfficiency: a.Grid.Efficiency(),
+		TEGEfficiency:  a.TEG.Efficiency(),
+	}
+	d.TEGDelivered = units.Watts(float64(tegPower) * d.TEGEfficiency)
+	if d.TEGDelivered > itLoad {
+		d.TEGDelivered = itLoad
+	}
+	remaining := float64(itLoad - d.TEGDelivered)
+	d.GridDraw = units.Watts(remaining / d.GridEfficiency)
+	return d, nil
+}
+
+// SavingsComparison quantifies how much more of the TEG harvest each
+// architecture turns into avoided grid energy over a period.
+type SavingsComparison struct {
+	AC, DC Delivery
+	// ExtraTEGDeliveredDC is the additional delivered TEG power on DC.
+	ExtraTEGDeliveredDC units.Watts
+	// AnnualExtraSavings prices the difference at the tariff.
+	AnnualExtraSavings units.USD
+}
+
+// Compare runs both architectures on the same load mix and prices the DC
+// advantage at the given tariff, for a fleet of `servers`.
+func Compare(itLoadPerServer, tegPerServer units.Watts, servers int, tariff units.USD) (SavingsComparison, error) {
+	if servers <= 0 {
+		return SavingsComparison{}, errors.New("power: servers must be positive")
+	}
+	if tariff <= 0 {
+		return SavingsComparison{}, errors.New("power: tariff must be positive")
+	}
+	ac, err := CentralizedAC().Distribute(itLoadPerServer, tegPerServer)
+	if err != nil {
+		return SavingsComparison{}, err
+	}
+	dc, err := DistributedDC().Distribute(itLoadPerServer, tegPerServer)
+	if err != nil {
+		return SavingsComparison{}, err
+	}
+	sc := SavingsComparison{AC: ac, DC: dc}
+	sc.ExtraTEGDeliveredDC = dc.TEGDelivered - ac.TEGDelivered
+	// Each extra delivered TEG watt displaces grid draw at the DC grid
+	// efficiency.
+	extraGridWatts := float64(sc.ExtraTEGDeliveredDC) / dc.GridEfficiency * float64(servers)
+	kwhYear := extraGridWatts * 8760 / 1000
+	sc.AnnualExtraSavings = units.USD(kwhYear * float64(tariff))
+	return sc, nil
+}

@@ -1,0 +1,123 @@
+package power
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPathValidation(t *testing.T) {
+	if err := (Path{Name: "x"}).Validate(); err == nil {
+		t.Error("empty path should error")
+	}
+	bad := Path{Name: "x", Stages: []Stage{{Name: "s", Efficiency: 0}}}
+	if err := bad.Validate(); err == nil {
+		t.Error("zero efficiency should error")
+	}
+	over := Path{Name: "x", Stages: []Stage{{Name: "s", Efficiency: 1.1}}}
+	if err := over.Validate(); err == nil {
+		t.Error("over-unity efficiency should error")
+	}
+}
+
+func TestPathEfficiencyMultiplies(t *testing.T) {
+	p := Path{Name: "x", Stages: []Stage{{"a", 0.9}, {"b", 0.5}}}
+	if got := p.Efficiency(); math.Abs(got-0.45) > 1e-12 {
+		t.Errorf("efficiency = %v, want 0.45", got)
+	}
+}
+
+func TestArchitecturesValidate(t *testing.T) {
+	for _, a := range []Architecture{CentralizedAC(), DistributedDC()} {
+		if err := a.Validate(); err != nil {
+			t.Errorf("%s: %v", a.Name, err)
+		}
+	}
+}
+
+func TestDCBeatsACForBothPaths(t *testing.T) {
+	ac, dc := CentralizedAC(), DistributedDC()
+	if dc.Grid.Efficiency() <= ac.Grid.Efficiency() {
+		t.Error("DC grid path should beat the double-conversion UPS")
+	}
+	if dc.TEG.Efficiency() <= ac.TEG.Efficiency() {
+		t.Error("DC TEG path should beat inverter + PSU")
+	}
+	// On the DC bus the TEG crosses a single DC-DC stage and delivers
+	// >90 %; on the AC plant it loses ~16 % through inverter + PSU.
+	if eff := dc.TEG.Efficiency(); eff < 0.90 {
+		t.Errorf("DC TEG delivery = %v, want > 0.90", eff)
+	}
+	if eff := ac.TEG.Efficiency(); eff > 0.87 {
+		t.Errorf("AC TEG delivery = %v, want < 0.87", eff)
+	}
+}
+
+func TestDistributeAccounting(t *testing.T) {
+	d, err := DistributedDC().Distribute(30, 4.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.TEGDelivered <= 0 || d.TEGDelivered >= 4.2 {
+		t.Errorf("delivered = %v, want a lossy fraction of 4.2", d.TEGDelivered)
+	}
+	// Grid covers the remainder, inflated by the grid path losses.
+	wantGrid := (30 - float64(d.TEGDelivered)) / d.GridEfficiency
+	if math.Abs(float64(d.GridDraw)-wantGrid) > 1e-9 {
+		t.Errorf("grid draw = %v, want %v", d.GridDraw, wantGrid)
+	}
+}
+
+func TestDistributeTEGSurplusClamps(t *testing.T) {
+	d, err := DistributedDC().Distribute(2, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.TEGDelivered != 2 {
+		t.Errorf("delivered = %v, want clamp at the 2 W load", d.TEGDelivered)
+	}
+	if d.GridDraw != 0 {
+		t.Errorf("grid draw = %v, want 0", d.GridDraw)
+	}
+}
+
+func TestDistributeErrors(t *testing.T) {
+	if _, err := DistributedDC().Distribute(-1, 1); err == nil {
+		t.Error("negative load should error")
+	}
+	if _, err := DistributedDC().Distribute(1, -1); err == nil {
+		t.Error("negative TEG power should error")
+	}
+	bad := Architecture{Name: "x"}
+	if _, err := bad.Distribute(1, 1); err == nil {
+		t.Error("invalid architecture should error")
+	}
+}
+
+func TestCompareFavorsDC(t *testing.T) {
+	sc, err := Compare(30, 4.177, 100000, 0.13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.ExtraTEGDeliveredDC <= 0 {
+		t.Errorf("DC should deliver more TEG power: %v", sc.ExtraTEGDeliveredDC)
+	}
+	if sc.AnnualExtraSavings <= 0 {
+		t.Errorf("DC advantage should be worth money: %v", sc.AnnualExtraSavings)
+	}
+	// Order of magnitude: ~0.5 W/server * 100k servers ~ $50k/yr range.
+	if sc.AnnualExtraSavings < 10000 || sc.AnnualExtraSavings > 200000 {
+		t.Errorf("annual extra savings = %v, implausible", sc.AnnualExtraSavings)
+	}
+	if sc.DC.GridDraw >= sc.AC.GridDraw {
+		t.Error("DC architecture should draw less grid power")
+	}
+}
+
+func TestCompareErrors(t *testing.T) {
+	if _, err := Compare(30, 4, 0, 0.13); err == nil {
+		t.Error("zero servers should error")
+	}
+	if _, err := Compare(30, 4, 10, 0); err == nil {
+		t.Error("zero tariff should error")
+	}
+}

@@ -1,0 +1,259 @@
+package proto
+
+import (
+	"math"
+	"testing"
+
+	"github.com/h2p-sim/h2p/internal/stats"
+	"github.com/h2p-sim/h2p/internal/units"
+)
+
+func TestFig3TEGChokesHeatPath(t *testing.T) {
+	p := NewDellT7910()
+	res, err := p.RunFig3(DefaultFig3Phases(), 28, 20, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Samples) < 50 {
+		t.Fatalf("too few samples: %d", len(res.Samples))
+	}
+	// The paper's observation: the TEG-sandwiched CPU0 climbs toward the
+	// 78.9 °C limit at just 20 % load, while CPU1 stays near the coolant.
+	if res.PeakCPU0 < 65 {
+		t.Errorf("peak CPU0 = %v, expected near the operating limit", res.PeakCPU0)
+	}
+	if res.PeakCPU0 > res.MaxOperating+2 {
+		t.Errorf("peak CPU0 = %v grossly exceeds the limit; recalibrate", res.PeakCPU0)
+	}
+	if res.PeakCPU1 > 36 {
+		t.Errorf("peak CPU1 = %v, expected near the 28 °C coolant", res.PeakCPU1)
+	}
+	// The TEG voltage tracks CPU0's temperature excursion.
+	var peakV units.Volts
+	for _, s := range res.Samples {
+		if s.TEGVoltage > peakV {
+			peakV = s.TEGVoltage
+		}
+	}
+	if peakV < 0.5 {
+		t.Errorf("peak TEG voltage = %v, expected a substantial Seebeck signal", peakV)
+	}
+	// Final phase returns to idle: CPU0 must cool back down.
+	last := res.Samples[len(res.Samples)-1]
+	if last.CPU0Temp >= res.PeakCPU0 {
+		t.Error("CPU0 did not recover after load removal")
+	}
+}
+
+func TestFig3Errors(t *testing.T) {
+	p := NewDellT7910()
+	if _, err := p.RunFig3(nil, 28, 20, 1); err == nil {
+		t.Error("no phases should error")
+	}
+	if _, err := p.RunFig3(DefaultFig3Phases(), 28, 20, 0); err == nil {
+		t.Error("zero sample period should error")
+	}
+	if _, err := p.RunFig3(DefaultFig3Phases(), 28, 0, 1); err == nil {
+		t.Error("zero flow should error")
+	}
+	if _, err := p.RunFig3([]LoadPhase{{Utilization: 2, Minutes: 1}}, 28, 20, 1); err == nil {
+		t.Error("bad phase should error")
+	}
+}
+
+func TestFig7VoltageLinearAndFlowOrdered(t *testing.T) {
+	p := NewDellT7910()
+	flows := []units.LitersPerHour{10, 20, 30, 40}
+	var dTs []units.Celsius
+	for dt := units.Celsius(0); dt <= 25; dt += 2.5 {
+		dTs = append(dTs, dt)
+	}
+	series, err := p.RunFig7(flows, dTs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 4 {
+		t.Fatalf("series = %d", len(series))
+	}
+	// Voltage increases linearly with deltaT (R^2 ~ 1 for each flow).
+	for _, s := range series {
+		var xs, ys []float64
+		for _, smp := range s.Samples[1:] { // skip the clamped origin
+			xs = append(xs, float64(smp.DeltaT))
+			ys = append(ys, float64(smp.Voltage))
+		}
+		fit, err := stats.FitLinear(xs, ys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fit.R2 < 0.999 {
+			t.Errorf("flow %v: voltage not linear (R2=%v)", s.Flow, fit.R2)
+		}
+	}
+	// Larger flow gives (slightly) higher voltage at the same deltaT.
+	for i := 1; i < len(series); i++ {
+		last := len(dTs) - 1
+		if series[i].Samples[last].Voltage <= series[i-1].Samples[last].Voltage {
+			t.Errorf("voltage not increasing with flow at %v", series[i].Flow)
+		}
+	}
+	// But the improvement is small ("too little to be worth making").
+	lo := float64(series[0].Samples[len(dTs)-1].Voltage)
+	hi := float64(series[3].Samples[len(dTs)-1].Voltage)
+	if (hi-lo)/hi > 0.10 {
+		t.Errorf("flow effect too large: %v vs %v", lo, hi)
+	}
+}
+
+func TestFig8SeriesScaling(t *testing.T) {
+	p := NewDellT7910()
+	ns := []int{1, 2, 4, 6, 12}
+	dTs := []units.Celsius{5, 10, 15, 20, 25}
+	series, err := p.RunFig8(ns, dTs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Voc_n ~ n*v and Pmax_n = n*Pmax_1 (Eqs. 4 and 7).
+	base := series[0]
+	for _, s := range series[1:] {
+		for i := range dTs {
+			wantV := float64(base.Voltage[i].Voltage) * float64(s.N)
+			if math.Abs(float64(s.Voltage[i].Voltage)-wantV) > 1e-9 {
+				t.Errorf("n=%d dT=%v: Voc %v, want %v", s.N, dTs[i], s.Voltage[i].Voltage, wantV)
+			}
+			wantP := float64(base.Power[i].Power) * float64(s.N)
+			if math.Abs(float64(s.Power[i].Power)-wantP) > 1e-9 {
+				t.Errorf("n=%d dT=%v: P %v, want %v", s.N, dTs[i], s.Power[i].Power, wantP)
+			}
+		}
+	}
+	// Sec. IV-B1: 12 TEGs exceed 1.8 W above 25 °C.
+	last := series[len(series)-1]
+	if p12 := last.Power[len(dTs)-1].Power; p12 < 1.7 {
+		t.Errorf("P(12 TEGs, 25°C) = %v, want ~1.8 W", p12)
+	}
+}
+
+func TestFig9Sweeps(t *testing.T) {
+	p := NewDellT7910()
+	utils := []float64{0, 0.25, 0.5, 0.75, 1}
+	flows := []units.LitersPerHour{10, 20, 30, 40}
+	inlets := []units.Celsius{35, 40, 45, 50}
+	flowPts, err := p.RunFig9FlowSweep(utils, flows, inlets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(flowPts) != len(utils)*len(flows) {
+		t.Fatalf("points = %d", len(flowPts))
+	}
+	for _, pt := range flowPts {
+		if pt.DeltaTOut < 0 {
+			t.Fatalf("negative rise: %+v", pt)
+		}
+	}
+	inletPts, err := p.RunFig9InletSweep(utils, inlets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fig. 9 band: 1-3.5 °C at 20 L/H across the utilization range
+	// (idle sits slightly below 1 °C in the model).
+	for _, pt := range inletPts {
+		if pt.DeltaTOut < 0.3 || pt.DeltaTOut > 3.6 {
+			t.Errorf("rise %v at u=%v outside the published band", pt.DeltaTOut, pt.Utilization)
+		}
+	}
+	// Inlet temperature has no effect (Fig. 9b): same utilization, same
+	// rise for all inlets.
+	for i := 0; i < len(utils); i++ {
+		first := inletPts[i*len(inlets)].DeltaTOut
+		for j := 1; j < len(inlets); j++ {
+			if inletPts[i*len(inlets)+j].DeltaTOut != first {
+				t.Error("outlet rise should not depend on inlet temperature")
+			}
+		}
+	}
+}
+
+func TestFig10TemperatureAndFrequency(t *testing.T) {
+	p := NewDellT7910()
+	utils := []float64{0, 0.2, 0.4, 0.5, 0.6, 0.8, 1}
+	coolants := []units.Celsius{35, 40, 45}
+	pts, err := p.RunFig10(utils, coolants)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Frequency settles at 2.5 GHz above 50 % utilization.
+	for _, pt := range pts {
+		if pt.Utilization >= 0.5 && math.Abs(pt.FrequencyGHz-2.5) > 1e-9 {
+			t.Errorf("frequency %v at u=%v, want 2.5", pt.FrequencyGHz, pt.Utilization)
+		}
+	}
+	// 45 °C coolant never pushes the die over 78.9 °C (Sec. II-B).
+	for _, pt := range pts {
+		if pt.Coolant == 45 && pt.CPUTemp > 78.9 {
+			t.Errorf("45°C coolant exceeded the limit at u=%v: %v", pt.Utilization, pt.CPUTemp)
+		}
+	}
+}
+
+func TestFig11LinesLinearWithSlopeDecreasingInFlow(t *testing.T) {
+	p := NewDellT7910()
+	coolants := []units.Celsius{30, 35, 40, 45, 50}
+	flows := []units.LitersPerHour{20, 50, 100, 150, 250}
+	pts, err := p.RunFig11(coolants, flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prevSlope = math.Inf(1)
+	for fi := range flows {
+		var xs, ys []float64
+		for ci := range coolants {
+			pt := pts[fi*len(coolants)+ci]
+			xs = append(xs, float64(pt.Coolant))
+			ys = append(ys, float64(pt.CPUTemp))
+		}
+		fit, err := stats.FitLinear(xs, ys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fit.R2 < 0.9999 {
+			t.Errorf("flow %v: line not linear (R2=%v)", flows[fi], fit.R2)
+		}
+		// Fig. 11: the slope increases as the flow decreases.
+		if fit.Slope > prevSlope+1e-9 {
+			t.Errorf("slope %v at flow %v not decreasing", fit.Slope, flows[fi])
+		}
+		if fit.Slope < 1 || fit.Slope > 1.3 {
+			t.Errorf("slope %v outside the paper's k range", fit.Slope)
+		}
+		prevSlope = fit.Slope
+	}
+}
+
+func TestCampaignInputValidation(t *testing.T) {
+	p := NewDellT7910()
+	if _, err := p.RunFig7(nil, []units.Celsius{1}); err == nil {
+		t.Error("empty flows should error")
+	}
+	if _, err := p.RunFig7([]units.LitersPerHour{-1}, []units.Celsius{1}); err == nil {
+		t.Error("negative flow should error")
+	}
+	if _, err := p.RunFig8(nil, []units.Celsius{1}); err == nil {
+		t.Error("empty ns should error")
+	}
+	if _, err := p.RunFig8([]int{0}, []units.Celsius{1}); err == nil {
+		t.Error("n=0 should error")
+	}
+	if _, err := p.RunFig9FlowSweep(nil, nil, nil); err == nil {
+		t.Error("empty sweep should error")
+	}
+	if _, err := p.RunFig9InletSweep(nil, nil); err == nil {
+		t.Error("empty sweep should error")
+	}
+	if _, err := p.RunFig10(nil, nil); err == nil {
+		t.Error("empty campaign should error")
+	}
+	if _, err := p.RunFig11(nil, nil); err == nil {
+		t.Error("empty campaign should error")
+	}
+}

@@ -1,0 +1,241 @@
+// Package sched implements the software-level optimizations of Sec. V-B:
+// the per-interval cooling-setting selection (Steps 1-3 over the look-up
+// space) and the two workload-scheduling schemes the paper compares —
+// TEG_Original (cooling adjustment only) and TEG_LoadBalance (cooling
+// adjustment plus workload balancing).
+package sched
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/h2p-sim/h2p/internal/lookup"
+	"github.com/h2p-sim/h2p/internal/stats"
+	"github.com/h2p-sim/h2p/internal/teg"
+	"github.com/h2p-sim/h2p/internal/units"
+)
+
+// Scheme selects the workload-scheduling strategy of Sec. V-C.
+type Scheme string
+
+// The two schemes compared in Figs. 14-15.
+const (
+	// Original adjusts the cooling setting to the hottest server
+	// (the U_max plane) and does no workload scheduling.
+	Original Scheme = "TEG_Original"
+	// LoadBalance first spreads the circulation's load evenly across its
+	// servers, then adjusts the cooling setting to the (now common)
+	// average utilization (the U_avg plane).
+	LoadBalance Scheme = "TEG_LoadBalance"
+)
+
+// Setting is a circulation-wide cooling configuration: the coolant flow rate
+// and inlet water temperature chosen each control interval.
+type Setting struct {
+	Flow  units.LitersPerHour
+	Inlet units.Celsius
+}
+
+// Controller picks cooling settings from the look-up space so that the CPU
+// stays near its safe temperature while TEG output is maximized.
+type Controller struct {
+	// Space is the fitted measurement space.
+	Space *lookup.Space
+	// Module is the per-server TEG module whose output is maximized.
+	Module *teg.Module
+	// ColdSource is the TEG cold-side water temperature (~20 °C).
+	ColdSource units.Celsius
+	// TSafe is the CPU safe operating temperature (Fig. 13: 62 °C).
+	TSafe units.Celsius
+	// Band is the half-width of the safety slab X around TSafe (1 °C).
+	Band units.Celsius
+}
+
+// NewController wires a controller with the paper's defaults for the safety
+// parameters.
+func NewController(space *lookup.Space, module *teg.Module, cold units.Celsius) (*Controller, error) {
+	if space == nil {
+		return nil, errors.New("sched: nil look-up space")
+	}
+	if module == nil {
+		return nil, errors.New("sched: nil TEG module")
+	}
+	return &Controller{
+		Space:      space,
+		Module:     module,
+		ColdSource: cold,
+		TSafe:      space.Spec().SafeTemp,
+		Band:       1,
+	}, nil
+}
+
+// PowerAt returns the TEG module output of a server running at utilization u
+// under the given cooling setting: the outlet temperature from the look-up
+// space drives the module against the cold source (Eqs. 2 and 7).
+func (c *Controller) PowerAt(s Setting, u float64) units.Watts {
+	outlet := c.Space.OutletTemp(u, s.Flow, s.Inlet)
+	dT := outlet - c.ColdSource
+	if dT <= 0 {
+		return 0
+	}
+	return c.Module.MaxPower(dT, s.Flow)
+}
+
+// Choose implements Steps 1-3 of Sec. V-B1 for the control-plane utilization
+// planeU (U_max under Original, U_avg under LoadBalance):
+//
+//  1. draw the utilization plane,
+//  2. intersect it with the safety slab X (CPU temperature within
+//     TSafe±Band),
+//  3. among the candidate {flow, inlet} settings, pick the one maximizing
+//     TEG output power.
+//
+// If the slab intersection is empty — at low utilization even the warmest
+// admissible inlet cannot push the die up to TSafe — the controller falls
+// back to the safety-constrained optimum: maximum TEG power over all
+// settings whose CPU temperature does not exceed TSafe+Band.
+func (c *Controller) Choose(planeU float64) (Setting, units.Watts, error) {
+	if planeU < 0 || planeU > 1 {
+		return Setting{}, 0, fmt.Errorf("sched: utilization %v outside [0,1]", planeU)
+	}
+	cands, err := c.Space.PlaneIntersection(planeU, c.TSafe, c.Band)
+	if err != nil {
+		return Setting{}, 0, err
+	}
+	if len(cands) == 0 {
+		cands = c.safeFallback(planeU)
+	}
+	if len(cands) == 0 {
+		return Setting{}, 0, fmt.Errorf("sched: no safe cooling setting for u=%v", planeU)
+	}
+	best := Setting{}
+	bestP := units.Watts(-1)
+	for _, p := range cands {
+		s := Setting{Flow: p.Flow, Inlet: p.Inlet}
+		if pw := c.PowerAt(s, planeU); pw > bestP {
+			best, bestP = s, pw
+		}
+	}
+	return best, bestP, nil
+}
+
+// safeFallback enumerates all grid settings keeping the die at or below
+// TSafe+Band on the given plane.
+func (c *Controller) safeFallback(planeU float64) []lookup.Point {
+	ax := c.Space.Axes()
+	var out []lookup.Point
+	for _, f := range ax.Flow {
+		for _, tin := range ax.Inlet {
+			p := c.Space.At(planeU, units.LitersPerHour(f), units.Celsius(tin))
+			if p.CPUTemp <= c.TSafe+c.Band {
+				out = append(out, p)
+			}
+		}
+	}
+	return out
+}
+
+// PlaneUtilization reduces a circulation's per-server utilizations to the
+// control-plane value for the scheme: the maximum under Original, the mean
+// under LoadBalance.
+func PlaneUtilization(us []float64, scheme Scheme) (float64, error) {
+	if len(us) == 0 {
+		return 0, errors.New("sched: empty utilization set")
+	}
+	switch scheme {
+	case Original:
+		return stats.Max(us), nil
+	case LoadBalance:
+		return stats.Mean(us), nil
+	default:
+		return 0, fmt.Errorf("sched: unknown scheme %q", scheme)
+	}
+}
+
+// EffectiveUtilizations returns the per-server utilizations after the scheme
+// has (or has not) rescheduled work. Original leaves the workload untouched;
+// LoadBalance spreads the circulation's total work evenly. The slice is
+// freshly allocated.
+func EffectiveUtilizations(us []float64, scheme Scheme) ([]float64, error) {
+	if len(us) == 0 {
+		return nil, errors.New("sched: empty utilization set")
+	}
+	out := make([]float64, len(us))
+	switch scheme {
+	case Original:
+		copy(out, us)
+	case LoadBalance:
+		avg := stats.Mean(us)
+		for i := range out {
+			out[i] = avg
+		}
+	default:
+		return nil, fmt.Errorf("sched: unknown scheme %q", scheme)
+	}
+	return out, nil
+}
+
+// Decision is the outcome of one control interval for one circulation.
+type Decision struct {
+	Scheme  Scheme
+	PlaneU  float64
+	Setting Setting
+	// PerServerPower is the TEG output of each server's module under the
+	// chosen setting and the scheme's effective utilizations.
+	PerServerPower []units.Watts
+	// PerServerCPUPower is each server's electrical draw (Eq. 20).
+	PerServerCPUPower []units.Watts
+	// MaxCPUTemp is the hottest die in the circulation under the setting.
+	MaxCPUTemp units.Celsius
+}
+
+// Decide runs one full control interval for a circulation with the given raw
+// per-server utilizations.
+func (c *Controller) Decide(us []float64, scheme Scheme) (Decision, error) {
+	planeU, err := PlaneUtilization(us, scheme)
+	if err != nil {
+		return Decision{}, err
+	}
+	setting, _, err := c.Choose(planeU)
+	if err != nil {
+		return Decision{}, err
+	}
+	eff, err := EffectiveUtilizations(us, scheme)
+	if err != nil {
+		return Decision{}, err
+	}
+	d := Decision{
+		Scheme:            scheme,
+		PlaneU:            planeU,
+		Setting:           setting,
+		PerServerPower:    make([]units.Watts, len(eff)),
+		PerServerCPUPower: make([]units.Watts, len(eff)),
+	}
+	spec := c.Space.Spec()
+	for i, u := range eff {
+		d.PerServerPower[i] = c.PowerAt(setting, u)
+		d.PerServerCPUPower[i] = spec.Power(u)
+		if t := c.Space.CPUTemp(u, setting.Flow, setting.Inlet); t > d.MaxCPUTemp {
+			d.MaxCPUTemp = t
+		}
+	}
+	return d, nil
+}
+
+// TotalTEGPower sums the decision's per-server TEG output.
+func (d Decision) TotalTEGPower() units.Watts {
+	var sum units.Watts
+	for _, p := range d.PerServerPower {
+		sum += p
+	}
+	return sum
+}
+
+// TotalCPUPower sums the decision's per-server CPU draw.
+func (d Decision) TotalCPUPower() units.Watts {
+	var sum units.Watts
+	for _, p := range d.PerServerCPUPower {
+		sum += p
+	}
+	return sum
+}

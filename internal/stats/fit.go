@@ -1,0 +1,159 @@
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// LinearFit is the least-squares line y = Slope*x + Intercept together with
+// its coefficient of determination. The paper reduces its TEG measurements to
+// exactly such a line (Eq. 3: v = 0.0448*dT - 0.0051).
+type LinearFit struct {
+	Slope, Intercept float64
+	R2               float64
+}
+
+// FitLinear fits y = a*x + b by ordinary least squares.
+func FitLinear(xs, ys []float64) (LinearFit, error) {
+	if len(xs) != len(ys) {
+		return LinearFit{}, errors.New("stats: FitLinear length mismatch")
+	}
+	if len(xs) < 2 {
+		return LinearFit{}, errors.New("stats: FitLinear needs at least 2 points")
+	}
+	n := float64(len(xs))
+	var sx, sy, sxx, sxy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		sxy += xs[i] * ys[i]
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return LinearFit{}, errors.New("stats: FitLinear degenerate x values")
+	}
+	a := (n*sxy - sx*sy) / den
+	b := (sy - a*sx) / n
+	// R^2.
+	meanY := sy / n
+	var ssRes, ssTot float64
+	for i := range xs {
+		p := a*xs[i] + b
+		ssRes += (ys[i] - p) * (ys[i] - p)
+		ssTot += (ys[i] - meanY) * (ys[i] - meanY)
+	}
+	r2 := 1.0
+	if ssTot > 0 {
+		r2 = 1 - ssRes/ssTot
+	}
+	return LinearFit{Slope: a, Intercept: b, R2: r2}, nil
+}
+
+// Eval returns Slope*x + Intercept.
+func (f LinearFit) Eval(x float64) float64 { return f.Slope*x + f.Intercept }
+
+// PolyFit is a least-squares polynomial c[0] + c[1]x + ... + c[d]x^d.
+// Degree 2 reproduces the paper's P_max fit (Eq. 6).
+type PolyFit struct {
+	Coeffs []float64 // ascending powers
+}
+
+// FitPoly fits a polynomial of the given degree by solving the normal
+// equations with Gaussian elimination and partial pivoting. The degrees used
+// in H2P (<= 3) are far below the conditioning limits of this approach.
+func FitPoly(xs, ys []float64, degree int) (PolyFit, error) {
+	if degree < 0 {
+		return PolyFit{}, errors.New("stats: negative polynomial degree")
+	}
+	if len(xs) != len(ys) {
+		return PolyFit{}, errors.New("stats: FitPoly length mismatch")
+	}
+	if len(xs) < degree+1 {
+		return PolyFit{}, fmt.Errorf("stats: FitPoly degree %d needs >= %d points, got %d", degree, degree+1, len(xs))
+	}
+	m := degree + 1
+	// Normal equations: A^T A c = A^T y with Vandermonde A.
+	ata := make([][]float64, m)
+	aty := make([]float64, m)
+	for i := range ata {
+		ata[i] = make([]float64, m)
+	}
+	for k := range xs {
+		pow := make([]float64, m)
+		pow[0] = 1
+		for j := 1; j < m; j++ {
+			pow[j] = pow[j-1] * xs[k]
+		}
+		for i := 0; i < m; i++ {
+			aty[i] += pow[i] * ys[k]
+			for j := 0; j < m; j++ {
+				ata[i][j] += pow[i] * pow[j]
+			}
+		}
+	}
+	c, err := SolveLinearSystem(ata, aty)
+	if err != nil {
+		return PolyFit{}, err
+	}
+	return PolyFit{Coeffs: c}, nil
+}
+
+// Eval evaluates the polynomial at x using Horner's method.
+func (p PolyFit) Eval(x float64) float64 {
+	var y float64
+	for i := len(p.Coeffs) - 1; i >= 0; i-- {
+		y = y*x + p.Coeffs[i]
+	}
+	return y
+}
+
+// SolveLinearSystem solves A x = b in place by Gaussian elimination with
+// partial pivoting. A is modified. It returns an error for singular systems.
+func SolveLinearSystem(a [][]float64, b []float64) ([]float64, error) {
+	n := len(a)
+	if n == 0 || len(b) != n {
+		return nil, errors.New("stats: SolveLinearSystem dimension mismatch")
+	}
+	for i := range a {
+		if len(a[i]) != n {
+			return nil, errors.New("stats: SolveLinearSystem non-square matrix")
+		}
+	}
+	x := append([]float64(nil), b...)
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		piv := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[piv][col]) {
+				piv = r
+			}
+		}
+		if math.Abs(a[piv][col]) < 1e-300 {
+			return nil, errors.New("stats: singular linear system")
+		}
+		a[col], a[piv] = a[piv], a[col]
+		x[col], x[piv] = x[piv], x[col]
+		// Eliminate below.
+		for r := col + 1; r < n; r++ {
+			factor := a[r][col] / a[col][col]
+			if factor == 0 {
+				continue
+			}
+			for c := col; c < n; c++ {
+				a[r][c] -= factor * a[col][c]
+			}
+			x[r] -= factor * x[col]
+		}
+	}
+	// Back substitution.
+	for i := n - 1; i >= 0; i-- {
+		sum := x[i]
+		for j := i + 1; j < n; j++ {
+			sum -= a[i][j] * x[j]
+		}
+		x[i] = sum / a[i][i]
+	}
+	return x, nil
+}

@@ -1,0 +1,151 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNormalPDFIntegratesToOne(t *testing.T) {
+	n := Normal{Mu: 55, Sigma: 6}
+	lo, hi := n.Mu-10*n.Sigma, n.Mu+10*n.Sigma
+	const steps = 2000
+	h := (hi - lo) / steps
+	sum := n.PDF(lo) + n.PDF(hi)
+	for i := 1; i < steps; i++ {
+		w := 4.0
+		if i%2 == 0 {
+			w = 2.0
+		}
+		sum += w * n.PDF(lo+float64(i)*h)
+	}
+	integral := sum * h / 3
+	if math.Abs(integral-1) > 1e-9 {
+		t.Errorf("PDF integrates to %v, want 1", integral)
+	}
+}
+
+func TestNormalCDFKnownValues(t *testing.T) {
+	std := Normal{Mu: 0, Sigma: 1}
+	tests := []struct{ x, want float64 }{
+		{0, 0.5},
+		{1, 0.8413447460685429},
+		{-1, 0.15865525393145705},
+		{1.959963984540054, 0.975},
+	}
+	for _, tc := range tests {
+		if got := std.CDF(tc.x); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("CDF(%v) = %v, want %v", tc.x, got, tc.want)
+		}
+	}
+}
+
+func TestNormalQuantileInvertsCDF(t *testing.T) {
+	n := Normal{Mu: 55, Sigma: 6}
+	for _, p := range []float64{0.001, 0.1, 0.25, 0.5, 0.9, 0.999} {
+		x, err := n.Quantile(p)
+		if err != nil {
+			t.Fatalf("Quantile(%v): %v", p, err)
+		}
+		if got := n.CDF(x); math.Abs(got-p) > 1e-10 {
+			t.Errorf("CDF(Quantile(%v)) = %v", p, got)
+		}
+	}
+	if _, err := n.Quantile(0); err == nil {
+		t.Error("Quantile(0) should error")
+	}
+	if _, err := n.Quantile(1); err == nil {
+		t.Error("Quantile(1) should error")
+	}
+}
+
+func TestQuantileMonotoneProperty(t *testing.T) {
+	n := Normal{Mu: 10, Sigma: 2.5}
+	f := func(a, b float64) bool {
+		pa := 0.001 + 0.998*frac(a)
+		pb := 0.001 + 0.998*frac(b)
+		if pa > pb {
+			pa, pb = pb, pa
+		}
+		xa, err1 := n.Quantile(pa)
+		xb, err2 := n.Quantile(pb)
+		return err1 == nil && err2 == nil && xa <= xb+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func frac(x float64) float64 {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return 0.5
+	}
+	v := math.Abs(x) - math.Floor(math.Abs(x))
+	return v
+}
+
+func TestMaxOrderStatisticM1(t *testing.T) {
+	o := MaxOrderStatistic{Base: Normal{Mu: 55, Sigma: 6}, M: 1}
+	if got := o.Mean(); math.Abs(got-55) > 1e-9 {
+		t.Errorf("Mean of max of 1 = %v, want 55", got)
+	}
+}
+
+func TestMaxOrderStatisticKnownValues(t *testing.T) {
+	// For standard normal, E(max of 2) = 1/sqrt(pi) = 0.5642,
+	// E(max of 3) = 3/(2 sqrt(pi)) = 0.8463 (classical results).
+	base := Normal{Mu: 0, Sigma: 1}
+	if got := (MaxOrderStatistic{base, 2}).Mean(); math.Abs(got-1/math.Sqrt(math.Pi)) > 1e-6 {
+		t.Errorf("E(max of 2) = %v, want %v", got, 1/math.Sqrt(math.Pi))
+	}
+	if got := (MaxOrderStatistic{base, 3}).Mean(); math.Abs(got-3/(2*math.Sqrt(math.Pi))) > 1e-6 {
+		t.Errorf("E(max of 3) = %v, want %v", got, 3/(2*math.Sqrt(math.Pi)))
+	}
+}
+
+func TestMaxOrderStatisticGrowsWithM(t *testing.T) {
+	base := Normal{Mu: 55, Sigma: 6}
+	prev := math.Inf(-1)
+	for _, m := range []int{1, 2, 5, 10, 50, 200, 1000} {
+		mean := MaxOrderStatistic{base, m}.Mean()
+		if mean <= prev {
+			t.Errorf("E(max of %d) = %v not increasing (prev %v)", m, mean, prev)
+		}
+		prev = mean
+	}
+	// Location-scale: E(max) = mu + sigma * E(max of standard normals).
+	m := 100
+	std := MaxOrderStatistic{Normal{0, 1}, m}.Mean()
+	scaled := MaxOrderStatistic{base, m}.Mean()
+	if math.Abs(scaled-(55+6*std)) > 1e-6 {
+		t.Errorf("location-scale violated: %v vs %v", scaled, 55+6*std)
+	}
+}
+
+func TestMaxOrderStatisticApproxAgreesForLargeM(t *testing.T) {
+	base := Normal{Mu: 0, Sigma: 1}
+	for _, m := range []int{100, 1000} {
+		o := MaxOrderStatistic{base, m}
+		exact, approx := o.Mean(), o.MeanApprox()
+		// The asymptotic expansion converges slowly; 0.15 is within its
+		// known error at these m.
+		if math.Abs(exact-approx) > 0.15 {
+			t.Errorf("m=%d: quadrature %v vs asymptotic %v differ too much", m, exact, approx)
+		}
+	}
+	// Reference value: E(max of 1000 standard normals) = 3.2414 (tabulated).
+	if got := (MaxOrderStatistic{base, 1000}).Mean(); math.Abs(got-3.2414) > 5e-4 {
+		t.Errorf("E(max of 1000) = %v, want ~3.2414", got)
+	}
+}
+
+func TestMaxOrderStatisticCDFIsPower(t *testing.T) {
+	base := Normal{Mu: 2, Sigma: 3}
+	o := MaxOrderStatistic{base, 7}
+	for _, x := range []float64{-5, 0, 2, 4, 10} {
+		want := math.Pow(base.CDF(x), 7)
+		if got := o.CDF(x); math.Abs(got-want) > 1e-14 {
+			t.Errorf("CDF(%v) = %v, want %v", x, got, want)
+		}
+	}
+}

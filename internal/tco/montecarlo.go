@@ -1,0 +1,163 @@
+package tco
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"sort"
+
+	"github.com/h2p-sim/h2p/internal/units"
+)
+
+// Uncertain is a truncated-normal parameter distribution for the Monte Carlo
+// TCO analysis: mean Mu, standard deviation Sigma, truncated to [Lo, Hi].
+type Uncertain struct {
+	Mu, Sigma, Lo, Hi float64
+}
+
+// Sample draws one value.
+func (u Uncertain) Sample(rng *rand.Rand) float64 {
+	if u.Sigma == 0 {
+		return units.Clamp(u.Mu, u.Lo, u.Hi)
+	}
+	for i := 0; i < 64; i++ {
+		v := u.Mu + rng.NormFloat64()*u.Sigma
+		if v >= u.Lo && v <= u.Hi {
+			return v
+		}
+	}
+	return units.Clamp(u.Mu, u.Lo, u.Hi)
+}
+
+// Validate reports configuration errors.
+func (u Uncertain) Validate() error {
+	if u.Sigma < 0 {
+		return errors.New("tco: negative sigma")
+	}
+	if u.Hi < u.Lo {
+		return errors.New("tco: empty truncation interval")
+	}
+	return nil
+}
+
+// MonteCarloConfig defines the uncertainty model around the Sec. V-D point
+// estimate. The paper reports single numbers; deployment decisions need the
+// spread, so the reproduction adds a parametric Monte Carlo over the inputs
+// that actually vary across sites and years.
+type MonteCarloConfig struct {
+	// Power is the average per-server TEG output (W).
+	Power Uncertain
+	// Price is the electricity tariff ($/kWh).
+	Price Uncertain
+	// TEGUnitCost is the device price ($/piece).
+	TEGUnitCost Uncertain
+	// LifespanYears is the service life used for amortization.
+	LifespanYears Uncertain
+	// Trials and Seed control the simulation.
+	Trials int
+	Seed   int64
+}
+
+// DefaultMonteCarlo centers the distributions on the paper's LoadBalance
+// point: 4.177 W, $0.13/kWh, $1 TEGs, 25-year life.
+func DefaultMonteCarlo() MonteCarloConfig {
+	return MonteCarloConfig{
+		Power:         Uncertain{Mu: 4.177, Sigma: 0.25, Lo: 3.0, Hi: 5.0},
+		Price:         Uncertain{Mu: 0.13, Sigma: 0.03, Lo: 0.05, Hi: 0.30},
+		TEGUnitCost:   Uncertain{Mu: 1.0, Sigma: 0.2, Lo: 0.5, Hi: 2.0},
+		LifespanYears: Uncertain{Mu: 25, Sigma: 3, Lo: 15, Hi: 34},
+		Trials:        10000,
+		Seed:          42,
+	}
+}
+
+// Quantiles summarizes a sampled metric.
+type Quantiles struct {
+	P5, P50, P95, Mean float64
+}
+
+// MonteCarloResult is the uncertainty analysis outcome.
+type MonteCarloResult struct {
+	Trials             int
+	ReductionPercent   Quantiles
+	BreakEvenDays      Quantiles
+	YearlySavingsPer1k Quantiles // $ per 1,000 servers per year
+	// ProbPaybackInLife is the fraction of trials whose break-even lands
+	// within the sampled lifespan.
+	ProbPaybackInLife float64
+	// ProbPositiveNet is the fraction of trials where monthly revenue
+	// exceeds the amortized TEG cost.
+	ProbPositiveNet float64
+}
+
+// RunMonteCarlo samples the TCO model under the configured uncertainty.
+func RunMonteCarlo(base Parameters, cfg MonteCarloConfig) (MonteCarloResult, error) {
+	if err := base.Validate(); err != nil {
+		return MonteCarloResult{}, err
+	}
+	if cfg.Trials <= 0 {
+		return MonteCarloResult{}, errors.New("tco: Trials must be positive")
+	}
+	for _, u := range []Uncertain{cfg.Power, cfg.Price, cfg.TEGUnitCost, cfg.LifespanYears} {
+		if err := u.Validate(); err != nil {
+			return MonteCarloResult{}, err
+		}
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	reductions := make([]float64, 0, cfg.Trials)
+	breakevens := make([]float64, 0, cfg.Trials)
+	savings := make([]float64, 0, cfg.Trials)
+	payback, positive := 0, 0
+	for i := 0; i < cfg.Trials; i++ {
+		p := base
+		power := units.Watts(cfg.Power.Sample(rng))
+		p.ElectricityPrice = units.USD(cfg.Price.Sample(rng))
+		p.TEGUnitCost = units.USD(cfg.TEGUnitCost.Sample(rng))
+		life := cfg.LifespanYears.Sample(rng)
+		p.TEGCapEx = units.USD(float64(p.TEGUnitCost) * float64(p.TEGsPerServer) / (life * 12))
+		a, err := p.Analyze(power)
+		if err != nil {
+			return MonteCarloResult{}, err
+		}
+		fleet, err := p.Fleet(power, 1000, life)
+		if err != nil {
+			return MonteCarloResult{}, err
+		}
+		reductions = append(reductions, a.ReductionPercent)
+		breakevens = append(breakevens, fleet.BreakEvenDays)
+		savings = append(savings, float64(fleet.YearlySavings))
+		if fleet.PaybackFeasible {
+			payback++
+		}
+		if a.MonthlySavingsPerServer > 0 {
+			positive++
+		}
+	}
+	res := MonteCarloResult{
+		Trials:             cfg.Trials,
+		ReductionPercent:   quantiles(reductions),
+		BreakEvenDays:      quantiles(breakevens),
+		YearlySavingsPer1k: quantiles(savings),
+		ProbPaybackInLife:  float64(payback) / float64(cfg.Trials),
+		ProbPositiveNet:    float64(positive) / float64(cfg.Trials),
+	}
+	return res, nil
+}
+
+func quantiles(xs []float64) Quantiles {
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	var mean float64
+	for _, x := range sorted {
+		mean += x
+	}
+	mean /= float64(len(sorted))
+	at := func(p float64) float64 {
+		idx := p * float64(len(sorted)-1)
+		lo := int(math.Floor(idx))
+		hi := int(math.Ceil(idx))
+		frac := idx - float64(lo)
+		return sorted[lo]*(1-frac) + sorted[hi]*frac
+	}
+	return Quantiles{P5: at(0.05), P50: at(0.50), P95: at(0.95), Mean: mean}
+}

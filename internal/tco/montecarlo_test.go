@@ -1,0 +1,126 @@
+package tco
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestUncertainSampleRespectsTruncation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	u := Uncertain{Mu: 0.13, Sigma: 0.05, Lo: 0.05, Hi: 0.30}
+	for i := 0; i < 5000; i++ {
+		v := u.Sample(rng)
+		if v < u.Lo || v > u.Hi {
+			t.Fatalf("sample %v escaped [%v, %v]", v, u.Lo, u.Hi)
+		}
+	}
+	// Degenerate sigma returns the clamped mean.
+	d := Uncertain{Mu: 10, Lo: 0, Hi: 5}
+	if v := d.Sample(rng); v != 5 {
+		t.Errorf("degenerate sample = %v, want 5", v)
+	}
+}
+
+func TestUncertainValidate(t *testing.T) {
+	if err := (Uncertain{Sigma: -1}).Validate(); err == nil {
+		t.Error("negative sigma should error")
+	}
+	if err := (Uncertain{Lo: 2, Hi: 1}).Validate(); err == nil {
+		t.Error("empty interval should error")
+	}
+}
+
+func TestMonteCarloBracketsPointEstimate(t *testing.T) {
+	res, err := RunMonteCarlo(PaperParameters(), DefaultMonteCarlo())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trials != 10000 {
+		t.Fatalf("trials = %d", res.Trials)
+	}
+	// The paper's point estimates must sit inside the central 90% band.
+	if res.ReductionPercent.P5 > 0.57 || res.ReductionPercent.P95 < 0.57 {
+		t.Errorf("0.57%% outside [%v, %v]", res.ReductionPercent.P5, res.ReductionPercent.P95)
+	}
+	if res.BreakEvenDays.P5 > 920 || res.BreakEvenDays.P95 < 920 {
+		t.Errorf("920 days outside [%v, %v]", res.BreakEvenDays.P5, res.BreakEvenDays.P95)
+	}
+	// The economics are robust: payback within life in nearly all trials.
+	if res.ProbPaybackInLife < 0.95 {
+		t.Errorf("P(payback in life) = %v, want >= 0.95", res.ProbPaybackInLife)
+	}
+	if res.ProbPositiveNet < 0.95 {
+		t.Errorf("P(positive net) = %v, want >= 0.95", res.ProbPositiveNet)
+	}
+	// Sane ordering of quantiles.
+	for _, q := range []Quantiles{res.ReductionPercent, res.BreakEvenDays, res.YearlySavingsPer1k} {
+		if !(q.P5 <= q.P50 && q.P50 <= q.P95) {
+			t.Errorf("quantiles out of order: %+v", q)
+		}
+	}
+}
+
+func TestMonteCarloDeterministic(t *testing.T) {
+	a, err := RunMonteCarlo(PaperParameters(), DefaultMonteCarlo())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunMonteCarlo(PaperParameters(), DefaultMonteCarlo())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ReductionPercent != b.ReductionPercent || a.BreakEvenDays != b.BreakEvenDays {
+		t.Error("Monte Carlo not deterministic under a fixed seed")
+	}
+	cfg := DefaultMonteCarlo()
+	cfg.Seed = 7
+	c, err := RunMonteCarlo(PaperParameters(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.ReductionPercent == a.ReductionPercent {
+		t.Error("different seed should perturb the quantiles")
+	}
+}
+
+func TestMonteCarloErrors(t *testing.T) {
+	cfg := DefaultMonteCarlo()
+	cfg.Trials = 0
+	if _, err := RunMonteCarlo(PaperParameters(), cfg); err == nil {
+		t.Error("zero trials should error")
+	}
+	cfg = DefaultMonteCarlo()
+	cfg.Price.Sigma = -1
+	if _, err := RunMonteCarlo(PaperParameters(), cfg); err == nil {
+		t.Error("bad distribution should error")
+	}
+	bad := PaperParameters()
+	bad.ElectricityPrice = 0
+	if _, err := RunMonteCarlo(bad, DefaultMonteCarlo()); err == nil {
+		t.Error("bad base parameters should error")
+	}
+}
+
+func TestMonteCarloWiderPriceSpreadWidensBand(t *testing.T) {
+	narrow := DefaultMonteCarlo()
+	narrow.Price.Sigma = 0.005
+	wide := DefaultMonteCarlo()
+	wide.Price.Sigma = 0.06
+	rn, err := RunMonteCarlo(PaperParameters(), narrow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rw, err := RunMonteCarlo(PaperParameters(), wide)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spreadN := rn.ReductionPercent.P95 - rn.ReductionPercent.P5
+	spreadW := rw.ReductionPercent.P95 - rw.ReductionPercent.P5
+	if spreadW <= spreadN {
+		t.Errorf("wider price uncertainty should widen the band: %v vs %v", spreadW, spreadN)
+	}
+	if math.IsNaN(spreadW) {
+		t.Error("NaN spread")
+	}
+}

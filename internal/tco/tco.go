@@ -1,0 +1,189 @@
+// Package tco implements the cost analysis of Sec. V-D: the total cost of
+// ownership of a datacenter with and without H2P (Table I, Eqs. 21-22), the
+// power reusing efficiency PRE (Eq. 19), the Green Grid energy reuse
+// effectiveness ERE (Sec. II-C), and the TEG fleet break-even analysis.
+package tco
+
+import (
+	"errors"
+	"math"
+
+	"github.com/h2p-sim/h2p/internal/units"
+)
+
+// Parameters holds the per-server monthly cost model of Table I plus the
+// electricity tariff. All Table I entries are in $/(server*month).
+type Parameters struct {
+	DCInfraCapEx units.USD // datacenter infrastructure capital expense
+	ServCapEx    units.USD // server capital expense
+	DCInfraOpEx  units.USD // datacenter infrastructure operating expense
+	ServOpEx     units.USD // server operating expense
+	TEGCapEx     units.USD // amortized TEG module cost per server
+	// ElectricityPrice is the tariff in $/kWh (13 cents, Sec. V-D).
+	ElectricityPrice units.USD
+	// TEGUnitCost and TEGsPerServer price the fleet for break-even.
+	TEGUnitCost   units.USD
+	TEGsPerServer int
+}
+
+// PaperParameters returns Table I with the paper's tariff and fleet pricing.
+func PaperParameters() Parameters {
+	return Parameters{
+		DCInfraCapEx:     21.26,
+		ServCapEx:        31.25,
+		DCInfraOpEx:      7.63,
+		ServOpEx:         1.56,
+		TEGCapEx:         0.04,
+		ElectricityPrice: 0.13,
+		TEGUnitCost:      1,
+		TEGsPerServer:    12,
+	}
+}
+
+// Validate reports parameter errors.
+func (p Parameters) Validate() error {
+	if p.DCInfraCapEx < 0 || p.ServCapEx < 0 || p.DCInfraOpEx < 0 || p.ServOpEx < 0 || p.TEGCapEx < 0 {
+		return errors.New("tco: negative cost entry")
+	}
+	if p.ElectricityPrice <= 0 {
+		return errors.New("tco: electricity price must be positive")
+	}
+	if p.TEGsPerServer <= 0 {
+		return errors.New("tco: TEGsPerServer must be positive")
+	}
+	return nil
+}
+
+const hoursPerMonth = 720.0 // the 30-day month used in Table I
+
+// TEGRevenuePerServerMonth converts an average per-server TEG output into the
+// Table I TEGRev entry: avgPower * 720 h * tariff.
+func (p Parameters) TEGRevenuePerServerMonth(avgPower units.Watts) units.USD {
+	if avgPower <= 0 {
+		return 0
+	}
+	kwh := float64(avgPower) * hoursPerMonth / 1000.0
+	return units.USD(kwh * float64(p.ElectricityPrice))
+}
+
+// Analysis is the full Sec. V-D cost comparison for one operating scheme.
+type Analysis struct {
+	// TCONoTEG is Eq. 21 in $/(server*month).
+	TCONoTEG units.USD
+	// TCOWithH2P is Eq. 22 in $/(server*month).
+	TCOWithH2P units.USD
+	// TEGRev is the Table I revenue entry for the measured average power.
+	TEGRev units.USD
+	// ReductionPercent is the TCO saving, e.g. 0.57 for the paper's
+	// TEG_LoadBalance scheme.
+	ReductionPercent float64
+	// MonthlySavingsPerServer is TEGRev - TEGCapEx.
+	MonthlySavingsPerServer units.USD
+}
+
+// Analyze computes the Eq. 21/22 comparison for the given measured average
+// per-server TEG power.
+func (p Parameters) Analyze(avgPower units.Watts) (Analysis, error) {
+	if err := p.Validate(); err != nil {
+		return Analysis{}, err
+	}
+	if avgPower < 0 {
+		return Analysis{}, errors.New("tco: negative average power")
+	}
+	base := p.DCInfraCapEx + p.ServCapEx + p.DCInfraOpEx + p.ServOpEx
+	rev := p.TEGRevenuePerServerMonth(avgPower)
+	with := base + p.TEGCapEx - rev
+	a := Analysis{
+		TCONoTEG:                base,
+		TCOWithH2P:              with,
+		TEGRev:                  rev,
+		MonthlySavingsPerServer: rev - p.TEGCapEx,
+	}
+	if base > 0 {
+		a.ReductionPercent = float64(base-with) / float64(base) * 100
+	}
+	return a, nil
+}
+
+// FleetSummary scales a per-server analysis to a datacenter fleet.
+type FleetSummary struct {
+	Servers          int
+	TEGs             int
+	FleetPurchase    units.USD // up-front TEG fleet cost
+	DailyEnergy      units.KilowattHours
+	DailyRevenue     units.USD
+	YearlySavings    units.USD // (TEGRev - TEGCapEx) * 12 * servers
+	BreakEvenDays    float64   // fleet purchase / daily revenue
+	PaybackFeasible  bool      // break-even within the TEG lifespan
+	LifespanYearsCap float64
+}
+
+// Fleet scales the analysis to `servers` CPUs, reproducing the paper's
+// 100,000-CPU worked example (10,024.8 kWh/day, $1,303.2/day, 920-day
+// break-even, ~$410k yearly savings under load balancing).
+func (p Parameters) Fleet(avgPower units.Watts, servers int, lifespanYears float64) (FleetSummary, error) {
+	if servers <= 0 {
+		return FleetSummary{}, errors.New("tco: servers must be positive")
+	}
+	if lifespanYears <= 0 {
+		return FleetSummary{}, errors.New("tco: lifespan must be positive")
+	}
+	a, err := p.Analyze(avgPower)
+	if err != nil {
+		return FleetSummary{}, err
+	}
+	tegs := servers * p.TEGsPerServer
+	purchase := units.USD(float64(p.TEGUnitCost) * float64(tegs))
+	dailyKWh := float64(avgPower) * 24 / 1000 * float64(servers)
+	dailyRev := units.USD(dailyKWh * float64(p.ElectricityPrice))
+	fs := FleetSummary{
+		Servers:          servers,
+		TEGs:             tegs,
+		FleetPurchase:    purchase,
+		DailyEnergy:      units.KilowattHours(dailyKWh),
+		DailyRevenue:     dailyRev,
+		YearlySavings:    units.USD(float64(a.MonthlySavingsPerServer) * 12 * float64(servers)),
+		LifespanYearsCap: lifespanYears,
+	}
+	if dailyRev > 0 {
+		fs.BreakEvenDays = float64(purchase) / float64(dailyRev)
+		fs.PaybackFeasible = fs.BreakEvenDays <= lifespanYears*365
+	} else {
+		fs.BreakEvenDays = math.Inf(1)
+	}
+	return fs, nil
+}
+
+// PRE is Eq. 19: the TEGs' power generation over the CPUs' power consumption.
+// It returns 0 for non-positive consumption.
+func PRE(tegGeneration, cpuConsumption units.Watts) float64 {
+	if cpuConsumption <= 0 {
+		return 0
+	}
+	return float64(tegGeneration) / float64(cpuConsumption)
+}
+
+// EREInput carries the energy terms of the Green Grid ERE metric.
+type EREInput struct {
+	IT, Cooling, Power, Lighting, Reuse units.KilowattHours
+}
+
+// ERE computes (E_IT + E_Cooling + E_Power + E_Lighting - E_Reuse) / E_IT.
+// Reusing energy drives the ratio below the corresponding PUE; a value under
+// 1 means the facility exports more than its overhead consumes.
+func ERE(in EREInput) (float64, error) {
+	if in.IT <= 0 {
+		return 0, errors.New("tco: ERE requires positive IT energy")
+	}
+	total := in.IT + in.Cooling + in.Power + in.Lighting - in.Reuse
+	return float64(total) / float64(in.IT), nil
+}
+
+// PUE computes the conventional power usage effectiveness for the same
+// inputs, ignoring reuse.
+func PUE(in EREInput) (float64, error) {
+	if in.IT <= 0 {
+		return 0, errors.New("tco: PUE requires positive IT energy")
+	}
+	return float64(in.IT+in.Cooling+in.Power+in.Lighting) / float64(in.IT), nil
+}

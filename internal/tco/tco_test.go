@@ -1,0 +1,193 @@
+package tco
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/h2p-sim/h2p/internal/units"
+)
+
+func TestTableIRevenueEntries(t *testing.T) {
+	p := PaperParameters()
+	// Table I: TEGRev(TEG_Original) = $0.34 at 3.694 W;
+	// TEGRev(TEG_LoadBalance) = $0.39 at 4.177 W.
+	if rev := p.TEGRevenuePerServerMonth(3.694); math.Abs(float64(rev)-0.34) > 0.01 {
+		t.Errorf("Original TEGRev = %v, want ~0.34", rev)
+	}
+	if rev := p.TEGRevenuePerServerMonth(4.177); math.Abs(float64(rev)-0.39) > 0.01 {
+		t.Errorf("LoadBalance TEGRev = %v, want ~0.39", rev)
+	}
+	if rev := p.TEGRevenuePerServerMonth(0); rev != 0 {
+		t.Errorf("zero power revenue = %v", rev)
+	}
+}
+
+func TestTCOReductionMatchesPaper(t *testing.T) {
+	p := PaperParameters()
+	// Paper: 0.49% reduction under Original, 0.57% under LoadBalance.
+	orig, err := p.Analyze(3.694)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(orig.ReductionPercent-0.49) > 0.03 {
+		t.Errorf("Original reduction = %v%%, want ~0.49%%", orig.ReductionPercent)
+	}
+	lb, err := p.Analyze(4.177)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(lb.ReductionPercent-0.57) > 0.03 {
+		t.Errorf("LoadBalance reduction = %v%%, want ~0.57%%", lb.ReductionPercent)
+	}
+	// Eq. 21: base TCO = 21.26 + 31.25 + 7.63 + 1.56 = 61.70.
+	if math.Abs(float64(orig.TCONoTEG)-61.70) > 1e-9 {
+		t.Errorf("TCO_noTEG = %v, want 61.70", orig.TCONoTEG)
+	}
+	if orig.TCOWithH2P >= orig.TCONoTEG {
+		t.Error("H2P should reduce TCO")
+	}
+}
+
+func TestFleetMatchesPaperWorkedExample(t *testing.T) {
+	p := PaperParameters()
+	// Sec. V-D: 100,000 CPUs, 1,200,000 TEGs, 4.177 W average ->
+	// 10,024.8 kWh/day, $1,303.2/day, break-even at ~920 days.
+	fs, err := p.Fleet(4.177, 100000, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs.TEGs != 1200000 {
+		t.Errorf("TEGs = %d, want 1.2M", fs.TEGs)
+	}
+	if fs.FleetPurchase != 1200000 {
+		t.Errorf("purchase = %v, want $1.2M", fs.FleetPurchase)
+	}
+	if math.Abs(float64(fs.DailyEnergy)-10024.8) > 0.5 {
+		t.Errorf("daily energy = %v kWh, want ~10024.8", fs.DailyEnergy)
+	}
+	if math.Abs(float64(fs.DailyRevenue)-1303.2) > 0.5 {
+		t.Errorf("daily revenue = %v, want ~$1303.2", fs.DailyRevenue)
+	}
+	if math.Abs(fs.BreakEvenDays-920) > 3 {
+		t.Errorf("break-even = %v days, want ~920", fs.BreakEvenDays)
+	}
+	if !fs.PaybackFeasible {
+		t.Error("payback within 25-year lifespan should be feasible")
+	}
+	// Paper: $350k-$410k yearly savings across the two schemes.
+	if fs.YearlySavings < 380000 || fs.YearlySavings > 450000 {
+		t.Errorf("yearly savings = %v, want ~$420k", fs.YearlySavings)
+	}
+	orig, err := p.Fleet(3.694, 100000, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if orig.YearlySavings < 330000 || orig.YearlySavings > 390000 {
+		t.Errorf("Original yearly savings = %v, want ~$360k", orig.YearlySavings)
+	}
+}
+
+func TestFleetZeroPower(t *testing.T) {
+	p := PaperParameters()
+	fs, err := p.Fleet(0, 100, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(fs.BreakEvenDays, 1) || fs.PaybackFeasible {
+		t.Errorf("zero power should never pay back: %+v", fs)
+	}
+}
+
+func TestAnalyzeErrors(t *testing.T) {
+	p := PaperParameters()
+	if _, err := p.Analyze(-1); err == nil {
+		t.Error("negative power should error")
+	}
+	bad := p
+	bad.ElectricityPrice = 0
+	if _, err := bad.Analyze(4); err == nil {
+		t.Error("zero tariff should error")
+	}
+	bad = p
+	bad.TEGsPerServer = 0
+	if _, err := bad.Analyze(4); err == nil {
+		t.Error("zero TEGs should error")
+	}
+	bad = p
+	bad.ServOpEx = -1
+	if _, err := bad.Analyze(4); err == nil {
+		t.Error("negative cost should error")
+	}
+	if _, err := p.Fleet(4, 0, 25); err == nil {
+		t.Error("zero servers should error")
+	}
+	if _, err := p.Fleet(4, 10, 0); err == nil {
+		t.Error("zero lifespan should error")
+	}
+}
+
+func TestReductionMonotoneInPowerProperty(t *testing.T) {
+	p := PaperParameters()
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		pa := math.Abs(math.Mod(a, 10))
+		pb := math.Abs(math.Mod(b, 10))
+		if pa > pb {
+			pa, pb = pb, pa
+		}
+		ra, err1 := p.Analyze(units.Watts(pa))
+		rb, err2 := p.Analyze(units.Watts(pb))
+		return err1 == nil && err2 == nil && ra.ReductionPercent <= rb.ReductionPercent+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPRE(t *testing.T) {
+	if got := PRE(4.177, 29.35); math.Abs(got-0.1423) > 0.001 {
+		t.Errorf("PRE = %v, want ~0.1423", got)
+	}
+	if PRE(4, 0) != 0 {
+		t.Error("zero consumption should give 0")
+	}
+}
+
+func TestEREAndPUE(t *testing.T) {
+	in := EREInput{IT: 100, Cooling: 20, Power: 8, Lighting: 1, Reuse: 14}
+	ere, err := ERE(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pue, err := PUE(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pue-1.29) > 1e-12 {
+		t.Errorf("PUE = %v, want 1.29", pue)
+	}
+	if math.Abs(ere-1.15) > 1e-12 {
+		t.Errorf("ERE = %v, want 1.15", ere)
+	}
+	if ere >= pue {
+		t.Error("reuse must drive ERE below PUE")
+	}
+	// Enough reuse drives ERE below 1.
+	in.Reuse = 40
+	ere, err = ERE(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ere >= 1 {
+		t.Errorf("large reuse should give ERE < 1, got %v", ere)
+	}
+	if _, err := ERE(EREInput{}); err == nil {
+		t.Error("zero IT energy should error")
+	}
+	if _, err := PUE(EREInput{}); err == nil {
+		t.Error("zero IT energy should error")
+	}
+}

@@ -1,0 +1,196 @@
+// Package tec models the thermoelectric cooler (TEC) of the hybrid cooling
+// architecture H2P builds on (Jiang et al., ISCA'19, discussed in Secs. II-B
+// and VI-C1): a Peltier element between the CPU and its cold plate that
+// provides fine-grained spot cooling when a hot spot emerges, at the cost of
+// extra electrical power — power that H2P's TEGs can partly supply.
+//
+// The standard Peltier device equations are used. For drive current I,
+// hot/cold face temperatures Th/Tc (kelvin in the physics, Celsius at the
+// API) and device constants (Seebeck coefficient alpha, resistance R,
+// conductance K):
+//
+//	Qc = alpha*I*Tc - I^2*R/2 - K*(Th - Tc)   (heat pumped from the CPU)
+//	P  = alpha*I*(Th - Tc) + I^2*R            (electrical input)
+//	COP = Qc / P
+package tec
+
+import (
+	"errors"
+	"math"
+
+	"github.com/h2p-sim/h2p/internal/units"
+)
+
+// Device is a Peltier cooler's electro-thermal parameters.
+type Device struct {
+	// Model names the part.
+	Model string
+	// Seebeck is the module Seebeck coefficient in V/K.
+	Seebeck float64
+	// Resistance is the module electrical resistance in ohms.
+	Resistance units.Ohms
+	// Conductance is the module thermal conductance in W/K.
+	Conductance float64
+	// MaxCurrent bounds the drive in amperes.
+	MaxCurrent float64
+}
+
+// TypicalCPU returns a TEC sized for CPU spot cooling (a TEC1-12706-class
+// module as used by the hybrid cooling prototype).
+func TypicalCPU() Device {
+	return Device{
+		Model:       "TEC1-12706",
+		Seebeck:     0.053,
+		Resistance:  2.1,
+		Conductance: 0.60,
+		MaxCurrent:  6.0,
+	}
+}
+
+// Validate reports parameter errors.
+func (d Device) Validate() error {
+	if d.Seebeck <= 0 {
+		return errors.New("tec: Seebeck must be positive")
+	}
+	if d.Resistance <= 0 {
+		return errors.New("tec: Resistance must be positive")
+	}
+	if d.Conductance <= 0 {
+		return errors.New("tec: Conductance must be positive")
+	}
+	if d.MaxCurrent <= 0 {
+		return errors.New("tec: MaxCurrent must be positive")
+	}
+	return nil
+}
+
+// Operation is one steady operating point of the cooler.
+type Operation struct {
+	Current      float64     // A
+	CoolingPower units.Watts // Qc, heat removed from the cold face
+	InputPower   units.Watts // electrical power consumed
+	HeatRejected units.Watts // Qc + input, dumped into the coolant
+	COP          float64     // CoolingPower / InputPower
+}
+
+// Operate evaluates the device at drive current i with the given cold-face
+// and hot-face temperatures.
+func (d Device) Operate(i float64, cold, hot units.Celsius) (Operation, error) {
+	if err := d.Validate(); err != nil {
+		return Operation{}, err
+	}
+	if i < 0 || i > d.MaxCurrent {
+		return Operation{}, errors.New("tec: drive current outside [0, MaxCurrent]")
+	}
+	tc := float64(cold.Kelvin())
+	dT := float64(hot - cold)
+	qc := d.Seebeck*i*tc - i*i*float64(d.Resistance)/2 - d.Conductance*dT
+	p := d.Seebeck*i*dT + i*i*float64(d.Resistance)
+	op := Operation{
+		Current:      i,
+		CoolingPower: units.Watts(qc),
+		InputPower:   units.Watts(p),
+		HeatRejected: units.Watts(qc + p),
+	}
+	if p > 0 {
+		op.COP = qc / p
+	}
+	return op, nil
+}
+
+// OptimalCurrent returns the drive current maximizing pumped heat Qc for the
+// given face temperatures: dQc/dI = alpha*Tc - I*R = 0.
+func (d Device) OptimalCurrent(cold units.Celsius) float64 {
+	i := d.Seebeck * float64(cold.Kelvin()) / float64(d.Resistance)
+	return math.Min(i, d.MaxCurrent)
+}
+
+// MaxCooling returns the operation at the Qc-maximizing current.
+func (d Device) MaxCooling(cold, hot units.Celsius) (Operation, error) {
+	return d.Operate(d.OptimalCurrent(cold), cold, hot)
+}
+
+// CurrentFor finds the smallest drive current that pumps at least the target
+// heat, or an error if the device cannot reach it. It bisects Qc(I), which is
+// concave with its maximum at OptimalCurrent.
+func (d Device) CurrentFor(target units.Watts, cold, hot units.Celsius) (float64, error) {
+	if err := d.Validate(); err != nil {
+		return 0, err
+	}
+	if target <= 0 {
+		return 0, nil
+	}
+	peak, err := d.MaxCooling(cold, hot)
+	if err != nil {
+		return 0, err
+	}
+	if peak.CoolingPower < target {
+		return 0, errors.New("tec: target cooling beyond device capability")
+	}
+	lo, hi := 0.0, d.OptimalCurrent(cold)
+	for iter := 0; iter < 200; iter++ {
+		mid := (lo + hi) / 2
+		op, err := d.Operate(mid, cold, hot)
+		if err != nil {
+			return 0, err
+		}
+		if op.CoolingPower >= target {
+			hi = mid
+		} else {
+			lo = mid
+		}
+		if hi-lo < 1e-9 {
+			break
+		}
+	}
+	return hi, nil
+}
+
+// HybridSpotCooling models a hot-spot episode in the hybrid architecture:
+// the TEC pumps `spotHeat` out of an overheating CPU, and its rejected heat
+// (pumped heat plus electrical input) lands in the coolant — raising the
+// outlet temperature that feeds H2P's TEG module (Sec. VI-C1's observation
+// that "the outlet water temperature of CPU is higher when TEC is working").
+type HybridSpotCooling struct {
+	Device Device
+	// Flow is the coolant flow through the server's cold plate.
+	Flow units.LitersPerHour
+}
+
+// EpisodeResult summarizes one spot-cooling episode.
+type EpisodeResult struct {
+	Operation Operation
+	// OutletRise is the extra coolant temperature rise from the TEC's
+	// rejected heat.
+	OutletRise units.Celsius
+	// TEGCoverage is the fraction of the TEC's electrical input that a
+	// TEG module producing tegPower covers (capped at 1).
+	TEGCoverage float64
+}
+
+// Episode evaluates spot-cooling of spotHeat with the coolant at coolant
+// temperature and the CPU cold face at cpuFace, with tegPower available from
+// the server's TEG module.
+func (h HybridSpotCooling) Episode(spotHeat units.Watts, cpuFace, coolant units.Celsius, tegPower units.Watts) (EpisodeResult, error) {
+	if h.Flow <= 0 {
+		return EpisodeResult{}, errors.New("tec: hybrid cooling requires positive flow")
+	}
+	i, err := h.Device.CurrentFor(spotHeat, cpuFace, coolant)
+	if err != nil {
+		return EpisodeResult{}, err
+	}
+	op, err := h.Device.Operate(i, cpuFace, coolant)
+	if err != nil {
+		return EpisodeResult{}, err
+	}
+	res := EpisodeResult{
+		Operation:  op,
+		OutletRise: units.AdvectionDeltaT(op.HeatRejected, h.Flow),
+	}
+	if op.InputPower > 0 {
+		res.TEGCoverage = math.Min(1, float64(tegPower)/float64(op.InputPower))
+	} else {
+		res.TEGCoverage = 1
+	}
+	return res, nil
+}

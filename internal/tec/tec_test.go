@@ -1,0 +1,192 @@
+package tec
+
+import (
+	"math"
+	"testing"
+
+	"github.com/h2p-sim/h2p/internal/units"
+)
+
+func TestValidate(t *testing.T) {
+	if err := TypicalCPU().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []func(*Device){
+		func(d *Device) { d.Seebeck = 0 },
+		func(d *Device) { d.Resistance = 0 },
+		func(d *Device) { d.Conductance = 0 },
+		func(d *Device) { d.MaxCurrent = 0 },
+	}
+	for i, mut := range cases {
+		d := TypicalCPU()
+		mut(&d)
+		if err := d.Validate(); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func TestOperateZeroCurrentIsPassiveLeak(t *testing.T) {
+	d := TypicalCPU()
+	op, err := d.Operate(0, 50, 55)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No drive: no input power, and heat leaks backwards through the
+	// module (negative cooling) under an adverse gradient.
+	if op.InputPower != 0 {
+		t.Errorf("input power = %v, want 0", op.InputPower)
+	}
+	if op.CoolingPower >= 0 {
+		t.Errorf("passive leak should be negative, got %v", op.CoolingPower)
+	}
+}
+
+func TestOperateCurrentBounds(t *testing.T) {
+	d := TypicalCPU()
+	if _, err := d.Operate(-1, 50, 55); err == nil {
+		t.Error("negative current should error")
+	}
+	if _, err := d.Operate(d.MaxCurrent+1, 50, 55); err == nil {
+		t.Error("over-max current should error")
+	}
+}
+
+func TestCoolingConcaveInCurrent(t *testing.T) {
+	// Qc(I) rises, peaks at the optimal current, then falls as Joule
+	// heating dominates.
+	d := TypicalCPU()
+	iOpt := d.OptimalCurrent(50)
+	if iOpt <= 0 || iOpt > d.MaxCurrent {
+		t.Fatalf("optimal current = %v", iOpt)
+	}
+	peak, err := d.Operate(iOpt, 50, 55)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frac := range []float64{0.3, 0.6, 0.9, 0.99} {
+		op, err := d.Operate(iOpt*frac, 50, 55)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if op.CoolingPower > peak.CoolingPower {
+			t.Errorf("Qc at %.0f%% of optimal exceeds peak", frac*100)
+		}
+	}
+}
+
+func TestMaxCoolingMeaningfulForCPUSpot(t *testing.T) {
+	// A CPU-class TEC must pump tens of watts across a small gradient —
+	// enough for the hot-spot episodes of the hybrid architecture.
+	d := TypicalCPU()
+	op, err := d.MaxCooling(55, 58)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if op.CoolingPower < 20 || op.CoolingPower > 120 {
+		t.Errorf("max cooling = %v W, implausible for a CPU TEC", op.CoolingPower)
+	}
+	if op.COP <= 0 {
+		t.Errorf("COP = %v, want positive", op.COP)
+	}
+	// Energy balance: rejected = pumped + electrical input.
+	if math.Abs(float64(op.HeatRejected-(op.CoolingPower+op.InputPower))) > 1e-9 {
+		t.Error("heat rejection must equal Qc + P")
+	}
+}
+
+func TestCOPDecreasesWithGradient(t *testing.T) {
+	d := TypicalCPU()
+	small, err := d.Operate(3, 55, 56)
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := d.Operate(3, 55, 70)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if large.COP >= small.COP {
+		t.Errorf("COP should fall with gradient: %v vs %v", large.COP, small.COP)
+	}
+}
+
+func TestCurrentFor(t *testing.T) {
+	d := TypicalCPU()
+	i, err := d.CurrentFor(20, 55, 58)
+	if err != nil {
+		t.Fatal(err)
+	}
+	op, err := d.Operate(i, 55, 58)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(op.CoolingPower) < 20-1e-3 {
+		t.Errorf("CurrentFor undershoots: %v", op.CoolingPower)
+	}
+	// Minimality: a slightly smaller current must miss the target.
+	if i > 0.01 {
+		under, err := d.Operate(i-0.01, 55, 58)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if under.CoolingPower >= 20 {
+			t.Errorf("current not minimal: %v A still pumps %v", i-0.01, under.CoolingPower)
+		}
+	}
+	if i0, err := d.CurrentFor(0, 55, 58); err != nil || i0 != 0 {
+		t.Errorf("zero target current = %v, %v", i0, err)
+	}
+	if _, err := d.CurrentFor(10000, 55, 58); err == nil {
+		t.Error("impossible target should error")
+	}
+}
+
+func TestHybridEpisode(t *testing.T) {
+	h := HybridSpotCooling{Device: TypicalCPU(), Flow: 200}
+	// A mild episode costs little input power, so the TEG covers it all.
+	mild, err := h.Episode(25, 58, 52, 4.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mild.TEGCoverage != 1 {
+		t.Errorf("mild episode coverage = %v, want 1", mild.TEGCoverage)
+	}
+	// A heavy hot spot needs more input than a ~4 W TEG provides.
+	res, err := h.Episode(40, 58, 52, 4.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The TEC's rejected heat warms the outlet — the Sec. VI-C1 synergy.
+	if res.OutletRise <= 0 {
+		t.Errorf("outlet rise = %v, want positive", res.OutletRise)
+	}
+	if res.TEGCoverage <= 0 || res.TEGCoverage >= 1 {
+		t.Errorf("TEG coverage = %v, want a fraction in (0,1)", res.TEGCoverage)
+	}
+	if res.Operation.CoolingPower < 40-1e-3 {
+		t.Errorf("episode under-cools: %v", res.Operation.CoolingPower)
+	}
+}
+
+func TestHybridEpisodeErrors(t *testing.T) {
+	h := HybridSpotCooling{Device: TypicalCPU(), Flow: 0}
+	if _, err := h.Episode(25, 58, 52, 4); err == nil {
+		t.Error("zero flow should error")
+	}
+	h.Flow = 200
+	if _, err := h.Episode(1e6, 58, 52, 4); err == nil {
+		t.Error("impossible episode should error")
+	}
+}
+
+func TestOutletRiseMatchesAdvection(t *testing.T) {
+	h := HybridSpotCooling{Device: TypicalCPU(), Flow: 100}
+	res, err := h.Episode(30, 58, 52, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := units.AdvectionDeltaT(res.Operation.HeatRejected, 100)
+	if math.Abs(float64(res.OutletRise-want)) > 1e-12 {
+		t.Errorf("outlet rise %v != advection %v", res.OutletRise, want)
+	}
+}

@@ -1,0 +1,107 @@
+package teg
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultAgingMatchesPaperLifespan(t *testing.T) {
+	a := DefaultAging()
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The 80% end-of-life threshold lands inside the paper's quoted
+	// 28-34-year lifespan.
+	years, err := a.YearsToThreshold(0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if years < 28 || years > 34 {
+		t.Errorf("end of life at %v years, want within 28-34", years)
+	}
+}
+
+func TestOutputFactorShape(t *testing.T) {
+	a := DefaultAging()
+	if f := a.OutputFactor(0); f != 1 {
+		t.Errorf("f(0) = %v", f)
+	}
+	if f := a.OutputFactor(-5); f != 1 {
+		t.Errorf("negative years should clamp: %v", f)
+	}
+	prev := 1.0
+	for y := 1.0; y <= 40; y++ {
+		f := a.OutputFactor(y)
+		if f >= prev || f <= 0 {
+			t.Fatalf("factor not strictly decaying at year %v: %v", y, f)
+		}
+		prev = f
+	}
+}
+
+func TestYearsToThresholdInvertsOutputFactor(t *testing.T) {
+	a := DefaultAging()
+	f := func(x float64) bool {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return true
+		}
+		th := 0.05 + 0.9*(math.Abs(x)-math.Floor(math.Abs(x)))
+		years, err := a.YearsToThreshold(th)
+		if err != nil {
+			return false
+		}
+		return math.Abs(a.OutputFactor(years)-th) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestYearsToThresholdEdges(t *testing.T) {
+	a := DefaultAging()
+	if _, err := a.YearsToThreshold(0); err == nil {
+		t.Error("zero threshold should error")
+	}
+	if _, err := a.YearsToThreshold(1); err == nil {
+		t.Error("unit threshold should error")
+	}
+	zero := Aging{}
+	years, err := zero.YearsToThreshold(0.8)
+	if err != nil || !math.IsInf(years, 1) {
+		t.Errorf("zero rate should never reach threshold: %v, %v", years, err)
+	}
+}
+
+func TestLifetimeAverageFactor(t *testing.T) {
+	a := DefaultAging()
+	avg, err := a.LifetimeAverageFactor(25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Average over life sits between end-of-life and nameplate.
+	end := a.OutputFactor(25)
+	if avg <= end || avg >= 1 {
+		t.Errorf("average %v not in (%v, 1)", avg, end)
+	}
+	// ~91-92% for the default rate over 25 years.
+	if avg < 0.89 || avg > 0.94 {
+		t.Errorf("25-year average factor = %v, want ~0.91", avg)
+	}
+	if _, err := a.LifetimeAverageFactor(0); err == nil {
+		t.Error("zero years should error")
+	}
+	one, err := (Aging{}).LifetimeAverageFactor(25)
+	if err != nil || one != 1 {
+		t.Errorf("zero rate average = %v, %v", one, err)
+	}
+}
+
+func TestAgingValidate(t *testing.T) {
+	if err := (Aging{AnnualRate: -0.1}).Validate(); err == nil {
+		t.Error("negative rate should error")
+	}
+	if err := (Aging{AnnualRate: 1}).Validate(); err == nil {
+		t.Error("unit rate should error")
+	}
+}

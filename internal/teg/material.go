@@ -1,0 +1,105 @@
+package teg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"github.com/h2p-sim/h2p/internal/units"
+)
+
+// Material describes a thermoelectric material by its figure of merit ZT
+// (Sec. VI-D). The ideal device efficiency at figure of merit ZT between
+// face temperatures Th and Tc (kelvin) is
+//
+//	eta = (dT/Th) * (sqrt(1+ZT) - 1) / (sqrt(1+ZT) + Tc/Th),
+//
+// the Carnot limit times the material factor. Bi2Te3 (ZT ~ 1) converts ~5 %
+// at datacenter gradients; the thin-film Heusler alloy the paper cites
+// (Fe2V0.8W0.2Al, ZT ~ 6 near 360 K) would multiply that, and nanostructured
+// materials sit in between.
+type Material struct {
+	// Name identifies the material.
+	Name string
+	// ZT is the dimensionless figure of merit near the operating point.
+	ZT float64
+	// UnitCost is the projected cost per 4x4 cm device.
+	UnitCost units.USD
+	// Commercial reports whether devices are purchasable today.
+	Commercial bool
+}
+
+// Bi2Te3 is the commercially dominant material of the SP 1848-27145.
+func Bi2Te3() Material {
+	return Material{Name: "Bi2Te3", ZT: 1.0, UnitCost: 1.0, Commercial: true}
+}
+
+// Nanostructured is the bulk nanostructured class under commercialization
+// (ZT ~ 1.5-2 reported; we take 1.8).
+func Nanostructured() Material {
+	return Material{Name: "nanostructured", ZT: 1.8, UnitCost: 2.5, Commercial: false}
+}
+
+// HeuslerFe2VWAl is the metastable thin-film Heusler alloy with laboratory
+// ZT ~ 6 around 360 K (Hinterleitner et al., Nature 2019).
+func HeuslerFe2VWAl() Material {
+	return Material{Name: "Fe2V0.8W0.2Al (thin film)", ZT: 6.0, UnitCost: 8.0, Commercial: false}
+}
+
+// Validate reports parameter errors.
+func (m Material) Validate() error {
+	if m.ZT <= 0 {
+		return errors.New("teg: material ZT must be positive")
+	}
+	if m.UnitCost <= 0 {
+		return errors.New("teg: material unit cost must be positive")
+	}
+	return nil
+}
+
+// Efficiency returns the ideal thermoelectric conversion efficiency between
+// the given face temperatures. It returns 0 for non-positive gradients.
+func (m Material) Efficiency(hot, cold units.Celsius) float64 {
+	if hot <= cold {
+		return 0
+	}
+	th := float64(hot.Kelvin())
+	tc := float64(cold.Kelvin())
+	carnot := (th - tc) / th
+	s := math.Sqrt(1 + m.ZT)
+	return carnot * (s - 1) / (s + tc/th)
+}
+
+// ProjectDevice scales the calibrated SP 1848-27145-class device to a new
+// material: output power scales with the efficiency ratio at the reference
+// operating point (and voltage with its square root, since P ~ v^2 at
+// matched load). Cost and name follow the material. The thermal conductance
+// is kept — ZT improvements come largely from lower thermal conductivity,
+// but projecting that would be speculative; keeping it makes the power
+// projection conservative.
+func ProjectDevice(base Device, m Material, refHot, refCold units.Celsius) (Device, error) {
+	if err := base.Validate(); err != nil {
+		return Device{}, err
+	}
+	if err := m.Validate(); err != nil {
+		return Device{}, err
+	}
+	if refHot <= refCold {
+		return Device{}, errors.New("teg: reference gradient must be positive")
+	}
+	baseEff := Bi2Te3().Efficiency(refHot, refCold)
+	newEff := m.Efficiency(refHot, refCold)
+	if baseEff <= 0 {
+		return Device{}, errors.New("teg: degenerate reference point")
+	}
+	ratio := newEff / baseEff
+	d := base
+	d.Model = fmt.Sprintf("%s [%s projection]", base.Model, m.Name)
+	d.SeebeckSlope = base.SeebeckSlope * math.Sqrt(ratio)
+	d.SeebeckOffset = base.SeebeckOffset * math.Sqrt(ratio)
+	for i := range d.PmaxFit {
+		d.PmaxFit[i] = base.PmaxFit[i] * ratio
+	}
+	d.UnitCost = m.UnitCost
+	return d, nil
+}

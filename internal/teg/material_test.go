@@ -1,0 +1,117 @@
+package teg
+
+import (
+	"math"
+	"testing"
+
+	"github.com/h2p-sim/h2p/internal/units"
+)
+
+func TestMaterialValidation(t *testing.T) {
+	for _, m := range []Material{Bi2Te3(), Nanostructured(), HeuslerFe2VWAl()} {
+		if err := m.Validate(); err != nil {
+			t.Errorf("%s: %v", m.Name, err)
+		}
+	}
+	if err := (Material{ZT: 0, UnitCost: 1}).Validate(); err == nil {
+		t.Error("zero ZT should error")
+	}
+	if err := (Material{ZT: 1, UnitCost: 0}).Validate(); err == nil {
+		t.Error("zero cost should error")
+	}
+}
+
+func TestBi2Te3EfficiencyNearFivePercent(t *testing.T) {
+	// Sec. VI-D: Bi2Te3 converts approximately 5 % — at its full rated
+	// gradient. At the datacenter operating point (~55 °C hot, 20 °C
+	// cold) the ideal ZT=1 efficiency is ~2 %.
+	m := Bi2Te3()
+	full := m.Efficiency(120, 20)
+	if full < 0.04 || full > 0.07 {
+		t.Errorf("rated-gradient efficiency = %v, want ~5%%", full)
+	}
+	op := m.Efficiency(55, 20)
+	if op < 0.015 || op > 0.035 {
+		t.Errorf("operating efficiency = %v, want ~2%%", op)
+	}
+}
+
+func TestEfficiencyIncreasesWithZTAndGradient(t *testing.T) {
+	if HeuslerFe2VWAl().Efficiency(55, 20) <= Nanostructured().Efficiency(55, 20) {
+		t.Error("higher ZT must convert better")
+	}
+	if Nanostructured().Efficiency(55, 20) <= Bi2Te3().Efficiency(55, 20) {
+		t.Error("higher ZT must convert better")
+	}
+	m := Bi2Te3()
+	if m.Efficiency(60, 20) <= m.Efficiency(40, 20) {
+		t.Error("larger gradient must convert better")
+	}
+	if m.Efficiency(20, 20) != 0 || m.Efficiency(10, 20) != 0 {
+		t.Error("non-positive gradient must convert nothing")
+	}
+}
+
+func TestEfficiencyBelowCarnot(t *testing.T) {
+	for _, m := range []Material{Bi2Te3(), HeuslerFe2VWAl()} {
+		hot, cold := units.Celsius(55), units.Celsius(20)
+		carnot := float64(hot-cold) / float64(hot.Kelvin())
+		if e := m.Efficiency(hot, cold); e >= carnot {
+			t.Errorf("%s: efficiency %v exceeds Carnot %v", m.Name, e, carnot)
+		}
+	}
+}
+
+func TestProjectDeviceIdentityForBi2Te3(t *testing.T) {
+	base := SP1848()
+	proj, err := ProjectDevice(base, Bi2Te3(), 55, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Projecting onto the same material must be a no-op (ratio 1).
+	if math.Abs(proj.SeebeckSlope-base.SeebeckSlope) > 1e-12 {
+		t.Errorf("slope changed: %v", proj.SeebeckSlope)
+	}
+	for i := range proj.PmaxFit {
+		if math.Abs(proj.PmaxFit[i]-base.PmaxFit[i]) > 1e-15 {
+			t.Errorf("PmaxFit[%d] changed", i)
+		}
+	}
+}
+
+func TestProjectDeviceHeuslerMultipliesPower(t *testing.T) {
+	base := SP1848()
+	proj, err := ProjectDevice(base, HeuslerFe2VWAl(), 55, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pBase := float64(base.MaxPowerEmpirical(35))
+	pProj := float64(proj.MaxPowerEmpirical(35))
+	ratio := pProj / pBase
+	// ZT 1 -> 6 roughly doubles-to-triples the ideal efficiency.
+	if ratio < 1.8 || ratio > 3.5 {
+		t.Errorf("power ratio = %v, want ~2-3x", ratio)
+	}
+	// Matched-load consistency: the physics path scales the same way.
+	phys := float64(proj.MaxPowerPhysics(35)) / float64(base.MaxPowerPhysics(35))
+	if math.Abs(phys-ratio) > 0.15*ratio {
+		t.Errorf("physics scaling %v diverges from empirical %v", phys, ratio)
+	}
+	if proj.UnitCost != 8 {
+		t.Errorf("cost = %v, want material cost", proj.UnitCost)
+	}
+}
+
+func TestProjectDeviceErrors(t *testing.T) {
+	if _, err := ProjectDevice(SP1848(), HeuslerFe2VWAl(), 20, 55); err == nil {
+		t.Error("inverted gradient should error")
+	}
+	bad := SP1848()
+	bad.InternalResistance = 0
+	if _, err := ProjectDevice(bad, Bi2Te3(), 55, 20); err == nil {
+		t.Error("invalid base should error")
+	}
+	if _, err := ProjectDevice(SP1848(), Material{ZT: -1, UnitCost: 1}, 55, 20); err == nil {
+		t.Error("invalid material should error")
+	}
+}

@@ -1,0 +1,229 @@
+// Package thermalnet provides a transient lumped-parameter (RC) thermal
+// network solver. Nodes carry heat capacity and temperature; edges carry
+// thermal conductance; boundary nodes pin a temperature (e.g. a coolant
+// stream). The network integrates dT/dt = (P_injected + sum(G*(T_j - T_i)))/C
+// with classical RK4.
+//
+// H2P uses it to reproduce the Fig. 3 experiment: a CPU whose heat path runs
+// through a nearly adiabatic TEG overheats even at 20 % load, while an
+// identical CPU pressed directly by its cold plate stays near the coolant
+// temperature.
+package thermalnet
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/h2p-sim/h2p/internal/numeric"
+	"github.com/h2p-sim/h2p/internal/units"
+)
+
+// NodeID identifies a node within a network.
+type NodeID int
+
+type node struct {
+	name        string
+	capacitance float64 // J/°C; <= 0 marks a boundary (fixed temperature)
+	temp        float64 // °C
+	power       float64 // W injected
+}
+
+type edge struct {
+	a, b        NodeID
+	conductance float64 // W/°C
+}
+
+// Network is a mutable thermal RC network. The zero value is ready to use.
+type Network struct {
+	nodes []node
+	edges []edge
+
+	// integrator state, rebuilt lazily when topology changes
+	dirty   bool
+	stepper *numeric.RK4
+	state   []float64
+	free    []NodeID // nodes with finite capacitance, in state order
+	index   map[NodeID]int
+}
+
+// AddNode adds a thermal mass with the given heat capacity (J/°C, must be
+// positive) and initial temperature, returning its id.
+func (n *Network) AddNode(name string, capacitance float64, initial units.Celsius) (NodeID, error) {
+	if capacitance <= 0 {
+		return 0, fmt.Errorf("thermalnet: node %q: capacitance must be positive (use AddBoundary for fixed temperatures)", name)
+	}
+	n.nodes = append(n.nodes, node{name: name, capacitance: capacitance, temp: float64(initial)})
+	n.dirty = true
+	return NodeID(len(n.nodes) - 1), nil
+}
+
+// AddBoundary adds a fixed-temperature node (a coolant stream or ambient).
+func (n *Network) AddBoundary(name string, temp units.Celsius) NodeID {
+	n.nodes = append(n.nodes, node{name: name, capacitance: 0, temp: float64(temp)})
+	n.dirty = true
+	return NodeID(len(n.nodes) - 1)
+}
+
+// Connect joins two nodes with the given thermal conductance (W/°C, > 0).
+func (n *Network) Connect(a, b NodeID, conductance float64) error {
+	if err := n.check(a); err != nil {
+		return err
+	}
+	if err := n.check(b); err != nil {
+		return err
+	}
+	if a == b {
+		return errors.New("thermalnet: self-loop")
+	}
+	if conductance <= 0 {
+		return errors.New("thermalnet: conductance must be positive")
+	}
+	n.edges = append(n.edges, edge{a: a, b: b, conductance: conductance})
+	n.dirty = true
+	return nil
+}
+
+func (n *Network) check(id NodeID) error {
+	if id < 0 || int(id) >= len(n.nodes) {
+		return fmt.Errorf("thermalnet: unknown node %d", id)
+	}
+	return nil
+}
+
+// SetPower sets the heat injected into a node (W). Boundary nodes absorb any
+// injected power without changing temperature.
+func (n *Network) SetPower(id NodeID, p units.Watts) error {
+	if err := n.check(id); err != nil {
+		return err
+	}
+	n.nodes[id].power = float64(p)
+	return nil
+}
+
+// SetBoundaryTemp changes a boundary node's pinned temperature.
+func (n *Network) SetBoundaryTemp(id NodeID, t units.Celsius) error {
+	if err := n.check(id); err != nil {
+		return err
+	}
+	if n.nodes[id].capacitance > 0 {
+		return fmt.Errorf("thermalnet: node %q is not a boundary", n.nodes[id].name)
+	}
+	n.nodes[id].temp = float64(t)
+	return nil
+}
+
+// Temp returns a node's current temperature.
+func (n *Network) Temp(id NodeID) (units.Celsius, error) {
+	if err := n.check(id); err != nil {
+		return 0, err
+	}
+	return units.Celsius(n.nodes[id].temp), nil
+}
+
+// rebuild prepares the RK4 stepper after topology changes.
+func (n *Network) rebuild() error {
+	n.free = n.free[:0]
+	n.index = make(map[NodeID]int)
+	for i := range n.nodes {
+		if n.nodes[i].capacitance > 0 {
+			n.index[NodeID(i)] = len(n.free)
+			n.free = append(n.free, NodeID(i))
+		}
+	}
+	if len(n.free) == 0 {
+		return errors.New("thermalnet: network has no free nodes")
+	}
+	n.state = make([]float64, len(n.free))
+	deriv := func(_ float64, y, dydt []float64) {
+		// Temperature of node id under state vector y.
+		tempOf := func(id NodeID) float64 {
+			if k, ok := n.index[id]; ok {
+				return y[k]
+			}
+			return n.nodes[id].temp // boundary
+		}
+		for k, id := range n.free {
+			dydt[k] = n.nodes[id].power
+		}
+		for _, e := range n.edges {
+			flow := e.conductance * (tempOf(e.a) - tempOf(e.b)) // W from a to b
+			if k, ok := n.index[e.a]; ok {
+				dydt[k] -= flow
+			}
+			if k, ok := n.index[e.b]; ok {
+				dydt[k] += flow
+			}
+		}
+		for k, id := range n.free {
+			dydt[k] /= n.nodes[id].capacitance
+		}
+	}
+	st, err := numeric.NewRK4(len(n.free), deriv)
+	if err != nil {
+		return err
+	}
+	n.stepper = st
+	n.dirty = false
+	return nil
+}
+
+// Advance integrates the network forward by the given duration (seconds)
+// using internal steps of at most maxStep seconds.
+func (n *Network) Advance(seconds, maxStep float64) error {
+	if seconds < 0 {
+		return errors.New("thermalnet: negative duration")
+	}
+	if maxStep <= 0 {
+		return errors.New("thermalnet: maxStep must be positive")
+	}
+	if n.dirty || n.stepper == nil {
+		if err := n.rebuild(); err != nil {
+			return err
+		}
+	}
+	for k, id := range n.free {
+		n.state[k] = n.nodes[id].temp
+	}
+	if err := n.stepper.Integrate(0, seconds, n.state, maxStep); err != nil {
+		return err
+	}
+	for k, id := range n.free {
+		n.nodes[id].temp = n.state[k]
+	}
+	return nil
+}
+
+// SteadyState advances the network until the largest temperature movement
+// over a probe window falls below tol (°C), or until maxSeconds elapse.
+// It returns the simulated time consumed.
+func (n *Network) SteadyState(tol, maxSeconds, maxStep float64) (float64, error) {
+	if tol <= 0 {
+		return 0, errors.New("thermalnet: tolerance must be positive")
+	}
+	const window = 10.0 // seconds per probe
+	elapsed := 0.0
+	prev := make([]float64, len(n.nodes))
+	for elapsed < maxSeconds {
+		for i := range n.nodes {
+			prev[i] = n.nodes[i].temp
+		}
+		if err := n.Advance(window, maxStep); err != nil {
+			return elapsed, err
+		}
+		elapsed += window
+		maxMove := 0.0
+		for i := range n.nodes {
+			d := n.nodes[i].temp - prev[i]
+			if d < 0 {
+				d = -d
+			}
+			if d > maxMove {
+				maxMove = d
+			}
+		}
+		if maxMove < tol {
+			return elapsed, nil
+		}
+	}
+	return elapsed, errors.New("thermalnet: steady state not reached")
+}

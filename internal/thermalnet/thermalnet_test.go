@@ -1,0 +1,206 @@
+package thermalnet
+
+import (
+	"math"
+	"testing"
+
+	"github.com/h2p-sim/h2p/internal/units"
+)
+
+func buildSingleRC(t *testing.T, c, g float64, boundary units.Celsius) (*Network, NodeID) {
+	t.Helper()
+	var n Network
+	die, err := n.AddNode("die", c, boundary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coolant := n.AddBoundary("coolant", boundary)
+	if err := n.Connect(die, coolant, g); err != nil {
+		t.Fatal(err)
+	}
+	return &n, die
+}
+
+func TestSingleNodeMatchesAnalyticRC(t *testing.T) {
+	// One mass C connected to a boundary through conductance G with power
+	// P: T(t) = T_b + (P/G)(1 - e^{-Gt/C}).
+	const c, g, p = 250.0, 2.0, 40.0
+	n, die := buildSingleRC(t, c, g, 30)
+	if err := n.SetPower(die, p); err != nil {
+		t.Fatal(err)
+	}
+	for _, tt := range []float64{10, 60, 300, 1200} {
+		fresh, d2 := buildSingleRC(t, c, g, 30)
+		if err := fresh.SetPower(d2, p); err != nil {
+			t.Fatal(err)
+		}
+		if err := fresh.Advance(tt, 0.5); err != nil {
+			t.Fatal(err)
+		}
+		got, _ := fresh.Temp(d2)
+		want := 30 + p/g*(1-math.Exp(-g*tt/c))
+		if math.Abs(float64(got)-want) > 1e-6 {
+			t.Errorf("T(%v) = %v, want %v", tt, got, want)
+		}
+	}
+}
+
+func TestSteadyStateReachesPOverG(t *testing.T) {
+	n, die := buildSingleRC(t, 250, 2, 30)
+	if err := n.SetPower(die, 40); err != nil {
+		t.Fatal(err)
+	}
+	elapsed, err := n.SteadyState(1e-6, 1e5, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed <= 0 {
+		t.Error("no time elapsed")
+	}
+	got, _ := n.Temp(die)
+	if math.Abs(float64(got)-50) > 1e-3 {
+		t.Errorf("steady T = %v, want 50", got)
+	}
+}
+
+func TestTwoPathComparisonReproducesFig3Asymmetry(t *testing.T) {
+	// CPU0 -> TEG (0.5 W/°C) -> plate -> coolant vs CPU1 -> plate ->
+	// coolant directly. The TEG-throttled CPU must settle far hotter.
+	var n Network
+	coolant := n.AddBoundary("coolant", 28)
+	cpu0, _ := n.AddNode("cpu0", 250, 28)
+	plate0, _ := n.AddNode("plate0", 100, 28)
+	cpu1, _ := n.AddNode("cpu1", 250, 28)
+	plate1, _ := n.AddNode("plate1", 100, 28)
+	if err := n.Connect(cpu0, plate0, 0.5); err != nil { // TEG path
+		t.Fatal(err)
+	}
+	if err := n.Connect(plate0, coolant, 20); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Connect(cpu1, plate1, 10); err != nil { // direct metal contact
+		t.Fatal(err)
+	}
+	if err := n.Connect(plate1, coolant, 20); err != nil {
+		t.Fatal(err)
+	}
+	// 20 % load on both: ~23 W each.
+	if err := n.SetPower(cpu0, 23); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.SetPower(cpu1, 23); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.SteadyState(1e-5, 1e5, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	t0, _ := n.Temp(cpu0)
+	t1, _ := n.Temp(cpu1)
+	if t0 < 70 {
+		t.Errorf("TEG-sandwiched CPU settled at %v, expected near the 78.9 limit", t0)
+	}
+	if t1 > 35 {
+		t.Errorf("directly cooled CPU settled at %v, expected near coolant", t1)
+	}
+	if t0-t1 < 35 {
+		t.Errorf("asymmetry %v too small", t0-t1)
+	}
+}
+
+func TestEnergyConservationAcrossEdges(t *testing.T) {
+	// In steady state, power injected equals power crossing into the
+	// boundary: T_die - T_boundary = P/G_effective for a series chain.
+	var n Network
+	b := n.AddBoundary("coolant", 20)
+	a, _ := n.AddNode("a", 50, 20)
+	mid, _ := n.AddNode("mid", 50, 20)
+	if err := n.Connect(a, mid, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Connect(mid, b, 6); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.SetPower(a, 12); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.SteadyState(1e-7, 1e5, 0.25); err != nil {
+		t.Fatal(err)
+	}
+	ta, _ := n.Temp(a)
+	tm, _ := n.Temp(mid)
+	// Series conductances: 12 W across G=4 gives 3°C, across G=6 gives 2°C.
+	if math.Abs(float64(ta-tm)-3) > 1e-3 {
+		t.Errorf("die-mid drop = %v, want 3", ta-tm)
+	}
+	if math.Abs(float64(tm)-22) > 1e-3 {
+		t.Errorf("mid = %v, want 22", tm)
+	}
+}
+
+func TestBoundaryTempChangePropagates(t *testing.T) {
+	n, die := buildSingleRC(t, 100, 5, 20)
+	if _, err := n.SteadyState(1e-6, 1e5, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.SetBoundaryTemp(1, 40); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.SteadyState(1e-6, 1e5, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := n.Temp(die)
+	if math.Abs(float64(got)-40) > 1e-3 {
+		t.Errorf("die = %v, want 40 after boundary change", got)
+	}
+}
+
+func TestAPIErrors(t *testing.T) {
+	var n Network
+	if _, err := n.AddNode("bad", 0, 20); err == nil {
+		t.Error("zero capacitance should error")
+	}
+	a, _ := n.AddNode("a", 10, 20)
+	if err := n.Connect(a, a, 1); err == nil {
+		t.Error("self loop should error")
+	}
+	if err := n.Connect(a, 99, 1); err == nil {
+		t.Error("unknown node should error")
+	}
+	if err := n.Connect(a, a, -1); err == nil {
+		t.Error("bad conductance should error")
+	}
+	if err := n.SetPower(99, 1); err == nil {
+		t.Error("unknown node power should error")
+	}
+	if err := n.SetBoundaryTemp(a, 25); err == nil {
+		t.Error("setting boundary temp on free node should error")
+	}
+	if _, err := n.Temp(99); err == nil {
+		t.Error("unknown node temp should error")
+	}
+	if err := n.Advance(-1, 0.5); err == nil {
+		t.Error("negative duration should error")
+	}
+	if err := n.Advance(1, 0); err == nil {
+		t.Error("zero step should error")
+	}
+	var empty Network
+	empty.AddBoundary("only", 20)
+	if err := empty.Advance(1, 0.5); err == nil {
+		t.Error("boundary-only network should error")
+	}
+	if _, err := n.SteadyState(0, 10, 0.5); err == nil {
+		t.Error("zero tolerance should error")
+	}
+}
+
+func TestSteadyStateTimeout(t *testing.T) {
+	// A large capacitance cannot settle within the tiny budget.
+	n, die := buildSingleRC(t, 1e9, 0.001, 20)
+	if err := n.SetPower(die, 100); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.SteadyState(1e-12, 20, 1); err == nil {
+		t.Error("expected steady-state timeout")
+	}
+}

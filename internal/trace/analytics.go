@@ -1,0 +1,141 @@
+package trace
+
+import (
+	"errors"
+	"math"
+	"time"
+
+	"github.com/h2p-sim/h2p/internal/stats"
+)
+
+// Analytics summarizes the temporal structure of a trace — the quantities
+// that distinguish the paper's three workload classes beyond their means.
+type Analytics struct {
+	// Utilization is the pooled sample summary.
+	Utilization stats.Summary
+	// TemporalStd is the mean over servers of each server's standard
+	// deviation across time: how much individual servers fluctuate.
+	TemporalStd float64
+	// SpatialStd is the mean over intervals of the cross-server standard
+	// deviation: how dispersed the cluster is at any instant (what the
+	// workload balancer collapses).
+	SpatialStd float64
+	// MeanDispersion is the mean over intervals of Umax - Uavg.
+	MeanDispersion float64
+	// Lag1Autocorr is the mean per-server lag-1 autocorrelation: near 1
+	// for smooth series, low for drastic fluctuation.
+	Lag1Autocorr float64
+	// BurstFraction is the fraction of samples more than 2 temporal
+	// standard deviations above their server's own mean.
+	BurstFraction float64
+}
+
+// Analyze computes the temporal analytics of a trace.
+func (t *Trace) Analyze() (Analytics, error) {
+	if err := t.Validate(); err != nil {
+		return Analytics{}, err
+	}
+	var a Analytics
+	var err error
+	if a.Utilization, err = t.Describe(); err != nil {
+		return Analytics{}, err
+	}
+
+	// Per-server temporal statistics.
+	var sumStd, sumAC, bursts, samples float64
+	for _, row := range t.U {
+		mean, sd := meanStd(row)
+		sumStd += sd
+		sumAC += lag1(row, mean, sd)
+		for _, u := range row {
+			samples++
+			if sd > 0 && u > mean+2*sd {
+				bursts++
+			}
+		}
+	}
+	n := float64(t.Servers())
+	a.TemporalStd = sumStd / n
+	a.Lag1Autocorr = sumAC / n
+	if samples > 0 {
+		a.BurstFraction = bursts / samples
+	}
+
+	// Per-interval spatial statistics.
+	col := make([]float64, t.Servers())
+	var sumSpatial, sumDisp float64
+	for i := 0; i < t.Intervals(); i++ {
+		if col, err = t.Column(i, col); err != nil {
+			return Analytics{}, err
+		}
+		mean, sd := meanStd(col)
+		sumSpatial += sd
+		sumDisp += stats.Max(col) - mean
+	}
+	m := float64(t.Intervals())
+	a.SpatialStd = sumSpatial / m
+	a.MeanDispersion = sumDisp / m
+	return a, nil
+}
+
+func meanStd(xs []float64) (mean, sd float64) {
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	var ss float64
+	for _, x := range xs {
+		ss += (x - mean) * (x - mean)
+	}
+	if len(xs) > 1 {
+		sd = math.Sqrt(ss / float64(len(xs)-1))
+	}
+	return mean, sd
+}
+
+// lag1 returns the lag-1 autocorrelation of xs, or 0 for degenerate series.
+func lag1(xs []float64, mean, sd float64) float64 {
+	if len(xs) < 3 || sd == 0 {
+		return 0
+	}
+	var num float64
+	for i := 1; i < len(xs); i++ {
+		num += (xs[i] - mean) * (xs[i-1] - mean)
+	}
+	den := sd * sd * float64(len(xs)-1)
+	return num / den
+}
+
+// Resample returns a trace whose interval length is a multiple of the
+// original's, averaging consecutive samples — e.g. turning a 5-minute trace
+// into a 15-minute one for coarser control studies.
+func (t *Trace) Resample(factor int) (*Trace, error) {
+	if factor <= 0 {
+		return nil, errors.New("trace: resample factor must be positive")
+	}
+	if factor == 1 {
+		nt, _ := New(t.Name, t.Class, t.Servers(), t.Intervals(), t.Interval)
+		for s := range t.U {
+			copy(nt.U[s], t.U[s])
+		}
+		return nt, nil
+	}
+	out := t.Intervals() / factor
+	if out == 0 {
+		return nil, errors.New("trace: resample factor exceeds trace length")
+	}
+	nt, err := New(t.Name+"-resampled", t.Class, t.Servers(), out, t.Interval*time.Duration(factor))
+	if err != nil {
+		return nil, err
+	}
+	for s := range t.U {
+		for i := 0; i < out; i++ {
+			var sum float64
+			for k := 0; k < factor; k++ {
+				sum += t.U[s][i*factor+k]
+			}
+			nt.U[s][i] = sum / float64(factor)
+		}
+	}
+	return nt, nt.Validate()
+}

@@ -1,0 +1,121 @@
+package trace
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestAnalyzeDistinguishesClasses(t *testing.T) {
+	trs, err := GenerateAll(200, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drastic, err := trs[0].Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	irregular, err := trs[1].Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	common, err := trs[2].Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drastic fluctuates temporally far more than common.
+	if drastic.TemporalStd < 2.5*common.TemporalStd {
+		t.Errorf("drastic temporal std %v should dwarf common %v",
+			drastic.TemporalStd, common.TemporalStd)
+	}
+	// Common is the smoothest: highest lag-1 autocorrelation.
+	if common.Lag1Autocorr <= drastic.Lag1Autocorr {
+		t.Errorf("common autocorr %v should exceed drastic %v",
+			common.Lag1Autocorr, drastic.Lag1Autocorr)
+	}
+	// Irregular's signature is bursts: its burst fraction beats common's.
+	if irregular.BurstFraction <= common.BurstFraction {
+		t.Errorf("irregular bursts %v should exceed common %v",
+			irregular.BurstFraction, common.BurstFraction)
+	}
+	// Dispersion (what balancing collapses) is positive everywhere.
+	for _, a := range []Analytics{drastic, irregular, common} {
+		if a.MeanDispersion <= 0 || a.SpatialStd <= 0 {
+			t.Errorf("degenerate spatial stats: %+v", a)
+		}
+	}
+}
+
+func TestAnalyzeBalancedTraceHasNoSpatialSpread(t *testing.T) {
+	tr, err := Generate(DrasticConfig(50), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := tr.Balanced().Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.SpatialStd > 1e-9 || a.MeanDispersion > 1e-9 {
+		t.Errorf("balanced trace should have zero spatial spread: %+v", a)
+	}
+}
+
+func TestAnalyzeRejectsInvalid(t *testing.T) {
+	tr, _ := New("bad", Common, 2, 2, time.Minute)
+	tr.U[0][0] = 2
+	if _, err := tr.Analyze(); err == nil {
+		t.Error("invalid trace should error")
+	}
+}
+
+func TestResamplePreservesWork(t *testing.T) {
+	tr, err := Generate(CommonConfig(20), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := tr.Resample(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Intervals() != tr.Intervals()/3 {
+		t.Errorf("intervals = %d", rs.Intervals())
+	}
+	if rs.Interval != 15*time.Minute {
+		t.Errorf("interval = %v, want 15m", rs.Interval)
+	}
+	// Mean utilization is preserved over the covered span.
+	var origSum, rsSum float64
+	for s := range tr.U {
+		for i := 0; i < rs.Intervals()*3; i++ {
+			origSum += tr.U[s][i]
+		}
+		for i := 0; i < rs.Intervals(); i++ {
+			rsSum += rs.U[s][i] * 3
+		}
+	}
+	if math.Abs(origSum-rsSum) > 1e-9 {
+		t.Errorf("work changed: %v vs %v", origSum, rsSum)
+	}
+}
+
+func TestResampleFactorOneCopies(t *testing.T) {
+	tr, _ := Generate(CommonConfig(5), 3)
+	rs, err := tr.Resample(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs.U[0][0] = 0.999
+	if tr.U[0][0] == 0.999 {
+		t.Error("factor-1 resample must copy, not alias")
+	}
+}
+
+func TestResampleErrors(t *testing.T) {
+	tr, _ := Generate(CommonConfig(5), 3)
+	if _, err := tr.Resample(0); err == nil {
+		t.Error("zero factor should error")
+	}
+	if _, err := tr.Resample(100000); err == nil {
+		t.Error("oversized factor should error")
+	}
+}

@@ -1,0 +1,100 @@
+package trace
+
+import (
+	"encoding/csv"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+)
+
+// WriteCSV serializes a trace with a two-line header (name/class/interval,
+// then column labels) followed by one row per server.
+func (t *Trace) WriteCSV(w io.Writer) error {
+	if err := t.Validate(); err != nil {
+		return err
+	}
+	cw := csv.NewWriter(w)
+	meta := []string{"#h2p-trace", t.Name, string(t.Class), t.Interval.String()}
+	if err := cw.Write(meta); err != nil {
+		return err
+	}
+	header := make([]string, t.Intervals()+1)
+	header[0] = "server"
+	for i := 1; i <= t.Intervals(); i++ {
+		header[i] = fmt.Sprintf("t%d", i-1)
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	row := make([]string, t.Intervals()+1)
+	for s, u := range t.U {
+		row[0] = strconv.Itoa(s)
+		for i, v := range u {
+			row[i+1] = strconv.FormatFloat(v, 'g', -1, 64)
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a trace previously written with WriteCSV. It also accepts
+// headerless matrices (one server per row) when defaults are supplied.
+func ReadCSV(r io.Reader) (*Trace, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	if len(records) == 0 {
+		return nil, errors.New("trace: empty CSV")
+	}
+	name, class, interval := "csv-trace", Class("unknown"), 5*time.Minute
+	body := records
+	if records[0][0] == "#h2p-trace" {
+		if len(records[0]) != 4 {
+			return nil, errors.New("trace: malformed meta row")
+		}
+		name = records[0][1]
+		class = Class(records[0][2])
+		d, err := time.ParseDuration(records[0][3])
+		if err != nil {
+			return nil, fmt.Errorf("trace: bad interval: %w", err)
+		}
+		interval = d
+		if len(records) < 3 {
+			return nil, errors.New("trace: CSV has no data rows")
+		}
+		body = records[2:] // skip meta + column header
+	}
+	servers := len(body)
+	if servers == 0 {
+		return nil, errors.New("trace: CSV has no data rows")
+	}
+	intervals := len(body[0]) - 1
+	if intervals < 1 {
+		return nil, errors.New("trace: CSV rows need a server id and at least one sample")
+	}
+	tr, err := New(name, class, servers, intervals, interval)
+	if err != nil {
+		return nil, err
+	}
+	for s, rec := range body {
+		if len(rec) != intervals+1 {
+			return nil, fmt.Errorf("trace: row %d has %d fields, want %d", s, len(rec), intervals+1)
+		}
+		for i := 1; i < len(rec); i++ {
+			v, err := strconv.ParseFloat(rec[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("trace: row %d field %d: %w", s, i, err)
+			}
+			tr.U[s][i-1] = v
+		}
+	}
+	return tr, tr.Validate()
+}

@@ -1,0 +1,47 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV hardens the trace parser: arbitrary input must either parse
+// into a valid trace or return an error — never panic, and every accepted
+// trace must round-trip through WriteCSV.
+func FuzzReadCSV(f *testing.F) {
+	tr, err := Generate(CommonConfig(3), 1)
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteCSV(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+	f.Add("0,0.1,0.2\n1,0.3,0.4\n")
+	f.Add("#h2p-trace,x,common,5m0s\nserver,t0\n0,0.5\n")
+	f.Add("")
+	f.Add("#h2p-trace,broken\n")
+	f.Add("0,abc\n")
+	f.Fuzz(func(t *testing.T, raw string) {
+		got, err := ReadCSV(strings.NewReader(raw))
+		if err != nil {
+			return
+		}
+		if vErr := got.Validate(); vErr != nil {
+			t.Fatalf("accepted trace fails validation: %v", vErr)
+		}
+		var out bytes.Buffer
+		if wErr := got.WriteCSV(&out); wErr != nil {
+			t.Fatalf("accepted trace fails to serialize: %v", wErr)
+		}
+		back, rErr := ReadCSV(&out)
+		if rErr != nil {
+			t.Fatalf("round-trip failed: %v", rErr)
+		}
+		if back.Servers() != got.Servers() || back.Intervals() != got.Intervals() {
+			t.Fatal("round-trip changed shape")
+		}
+	})
+}

@@ -1,0 +1,153 @@
+package trace
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"time"
+
+	"github.com/h2p-sim/h2p/internal/units"
+)
+
+// GeneratorConfig parameterizes the synthetic workload generator. Each of the
+// three paper workload classes is a preset of this structure; the presets are
+// calibrated so the trace-driven evaluation lands in the published band
+// (mean utilization ~0.18-0.27, drastic variance far above common variance).
+type GeneratorConfig struct {
+	Name     string
+	Class    Class
+	Servers  int
+	Horizon  time.Duration
+	Interval time.Duration
+
+	// BaseMean/BaseStd shape the per-server long-run utilization levels.
+	BaseMean, BaseStd float64
+	// DiurnalAmplitude scales a day-period sinusoid peaking mid-day.
+	DiurnalAmplitude float64
+	// NoiseStd is the per-interval AR(1) noise scale per server.
+	NoiseStd float64
+	// NoisePhi is the AR(1) coefficient in [0, 1).
+	NoisePhi float64
+	// GlobalSwingAmplitude adds a shared random-walk fluctuation across
+	// all servers (the violent cluster-wide moves of the Alibaba trace).
+	GlobalSwingAmplitude float64
+	// SpikeProb is the per-server per-interval probability of entering a
+	// load spike.
+	SpikeProb float64
+	// SpikeMin/SpikeMax bound the spike height added to the base.
+	SpikeMin, SpikeMax float64
+	// SpikeDurationIntervals is the mean spike length.
+	SpikeDurationIntervals int
+}
+
+// DrasticConfig mimics the Alibaba cluster trace: 12 hours of drastic,
+// frequent fluctuations (Sec. V-C).
+func DrasticConfig(servers int) GeneratorConfig {
+	return GeneratorConfig{
+		Name: "alibaba-drastic", Class: Drastic,
+		Servers: servers, Horizon: 12 * time.Hour, Interval: 5 * time.Minute,
+		BaseMean: 0.18, BaseStd: 0.11,
+		DiurnalAmplitude: 0.05,
+		NoiseStd:         0.09, NoisePhi: 0.5,
+		GlobalSwingAmplitude: 0.10,
+		SpikeProb:            0.015, SpikeMin: 0.30, SpikeMax: 0.55,
+		SpikeDurationIntervals: 2,
+	}
+}
+
+// IrregularConfig mimics the Google trace subset with occasional high peaks.
+func IrregularConfig(servers int) GeneratorConfig {
+	return GeneratorConfig{
+		Name: "google-irregular", Class: Irregular,
+		Servers: servers, Horizon: 24 * time.Hour, Interval: 5 * time.Minute,
+		BaseMean: 0.19, BaseStd: 0.055,
+		DiurnalAmplitude: 0.04,
+		NoiseStd:         0.03, NoisePhi: 0.7,
+		GlobalSwingAmplitude: 0.02,
+		SpikeProb:            0.004, SpikeMin: 0.45, SpikeMax: 0.75,
+		SpikeDurationIntervals: 3,
+	}
+}
+
+// CommonConfig mimics the Google trace subset with very little fluctuation.
+func CommonConfig(servers int) GeneratorConfig {
+	return GeneratorConfig{
+		Name: "google-common", Class: Common,
+		Servers: servers, Horizon: 24 * time.Hour, Interval: 5 * time.Minute,
+		BaseMean: 0.27, BaseStd: 0.11,
+		DiurnalAmplitude: 0.03,
+		NoiseStd:         0.015, NoisePhi: 0.8,
+		GlobalSwingAmplitude: 0.01,
+		SpikeProb:            0.004, SpikeMin: 0.3, SpikeMax: 0.5,
+		SpikeDurationIntervals: 2,
+	}
+}
+
+// Generate produces a deterministic synthetic trace for the given seed.
+func Generate(cfg GeneratorConfig, seed int64) (*Trace, error) {
+	if cfg.Servers <= 0 {
+		return nil, errors.New("trace: Servers must be positive")
+	}
+	if cfg.Interval <= 0 || cfg.Horizon < cfg.Interval {
+		return nil, errors.New("trace: bad horizon/interval")
+	}
+	intervals := int(cfg.Horizon / cfg.Interval)
+	tr, err := New(cfg.Name, cfg.Class, cfg.Servers, intervals, cfg.Interval)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+
+	// Per-server persistent base levels.
+	base := make([]float64, cfg.Servers)
+	for s := range base {
+		base[s] = units.Clamp(cfg.BaseMean+rng.NormFloat64()*cfg.BaseStd, 0.01, 0.95)
+	}
+	noise := make([]float64, cfg.Servers) // AR(1) state
+	spikeLeft := make([]int, cfg.Servers) // intervals of spike remaining
+	spikeHeight := make([]float64, cfg.Servers)
+
+	perDay := float64((24 * time.Hour) / cfg.Interval)
+	swing := 0.0
+	for i := 0; i < intervals; i++ {
+		// Shared diurnal component peaking mid-day.
+		diurnal := cfg.DiurnalAmplitude * math.Sin(2*math.Pi*(float64(i)/perDay-0.25))
+		// Shared bounded random walk.
+		swing += rng.NormFloat64() * cfg.GlobalSwingAmplitude / 4
+		swing = units.Clamp(swing, -cfg.GlobalSwingAmplitude, cfg.GlobalSwingAmplitude)
+		for s := 0; s < cfg.Servers; s++ {
+			noise[s] = cfg.NoisePhi*noise[s] + rng.NormFloat64()*cfg.NoiseStd
+			if spikeLeft[s] > 0 {
+				spikeLeft[s]--
+			} else if rng.Float64() < cfg.SpikeProb {
+				spikeLeft[s] = 1 + rng.Intn(2*cfg.SpikeDurationIntervals)
+				spikeHeight[s] = cfg.SpikeMin + rng.Float64()*(cfg.SpikeMax-cfg.SpikeMin)
+			}
+			u := base[s] + diurnal + swing + noise[s]
+			if spikeLeft[s] > 0 {
+				u += spikeHeight[s]
+			}
+			tr.U[s][i] = units.Clamp(u, 0, 1)
+		}
+	}
+	return tr, tr.Validate()
+}
+
+// GenerateAll returns the paper's three evaluation traces for the given
+// server count and seed, in drastic/irregular/common order.
+func GenerateAll(servers int, seed int64) ([]*Trace, error) {
+	configs := []GeneratorConfig{
+		DrasticConfig(servers),
+		IrregularConfig(servers),
+		CommonConfig(servers),
+	}
+	out := make([]*Trace, 0, len(configs))
+	for i, cfg := range configs {
+		tr, err := Generate(cfg, seed+int64(i)*1000)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, tr)
+	}
+	return out, nil
+}

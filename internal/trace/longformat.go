@@ -1,0 +1,188 @@
+package trace
+
+import (
+	"encoding/csv"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"time"
+)
+
+// LongFormatOptions describes a "long"-format usage file: one row per
+// (machine, timestamp) observation, as published by the Alibaba and Google
+// cluster traces the paper evaluates on.
+type LongFormatOptions struct {
+	// MachineColumn, TimestampColumn and UtilColumn are zero-based column
+	// indices.
+	MachineColumn, TimestampColumn, UtilColumn int
+	// UtilScale converts the file's utilization unit to [0, 1]
+	// (Alibaba reports percent, so 0.01).
+	UtilScale float64
+	// Interval is the resampling bucket (the paper uses 5 minutes).
+	Interval time.Duration
+	// Comma is the field separator (',' in both public traces).
+	Comma rune
+	// Class labels the resulting trace.
+	Class Class
+	// Name labels the resulting trace.
+	Name string
+}
+
+// AlibabaOptions returns the layout of the Alibaba cluster-trace-v2018
+// machine_usage table: machine_id, time_stamp, cpu_util_percent, ...
+func AlibabaOptions() LongFormatOptions {
+	return LongFormatOptions{
+		MachineColumn:   0,
+		TimestampColumn: 1,
+		UtilColumn:      2,
+		UtilScale:       0.01,
+		Interval:        5 * time.Minute,
+		Comma:           ',',
+		Class:           Drastic,
+		Name:            "alibaba-machine-usage",
+	}
+}
+
+// Validate reports option errors.
+func (o LongFormatOptions) Validate() error {
+	if o.MachineColumn < 0 || o.TimestampColumn < 0 || o.UtilColumn < 0 {
+		return errors.New("trace: negative column index")
+	}
+	if o.MachineColumn == o.TimestampColumn || o.MachineColumn == o.UtilColumn || o.TimestampColumn == o.UtilColumn {
+		return errors.New("trace: duplicate column indices")
+	}
+	if o.UtilScale <= 0 {
+		return errors.New("trace: UtilScale must be positive")
+	}
+	if o.Interval <= 0 {
+		return errors.New("trace: Interval must be positive")
+	}
+	return nil
+}
+
+// ReadLongFormat parses a long-format usage file into a Trace: observations
+// are bucketed into fixed intervals and averaged per machine; gaps carry the
+// machine's previous bucket forward (cluster traces sample every machine on
+// a coarse, slightly jittered cadence). Machines are ordered by first
+// appearance; out-of-range utilizations are clamped to [0, 1].
+func ReadLongFormat(r io.Reader, o LongFormatOptions) (*Trace, error) {
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
+	cr := csv.NewReader(r)
+	cr.Comma = o.Comma
+	cr.FieldsPerRecord = -1
+	cr.ReuseRecord = true
+
+	type cell struct{ sum, n float64 }
+	machines := map[string]int{}       // machine id -> dense index
+	var order []string                 // dense index -> machine id
+	buckets := map[int]map[int]*cell{} // machine -> bucket -> accumulator
+	minBucket, maxBucket := int(^uint(0)>>1), -int(^uint(0)>>1)
+	need := o.MachineColumn
+	if o.TimestampColumn > need {
+		need = o.TimestampColumn
+	}
+	if o.UtilColumn > need {
+		need = o.UtilColumn
+	}
+	rows := 0
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("trace: long format: %w", err)
+		}
+		if len(rec) <= need {
+			return nil, fmt.Errorf("trace: row has %d fields, need > %d", len(rec), need)
+		}
+		ts, err := strconv.ParseFloat(rec[o.TimestampColumn], 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: bad timestamp %q: %w", rec[o.TimestampColumn], err)
+		}
+		util, err := strconv.ParseFloat(rec[o.UtilColumn], 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: bad utilization %q: %w", rec[o.UtilColumn], err)
+		}
+		id := rec[o.MachineColumn]
+		m, ok := machines[id]
+		if !ok {
+			m = len(order)
+			machines[id] = m
+			order = append(order, id)
+			buckets[m] = map[int]*cell{}
+		}
+		b := int(ts / o.Interval.Seconds())
+		if b < minBucket {
+			minBucket = b
+		}
+		if b > maxBucket {
+			maxBucket = b
+		}
+		c := buckets[m][b]
+		if c == nil {
+			c = &cell{}
+			buckets[m][b] = c
+		}
+		u := util * o.UtilScale
+		if u < 0 {
+			u = 0
+		}
+		if u > 1 {
+			u = 1
+		}
+		c.sum += u
+		c.n++
+		rows++
+	}
+	if rows == 0 {
+		return nil, errors.New("trace: long format file has no data rows")
+	}
+	intervals := maxBucket - minBucket + 1
+	tr, err := New(o.Name, o.Class, len(order), intervals, o.Interval)
+	if err != nil {
+		return nil, err
+	}
+	for m := range order {
+		last := 0.0
+		// Seed the carry-forward with the machine's first observation so
+		// leading gaps do not read as idle.
+		keys := make([]int, 0, len(buckets[m]))
+		for b := range buckets[m] {
+			keys = append(keys, b)
+		}
+		sort.Ints(keys)
+		if len(keys) > 0 {
+			first := buckets[m][keys[0]]
+			last = first.sum / first.n
+		}
+		for i := 0; i < intervals; i++ {
+			if c, ok := buckets[m][minBucket+i]; ok {
+				last = c.sum / c.n
+			}
+			tr.U[m][i] = last
+		}
+	}
+	return tr, tr.Validate()
+}
+
+// GoogleOptions returns a layout for per-machine CPU usage tables derived
+// from the Google cluster traces (machine_id, time_us, cpu_rate in [0, 1]).
+// The public task_usage tables are per-task; the paper (and this loader)
+// consumes the standard per-machine aggregation with microsecond timestamps.
+func GoogleOptions() LongFormatOptions {
+	return LongFormatOptions{
+		MachineColumn:   0,
+		TimestampColumn: 1,
+		UtilColumn:      2,
+		UtilScale:       1,
+		Interval:        5 * time.Minute,
+		Comma:           ',',
+		Class:           Common,
+		Name:            "google-machine-usage",
+	}
+}
