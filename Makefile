@@ -1,0 +1,33 @@
+GO ?= go
+
+.PHONY: all build vet test race check bench experiments clean
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The race detector is the gate for the parallel engine: the per-interval
+# worker pool, the Fleet's concurrent runs, and the sched decision cache
+# must all survive it.
+race:
+	$(GO) test -race ./...
+
+# check is the tier-1 gate: vet + build + race-enabled tests.
+check: vet build race
+
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem ./...
+
+experiments:
+	$(GO) run ./cmd/h2pbench -exp all -csv results
+
+clean:
+	$(GO) clean ./...
+	rm -rf results

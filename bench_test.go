@@ -11,6 +11,7 @@ package h2p
 // iteration time; run cmd/h2pbench for the full 1,000-server tables.
 
 import (
+	"fmt"
 	"strconv"
 	"testing"
 
@@ -266,6 +267,50 @@ func BenchmarkEngineInterval(b *testing.B) {
 		if _, err := Run(&short, cfg); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkEngineParallel sweeps the circulation worker pool on a
+// 1,000-server trace (40 circulations per interval, 20-interval horizon):
+// the scaling table of the layered Circulation/Engine/Fleet architecture.
+// The workers=1/exact case is the seed serial engine's workload. Results
+// are bit-identical across the worker sweep; the quantized "cached"
+// variants additionally memoize the cooling decision per 1/512 of
+// utilization, which collapses the slab search and dominates the speedup
+// on few-core hosts (parallel fan-out needs real cores to pay off).
+func BenchmarkEngineParallel(b *testing.B) {
+	tr, err := trace.Generate(trace.CommonConfig(1000), 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	short := *tr
+	short.U = make([][]float64, tr.Servers())
+	const horizon = 20
+	for s := range short.U {
+		short.U[s] = tr.U[s][:horizon]
+	}
+	bench := func(workers int, quantum float64, label string) {
+		b.Run(label, func(b *testing.B) {
+			cfg := DefaultConfig(LoadBalance)
+			cfg.Workers = workers
+			cfg.DecisionQuantum = quantum
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := Run(&short, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					b.ReportMetric(float64(res.AvgTEGPowerPerServer), "avg_W")
+				}
+			}
+		})
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		bench(workers, 0, fmt.Sprintf("workers=%d", workers))
+	}
+	for _, workers := range []int{1, 4} {
+		bench(workers, 1.0/512, fmt.Sprintf("cached/workers=%d", workers))
 	}
 }
 

@@ -25,6 +25,7 @@ func main() {
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	servers := flag.Int("servers", 1000, "cluster size for trace-driven experiments")
 	seed := flag.Int64("seed", 42, "workload generator seed")
+	workers := flag.Int("workers", 0, "circulation worker pool size per engine (0 = GOMAXPROCS)")
 	csvDir := flag.String("csv", "", "also write each table as CSV into this directory")
 	reportPath := flag.String("report", "", "write a markdown report of every experiment to this file and exit")
 	flag.Parse()
@@ -35,7 +36,7 @@ func main() {
 		}
 		return
 	}
-	params := experiments.EvalParams{Servers: *servers, Seed: *seed}
+	params := experiments.EvalParams{Servers: *servers, Seed: *seed, Workers: *workers}
 	if *reportPath != "" {
 		if err := writeReport(*reportPath, params); err != nil {
 			fmt.Fprintln(os.Stderr, "h2pbench:", err)

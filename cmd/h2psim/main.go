@@ -5,14 +5,22 @@
 //
 // Usage:
 //
-//	h2psim [-servers 1000] [-circ 25] [-seed 42] [-trace file.csv] [-series]
+//	h2psim [-servers 1000] [-circ 25] [-seed 42] [-workers 0] [-trace file.csv] [-series]
+//
+// The simulation fans the independent water circulations of every control
+// interval out across -workers goroutines (0 = all CPUs) and runs the two
+// schemes concurrently; results are bit-identical for any worker count.
+// Interrupting the process (SIGINT/SIGTERM) cancels the runs promptly.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"github.com/h2p-sim/h2p/internal/core"
 	"github.com/h2p-sim/h2p/internal/sched"
@@ -23,20 +31,38 @@ func main() {
 	servers := flag.Int("servers", 1000, "number of servers in the simulated cluster")
 	circ := flag.Int("circ", 25, "servers per water circulation")
 	seed := flag.Int64("seed", 42, "workload generator seed")
+	workers := flag.Int("workers", 0, "circulation worker pool size (0 = GOMAXPROCS)")
+	quantum := flag.Float64("quantum", 0, "decision-cache utilization quantum (0 = exact, paper-faithful; try 1/512)")
 	traceFile := flag.String("trace", "", "optional CSV trace file (replaces the synthetic traces)")
 	series := flag.Bool("series", false, "also print the per-interval power series")
 	flag.Parse()
 
-	if err := run(os.Stdout, *servers, *circ, *seed, *traceFile, *series); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Stdout, runOptions{
+		servers: *servers, circ: *circ, seed: *seed,
+		workers: *workers, quantum: *quantum,
+		traceFile: *traceFile, series: *series,
+	}); err != nil {
 		fmt.Fprintln(os.Stderr, "h2psim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(out io.Writer, servers, circ int, seed int64, traceFile string, series bool) error {
+// runOptions bundles the CLI configuration.
+type runOptions struct {
+	servers, circ int
+	seed          int64
+	workers       int
+	quantum       float64
+	traceFile     string
+	series        bool
+}
+
+func run(ctx context.Context, out io.Writer, opt runOptions) error {
 	var traces []*trace.Trace
-	if traceFile != "" {
-		f, err := os.Open(traceFile)
+	if opt.traceFile != "" {
+		f, err := os.Open(opt.traceFile)
 		if err != nil {
 			return err
 		}
@@ -48,22 +74,26 @@ func run(out io.Writer, servers, circ int, seed int64, traceFile string, series 
 		traces = []*trace.Trace{tr}
 	} else {
 		var err error
-		traces, err = trace.GenerateAll(servers, seed)
+		traces, err = trace.GenerateAll(opt.servers, opt.seed)
 		if err != nil {
 			return err
 		}
 	}
 
 	cfg := core.DefaultConfig(sched.Original)
-	cfg.ServersPerCirculation = circ
+	cfg.ServersPerCirculation = opt.circ
+	cfg.Workers = opt.workers
+	cfg.DecisionQuantum = opt.quantum
+	series := opt.series
 
+	fleet := core.NewFleet()
 	fmt.Fprintln(out, "Fig. 14 — generated electricity per CPU (W):")
 	fmt.Fprintf(out, "%-12s %-10s %-10s %-10s %-10s %-10s %-10s\n",
 		"trace", "orig avg", "orig peak", "lb avg", "lb peak", "gain%", "meanU")
 	var sumOrig, sumLB float64
 	results := make(map[string][2]*core.Result)
 	for _, tr := range traces {
-		orig, lb, err := core.Compare(tr, cfg)
+		orig, lb, err := fleet.CompareContext(ctx, tr, cfg)
 		if err != nil {
 			return err
 		}

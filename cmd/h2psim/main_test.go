@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -12,7 +13,7 @@ import (
 
 func TestRunSyntheticTraces(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, 60, 20, 42, "", false); err != nil {
+	if err := run(context.Background(), &buf, runOptions{servers: 60, circ: 20, seed: 42}); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -28,7 +29,7 @@ func TestRunSyntheticTraces(t *testing.T) {
 
 func TestRunWithSeriesFlag(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, 40, 20, 42, "", true); err != nil {
+	if err := run(context.Background(), &buf, runOptions{servers: 40, circ: 20, seed: 42, workers: 2, series: true}); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "interval series") {
@@ -53,7 +54,7 @@ func TestRunCSVTrace(t *testing.T) {
 		t.Fatal(err)
 	}
 	var buf bytes.Buffer
-	if err := run(&buf, 0, 15, 0, path, false); err != nil {
+	if err := run(context.Background(), &buf, runOptions{circ: 15, workers: 1, traceFile: path}); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "common") {
@@ -63,7 +64,16 @@ func TestRunCSVTrace(t *testing.T) {
 
 func TestRunMissingTraceFile(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, 10, 5, 1, "/nonexistent/trace.csv", false); err == nil {
+	if err := run(context.Background(), &buf, runOptions{servers: 10, circ: 5, seed: 1, traceFile: "/nonexistent/trace.csv"}); err == nil {
 		t.Error("missing trace file should error")
+	}
+}
+
+func TestRunCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var buf bytes.Buffer
+	if err := run(ctx, &buf, runOptions{servers: 60, circ: 20, seed: 42}); err == nil {
+		t.Error("cancelled context should abort the run")
 	}
 }

@@ -31,6 +31,7 @@
 package h2p
 
 import (
+	"context"
 	"io"
 
 	"github.com/h2p-sim/h2p/internal/circdesign"
@@ -110,18 +111,35 @@ func LoadGoogleTrace(r io.Reader) (*Trace, error) {
 // Run simulates the trace under the configuration and returns the full
 // per-interval and summary results.
 func Run(tr *Trace, cfg Config) (*Result, error) {
+	return RunContext(context.Background(), tr, cfg)
+}
+
+// RunContext simulates the trace under the configuration, evaluating the
+// independent water circulations of each control interval on a worker pool
+// bounded by cfg.Workers (default GOMAXPROCS). The result is bit-identical
+// for every worker count; cancelling the context aborts the run promptly.
+func RunContext(ctx context.Context, tr *Trace, cfg Config) (*Result, error) {
 	eng, err := core.NewEngine(cfg)
 	if err != nil {
 		return nil, err
 	}
-	return eng.Run(tr)
+	return eng.RunContext(ctx, tr)
 }
 
 // Compare runs the same trace under both schemes (otherwise identical
-// configuration) and returns (original, loadBalance).
+// configuration) and returns (original, loadBalance). The two schemes run
+// concurrently over one shared look-up space.
 func Compare(tr *Trace, cfg Config) (*Result, *Result, error) {
 	return core.Compare(tr, cfg)
 }
+
+// Fleet runs trace x scheme combinations concurrently, memoizing one
+// immutable look-up space per CPU spec and sampling grid. Reuse one Fleet
+// across calls to amortize the measurement-campaign fitting.
+type Fleet = core.Fleet
+
+// NewFleet returns an empty fleet.
+func NewFleet() *Fleet { return core.NewFleet() }
 
 // TCOParameters is the Table I cost model.
 type TCOParameters = tco.Parameters
@@ -185,17 +203,23 @@ type Evaluation struct {
 
 // Evaluate runs the complete Sec. V evaluation over the given traces.
 func Evaluate(traces []*Trace, cfg Config) (*Evaluation, error) {
-	ev := &Evaluation{Traces: traces}
+	return EvaluateParallel(context.Background(), traces, cfg)
+}
+
+// EvaluateParallel runs the complete Sec. V evaluation with every trace x
+// scheme combination in flight concurrently, sharing one look-up space
+// across all engines. Results are bit-identical to the serial Evaluate;
+// cancelling the context aborts every run.
+func EvaluateParallel(ctx context.Context, traces []*Trace, cfg Config) (*Evaluation, error) {
+	origs, lbs, err := core.NewFleet().EvaluateContext(ctx, traces, cfg)
+	if err != nil {
+		return nil, err
+	}
+	ev := &Evaluation{Traces: traces, Original: origs, LoadBalance: lbs}
 	var sumO, sumL float64
-	for _, tr := range traces {
-		o, l, err := core.Compare(tr, cfg)
-		if err != nil {
-			return nil, err
-		}
-		ev.Original = append(ev.Original, o)
-		ev.LoadBalance = append(ev.LoadBalance, l)
-		sumO += float64(o.AvgTEGPowerPerServer)
-		sumL += float64(l.AvgTEGPowerPerServer)
+	for i := range traces {
+		sumO += float64(origs[i].AvgTEGPowerPerServer)
+		sumL += float64(lbs[i].AvgTEGPowerPerServer)
 	}
 	if n := float64(len(traces)); n > 0 {
 		ev.AvgOriginal = Watts(sumO / n)
@@ -205,7 +229,6 @@ func Evaluate(traces []*Trace, cfg Config) (*Evaluation, error) {
 		ev.GainPercent = (float64(ev.AvgLoadBalance)/float64(ev.AvgOriginal) - 1) * 100
 	}
 	params := tco.PaperParameters()
-	var err error
 	if ev.TCOOriginal, err = params.Analyze(ev.AvgOriginal); err != nil {
 		return nil, err
 	}

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"github.com/h2p-sim/h2p/internal/chiller"
+	"github.com/h2p-sim/h2p/internal/hydro"
+	"github.com/h2p-sim/h2p/internal/sched"
+	"github.com/h2p-sim/h2p/internal/units"
+)
+
+// Circulation is the middle layer of the engine: one water circulation
+// owning a contiguous slice [Lo, Hi) of the datacenter's servers, the
+// circulation pump, the per-interval scheme decision and the facility plant
+// dispatch for the heat it rejects. Circulations share no mutable state with
+// each other within a control interval — the controller and look-up space
+// they reference are read-only — so an Engine may step them concurrently.
+type Circulation struct {
+	// Index is the circulation's position in the datacenter (0-based);
+	// the Engine merges per-interval contributions in Index order so that
+	// results are independent of evaluation order.
+	Index int
+	// Lo and Hi bound the circulation's server slice in the trace column.
+	Lo, Hi int
+
+	scheme     sched.Scheme
+	ctl        *sched.Controller
+	plant      chiller.Plant
+	pump       hydro.Pump
+	maxFlow    units.LitersPerHour
+	hxApproach units.Celsius
+	wetBulb    units.Celsius
+}
+
+// newCirculation wires one circulation from the engine's configuration. The
+// pump is built (and implicitly validated) once here rather than once per
+// control interval.
+func newCirculation(index, lo, hi int, cfg Config, ctl *sched.Controller, plant chiller.Plant) Circulation {
+	return Circulation{
+		Index:  index,
+		Lo:     lo,
+		Hi:     hi,
+		scheme: cfg.Scheme,
+		ctl:    ctl,
+		plant:  plant,
+		pump: hydro.Pump{
+			Name:       "circ",
+			MaxFlow:    cfg.PumpMaxFlow,
+			RatedPower: cfg.PumpRatedPower,
+		},
+		maxFlow:    cfg.PumpMaxFlow,
+		hxApproach: cfg.HXApproach,
+		wetBulb:    cfg.WetBulb,
+	}
+}
+
+// Servers returns the number of servers in the circulation.
+func (c *Circulation) Servers() int { return c.Hi - c.Lo }
+
+// CirculationInterval is one circulation's contribution to an
+// IntervalResult: per-circulation sums the Engine merges in Index order.
+type CirculationInterval struct {
+	// TEGPower and CPUPower are the circulation's summed TEG harvest and
+	// CPU draw.
+	TEGPower, CPUPower units.Watts
+	// Inlet and Flow are the chosen cooling setting.
+	Inlet units.Celsius
+	Flow  units.LitersPerHour
+	// MaxCPUTemp is the hottest die in the circulation.
+	MaxCPUTemp units.Celsius
+	// PumpPower is the circulation pump draw scaled to its server count.
+	PumpPower units.Watts
+	// TowerPower and ChillerPower are the facility plant draws dispatched
+	// for the circulation's heat.
+	TowerPower, ChillerPower units.Watts
+}
+
+// Step runs one control interval: it reads the circulation's servers from
+// the datacenter-wide utilization column, decides the cooling setting and
+// (under LoadBalance) the workload placement, harvests TEG power, and
+// dispatches the facility plant. col is the full datacenter column; Step
+// only touches col[c.Lo:c.Hi].
+func (c *Circulation) Step(col []float64) (CirculationInterval, error) {
+	d, err := c.ctl.Decide(col[c.Lo:c.Hi], c.scheme)
+	if err != nil {
+		return CirculationInterval{}, err
+	}
+	ci := CirculationInterval{
+		TEGPower:   d.TotalTEGPower(),
+		CPUPower:   d.TotalCPUPower(),
+		Inlet:      d.Setting.Inlet,
+		Flow:       d.Setting.Flow,
+		MaxCPUTemp: d.MaxCPUTemp,
+	}
+	// Per-server pump share at the commanded flow.
+	flow := d.Setting.Flow
+	if flow > c.maxFlow {
+		flow = c.maxFlow
+	}
+	if err := c.pump.SetFlow(flow); err != nil {
+		return CirculationInterval{}, err
+	}
+	ci.PumpPower = c.pump.Power() * units.Watts(float64(c.Servers()))
+	// Facility plant: reject the circulation's heat, returning water at
+	// the mean outlet, re-supplied below the inlet target by the HX
+	// approach.
+	heat := d.TotalCPUPower()
+	meanOutlet := c.ctl.Space.OutletTemp(d.PlaneU, d.Setting.Flow, d.Setting.Inlet)
+	target := d.Setting.Inlet - c.hxApproach
+	ci.TowerPower, ci.ChillerPower = c.plant.Dispatch(heat, meanOutlet, target, c.wetBulb)
+	return ci, nil
+}

@@ -8,16 +8,34 @@
 // (5 minutes in the paper) each circulation reads its servers' utilizations,
 // optionally balances the load, picks the cooling setting from the look-up
 // space, and harvests TEG power from every server's outlet.
+//
+// The engine is layered for scale:
+//
+//   - Circulation (circulation.go) owns one water circulation's servers,
+//     pump, scheme decision and plant dispatch; circulations are
+//     independent within an interval.
+//   - Engine (this file) drives the interval loop, fanning the
+//     circulations of each interval out across a bounded worker pool and
+//     merging their contributions deterministically by circulation index.
+//   - Fleet (fleet.go) runs whole trace x scheme combinations
+//     concurrently, sharing one immutable look-up space per CPU spec and
+//     axes.
+//
+// Results are bit-identical for any worker count: the merge follows
+// circulation index order, so no floating-point sum is ever reassociated.
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/h2p-sim/h2p/internal/chiller"
 	"github.com/h2p-sim/h2p/internal/cpu"
-	"github.com/h2p-sim/h2p/internal/hydro"
 	"github.com/h2p-sim/h2p/internal/lookup"
 	"github.com/h2p-sim/h2p/internal/sched"
 	"github.com/h2p-sim/h2p/internal/stats"
@@ -50,6 +68,16 @@ type Config struct {
 	// circulation pump.
 	PumpRatedPower units.Watts
 	PumpMaxFlow    units.LitersPerHour
+	// Workers bounds the worker pool evaluating circulations in parallel
+	// within each control interval. 0 means runtime.GOMAXPROCS(0); 1
+	// forces the serial path. Results are bit-identical for any value.
+	Workers int
+	// DecisionQuantum is the cooling controller's plane-utilization cache
+	// quantum (sched.Controller.CacheQuantum). 0 — the default, and the
+	// paper-faithful setting — memoizes exact planes only; a positive
+	// quantum (e.g. 1/512) makes revisited planes hit the cache at the
+	// cost of a sub-quantum perturbation of the chosen setting.
+	DecisionQuantum float64
 }
 
 // DefaultConfig returns the paper's evaluation configuration for the given
@@ -83,7 +111,21 @@ func (c Config) Validate() error {
 	if c.PumpMaxFlow <= 0 {
 		return errors.New("core: PumpMaxFlow must be positive")
 	}
+	if c.Workers < 0 {
+		return errors.New("core: Workers must be non-negative")
+	}
+	if c.DecisionQuantum < 0 {
+		return errors.New("core: DecisionQuantum must be non-negative")
+	}
 	return c.Spec.Validate()
+}
+
+// workers resolves the effective worker count.
+func (c Config) workers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // IntervalResult captures one control interval of the whole datacenter.
@@ -124,7 +166,10 @@ type Result struct {
 	PlantEnergy           units.KilowattHours // pumps + tower + chiller
 }
 
-// Engine runs trace-driven simulations under a fixed configuration.
+// Engine runs trace-driven simulations under a fixed configuration. An
+// Engine is safe for concurrent Run calls: per-run mutable state (the
+// circulations and their pumps) is built per call, and the shared controller
+// is concurrency-safe.
 type Engine struct {
 	cfg        Config
 	controller *sched.Controller
@@ -140,6 +185,12 @@ func NewEngine(cfg Config) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
+	return newEngineWithSpace(cfg, space)
+}
+
+// newEngineWithSpace wires an engine around an existing look-up space. The
+// space must have been built for cfg.Spec and cfg.Axes; it is only read.
+func newEngineWithSpace(cfg Config, space *lookup.Space) (*Engine, error) {
 	mod, err := teg.NewModule(teg.SP1848(), cfg.TEGsPerServer)
 	if err != nil {
 		return nil, err
@@ -149,6 +200,7 @@ func NewEngine(cfg Config) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
+	ctl.CacheQuantum = cfg.DecisionQuantum
 	return &Engine{cfg: cfg, controller: ctl, plant: chiller.Plant{
 		Tower:   chiller.DefaultTower(),
 		Chiller: chiller.Default(),
@@ -159,15 +211,43 @@ func NewEngine(cfg Config) (*Engine, error) {
 // ablations).
 func (e *Engine) Controller() *sched.Controller { return e.controller }
 
+// circulations partitions nServers into Config.ServersPerCirculation-sized
+// circulations (the last one may be short) and wires each one.
+func (e *Engine) circulations(nServers int) []Circulation {
+	n := e.cfg.ServersPerCirculation
+	if n > nServers {
+		n = nServers
+	}
+	var circs []Circulation
+	for lo := 0; lo < nServers; lo += n {
+		hi := lo + n
+		if hi > nServers {
+			hi = nServers
+		}
+		circs = append(circs, newCirculation(len(circs), lo, hi, e.cfg, e.controller, e.plant))
+	}
+	return circs
+}
+
 // Run evaluates the trace under the engine's configuration.
 func (e *Engine) Run(tr *trace.Trace) (*Result, error) {
+	return e.RunContext(context.Background(), tr)
+}
+
+// RunContext evaluates the trace, fanning each interval's circulations out
+// across the configured worker pool. The result is bit-identical for every
+// worker count. Cancelling the context aborts the run promptly with the
+// context's error.
+func (e *Engine) RunContext(ctx context.Context, tr *trace.Trace) (*Result, error) {
 	if err := tr.Validate(); err != nil {
 		return nil, err
 	}
 	nServers := tr.Servers()
-	n := e.cfg.ServersPerCirculation
-	if n > nServers {
-		n = nServers
+	circs := e.circulations(nServers)
+	if len(circs) == 0 {
+		// Guarded independently of trace.Validate so a degenerate trace
+		// can never NaN-poison the per-circulation means below.
+		return nil, errors.New("core: trace has no servers to form a circulation")
 	}
 	res := &Result{
 		TraceName: tr.Name,
@@ -177,63 +257,39 @@ func (e *Engine) Run(tr *trace.Trace) (*Result, error) {
 		Servers:   nServers,
 		Intervals: make([]IntervalResult, 0, tr.Intervals()),
 	}
+	workers := e.cfg.workers()
+	if workers > len(circs) {
+		workers = len(circs)
+	}
 	secs := tr.Interval.Seconds()
 	col := make([]float64, nServers)
+	parts := make([]CirculationInterval, len(circs))
+	errs := make([]error, len(circs))
 	for i := 0; i < tr.Intervals(); i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		var err error
 		col, err = tr.Column(i, col)
 		if err != nil {
 			return nil, err
 		}
-		ir := IntervalResult{
-			AvgUtilization: stats.Mean(col),
-			MaxUtilization: stats.Max(col),
+		if workers <= 1 {
+			for ci := range circs {
+				if parts[ci], err = circs[ci].Step(col); err != nil {
+					return nil, fmt.Errorf("interval %d circulation %d: %w", i, ci, err)
+				}
+			}
+		} else if err := stepParallel(ctx, circs, col, workers, parts, errs); err != nil {
+			return nil, err
+		} else {
+			for ci, serr := range errs {
+				if serr != nil {
+					return nil, fmt.Errorf("interval %d circulation %d: %w", i, ci, serr)
+				}
+			}
 		}
-		circs := 0
-		for lo := 0; lo < nServers; lo += n {
-			hi := lo + n
-			if hi > nServers {
-				hi = nServers
-			}
-			d, err := e.controller.Decide(col[lo:hi], e.cfg.Scheme)
-			if err != nil {
-				return nil, fmt.Errorf("interval %d circulation %d: %w", i, circs, err)
-			}
-			ir.TotalTEGPower += d.TotalTEGPower()
-			ir.TotalCPUPower += d.TotalCPUPower()
-			ir.MeanInlet += d.Setting.Inlet
-			ir.MeanFlow += d.Setting.Flow
-			if d.MaxCPUTemp > ir.MaxCPUTemp {
-				ir.MaxCPUTemp = d.MaxCPUTemp
-			}
-			// Per-server pump share at the commanded flow.
-			pump := hydro.Pump{
-				Name:       "circ",
-				MaxFlow:    e.cfg.PumpMaxFlow,
-				RatedPower: e.cfg.PumpRatedPower,
-			}
-			flow := d.Setting.Flow
-			if flow > e.cfg.PumpMaxFlow {
-				flow = e.cfg.PumpMaxFlow
-			}
-			if err := pump.SetFlow(flow); err != nil {
-				return nil, err
-			}
-			ir.PumpPower += pump.Power() * units.Watts(float64(hi-lo))
-			// Facility plant: reject the circulation's heat, returning
-			// water at the mean outlet, re-supplied below the inlet
-			// target by the HX approach.
-			heat := d.TotalCPUPower()
-			meanOutlet := e.controller.Space.OutletTemp(d.PlaneU, d.Setting.Flow, d.Setting.Inlet)
-			target := d.Setting.Inlet - e.cfg.HXApproach
-			tw, ch := e.plant.Dispatch(heat, meanOutlet, target, e.cfg.WetBulb)
-			ir.TowerPower += tw
-			ir.ChillerPower += ch
-			circs++
-		}
-		ir.MeanInlet /= units.Celsius(circs)
-		ir.MeanFlow /= units.LitersPerHour(circs)
-		ir.TEGPowerPerServer = ir.TotalTEGPower / units.Watts(float64(nServers))
+		ir := mergeInterval(col, parts)
 		res.Intervals = append(res.Intervals, ir)
 
 		res.TEGEnergy += units.EnergyOver(ir.TotalTEGPower, secs).KilowattHours()
@@ -258,26 +314,54 @@ func (e *Engine) Run(tr *trace.Trace) (*Result, error) {
 	return res, nil
 }
 
-// Compare runs the same trace under both schemes with otherwise identical
-// configuration and returns (original, loadBalance).
-func Compare(tr *trace.Trace, base Config) (*Result, *Result, error) {
-	base.Scheme = sched.Original
-	eo, err := NewEngine(base)
-	if err != nil {
-		return nil, nil, err
+// stepParallel fans the circulations of one interval out across workers
+// goroutines, writing each circulation's contribution (or error) into its
+// own slot. It only returns an error for context cancellation; per-
+// circulation errors are reported through errs so the caller can surface
+// the lowest-index failure, matching the serial path.
+func stepParallel(ctx context.Context, circs []Circulation, col []float64, workers int, parts []CirculationInterval, errs []error) error {
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				ci := int(next.Add(1)) - 1
+				if ci >= len(circs) || ctx.Err() != nil {
+					return
+				}
+				parts[ci], errs[ci] = circs[ci].Step(col)
+			}
+		}()
 	}
-	orig, err := eo.Run(tr)
-	if err != nil {
-		return nil, nil, err
+	wg.Wait()
+	return ctx.Err()
+}
+
+// mergeInterval folds per-circulation contributions into one IntervalResult
+// in circulation index order — the exact accumulation order of the serial
+// engine, so parallel runs reassociate no floating-point sums.
+func mergeInterval(col []float64, parts []CirculationInterval) IntervalResult {
+	ir := IntervalResult{
+		AvgUtilization: stats.Mean(col),
+		MaxUtilization: stats.Max(col),
 	}
-	base.Scheme = sched.LoadBalance
-	el, err := NewEngine(base)
-	if err != nil {
-		return nil, nil, err
+	for _, p := range parts {
+		ir.TotalTEGPower += p.TEGPower
+		ir.TotalCPUPower += p.CPUPower
+		ir.MeanInlet += p.Inlet
+		ir.MeanFlow += p.Flow
+		if p.MaxCPUTemp > ir.MaxCPUTemp {
+			ir.MaxCPUTemp = p.MaxCPUTemp
+		}
+		ir.PumpPower += p.PumpPower
+		ir.TowerPower += p.TowerPower
+		ir.ChillerPower += p.ChillerPower
 	}
-	lb, err := el.Run(tr)
-	if err != nil {
-		return nil, nil, err
-	}
-	return orig, lb, nil
+	circs := len(parts)
+	ir.MeanInlet /= units.Celsius(circs)
+	ir.MeanFlow /= units.LitersPerHour(circs)
+	ir.TEGPowerPerServer = ir.TotalTEGPower / units.Watts(float64(len(col)))
+	return ir
 }

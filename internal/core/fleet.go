@@ -1,0 +1,160 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"sync"
+
+	"github.com/h2p-sim/h2p/internal/cpu"
+	"github.com/h2p-sim/h2p/internal/lookup"
+	"github.com/h2p-sim/h2p/internal/sched"
+	"github.com/h2p-sim/h2p/internal/trace"
+)
+
+// Fleet is the top layer of the engine: it runs whole trace x scheme
+// combinations concurrently and memoizes one immutable look-up space per
+// (CPU spec, axes), so evaluating two schemes over three traces fits the
+// measurement campaign once instead of six times. A Fleet is safe for
+// concurrent use; the spaces it hands out are read-only (see lookup.Space).
+type Fleet struct {
+	mu     sync.Mutex
+	spaces []fleetSpace
+}
+
+// fleetSpace is one memoized look-up space and the grid it was built for.
+type fleetSpace struct {
+	spec  cpu.Spec
+	axes  lookup.Axes
+	space *lookup.Space
+}
+
+// NewFleet returns an empty fleet.
+func NewFleet() *Fleet { return &Fleet{} }
+
+// Space returns the memoized look-up space for spec and axes, building and
+// caching it on first use. Spaces are immutable after Build, so one space
+// may back any number of concurrent engines.
+func (f *Fleet) Space(spec cpu.Spec, axes lookup.Axes) (*lookup.Space, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, s := range f.spaces {
+		if s.spec == spec && reflect.DeepEqual(s.axes, axes) {
+			return s.space, nil
+		}
+	}
+	space, err := lookup.Build(spec, axes)
+	if err != nil {
+		return nil, err
+	}
+	f.spaces = append(f.spaces, fleetSpace{spec: spec, axes: axes, space: space})
+	return space, nil
+}
+
+// Engine builds an engine for cfg backed by the fleet's shared space.
+func (f *Fleet) Engine(cfg Config) (*Engine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	space, err := f.Space(cfg.Spec, cfg.Axes)
+	if err != nil {
+		return nil, err
+	}
+	return newEngineWithSpace(cfg, space)
+}
+
+// fleetRun identifies one trace x scheme combination.
+type fleetRun struct {
+	tr     *trace.Trace
+	scheme sched.Scheme
+	out    **Result
+}
+
+// runAll evaluates every combination concurrently, one goroutine per run,
+// each run internally bounded by cfg.Workers. The first error (in
+// combination order) wins; a cancelled context aborts all runs.
+func (f *Fleet) runAll(ctx context.Context, base Config, runs []fleetRun) error {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	errs := make([]error, len(runs))
+	var wg sync.WaitGroup
+	wg.Add(len(runs))
+	for i, r := range runs {
+		go func(i int, r fleetRun) {
+			defer wg.Done()
+			cfg := base
+			cfg.Scheme = r.scheme
+			eng, err := f.Engine(cfg)
+			if err != nil {
+				errs[i] = err
+				cancel()
+				return
+			}
+			res, err := eng.RunContext(ctx, r.tr)
+			if err != nil {
+				errs[i] = err
+				cancel()
+				return
+			}
+			*r.out = res
+		}(i, r)
+	}
+	wg.Wait()
+	// Prefer a real simulation error over the cancellation it triggered
+	// in sibling runs.
+	var firstCancel error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			if firstCancel == nil {
+				firstCancel = err
+			}
+			continue
+		}
+		return err
+	}
+	return firstCancel
+}
+
+// CompareContext runs the trace under both schemes concurrently with
+// otherwise identical configuration and returns (original, loadBalance).
+// Results are bit-identical to running two serial engines back-to-back.
+func (f *Fleet) CompareContext(ctx context.Context, tr *trace.Trace, base Config) (*Result, *Result, error) {
+	var orig, lb *Result
+	runs := []fleetRun{
+		{tr: tr, scheme: sched.Original, out: &orig},
+		{tr: tr, scheme: sched.LoadBalance, out: &lb},
+	}
+	if err := f.runAll(ctx, base, runs); err != nil {
+		return nil, nil, err
+	}
+	return orig, lb, nil
+}
+
+// EvaluateContext runs every trace under both schemes concurrently and
+// returns the results in trace order.
+func (f *Fleet) EvaluateContext(ctx context.Context, traces []*trace.Trace, base Config) (orig, lb []*Result, err error) {
+	orig = make([]*Result, len(traces))
+	lb = make([]*Result, len(traces))
+	runs := make([]fleetRun, 0, 2*len(traces))
+	for i, tr := range traces {
+		runs = append(runs,
+			fleetRun{tr: tr, scheme: sched.Original, out: &orig[i]},
+			fleetRun{tr: tr, scheme: sched.LoadBalance, out: &lb[i]},
+		)
+	}
+	if err := f.runAll(ctx, base, runs); err != nil {
+		return nil, nil, err
+	}
+	return orig, lb, nil
+}
+
+// Compare runs the same trace under both schemes with otherwise identical
+// configuration and returns (original, loadBalance). The two schemes run
+// concurrently over one shared look-up space; results are bit-identical to
+// the historical serial implementation.
+func Compare(tr *trace.Trace, base Config) (*Result, *Result, error) {
+	return NewFleet().CompareContext(context.Background(), tr, base)
+}

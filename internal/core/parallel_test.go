@@ -1,0 +1,242 @@
+package core
+
+import (
+	"context"
+	"reflect"
+	"testing"
+	"time"
+
+	"github.com/h2p-sim/h2p/internal/sched"
+	"github.com/h2p-sim/h2p/internal/trace"
+)
+
+// TestSerialParallelEquivalence is the determinism guarantee of the layered
+// engine: the same trace under Workers = 1 and Workers = 8 must produce
+// bit-identical Results — every summary metric and every IntervalResult —
+// under both schemes, for all three synthetic workload classes.
+func TestSerialParallelEquivalence(t *testing.T) {
+	traces, err := trace.GenerateAll(60, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range traces {
+		for _, scheme := range []sched.Scheme{sched.Original, sched.LoadBalance} {
+			cfg := smallConfig(scheme)
+
+			cfg.Workers = 1
+			serialEng, err := NewEngine(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			serial, err := serialEng.Run(tr)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			cfg.Workers = 8
+			parallelEng, err := NewEngine(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			parallel, err := parallelEng.Run(tr)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			if !reflect.DeepEqual(serial, parallel) {
+				t.Errorf("%s/%s: Workers=1 and Workers=8 results differ", tr.Class, scheme)
+			}
+		}
+	}
+}
+
+// TestQuantizedCacheKeepsEquivalence repeats the equivalence check with the
+// decision cache quantized: quantization perturbs the results relative to
+// the exact controller, but serial and parallel runs must still agree
+// bit-for-bit with each other.
+func TestQuantizedCacheKeepsEquivalence(t *testing.T) {
+	tr, err := trace.Generate(trace.DrasticConfig(50), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := smallConfig(sched.LoadBalance)
+	cfg.DecisionQuantum = 1.0 / 512
+
+	cfg.Workers = 1
+	se, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := se.Run(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg.Workers = 8
+	pe, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := pe.Run(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Error("quantized cache broke serial/parallel equivalence")
+	}
+	hits, calls := pe.Controller().CacheStats()
+	if calls == 0 || hits == 0 {
+		t.Errorf("quantized cache never hit: %d hits of %d calls", hits, calls)
+	}
+}
+
+// TestRunContextCancellation verifies RunContext aborts promptly once its
+// context is cancelled, both when cancelled up front and mid-run.
+func TestRunContextCancellation(t *testing.T) {
+	tr, err := trace.Generate(trace.CommonConfig(200), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewEngine(smallConfig(sched.LoadBalance))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	if _, err := eng.RunContext(ctx, tr); err != context.Canceled {
+		t.Errorf("pre-cancelled run: err = %v, want context.Canceled", err)
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Errorf("pre-cancelled run took %v, want prompt return", d)
+	}
+
+	ctx, cancel = context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	start = time.Now()
+	if _, err := eng.RunContext(ctx, tr); err == nil {
+		t.Error("mid-run cancellation: expected an error")
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Errorf("mid-run cancellation took %v, want prompt return", d)
+	}
+}
+
+// TestFleetCompareMatchesEngines pins the Fleet layer to the ground truth:
+// concurrent scheme runs over a shared look-up space must reproduce two
+// standalone serial engines bit-for-bit.
+func TestFleetCompareMatchesEngines(t *testing.T) {
+	tr, err := trace.Generate(trace.IrregularConfig(50), 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := smallConfig(sched.Original)
+	orig, lb, err := NewFleet().CompareContext(context.Background(), tr, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, want := range []struct {
+		scheme sched.Scheme
+		got    *Result
+	}{
+		{sched.Original, orig},
+		{sched.LoadBalance, lb},
+	} {
+		cfg := base
+		cfg.Scheme = want.scheme
+		cfg.Workers = 1
+		eng, err := NewEngine(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := eng.Run(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(ref, want.got) {
+			t.Errorf("%s: fleet result differs from standalone serial engine", want.scheme)
+		}
+	}
+}
+
+// TestFleetSharesSpaces verifies the space memoization: identical spec+axes
+// yield the same *lookup.Space, different axes a fresh one.
+func TestFleetSharesSpaces(t *testing.T) {
+	f := NewFleet()
+	cfg := DefaultConfig(sched.Original)
+	a, err := f.Space(cfg.Spec, cfg.Axes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := f.Space(cfg.Spec, cfg.Axes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("identical spec+axes should share one space")
+	}
+	other := cfg.Axes
+	other.Utilization = append([]float64(nil), other.Utilization...)
+	other.Utilization[1] += 0.001
+	c, err := f.Space(cfg.Spec, other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c == a {
+		t.Error("different axes must not share a space")
+	}
+}
+
+// TestFleetEvaluateContextOrder checks EvaluateContext returns results in
+// trace order with matching metadata.
+func TestFleetEvaluateContextOrder(t *testing.T) {
+	traces, err := trace.GenerateAll(40, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	origs, lbs, err := NewFleet().EvaluateContext(context.Background(), traces, smallConfig(sched.Original))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(origs) != len(traces) || len(lbs) != len(traces) {
+		t.Fatalf("got %d/%d results for %d traces", len(origs), len(lbs), len(traces))
+	}
+	for i, tr := range traces {
+		if origs[i].TraceName != tr.Name || lbs[i].TraceName != tr.Name {
+			t.Errorf("trace %d: result order scrambled", i)
+		}
+		if origs[i].Scheme != sched.Original || lbs[i].Scheme != sched.LoadBalance {
+			t.Errorf("trace %d: schemes scrambled", i)
+		}
+	}
+}
+
+// TestZeroServerTraceRejected is the degenerate-trace guard: a trace with
+// no servers must surface a validation error, never NaN-poisoned results.
+func TestZeroServerTraceRejected(t *testing.T) {
+	eng, err := NewEngine(smallConfig(sched.Original))
+	if err != nil {
+		t.Fatal(err)
+	}
+	empty := &trace.Trace{Name: "empty", Class: trace.Common, Interval: 5 * time.Minute}
+	res, err := eng.Run(empty)
+	if err == nil {
+		t.Fatalf("zero-server trace must error, got result %+v", res)
+	}
+}
+
+// TestWorkersValidation rejects a negative worker count.
+func TestWorkersValidation(t *testing.T) {
+	cfg := DefaultConfig(sched.Original)
+	cfg.Workers = -1
+	if err := cfg.Validate(); err == nil {
+		t.Error("negative Workers should fail validation")
+	}
+	cfg = DefaultConfig(sched.Original)
+	cfg.DecisionQuantum = -0.1
+	if err := cfg.Validate(); err == nil {
+		t.Error("negative DecisionQuantum should fail validation")
+	}
+}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/h2p-sim/h2p/internal/core"
@@ -15,26 +16,33 @@ import (
 type EvalParams struct {
 	Servers int
 	Seed    int64
+	// Workers bounds each engine's circulation worker pool (see
+	// core.Config.Workers). 0 uses GOMAXPROCS; results are identical for
+	// any value.
+	Workers int
 }
 
 // DefaultEvalParams is the paper's evaluation scale.
 func DefaultEvalParams() EvalParams { return EvalParams{Servers: 1000, Seed: 42} }
 
-// runs the three-trace comparison once.
+// Config returns the paper's default engine configuration bounded by the
+// params' worker count.
+func (p EvalParams) Config(scheme sched.Scheme) core.Config {
+	cfg := core.DefaultConfig(scheme)
+	cfg.Workers = p.Workers
+	return cfg
+}
+
+// runs the three-trace comparison once, every trace x scheme combination in
+// flight concurrently over one shared look-up space.
 func runComparison(p EvalParams) ([]*trace.Trace, []*core.Result, []*core.Result, error) {
 	traces, err := trace.GenerateAll(p.Servers, p.Seed)
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	var origs, lbs []*core.Result
-	cfg := core.DefaultConfig(sched.Original)
-	for _, tr := range traces {
-		o, l, err := core.Compare(tr, cfg)
-		if err != nil {
-			return nil, nil, nil, err
-		}
-		origs = append(origs, o)
-		lbs = append(lbs, l)
+	origs, lbs, err := core.NewFleet().EvaluateContext(context.Background(), traces, p.Config(sched.Original))
+	if err != nil {
+		return nil, nil, nil, err
 	}
 	return traces, origs, lbs, nil
 }

@@ -172,7 +172,7 @@ func JobMigration(p EvalParams) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	cfg := core.DefaultConfig(sched.Original)
+	cfg := p.Config(sched.Original)
 	engOrig, err := core.NewEngine(cfg)
 	if err != nil {
 		return nil, err
@@ -198,7 +198,7 @@ func JobMigration(p EvalParams) (*Table, error) {
 	}
 	idealGain := float64(ideal.AvgTEGPowerPerServer - orig.AvgTEGPowerPerServer)
 	t.AddRow("TEG_Original", "-", "0", "-", fmt.Sprintf("%.3f", float64(orig.AvgTEGPowerPerServer)), "0.0")
-	cfgO := core.DefaultConfig(sched.Original)
+	cfgO := p.Config(sched.Original)
 	engO, err := core.NewEngine(cfgO)
 	if err != nil {
 		return nil, err

@@ -77,7 +77,7 @@ func QuasiStaticValidation(p EvalParams) (*Table, error) {
 	}
 	for _, tr := range traces {
 		for _, scheme := range []sched.Scheme{sched.Original, sched.LoadBalance} {
-			cfg := core.DefaultConfig(scheme)
+			cfg := p.Config(scheme)
 			eng, err := core.NewEngine(cfg)
 			if err != nil {
 				return nil, err
@@ -113,7 +113,7 @@ func SensitivityColdSource(p EvalParams) (*Table, error) {
 		Columns: []string{"cold_source_C", "avg_W", "PRE_pct"},
 	}
 	for _, cold := range []units.Celsius{15, 17.5, 20, 22.5, 25} {
-		cfg := core.DefaultConfig(sched.LoadBalance)
+		cfg := p.Config(sched.LoadBalance)
 		cfg.ColdSource = cold
 		eng, err := core.NewEngine(cfg)
 		if err != nil {
@@ -180,7 +180,7 @@ func SensitivityCirculationSize(p EvalParams) (*Table, error) {
 		if n > p.Servers {
 			continue
 		}
-		cfg := core.DefaultConfig(sched.Original)
+		cfg := p.Config(sched.Original)
 		cfg.ServersPerCirculation = n
 		o, l, err := core.Compare(tr, cfg)
 		if err != nil {

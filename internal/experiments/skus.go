@@ -25,7 +25,7 @@ func SKUGenerality(p EvalParams) (*Table, error) {
 	}
 	params := tco.PaperParameters()
 	for _, spec := range []cpu.Spec{cpu.XeonD1540(), cpu.XeonE52650V3(), cpu.XeonE52680V4()} {
-		cfg := core.DefaultConfig(sched.LoadBalance)
+		cfg := p.Config(sched.LoadBalance)
 		cfg.Spec = spec
 		eng, err := core.NewEngine(cfg)
 		if err != nil {
@@ -48,7 +48,7 @@ func SKUGenerality(p EvalParams) (*Table, error) {
 	}
 	// Mixed fleet: the three SKUs round-robined across circulations of the
 	// same datacenter, each with its own calibrated controller.
-	cfg := core.DefaultConfig(sched.LoadBalance)
+	cfg := p.Config(sched.LoadBalance)
 	specs := []cpu.Spec{cpu.XeonD1540(), cpu.XeonE52650V3(), cpu.XeonE52680V4()}
 	het, err := core.NewHeterogeneousEngine(cfg, specs, core.RoundRobinAssignment(len(specs)))
 	if err != nil {

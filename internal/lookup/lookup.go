@@ -61,6 +61,12 @@ type Point struct {
 }
 
 // Space is the continuous look-up space fitted over the measurement grid.
+//
+// A Space is immutable after Build: every method only reads the fitted
+// grids, so a single Space may safely back any number of concurrent
+// readers (the parallel engine shares one Space across all circulation
+// workers, and core.Fleet shares one across whole engines). The fields are
+// unexported precisely so no caller can mutate the grids after fitting.
 type Space struct {
 	axes Axes
 	spec cpu.Spec
@@ -70,7 +76,8 @@ type Space struct {
 
 // Build samples the CPU model over the grid — standing in for the prototype
 // measurement campaign — and fits the continuous space by trilinear
-// interpolation.
+// interpolation. The returned Space is never written to again and is safe
+// for concurrent use.
 func Build(spec cpu.Spec, axes Axes) (*Space, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err

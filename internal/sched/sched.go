@@ -8,6 +8,8 @@ package sched
 import (
 	"errors"
 	"fmt"
+	"math"
+	"sync"
 
 	"github.com/h2p-sim/h2p/internal/lookup"
 	"github.com/h2p-sim/h2p/internal/stats"
@@ -38,6 +40,11 @@ type Setting struct {
 
 // Controller picks cooling settings from the look-up space so that the CPU
 // stays near its safe temperature while TEG output is maximized.
+//
+// A Controller is safe for concurrent use by multiple goroutines as long as
+// its fields are not mutated after construction: Choose and Decide only read
+// the look-up space and module, and the decision cache is internally
+// synchronized.
 type Controller struct {
 	// Space is the fitted measurement space.
 	Space *lookup.Space
@@ -49,6 +56,45 @@ type Controller struct {
 	TSafe units.Celsius
 	// Band is the half-width of the safety slab X around TSafe (1 °C).
 	Band units.Celsius
+	// CacheQuantum quantizes the plane utilization before the cooling
+	// setting is selected, so that revisited planes hit the memoized
+	// decision cache instead of re-running the slab intersection. 0 (the
+	// default) keeps the exact plane value: the cache then only fires on
+	// bit-identical planes, which preserves the uncached results exactly.
+	// A positive quantum (e.g. 1/512) trades a sub-quantum perturbation
+	// of the plane for a near-perfect hit rate on real traces.
+	CacheQuantum float64
+
+	// The memoized Step 1-3 outcomes, keyed on the (quantized) plane
+	// utilization bits. Settings are a pure function of the plane, so
+	// concurrent fills are benign and order-independent.
+	cacheMu     sync.Mutex
+	cache       map[uint64]cachedChoice
+	hits, calls uint64
+}
+
+// cachedChoice is one memoized Choose outcome.
+type cachedChoice struct {
+	setting Setting
+	power   units.Watts
+}
+
+// CacheStats reports the decision cache's lifetime hit count and total
+// Choose call count.
+func (c *Controller) CacheStats() (hits, calls uint64) {
+	c.cacheMu.Lock()
+	defer c.cacheMu.Unlock()
+	return c.hits, c.calls
+}
+
+// quantizePlane snaps the plane utilization to the cache quantum, staying
+// inside [0, 1].
+func (c *Controller) quantizePlane(planeU float64) float64 {
+	if c.CacheQuantum <= 0 {
+		return planeU
+	}
+	q := math.Round(planeU/c.CacheQuantum) * c.CacheQuantum
+	return math.Min(1, math.Max(0, q))
 }
 
 // NewController wires a controller with the paper's defaults for the safety
@@ -94,10 +140,38 @@ func (c *Controller) PowerAt(s Setting, u float64) units.Watts {
 // admissible inlet cannot push the die up to TSafe — the controller falls
 // back to the safety-constrained optimum: maximum TEG power over all
 // settings whose CPU temperature does not exceed TSafe+Band.
+//
+// Outcomes are memoized per (quantized) plane: traces revisit the same
+// plane constantly, and the chosen setting is a pure function of it.
 func (c *Controller) Choose(planeU float64) (Setting, units.Watts, error) {
 	if planeU < 0 || planeU > 1 {
 		return Setting{}, 0, fmt.Errorf("sched: utilization %v outside [0,1]", planeU)
 	}
+	planeU = c.quantizePlane(planeU)
+	key := math.Float64bits(planeU)
+	c.cacheMu.Lock()
+	c.calls++
+	if ch, ok := c.cache[key]; ok {
+		c.hits++
+		c.cacheMu.Unlock()
+		return ch.setting, ch.power, nil
+	}
+	c.cacheMu.Unlock()
+	setting, power, err := c.choose(planeU)
+	if err != nil {
+		return Setting{}, 0, err
+	}
+	c.cacheMu.Lock()
+	if c.cache == nil {
+		c.cache = make(map[uint64]cachedChoice)
+	}
+	c.cache[key] = cachedChoice{setting: setting, power: power}
+	c.cacheMu.Unlock()
+	return setting, power, nil
+}
+
+// choose runs the uncached Steps 1-3 at the exact plane utilization.
+func (c *Controller) choose(planeU float64) (Setting, units.Watts, error) {
 	cands, err := c.Space.PlaneIntersection(planeU, c.TSafe, c.Band)
 	if err != nil {
 		return Setting{}, 0, err

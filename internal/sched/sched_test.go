@@ -2,6 +2,7 @@ package sched
 
 import (
 	"math"
+	"sync"
 	"testing"
 
 	"github.com/h2p-sim/h2p/internal/cpu"
@@ -269,5 +270,101 @@ func TestChooseFallbackWhenSlabUnreachable(t *testing.T) {
 	}
 	if tc := space.CPUTemp(0.1, s.Flow, s.Inlet); tc > c.TSafe+c.Band {
 		t.Errorf("fallback setting unsafe: %v", tc)
+	}
+}
+
+func TestDecisionCacheExactMemoization(t *testing.T) {
+	c := newController(t)
+	s1, p1, err := c.Choose(0.35)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, p2, err := c.Choose(0.35)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1 != s2 || p1 != p2 {
+		t.Errorf("memoized Choose drifted: %v/%v vs %v/%v", s1, p1, s2, p2)
+	}
+	hits, calls := c.CacheStats()
+	if calls != 2 || hits != 1 {
+		t.Errorf("cache stats = %d hits of %d calls, want 1 of 2", hits, calls)
+	}
+}
+
+func TestDecisionCacheQuantization(t *testing.T) {
+	quant := newController(t)
+	quant.CacheQuantum = 1.0 / 256
+	// Two planes within half a quantum of each other must collapse onto
+	// the same cached decision.
+	s1, p1, err := quant.Choose(0.400001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, p2, err := quant.Choose(0.400002)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1 != s2 || p1 != p2 {
+		t.Error("planes within one quantum should share a decision")
+	}
+	if hits, calls := quant.CacheStats(); hits != 1 || calls != 2 {
+		t.Errorf("cache stats = %d hits of %d calls, want 1 of 2", hits, calls)
+	}
+	// The quantized decision matches the exact controller evaluated at
+	// the snapped plane.
+	exact := newController(t)
+	se, pe, err := exact.Choose(math.Round(0.400001*256) / 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if se != s1 || pe != p1 {
+		t.Errorf("quantized decision %v/%v != exact at snapped plane %v/%v", s1, p1, se, pe)
+	}
+	// Quantization never pushes the plane outside [0, 1].
+	if _, _, err := quant.Choose(0.9999999); err != nil {
+		t.Errorf("plane near 1 should stay valid: %v", err)
+	}
+	if _, _, err := quant.Choose(0.0000001); err != nil {
+		t.Errorf("plane near 0 should stay valid: %v", err)
+	}
+}
+
+func TestDecisionCacheConcurrentUse(t *testing.T) {
+	// Hammer one controller from many goroutines; correctness under -race
+	// plus agreement with a fresh controller afterwards.
+	c := newController(t)
+	c.CacheQuantum = 1.0 / 128
+	var wg sync.WaitGroup
+	const goroutines = 8
+	wg.Add(goroutines)
+	for g := 0; g < goroutines; g++ {
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				u := float64((i*7+g)%101) / 100
+				if _, _, err := c.Choose(u); err != nil {
+					t.Errorf("concurrent Choose(%v): %v", u, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	ref := newController(t)
+	ref.CacheQuantum = 1.0 / 128
+	for i := 0; i <= 100; i++ {
+		u := float64(i) / 100
+		s1, p1, err := c.Choose(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s2, p2, err := ref.Choose(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s1 != s2 || p1 != p2 {
+			t.Fatalf("u=%v: concurrent-filled cache (%v/%v) disagrees with fresh controller (%v/%v)", u, s1, p1, s2, p2)
+		}
 	}
 }
