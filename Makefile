@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check bench experiments clean
+.PHONY: all build vet test race check bench bench-all experiments clean
 
 all: check
 
@@ -22,7 +22,17 @@ race:
 # check is the tier-1 gate: vet + build + race-enabled tests.
 check: vet build race
 
+# bench tracks the decision hot path across PRs: the Decision* benchmarks in
+# internal/lookup (candidate scan) and internal/sched (controller) run with
+# -benchmem and land in BENCH_decision.json as a test2json stream. Render or
+# compare snapshots with `go run ./cmd/h2pbenchdiff BENCH_decision.json
+# [other.json]`.
 bench:
+	$(GO) test -run '^$$' -bench Decision -benchmem -count=1 -json \
+		./internal/lookup ./internal/sched > BENCH_decision.json
+	$(GO) run ./cmd/h2pbenchdiff BENCH_decision.json
+
+bench-all:
 	$(GO) test -run '^$$' -bench . -benchmem ./...
 
 experiments:
@@ -30,4 +40,4 @@ experiments:
 
 clean:
 	$(GO) clean ./...
-	rm -rf results
+	rm -rf results BENCH_decision.json

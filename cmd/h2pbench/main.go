@@ -7,6 +7,7 @@
 //	h2pbench -list
 //	h2pbench -exp fig14 [-servers 1000] [-seed 42]
 //	h2pbench -exp all -csv results/
+//	h2pbench -exp fig14 -cpuprofile cpu.pprof -memprofile mem.pprof
 package main
 
 import (
@@ -17,6 +18,7 @@ import (
 	"path/filepath"
 
 	"github.com/h2p-sim/h2p/internal/experiments"
+	"github.com/h2p-sim/h2p/internal/profiling"
 	"github.com/h2p-sim/h2p/internal/report"
 )
 
@@ -28,6 +30,8 @@ func main() {
 	workers := flag.Int("workers", 0, "circulation worker pool size per engine (0 = GOMAXPROCS)")
 	csvDir := flag.String("csv", "", "also write each table as CSV into this directory")
 	reportPath := flag.String("report", "", "write a markdown report of every experiment to this file and exit")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 
 	if *list {
@@ -36,17 +40,26 @@ func main() {
 		}
 		return
 	}
-	params := experiments.EvalParams{Servers: *servers, Seed: *seed, Workers: *workers}
-	if *reportPath != "" {
-		if err := writeReport(*reportPath, params); err != nil {
-			fmt.Fprintln(os.Stderr, "h2pbench:", err)
-			os.Exit(1)
-		}
-		fmt.Printf("report written to %s\n", *reportPath)
-		return
-	}
-	if err := run(os.Stdout, *exp, params, *csvDir); err != nil {
+	stopProf, err := profiling.Start(*cpuProfile, *memProfile)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "h2pbench:", err)
+		os.Exit(1)
+	}
+	params := experiments.EvalParams{Servers: *servers, Seed: *seed, Workers: *workers}
+	var runErr error
+	if *reportPath != "" {
+		runErr = writeReport(*reportPath, params)
+		if runErr == nil {
+			fmt.Printf("report written to %s\n", *reportPath)
+		}
+	} else {
+		runErr = run(os.Stdout, *exp, params, *csvDir)
+	}
+	if err := stopProf(); err != nil {
+		fmt.Fprintln(os.Stderr, "h2pbench:", err)
+	}
+	if runErr != nil {
+		fmt.Fprintln(os.Stderr, "h2pbench:", runErr)
 		os.Exit(1)
 	}
 }

@@ -1,0 +1,214 @@
+// Command h2pbenchdiff is a benchstat-lite for the repo's benchmark
+// artifacts: it reads the output of `go test -bench` — either the plain text
+// stream or the test2json stream that `make bench` stores in
+// BENCH_decision.json — and prints the results as a table. Given two files it
+// prints an old-vs-new comparison with deltas, which is how the before/after
+// tables in EXPERIMENTS.md are produced:
+//
+//	h2pbenchdiff BENCH_decision.json
+//	h2pbenchdiff old.json new.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	args := os.Args[1:]
+	if len(args) < 1 || len(args) > 2 {
+		fmt.Fprintln(os.Stderr, "usage: h2pbenchdiff <bench-file> [new-bench-file]")
+		os.Exit(2)
+	}
+	if err := run(os.Stdout, args); err != nil {
+		fmt.Fprintln(os.Stderr, "h2pbenchdiff:", err)
+		os.Exit(1)
+	}
+}
+
+func run(out io.Writer, paths []string) error {
+	sets := make([]*benchSet, len(paths))
+	for i, p := range paths {
+		f, err := os.Open(p)
+		if err != nil {
+			return err
+		}
+		s, err := parse(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("%s: %w", p, err)
+		}
+		if len(s.order) == 0 {
+			return fmt.Errorf("%s: no benchmark results found", p)
+		}
+		sets[i] = s
+	}
+	if len(sets) == 1 {
+		writeTable(out, sets[0])
+		return nil
+	}
+	writeDiff(out, sets[0], sets[1])
+	return nil
+}
+
+// result is one benchmark line. BytesPerOp/AllocsPerOp are -1 when the run
+// was not benchmem-enabled.
+type result struct {
+	Iters       int64
+	NsPerOp     float64
+	BytesPerOp  float64
+	AllocsPerOp float64
+}
+
+// benchSet preserves first-seen order so tables read like the source stream.
+type benchSet struct {
+	order   []string
+	results map[string]result
+}
+
+// testEvent is the subset of the test2json schema h2pbenchdiff consumes.
+type testEvent struct {
+	Action string `json:"Action"`
+	Output string `json:"Output"`
+}
+
+// benchLine matches `BenchmarkName[-P]  N  X ns/op [ Y B/op  Z allocs/op ]`.
+var benchLine = regexp.MustCompile(
+	`^(Benchmark\S+?)(-\d+)?\s+(\d+)\s+([0-9.]+) ns/op(?:\s+([0-9.]+) B/op\s+([0-9.]+) allocs/op)?`)
+
+// nameOnly and resultOnly handle the split emission of verbose/test2json
+// streams, where `BenchmarkName\n` and the measurement arrive as separate
+// lines.
+var (
+	nameOnly   = regexp.MustCompile(`^(Benchmark\S+?)(-\d+)?$`)
+	resultOnly = regexp.MustCompile(
+		`^(\d+)\s+([0-9.]+) ns/op(?:\s+([0-9.]+) B/op\s+([0-9.]+) allocs/op)?`)
+)
+
+// parse accepts either raw `go test -bench` text or a test2json stream; in
+// the latter each line is an event whose Output fragments carry the same
+// text. Non-benchmark lines are ignored either way.
+func parse(r io.Reader) (*benchSet, error) {
+	s := &benchSet{results: make(map[string]result)}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	pending := ""
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "{") {
+			var ev testEvent
+			if err := json.Unmarshal([]byte(line), &ev); err != nil {
+				return nil, fmt.Errorf("bad test2json line: %w", err)
+			}
+			if ev.Action != "output" {
+				continue
+			}
+			line = strings.TrimSuffix(ev.Output, "\n")
+		}
+		line = strings.TrimSpace(line)
+		if m := benchLine.FindStringSubmatch(line); m != nil {
+			if err := s.record(m[1], m[3], m[4], m[5], m[6]); err != nil {
+				return nil, err
+			}
+			pending = ""
+			continue
+		}
+		if m := nameOnly.FindStringSubmatch(line); m != nil {
+			pending = m[1]
+			continue
+		}
+		if m := resultOnly.FindStringSubmatch(line); m != nil && pending != "" {
+			if err := s.record(pending, m[1], m[2], m[3], m[4]); err != nil {
+				return nil, err
+			}
+			pending = ""
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// record parses the numeric fields and files the result; bytesS/allocsS are
+// empty when the run lacked -benchmem.
+func (s *benchSet) record(name, itersS, nsS, bytesS, allocsS string) error {
+	iters, err := strconv.ParseInt(itersS, 10, 64)
+	if err != nil {
+		return err
+	}
+	ns, err := strconv.ParseFloat(nsS, 64)
+	if err != nil {
+		return err
+	}
+	res := result{Iters: iters, NsPerOp: ns, BytesPerOp: -1, AllocsPerOp: -1}
+	if bytesS != "" {
+		if res.BytesPerOp, err = strconv.ParseFloat(bytesS, 64); err != nil {
+			return err
+		}
+		if res.AllocsPerOp, err = strconv.ParseFloat(allocsS, 64); err != nil {
+			return err
+		}
+	}
+	if _, seen := s.results[name]; !seen {
+		s.order = append(s.order, name)
+	}
+	// Last write wins on duplicate names (e.g. -count > 1): the most recent
+	// run is the most warmed-up one.
+	s.results[name] = res
+	return nil
+}
+
+func writeTable(out io.Writer, s *benchSet) {
+	fmt.Fprintf(out, "%-42s %14s %12s %12s\n", "benchmark", "ns/op", "B/op", "allocs/op")
+	for _, name := range s.order {
+		r := s.results[name]
+		fmt.Fprintf(out, "%-42s %14.2f %12s %12s\n",
+			name, r.NsPerOp, memCell(r.BytesPerOp), memCell(r.AllocsPerOp))
+	}
+}
+
+func writeDiff(out io.Writer, old, new_ *benchSet) {
+	fmt.Fprintf(out, "%-42s %14s %14s %9s %10s %10s\n",
+		"benchmark", "old ns/op", "new ns/op", "delta", "old allocs", "new allocs")
+	for _, name := range old.order {
+		o := old.results[name]
+		n, ok := new_.results[name]
+		if !ok {
+			fmt.Fprintf(out, "%-42s %14.2f %14s\n", name, o.NsPerOp, "(gone)")
+			continue
+		}
+		fmt.Fprintf(out, "%-42s %14.2f %14.2f %9s %10s %10s\n",
+			name, o.NsPerOp, n.NsPerOp, delta(o.NsPerOp, n.NsPerOp),
+			memCell(o.AllocsPerOp), memCell(n.AllocsPerOp))
+	}
+	for _, name := range new_.order {
+		if _, ok := old.results[name]; !ok {
+			n := new_.results[name]
+			fmt.Fprintf(out, "%-42s %14s %14.2f %9s %10s %10s\n",
+				name, "(new)", n.NsPerOp, "", "", memCell(n.AllocsPerOp))
+		}
+	}
+}
+
+// delta formats the relative change in ns/op, negative = faster.
+func delta(old, new_ float64) string {
+	if old == 0 {
+		return "?"
+	}
+	return fmt.Sprintf("%+.1f%%", (new_/old-1)*100)
+}
+
+// memCell renders a -benchmem column, blank when the run lacked it.
+func memCell(v float64) string {
+	if v < 0 {
+		return "-"
+	}
+	return strconv.FormatFloat(v, 'f', -1, 64)
+}

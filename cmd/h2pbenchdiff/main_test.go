@@ -1,0 +1,120 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const plainBench = `goos: linux
+goarch: amd64
+pkg: github.com/h2p-sim/h2p/internal/sched
+BenchmarkDecisionChooseMiss        	   91450	     14517 ns/op	      48 B/op	       1 allocs/op
+BenchmarkDecisionChooseHit-8       	65073976	        18.49 ns/op	       0 B/op	       0 allocs/op
+BenchmarkDecisionDecide            	 2751466	       442.3 ns/op
+PASS
+ok  	github.com/h2p-sim/h2p/internal/sched	7.015s
+`
+
+// jsonBench mirrors a real test2json stream: the benchmark name and its
+// measurement arrive as separate output events (the split `go test -json`
+// actually emits), plus one single-line event for the inline form.
+const jsonBench = `{"Action":"start","Package":"github.com/h2p-sim/h2p/internal/sched"}
+{"Action":"run","Package":"p","Test":"BenchmarkDecisionChooseMiss"}
+{"Action":"output","Package":"p","Test":"BenchmarkDecisionChooseMiss","Output":"=== RUN   BenchmarkDecisionChooseMiss\n"}
+{"Action":"output","Package":"p","Test":"BenchmarkDecisionChooseMiss","Output":"BenchmarkDecisionChooseMiss\n"}
+{"Action":"output","Package":"p","Test":"BenchmarkDecisionChooseMiss","Output":"  100000\t     12000 ns/op\t      48 B/op\t       1 allocs/op\n"}
+{"Action":"output","Package":"p","Output":"BenchmarkDecisionChooseHit-8       \t70000000\t        17.20 ns/op\t       0 B/op\t       0 allocs/op\n"}
+{"Action":"output","Package":"p","Output":"ok  \tgithub.com/h2p-sim/h2p/internal/sched\t7.0s\n"}
+{"Action":"pass","Package":"p"}
+`
+
+func TestParsePlainText(t *testing.T) {
+	s, err := parse(strings.NewReader(plainBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.order) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3: %v", len(s.order), s.order)
+	}
+	miss := s.results["BenchmarkDecisionChooseMiss"]
+	if miss.NsPerOp != 14517 || miss.AllocsPerOp != 1 || miss.BytesPerOp != 48 {
+		t.Errorf("miss parsed wrong: %+v", miss)
+	}
+	// The -8 GOMAXPROCS suffix must be stripped so old/new runs on different
+	// machines still line up.
+	hit, ok := s.results["BenchmarkDecisionChooseHit"]
+	if !ok || hit.NsPerOp != 18.49 {
+		t.Errorf("hit parsed wrong: %+v (ok=%v)", hit, ok)
+	}
+	// A line without -benchmem columns keeps the table usable.
+	if d := s.results["BenchmarkDecisionDecide"]; d.AllocsPerOp != -1 || d.NsPerOp != 442.3 {
+		t.Errorf("no-benchmem line parsed wrong: %+v", d)
+	}
+}
+
+func TestParseTest2JSON(t *testing.T) {
+	s, err := parse(strings.NewReader(jsonBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.order) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2: %v", len(s.order), s.order)
+	}
+	if s.results["BenchmarkDecisionChooseMiss"].NsPerOp != 12000 {
+		t.Errorf("json miss parsed wrong: %+v", s.results["BenchmarkDecisionChooseMiss"])
+	}
+}
+
+func TestRunSingleFileTable(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.txt")
+	if err := os.WriteFile(path, []byte(plainBench), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := run(&sb, []string{path}); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"BenchmarkDecisionChooseMiss", "14517.00", "allocs/op"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunDiffTwoFiles(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := filepath.Join(dir, "old.txt")
+	newPath := filepath.Join(dir, "new.json")
+	if err := os.WriteFile(oldPath, []byte(plainBench), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(newPath, []byte(jsonBench), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := run(&sb, []string{oldPath, newPath}); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	// 14517 -> 12000 is -17.3%.
+	if !strings.Contains(out, "-17.3%") {
+		t.Errorf("diff missing delta:\n%s", out)
+	}
+	// Decide exists only in the old file.
+	if !strings.Contains(out, "(gone)") {
+		t.Errorf("diff missing (gone) marker:\n%s", out)
+	}
+}
+
+func TestRunRejectsEmptyFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "empty.txt")
+	if err := os.WriteFile(path, []byte("no benchmarks here\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(&strings.Builder{}, []string{path}); err == nil {
+		t.Error("file without benchmark lines should error")
+	}
+}

@@ -6,6 +6,7 @@
 // Usage:
 //
 //	h2psim [-servers 1000] [-circ 25] [-seed 42] [-workers 0] [-trace file.csv] [-series]
+//	       [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // The simulation fans the independent water circulations of every control
 // interval out across -workers goroutines (0 = all CPUs) and runs the two
@@ -23,6 +24,7 @@ import (
 	"syscall"
 
 	"github.com/h2p-sim/h2p/internal/core"
+	"github.com/h2p-sim/h2p/internal/profiling"
 	"github.com/h2p-sim/h2p/internal/sched"
 	"github.com/h2p-sim/h2p/internal/trace"
 )
@@ -35,16 +37,28 @@ func main() {
 	quantum := flag.Float64("quantum", 0, "decision-cache utilization quantum (0 = exact, paper-faithful; try 1/512)")
 	traceFile := flag.String("trace", "", "optional CSV trace file (replaces the synthetic traces)")
 	series := flag.Bool("series", false, "also print the per-interval power series")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	stopProf, err := profiling.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "h2psim:", err)
+		os.Exit(1)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	if err := run(ctx, os.Stdout, runOptions{
+	runErr := run(ctx, os.Stdout, runOptions{
 		servers: *servers, circ: *circ, seed: *seed,
 		workers: *workers, quantum: *quantum,
 		traceFile: *traceFile, series: *series,
-	}); err != nil {
+	})
+	if err := stopProf(); err != nil {
 		fmt.Fprintln(os.Stderr, "h2psim:", err)
+	}
+	if runErr != nil {
+		fmt.Fprintln(os.Stderr, "h2psim:", runErr)
 		os.Exit(1)
 	}
 }

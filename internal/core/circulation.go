@@ -28,6 +28,12 @@ type Circulation struct {
 	maxFlow    units.LitersPerHour
 	hxApproach units.Celsius
 	wetBulb    units.Celsius
+
+	// scratch backs the controller's per-server decision buffers across
+	// control intervals, so a circulation's steady-state Step performs no
+	// allocations. Exactly one worker steps a circulation per interval, so
+	// the scratch needs no synchronization.
+	scratch sched.Scratch
 }
 
 // newCirculation wires one circulation from the engine's configuration. The
@@ -79,7 +85,7 @@ type CirculationInterval struct {
 // dispatches the facility plant. col is the full datacenter column; Step
 // only touches col[c.Lo:c.Hi].
 func (c *Circulation) Step(col []float64) (CirculationInterval, error) {
-	d, err := c.ctl.Decide(col[c.Lo:c.Hi], c.scheme)
+	d, err := c.ctl.DecideInto(col[c.Lo:c.Hi], c.scheme, &c.scratch)
 	if err != nil {
 		return CirculationInterval{}, err
 	}

@@ -50,6 +50,55 @@ func TestSerialParallelEquivalence(t *testing.T) {
 	}
 }
 
+// TestHighEntropyParallelEquivalence stresses the zero-allocation decision
+// path where it is least cache-friendly: a hand-built trace in which every
+// server/interval utilization is a distinct value (a deterministic LCG, so
+// nearly every Choose is a miss), split into many small circulations and
+// stepped by 16 workers. The parallel run must reproduce the serial run
+// bit-for-bit; under -race (make check) this also proves the lock-free cache
+// and sharded counters are data-race-free while shared across workers.
+func TestHighEntropyParallelEquivalence(t *testing.T) {
+	const servers, intervals = 96, 40
+	tr, err := trace.New("high-entropy", trace.Drastic, servers, intervals, 5*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	state := uint64(0x9E3779B97F4A7C15)
+	for s := 0; s < servers; s++ {
+		for i := 0; i < intervals; i++ {
+			state = state*6364136223846793005 + 1442695040888963407
+			tr.U[s][i] = float64(state>>11) / float64(1<<53)
+		}
+	}
+	for _, scheme := range []sched.Scheme{sched.Original, sched.LoadBalance} {
+		cfg := smallConfig(scheme)
+		cfg.ServersPerCirculation = 6 // 16 circulations: more than the worker pool
+
+		cfg.Workers = 1
+		se, err := NewEngine(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		serial, err := se.Run(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		cfg.Workers = 16
+		pe, err := NewEngine(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parallel, err := pe.Run(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(serial, parallel) {
+			t.Errorf("%s: Workers=1 and Workers=16 diverge on the high-entropy trace", scheme)
+		}
+	}
+}
+
 // TestQuantizedCacheKeepsEquivalence repeats the equivalence check with the
 // decision cache quantized: quantization perturbs the results relative to
 // the exact controller, but serial and parallel runs must still agree

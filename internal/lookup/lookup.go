@@ -72,6 +72,32 @@ type Space struct {
 	spec cpu.Spec
 	tcpu *numeric.Grid3D
 	tout *numeric.Grid3D
+	// tabs is the flattened cell-major view of the same samples, built once
+	// so the decision hot path can stream candidates without allocating
+	// (tables.go).
+	tabs *candTables
+}
+
+// errBandNotPositive matches the historical SafetySlab/PlaneIntersection
+// validation error.
+var errBandNotPositive = errors.New("lookup: safety band must be positive")
+
+// errOutsideUnit matches the historical PlaneIntersection validation error.
+func errOutsideUnit(u float64) error {
+	return fmt.Errorf("lookup: utilization %v outside [0,1]", u)
+}
+
+// newSpace wires a Space around fitted grids, deriving the flattened
+// candidate tables. Every constructor (Build, ReadJSON) must come through
+// here so the tables always exist.
+func newSpace(spec cpu.Spec, axes Axes, tcpu, tout *numeric.Grid3D) *Space {
+	return &Space{
+		axes: axes,
+		spec: spec,
+		tcpu: tcpu,
+		tout: tout,
+		tabs: buildCandTables(axes, tcpu, tout),
+	}
 }
 
 // Build samples the CPU model over the grid — standing in for the prototype
@@ -99,7 +125,7 @@ func Build(spec cpu.Spec, axes Axes) (*Space, error) {
 	tout.Fill(func(u, f, tin float64) float64 {
 		return float64(spec.OutletTemp(u, units.LitersPerHour(f), units.Celsius(tin)))
 	})
-	return &Space{axes: axes, spec: spec, tcpu: tcpu, tout: tout}, nil
+	return newSpace(spec, axes, tcpu, tout), nil
 }
 
 // Spec returns the CPU spec the space was measured on.
@@ -146,16 +172,17 @@ func (s *Space) GridPoints() []Point {
 
 // SafetySlab returns the grid points whose CPU temperature falls within
 // [tsafe-band, tsafe+band]: the space X of Step 2 (Fig. 13 uses band = 1 °C
-// around T_safe = 62 °C).
+// around T_safe = 62 °C). It streams the grid through VisitSafetySlab rather
+// than materializing the whole point cloud and filtering it; only the slab
+// itself is allocated.
 func (s *Space) SafetySlab(tsafe, band units.Celsius) ([]Point, error) {
-	if band <= 0 {
-		return nil, errors.New("lookup: safety band must be positive")
-	}
 	var out []Point
-	for _, p := range s.GridPoints() {
-		if p.CPUTemp >= tsafe-band && p.CPUTemp <= tsafe+band {
-			out = append(out, p)
-		}
+	err := s.VisitSafetySlab(tsafe, band, func(p Point) bool {
+		out = append(out, p)
+		return true
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -166,20 +193,13 @@ func (s *Space) SafetySlab(tsafe, band units.Celsius) ([]Point, error) {
 // exact plane, so candidates are continuous in u rather than snapped to the
 // utilization axis.
 func (s *Space) PlaneIntersection(u float64, tsafe, band units.Celsius) ([]Point, error) {
-	if band <= 0 {
-		return nil, errors.New("lookup: safety band must be positive")
-	}
-	if u < 0 || u > 1 {
-		return nil, fmt.Errorf("lookup: utilization %v outside [0,1]", u)
-	}
 	var out []Point
-	for _, f := range s.axes.Flow {
-		for _, tin := range s.axes.Inlet {
-			p := s.At(u, units.LitersPerHour(f), units.Celsius(tin))
-			if p.CPUTemp >= tsafe-band && p.CPUTemp <= tsafe+band {
-				out = append(out, p)
-			}
-		}
+	err := s.VisitPlaneIntersection(u, tsafe, band, func(_ int, p Point) bool {
+		out = append(out, p)
+		return true
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

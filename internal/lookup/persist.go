@@ -64,5 +64,5 @@ func ReadJSON(r io.Reader) (*Space, error) {
 			return nil, errors.New("lookup: grid axes disagree with declared axes")
 		}
 	}
-	return &Space{spec: p.Spec, axes: p.Axes, tcpu: p.TCPU, tout: p.TOut}, nil
+	return newSpace(p.Spec, p.Axes, p.TCPU, p.TOut), nil
 }

@@ -1,0 +1,189 @@
+package lookup
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/h2p-sim/h2p/internal/units"
+)
+
+// The streaming visitors must reproduce the slice-based Step 1-3 queries
+// bit-for-bit: same points, same order, zero allocations. These tests pin
+// that contract (the controller's decision correctness rides on it).
+
+func TestVisitPlaneMatchesAt(t *testing.T) {
+	s := buildDefault(t)
+	ax := s.Axes()
+	for _, u := range []float64{0, 0.137, 0.25, 0.5, 0.731, 1} {
+		n := 0
+		err := s.VisitPlane(u, func(cell int, p Point) bool {
+			j := cell / len(ax.Inlet)
+			k := cell % len(ax.Inlet)
+			want := s.At(u, units.LitersPerHour(ax.Flow[j]), units.Celsius(ax.Inlet[k]))
+			if p != want {
+				t.Fatalf("u=%v cell=%d: streamed %+v != interpolated %+v", u, cell, p, want)
+			}
+			n++
+			return true
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := len(ax.Flow) * len(ax.Inlet); n != want {
+			t.Fatalf("u=%v: visited %d cells, want %d", u, n, want)
+		}
+	}
+	if err := s.VisitPlane(1.5, func(int, Point) bool { return true }); err == nil {
+		t.Error("out-of-range plane should error")
+	}
+}
+
+func TestVisitPlaneIntersectionMatchesSlice(t *testing.T) {
+	s := buildDefault(t)
+	for _, u := range []float64{0.1, 0.25, 0.6, 0.95} {
+		want, err := s.PlaneIntersection(u, 62, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got []Point
+		err = s.VisitPlaneIntersection(u, 62, 1, func(_ int, p Point) bool {
+			got = append(got, p)
+			return true
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("u=%v: streamed %d candidates, slice path %d", u, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("u=%v candidate %d: streamed %+v != %+v", u, i, got[i], want[i])
+			}
+		}
+	}
+	if err := s.VisitPlaneIntersection(0.5, 62, -1, func(_ int, p Point) bool { return true }); err == nil {
+		t.Error("bad band should error")
+	}
+}
+
+func TestVisitSafetySlabMatchesSlice(t *testing.T) {
+	s := buildDefault(t)
+	want, err := s.SafetySlab(62, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []Point
+	if err := s.VisitSafetySlab(62, 1, func(p Point) bool {
+		got = append(got, p)
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("streamed %d slab points, slice path %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("slab point %d: streamed %+v != %+v", i, got[i], want[i])
+		}
+	}
+	if err := s.VisitSafetySlab(62, 0, func(Point) bool { return true }); err == nil {
+		t.Error("zero band should error")
+	}
+}
+
+func TestVisitEarlyStop(t *testing.T) {
+	s := buildDefault(t)
+	n := 0
+	if err := s.VisitPlane(0.5, func(int, Point) bool { n++; return n < 3 }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Errorf("early-stopped plane visit saw %d cells, want 3", n)
+	}
+	n = 0
+	if err := s.VisitSafetySlab(62, 1, func(Point) bool { n++; return false }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Errorf("early-stopped slab visit saw %d points, want 1", n)
+	}
+}
+
+func TestCellFlowIndex(t *testing.T) {
+	s := buildDefault(t)
+	ax := s.Axes()
+	if got, want := s.Cells(), len(ax.Flow)*len(ax.Inlet); got != want {
+		t.Fatalf("Cells() = %d, want %d", got, want)
+	}
+	err := s.VisitPlane(0.3, func(cell int, p Point) bool {
+		j := s.CellFlowIndex(cell)
+		if units.LitersPerHour(ax.Flow[j]) != p.Flow {
+			t.Fatalf("cell %d: CellFlowIndex %d maps to flow %v, point has %v",
+				cell, j, ax.Flow[j], p.Flow)
+		}
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestVisitorsAllocationFree pins the streaming contract: neither the plane
+// scan nor the slab walk may allocate, no matter how many points qualify.
+func TestVisitorsAllocationFree(t *testing.T) {
+	s := buildDefault(t)
+	var sink float64
+	allocs := testing.AllocsPerRun(20, func() {
+		_ = s.VisitPlaneIntersection(0.25, 62, 1, func(_ int, p Point) bool {
+			sink += float64(p.Outlet)
+			return true
+		})
+	})
+	if allocs != 0 {
+		t.Errorf("VisitPlaneIntersection = %v allocs/op, want 0", allocs)
+	}
+	allocs = testing.AllocsPerRun(20, func() {
+		_ = s.VisitSafetySlab(62, 1, func(p Point) bool {
+			sink += float64(p.CPUTemp)
+			return true
+		})
+	})
+	if allocs != 0 {
+		t.Errorf("VisitSafetySlab = %v allocs/op, want 0", allocs)
+	}
+	_ = sink
+}
+
+// TestTablesSurvivePersistence checks a Space deserialized from JSON carries
+// rebuilt candidate tables that agree with the original's.
+func TestTablesSurvivePersistence(t *testing.T) {
+	s := buildDefault(t)
+	var buf bytes.Buffer
+	if err := s.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig, err := s.PlaneIntersection(0.25, 62, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	i := 0
+	err = loaded.VisitPlaneIntersection(0.25, 62, 1, func(_ int, p Point) bool {
+		if i >= len(orig) || p != orig[i] {
+			t.Fatalf("candidate %d drifted across persistence", i)
+		}
+		i++
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i != len(orig) {
+		t.Fatalf("loaded space streamed %d candidates, want %d", i, len(orig))
+	}
+}

@@ -98,6 +98,13 @@ func (g *Grid3D) Fill(f func(x, y, z float64) float64) {
 	}
 }
 
+// Cell finds the lower index of the axis cell containing q and the
+// interpolation weight inside it, clamping to the grid so out-of-range
+// queries extrapolate from the boundary cell. It is exported so that
+// flattened-table consumers (lookup's candidate tables) can reproduce
+// Grid3D.Eval's cell selection bit-for-bit.
+func Cell(axis []float64, q float64) (int, float64) { return cell(axis, q) }
+
 // cell finds the lower index of the axis cell containing q, clamping to the
 // grid so out-of-range queries extrapolate from the boundary cell.
 func cell(axis []float64, q float64) (int, float64) {

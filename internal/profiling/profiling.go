@@ -1,0 +1,62 @@
+// Package profiling wires runtime/pprof into the command-line tools. Both
+// h2psim and h2pbench accept -cpuprofile/-memprofile flags; the profiles they
+// write feed `go tool pprof` when chasing regressions in the decision hot
+// path (see DESIGN.md and make bench).
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling to cpuPath (if non-empty) and arranges for a
+// heap profile to be written to memPath (if non-empty). It returns a stop
+// function that must be called exactly once — typically deferred in main —
+// to flush both profiles; the stop function reports the first error it hits.
+// Empty paths disable the corresponding profile, so callers can pass flag
+// values through unconditionally.
+func Start(cpuPath, memPath string) (func() error, error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("profiling: create cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("profiling: start cpu profile: %w", err)
+		}
+		cpuFile = f
+	}
+	stop := func() error {
+		var first error
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil && first == nil {
+				first = fmt.Errorf("profiling: close cpu profile: %w", err)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				if first == nil {
+					first = fmt.Errorf("profiling: create mem profile: %w", err)
+				}
+				return first
+			}
+			// Up-to-date allocation stats make the heap profile reflect the
+			// run just finished rather than the last GC cycle.
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil && first == nil {
+				first = fmt.Errorf("profiling: write mem profile: %w", err)
+			}
+			if err := f.Close(); err != nil && first == nil {
+				first = fmt.Errorf("profiling: close mem profile: %w", err)
+			}
+		}
+		return first
+	}
+	return stop, nil
+}

@@ -1,0 +1,114 @@
+package sched
+
+import (
+	"sync/atomic"
+
+	"github.com/h2p-sim/h2p/internal/units"
+)
+
+// The decision cache memoizes Choose outcomes keyed on the float bits of the
+// (quantized) plane utilization. Every circulation worker of the parallel
+// engine consults one shared controller each control interval, so the cache
+// is built for a read-mostly regime: after warmup virtually every Choose is
+// a hit, and the seed's single mutex around a map serialized all workers on
+// it.
+//
+// The replacement is a fixed-size hash table sharded into cacheBuckets
+// independent buckets, each the head of an immutable chain of cacheEntry
+// nodes published through an atomic.Pointer:
+//
+//   - Reads (the hot path) atomically load the bucket head and walk the
+//     chain — no mutex, no allocation, no write to shared memory.
+//   - Writes (cache misses only) allocate one entry and CAS it onto the
+//     bucket head, retrying on contention. Entries are immutable after
+//     publication, so readers never observe a partially written value.
+//
+// Settings are a pure function of the plane, so two workers racing to fill
+// the same key compute identical values and either insert is correct; the
+// CAS loop re-checks the chain to keep duplicates out. The table never
+// grows: distinct planes are bounded by the quantum (or by the trace's
+// distinct utilization means), and an overfull bucket only degrades into a
+// longer — still correct — chain walk.
+const cacheBuckets = 1 << 12
+
+// cacheEntry is one memoized Choose outcome in a bucket chain. key holds
+// math.Float64bits of the quantized plane; setting/power are immutable after
+// the entry is published.
+type cacheEntry struct {
+	key     uint64
+	setting Setting
+	power   units.Watts
+	next    *cacheEntry
+}
+
+// decisionCache is the sharded lock-free table. The zero value is ready to
+// use.
+type decisionCache struct {
+	buckets [cacheBuckets]atomic.Pointer[cacheEntry]
+}
+
+// bucketOf spreads the 64 key bits over the buckets with a Fibonacci hash:
+// quantized planes differ only in a few low mantissa bits, which a plain
+// mask would collapse onto a handful of buckets.
+func bucketOf(key uint64) uint64 {
+	return (key * 0x9E3779B97F4A7C15) >> (64 - 12)
+}
+
+// load returns the memoized outcome for key, if any. Allocation-free and
+// mutex-free: one atomic load plus a chain walk over immutable entries.
+func (dc *decisionCache) load(key uint64) (Setting, units.Watts, bool) {
+	for e := dc.buckets[bucketOf(key)].Load(); e != nil; e = e.next {
+		if e.key == key {
+			return e.setting, e.power, true
+		}
+	}
+	return Setting{}, 0, false
+}
+
+// store publishes a freshly computed outcome. Exactly one allocation; lost
+// CAS races re-check the chain so a key is inserted at most once.
+func (dc *decisionCache) store(key uint64, setting Setting, power units.Watts) {
+	b := &dc.buckets[bucketOf(key)]
+	e := &cacheEntry{key: key, setting: setting, power: power}
+	for {
+		head := b.Load()
+		for cur := head; cur != nil; cur = cur.next {
+			if cur.key == key {
+				return // another worker published it first
+			}
+		}
+		e.next = head
+		if b.CompareAndSwap(head, e) {
+			return
+		}
+	}
+}
+
+// counterShards spreads the hits/calls counters so the parallel engine's
+// workers do not all bounce one cache line per Choose. A shard is selected
+// from the key's bucket hash, so a given plane always lands on the same
+// shard and totals stay exact.
+const counterShards = 16
+
+// shardedCounter is a cache-line-padded array of atomic counters summed on
+// read. The zero value is ready to use.
+type shardedCounter struct {
+	slots [counterShards]struct {
+		n atomic.Uint64
+		_ [56]byte // pad to a cache line so shards do not false-share
+	}
+}
+
+// add increments the shard owning the key.
+func (sc *shardedCounter) add(key uint64) {
+	sc.slots[bucketOf(key)%counterShards].n.Add(1)
+}
+
+// sum folds the shards into the lifetime total.
+func (sc *shardedCounter) sum() uint64 {
+	var t uint64
+	for i := range sc.slots {
+		t += sc.slots[i].n.Load()
+	}
+	return t
+}

@@ -1,0 +1,69 @@
+package sched
+
+import (
+	"math"
+
+	"github.com/h2p-sim/h2p/internal/lookup"
+	"github.com/h2p-sim/h2p/internal/teg"
+	"github.com/h2p-sim/h2p/internal/units"
+)
+
+// powerCurve is the TEG module's power-vs-outlet-temperature curve,
+// precomputed once per controller. The cold source is fixed for a
+// controller's lifetime, so a candidate's module output depends only on its
+// outlet temperature and — through the optional flow derating — its flow
+// cell. The seed evaluated teg.Module.MaxPower per candidate, which pays two
+// math.Exp calls (the derating factor) for every one of the ~1.4k candidate
+// cells on every cache miss; the curve hoists the per-flow factors and the
+// Eq. 6 quadratic coefficients so the scan is a handful of multiply-adds per
+// candidate, bit-identical to the module path.
+type powerCurve struct {
+	cold    float64    // TEG cold-side temperature, °C
+	n       float64    // TEGs in series (Eq. 7 scales per-device power by n)
+	fit     [3]float64 // Eq. 6 quadratic: fit[0] + fit[1]*x + fit[2]*x*x
+	ni      int        // inlet-axis length: candidate cell -> flow index
+	factors []float64  // per-flow-index derating factor (1.0 when no derating)
+}
+
+// newPowerCurve precomputes the curve for the module against the space's
+// flow axis. The module must be fully configured (including FlowDerating)
+// before the controller is built; NewController documents that contract.
+func newPowerCurve(space *lookup.Space, module *teg.Module, cold units.Celsius) *powerCurve {
+	ax := space.Axes()
+	pc := &powerCurve{
+		cold:    float64(cold),
+		n:       float64(module.N),
+		fit:     module.Device.PmaxFit,
+		ni:      len(ax.Inlet),
+		factors: make([]float64, len(ax.Flow)),
+	}
+	for j, f := range ax.Flow {
+		if module.FlowDerating != nil {
+			pc.factors[j] = module.FlowDerating.Factor(units.LitersPerHour(f))
+		} else {
+			pc.factors[j] = 1
+		}
+	}
+	return pc
+}
+
+// powerAt returns the module output of the candidate in cell (flow-major
+// flat index, as visited by lookup.VisitPlane) whose interpolated outlet
+// temperature is outlet. The operation sequence replicates
+// Controller.PowerAt -> Module.MaxPower -> Device.MaxPowerEmpirical exactly,
+// so the curve and the module produce bit-identical watts:
+// multiplying by a precomputed factor equals Module.effectiveDeltaT
+// (a factor of exactly 1.0 is the IEEE identity), and the quadratic is
+// evaluated in MaxPowerEmpirical's order.
+func (pc *powerCurve) powerAt(cell int, outlet units.Celsius) units.Watts {
+	dT := float64(outlet) - pc.cold
+	if dT <= 0 {
+		return 0
+	}
+	x := math.Abs(dT * pc.factors[cell/pc.ni])
+	p := pc.fit[0] + pc.fit[1]*x + pc.fit[2]*x*x
+	if p < 0 {
+		p = 0
+	}
+	return units.Watts(p * pc.n)
+}

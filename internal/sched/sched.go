@@ -9,7 +9,6 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"sync"
 
 	"github.com/h2p-sim/h2p/internal/lookup"
 	"github.com/h2p-sim/h2p/internal/stats"
@@ -66,25 +65,24 @@ type Controller struct {
 	CacheQuantum float64
 
 	// The memoized Step 1-3 outcomes, keyed on the (quantized) plane
-	// utilization bits. Settings are a pure function of the plane, so
-	// concurrent fills are benign and order-independent.
-	cacheMu     sync.Mutex
-	cache       map[uint64]cachedChoice
-	hits, calls uint64
-}
+	// utilization bits: a sharded lock-free table (cache.go). Settings are
+	// a pure function of the plane, so concurrent fills are benign and
+	// order-independent.
+	cache       decisionCache
+	hits, calls shardedCounter
 
-// cachedChoice is one memoized Choose outcome.
-type cachedChoice struct {
-	setting Setting
-	power   units.Watts
+	// curve is the precomputed power-vs-outlet-temperature curve
+	// (powercurve.go), derived from Module and ColdSource by NewController.
+	// A controller assembled without NewController leaves it nil and the
+	// candidate scan falls back to the (bit-identical) module path.
+	curve *powerCurve
 }
 
 // CacheStats reports the decision cache's lifetime hit count and total
-// Choose call count.
+// Choose call count. It only sums atomic counters — it takes no lock and
+// never contends with concurrent Choose calls.
 func (c *Controller) CacheStats() (hits, calls uint64) {
-	c.cacheMu.Lock()
-	defer c.cacheMu.Unlock()
-	return c.hits, c.calls
+	return c.hits.sum(), c.calls.sum()
 }
 
 // quantizePlane snaps the plane utilization to the cache quantum, staying
@@ -98,7 +96,10 @@ func (c *Controller) quantizePlane(planeU float64) float64 {
 }
 
 // NewController wires a controller with the paper's defaults for the safety
-// parameters.
+// parameters. The module must be fully configured — in particular its
+// FlowDerating — before the call: the controller precomputes the module's
+// power-vs-outlet-temperature curve here, since the cold source and the flow
+// axis are fixed for the controller's lifetime.
 func NewController(space *lookup.Space, module *teg.Module, cold units.Celsius) (*Controller, error) {
 	if space == nil {
 		return nil, errors.New("sched: nil look-up space")
@@ -112,6 +113,7 @@ func NewController(space *lookup.Space, module *teg.Module, cold units.Celsius) 
 		ColdSource: cold,
 		TSafe:      space.Spec().SafeTemp,
 		Band:       1,
+		curve:      newPowerCurve(space, module, cold),
 	}, nil
 }
 
@@ -142,71 +144,86 @@ func (c *Controller) PowerAt(s Setting, u float64) units.Watts {
 // settings whose CPU temperature does not exceed TSafe+Band.
 //
 // Outcomes are memoized per (quantized) plane: traces revisit the same
-// plane constantly, and the chosen setting is a pure function of it.
+// plane constantly, and the chosen setting is a pure function of it. A
+// cache hit performs zero allocations and takes no mutex — one atomic load
+// plus a chain walk — so concurrent workers never serialize on a warm
+// controller.
 func (c *Controller) Choose(planeU float64) (Setting, units.Watts, error) {
 	if planeU < 0 || planeU > 1 {
 		return Setting{}, 0, fmt.Errorf("sched: utilization %v outside [0,1]", planeU)
 	}
 	planeU = c.quantizePlane(planeU)
 	key := math.Float64bits(planeU)
-	c.cacheMu.Lock()
-	c.calls++
-	if ch, ok := c.cache[key]; ok {
-		c.hits++
-		c.cacheMu.Unlock()
-		return ch.setting, ch.power, nil
+	c.calls.add(key)
+	if setting, power, ok := c.cache.load(key); ok {
+		c.hits.add(key)
+		return setting, power, nil
 	}
-	c.cacheMu.Unlock()
 	setting, power, err := c.choose(planeU)
 	if err != nil {
 		return Setting{}, 0, err
 	}
-	c.cacheMu.Lock()
-	if c.cache == nil {
-		c.cache = make(map[uint64]cachedChoice)
-	}
-	c.cache[key] = cachedChoice{setting: setting, power: power}
-	c.cacheMu.Unlock()
+	c.cache.store(key, setting, power)
 	return setting, power, nil
 }
 
-// choose runs the uncached Steps 1-3 at the exact plane utilization.
+// choose runs the uncached Steps 1-3 at the exact plane utilization,
+// streaming the candidate cells of the flattened look-up tables instead of
+// materializing a []Point: Step 2's slab intersection and Step 3's argmax
+// fuse into one allocation-free scan. The visit order matches the seed's
+// PlaneIntersection order and the power evaluation is bit-identical, so the
+// chosen setting never drifts from the slice-based implementation.
 func (c *Controller) choose(planeU float64) (Setting, units.Watts, error) {
-	cands, err := c.Space.PlaneIntersection(planeU, c.TSafe, c.Band)
+	best := Setting{}
+	bestP := units.Watts(-1)
+	found := false
+	err := c.Space.VisitPlaneIntersection(planeU, c.TSafe, c.Band, func(cell int, p lookup.Point) bool {
+		found = true
+		if pw := c.candidatePower(cell, p); pw > bestP {
+			best, bestP = Setting{Flow: p.Flow, Inlet: p.Inlet}, pw
+		}
+		return true
+	})
 	if err != nil {
 		return Setting{}, 0, err
 	}
-	if len(cands) == 0 {
-		cands = c.safeFallback(planeU)
-	}
-	if len(cands) == 0 {
-		return Setting{}, 0, fmt.Errorf("sched: no safe cooling setting for u=%v", planeU)
-	}
-	best := Setting{}
-	bestP := units.Watts(-1)
-	for _, p := range cands {
-		s := Setting{Flow: p.Flow, Inlet: p.Inlet}
-		if pw := c.PowerAt(s, planeU); pw > bestP {
-			best, bestP = s, pw
+	if !found {
+		// Fallback: the slab is unreachable (at low utilization even the
+		// warmest admissible inlet cannot push the die up to TSafe), so
+		// optimize over every setting keeping the die at or below
+		// TSafe+Band.
+		err = c.Space.VisitPlane(planeU, func(cell int, p lookup.Point) bool {
+			if p.CPUTemp <= c.TSafe+c.Band {
+				found = true
+				if pw := c.candidatePower(cell, p); pw > bestP {
+					best, bestP = Setting{Flow: p.Flow, Inlet: p.Inlet}, pw
+				}
+			}
+			return true
+		})
+		if err != nil {
+			return Setting{}, 0, err
 		}
+	}
+	if !found {
+		return Setting{}, 0, fmt.Errorf("sched: no safe cooling setting for u=%v", planeU)
 	}
 	return best, bestP, nil
 }
 
-// safeFallback enumerates all grid settings keeping the die at or below
-// TSafe+Band on the given plane.
-func (c *Controller) safeFallback(planeU float64) []lookup.Point {
-	ax := c.Space.Axes()
-	var out []lookup.Point
-	for _, f := range ax.Flow {
-		for _, tin := range ax.Inlet {
-			p := c.Space.At(planeU, units.LitersPerHour(f), units.Celsius(tin))
-			if p.CPUTemp <= c.TSafe+c.Band {
-				out = append(out, p)
-			}
-		}
+// candidatePower returns the TEG module output of a streamed candidate,
+// through the precomputed curve when available. Both paths produce the same
+// bits as PowerAt on the candidate's setting: the streamed Outlet equals
+// the interpolated OutletTemp on grid-aligned cells.
+func (c *Controller) candidatePower(cell int, p lookup.Point) units.Watts {
+	if c.curve != nil {
+		return c.curve.powerAt(cell, p.Outlet)
 	}
-	return out
+	dT := p.Outlet - c.ColdSource
+	if dT <= 0 {
+		return 0
+	}
+	return c.Module.MaxPower(dT, p.Flow)
 }
 
 // PlaneUtilization reduces a circulation's per-server utilizations to the
@@ -235,18 +252,27 @@ func EffectiveUtilizations(us []float64, scheme Scheme) ([]float64, error) {
 		return nil, errors.New("sched: empty utilization set")
 	}
 	out := make([]float64, len(us))
-	switch scheme {
-	case Original:
-		copy(out, us)
-	case LoadBalance:
-		avg := stats.Mean(us)
-		for i := range out {
-			out[i] = avg
-		}
-	default:
-		return nil, fmt.Errorf("sched: unknown scheme %q", scheme)
+	if err := effectiveInto(out, us, scheme); err != nil {
+		return nil, err
 	}
 	return out, nil
+}
+
+// effectiveInto writes the scheme's effective utilizations into dst, which
+// must have len(us).
+func effectiveInto(dst, us []float64, scheme Scheme) error {
+	switch scheme {
+	case Original:
+		copy(dst, us)
+	case LoadBalance:
+		avg := stats.Mean(us)
+		for i := range dst {
+			dst[i] = avg
+		}
+	default:
+		return fmt.Errorf("sched: unknown scheme %q", scheme)
+	}
+	return nil
 }
 
 // Decision is the outcome of one control interval for one circulation.
@@ -263,9 +289,42 @@ type Decision struct {
 	MaxCPUTemp units.Celsius
 }
 
+// Scratch holds the reusable per-circulation buffers of the decision path:
+// the effective-utilization working set and the per-server output slices a
+// Decision points into. A Scratch may be reused across DecideInto calls by
+// one goroutine at a time (the parallel engine keeps one per circulation);
+// the zero value is ready to use.
+type Scratch struct {
+	eff      []float64
+	power    []units.Watts
+	cpuPower []units.Watts
+}
+
+// grow resizes the buffers to n servers, reusing capacity.
+func (sc *Scratch) grow(n int) {
+	if cap(sc.eff) < n {
+		sc.eff = make([]float64, n)
+		sc.power = make([]units.Watts, n)
+		sc.cpuPower = make([]units.Watts, n)
+	}
+	sc.eff = sc.eff[:n]
+	sc.power = sc.power[:n]
+	sc.cpuPower = sc.cpuPower[:n]
+}
+
 // Decide runs one full control interval for a circulation with the given raw
-// per-server utilizations.
+// per-server utilizations. The returned Decision owns freshly allocated
+// per-server slices; the engine's steady-state path is DecideInto.
 func (c *Controller) Decide(us []float64, scheme Scheme) (Decision, error) {
+	return c.DecideInto(us, scheme, &Scratch{})
+}
+
+// DecideInto is Decide with caller-owned buffers: the returned Decision's
+// PerServerPower/PerServerCPUPower alias sc and stay valid until the next
+// DecideInto with the same scratch. With a warm decision cache the call
+// performs zero allocations, which is what lets the parallel engine hold
+// its per-interval cost flat. Results are bit-identical to Decide.
+func (c *Controller) DecideInto(us []float64, scheme Scheme, sc *Scratch) (Decision, error) {
 	planeU, err := PlaneUtilization(us, scheme)
 	if err != nil {
 		return Decision{}, err
@@ -274,19 +333,36 @@ func (c *Controller) Decide(us []float64, scheme Scheme) (Decision, error) {
 	if err != nil {
 		return Decision{}, err
 	}
-	eff, err := EffectiveUtilizations(us, scheme)
-	if err != nil {
+	sc.grow(len(us))
+	if err := effectiveInto(sc.eff, us, scheme); err != nil {
 		return Decision{}, err
 	}
 	d := Decision{
 		Scheme:            scheme,
 		PlaneU:            planeU,
 		Setting:           setting,
-		PerServerPower:    make([]units.Watts, len(eff)),
-		PerServerCPUPower: make([]units.Watts, len(eff)),
+		PerServerPower:    sc.power,
+		PerServerCPUPower: sc.cpuPower,
 	}
 	spec := c.Space.Spec()
-	for i, u := range eff {
+	if scheme == LoadBalance {
+		// Balancing makes every server identical: evaluate the (interpolated)
+		// per-server terms once and broadcast, instead of re-running the
+		// trilinear lookups per server. eff[i] are all the same value, so the
+		// broadcast is bit-identical to the per-server loop below.
+		u := sc.eff[0]
+		pw := c.PowerAt(setting, u)
+		cp := spec.Power(u)
+		for i := range sc.eff {
+			d.PerServerPower[i] = pw
+			d.PerServerCPUPower[i] = cp
+		}
+		if t := c.Space.CPUTemp(u, setting.Flow, setting.Inlet); t > d.MaxCPUTemp {
+			d.MaxCPUTemp = t
+		}
+		return d, nil
+	}
+	for i, u := range sc.eff {
 		d.PerServerPower[i] = c.PowerAt(setting, u)
 		d.PerServerCPUPower[i] = spec.Power(u)
 		if t := c.Space.CPUTemp(u, setting.Flow, setting.Inlet); t > d.MaxCPUTemp {
