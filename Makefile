@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check bench bench-all experiments clean
+.PHONY: all build vet test race check telemetry-check bench bench-all experiments clean
 
 all: check
 
@@ -19,8 +19,19 @@ test:
 race:
 	$(GO) test -race ./...
 
-# check is the tier-1 gate: vet + build + race-enabled tests.
-check: vet build race
+# telemetry-check gates the instrumentation layer: the telemetry package and
+# every instrumented call site run under the race detector (16-writer counter
+# and histogram hammers live there), plus a full vet pass. The AllocsPerRun
+# tests in internal/sched and internal/telemetry pin the disabled path at
+# zero overhead.
+telemetry-check:
+	$(GO) vet ./...
+	$(GO) test -race ./internal/telemetry ./internal/sched ./internal/lookup \
+		./internal/core ./internal/report ./cmd/h2psim ./cmd/h2pbench
+
+# check is the tier-1 gate: vet + build + race-enabled tests + the
+# telemetry gate.
+check: vet build race telemetry-check
 
 # bench tracks the decision hot path across PRs: the Decision* benchmarks in
 # internal/lookup (candidate scan) and internal/sched (controller) run with

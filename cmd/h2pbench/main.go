@@ -7,7 +7,14 @@
 //	h2pbench -list
 //	h2pbench -exp fig14 [-servers 1000] [-seed 42]
 //	h2pbench -exp all -csv results/
+//	h2pbench -exp fig14 -telemetry-addr :9102 -metrics-out run.metrics
 //	h2pbench -exp fig14 -cpuprofile cpu.pprof -memprofile mem.pprof
+//
+// Telemetry: -telemetry-addr serves live metrics (/metrics, /metrics.json,
+// /trace) while the experiments run; -metrics-out and -trace-out write the
+// exposition text and span trace to files at exit. When a registry is
+// active, -report embeds its snapshot in the generated document; otherwise
+// the report notes explicitly that telemetry was disabled.
 package main
 
 import (
@@ -20,6 +27,7 @@ import (
 	"github.com/h2p-sim/h2p/internal/experiments"
 	"github.com/h2p-sim/h2p/internal/profiling"
 	"github.com/h2p-sim/h2p/internal/report"
+	"github.com/h2p-sim/h2p/internal/telemetry"
 )
 
 func main() {
@@ -30,6 +38,9 @@ func main() {
 	workers := flag.Int("workers", 0, "circulation worker pool size per engine (0 = GOMAXPROCS)")
 	csvDir := flag.String("csv", "", "also write each table as CSV into this directory")
 	reportPath := flag.String("report", "", "write a markdown report of every experiment to this file and exit")
+	telemetryAddr := flag.String("telemetry-addr", "", "serve live telemetry (/metrics, /metrics.json, /trace) on this address")
+	metricsOut := flag.String("metrics-out", "", "write Prometheus-style metrics to this file at exit")
+	traceOut := flag.String("trace-out", "", "write the span trace (JSON) to this file at exit")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -46,6 +57,18 @@ func main() {
 		os.Exit(1)
 	}
 	params := experiments.EvalParams{Servers: *servers, Seed: *seed, Workers: *workers}
+	if *telemetryAddr != "" || *metricsOut != "" || *traceOut != "" {
+		params.Telemetry = telemetry.New()
+	}
+	var srv *telemetry.Server
+	if *telemetryAddr != "" {
+		srv, err = telemetry.Serve(*telemetryAddr, params.Telemetry)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "h2pbench:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "h2pbench: telemetry at http://%s/metrics\n", srv.Addr())
+	}
 	var runErr error
 	if *reportPath != "" {
 		runErr = writeReport(*reportPath, params)
@@ -54,6 +77,15 @@ func main() {
 		}
 	} else {
 		runErr = run(os.Stdout, *exp, params, *csvDir)
+	}
+	if runErr == nil && *metricsOut != "" {
+		runErr = writeToFile(*metricsOut, params.Telemetry.WriteProm)
+	}
+	if runErr == nil && *traceOut != "" {
+		runErr = writeToFile(*traceOut, params.Telemetry.WriteTrace)
+	}
+	if srv != nil {
+		srv.Close()
 	}
 	if err := stopProf(); err != nil {
 		fmt.Fprintln(os.Stderr, "h2pbench:", err)
@@ -65,11 +97,27 @@ func main() {
 }
 
 func writeReport(path string, params experiments.EvalParams) error {
+	opts := report.DefaultOptions(params)
+	return writeToFile(path, func(w io.Writer) error {
+		// The snapshot must be taken after the experiments have run, so run
+		// them explicitly instead of calling report.Generate.
+		tables, err := experiments.RunAll(opts.Params)
+		if err != nil {
+			return err
+		}
+		opts.Telemetry = params.Telemetry.Snapshot()
+		return report.Write(w, opts, tables)
+	})
+}
+
+// writeToFile creates path, runs fn against it, and surfaces the first
+// error — including Close, so a full disk cannot pass silently.
+func writeToFile(path string, fn func(io.Writer) error) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	if err := report.Generate(f, report.DefaultOptions(params)); err != nil {
+	if err := fn(f); err != nil {
 		f.Close()
 		return err
 	}

@@ -6,26 +6,40 @@
 // Usage:
 //
 //	h2psim [-servers 1000] [-circ 25] [-seed 42] [-workers 0] [-trace file.csv] [-series]
-//	       [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
+//	       [-telemetry-addr :9102] [-metrics-out run.metrics] [-trace-out run.trace]
+//	       [-series-out series.csv] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // The simulation fans the independent water circulations of every control
 // interval out across -workers goroutines (0 = all CPUs) and runs the two
 // schemes concurrently; results are bit-identical for any worker count.
 // Interrupting the process (SIGINT/SIGTERM) cancels the runs promptly.
+//
+// Telemetry: -telemetry-addr serves live Prometheus-style metrics
+// (/metrics), a JSON snapshot (/metrics.json) and the span trace (/trace)
+// while the simulation runs; -metrics-out and -trace-out write the same
+// exposition text and span trace to files at exit; -series-out exports the
+// per-interval harvested-power and outlet-temperature time series (CSV, or
+// JSON when the path ends in .json). All four are off by default, and the
+// disabled path adds zero overhead to the simulation.
 package main
 
 import (
 	"context"
+	"encoding/csv"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 
 	"github.com/h2p-sim/h2p/internal/core"
 	"github.com/h2p-sim/h2p/internal/profiling"
 	"github.com/h2p-sim/h2p/internal/sched"
+	"github.com/h2p-sim/h2p/internal/telemetry"
 	"github.com/h2p-sim/h2p/internal/trace"
 )
 
@@ -37,6 +51,10 @@ func main() {
 	quantum := flag.Float64("quantum", 0, "decision-cache utilization quantum (0 = exact, paper-faithful; try 1/512)")
 	traceFile := flag.String("trace", "", "optional CSV trace file (replaces the synthetic traces)")
 	series := flag.Bool("series", false, "also print the per-interval power series")
+	telemetryAddr := flag.String("telemetry-addr", "", "serve live telemetry (/metrics, /metrics.json, /trace) on this address")
+	metricsOut := flag.String("metrics-out", "", "write Prometheus-style metrics to this file at exit")
+	traceOut := flag.String("trace-out", "", "write the span trace (JSON) to this file at exit")
+	seriesOut := flag.String("series-out", "", "write the per-interval power/outlet series to this file (CSV, or JSON if it ends in .json)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -49,11 +67,28 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	runErr := run(ctx, os.Stdout, runOptions{
+	opt := runOptions{
 		servers: *servers, circ: *circ, seed: *seed,
 		workers: *workers, quantum: *quantum,
 		traceFile: *traceFile, series: *series,
-	})
+		metricsOut: *metricsOut, traceOut: *traceOut, seriesOut: *seriesOut,
+	}
+	if *telemetryAddr != "" || *metricsOut != "" || *traceOut != "" {
+		opt.telemetry = telemetry.New()
+	}
+	var srv *telemetry.Server
+	if *telemetryAddr != "" {
+		srv, err = telemetry.Serve(*telemetryAddr, opt.telemetry)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "h2psim:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "h2psim: telemetry at http://%s/metrics\n", srv.Addr())
+	}
+	runErr := run(ctx, os.Stdout, opt)
+	if srv != nil {
+		srv.Close()
+	}
 	if err := stopProf(); err != nil {
 		fmt.Fprintln(os.Stderr, "h2psim:", err)
 	}
@@ -71,6 +106,11 @@ type runOptions struct {
 	quantum       float64
 	traceFile     string
 	series        bool
+	// telemetry is non-nil when any telemetry flag asked for a registry.
+	telemetry  *telemetry.Registry
+	metricsOut string
+	traceOut   string
+	seriesOut  string
 }
 
 func run(ctx context.Context, out io.Writer, opt runOptions) error {
@@ -98,6 +138,7 @@ func run(ctx context.Context, out io.Writer, opt runOptions) error {
 	cfg.ServersPerCirculation = opt.circ
 	cfg.Workers = opt.workers
 	cfg.DecisionQuantum = opt.quantum
+	cfg.Telemetry = opt.telemetry
 	series := opt.series
 
 	fleet := core.NewFleet()
@@ -150,5 +191,110 @@ func run(ctx context.Context, out io.Writer, opt runOptions) error {
 		preLB += r[1].PRE
 	}
 	fmt.Fprintf(out, "%-12s %-10.2f %-10.2f\n", "average", preOrig/n*100, preLB/n*100)
+
+	if opt.seriesOut != "" {
+		if err := writeToFile(opt.seriesOut, func(w io.Writer) error {
+			return writeSeries(w, opt.seriesOut, traces, results)
+		}); err != nil {
+			return err
+		}
+	}
+	if opt.metricsOut != "" {
+		if err := writeToFile(opt.metricsOut, opt.telemetry.WriteProm); err != nil {
+			return err
+		}
+	}
+	if opt.traceOut != "" {
+		if err := writeToFile(opt.traceOut, opt.telemetry.WriteTrace); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// seriesPoint is one interval of the -series-out export: harvested TEG
+// power and mean circulation outlet temperature under both schemes — the
+// axes of the paper's Fig. 7–11 — plus the utilization that drove them.
+type seriesPoint struct {
+	Trace      string  `json:"trace"`
+	Interval   int     `json:"interval"`
+	AvgUtil    float64 `json:"avg_util"`
+	MaxUtil    float64 `json:"max_util"`
+	OrigPowerW float64 `json:"orig_teg_w_per_server"`
+	LBPowerW   float64 `json:"lb_teg_w_per_server"`
+	OrigOutC   float64 `json:"orig_outlet_c"`
+	LBOutC     float64 `json:"lb_outlet_c"`
+}
+
+// collectSeries flattens the per-interval results of every trace, in trace
+// order, into the export rows.
+func collectSeries(traces []*trace.Trace, results map[string][2]*core.Result) []seriesPoint {
+	var pts []seriesPoint
+	for _, tr := range traces {
+		r, ok := results[string(tr.Class)]
+		if !ok {
+			continue
+		}
+		orig, lb := r[0], r[1]
+		for i := range orig.Intervals {
+			pts = append(pts, seriesPoint{
+				Trace:      string(tr.Class),
+				Interval:   i,
+				AvgUtil:    orig.Intervals[i].AvgUtilization,
+				MaxUtil:    orig.Intervals[i].MaxUtilization,
+				OrigPowerW: float64(orig.Intervals[i].TEGPowerPerServer),
+				LBPowerW:   float64(lb.Intervals[i].TEGPowerPerServer),
+				OrigOutC:   float64(orig.Intervals[i].MeanOutlet),
+				LBOutC:     float64(lb.Intervals[i].MeanOutlet),
+			})
+		}
+	}
+	return pts
+}
+
+// writeSeries renders the interval series as CSV, or as a JSON array when
+// the output path ends in .json.
+func writeSeries(w io.Writer, path string, traces []*trace.Trace, results map[string][2]*core.Result) error {
+	pts := collectSeries(traces, results)
+	if strings.HasSuffix(path, ".json") {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(pts)
+	}
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"trace", "interval", "avg_util", "max_util",
+		"orig_teg_w_per_server", "lb_teg_w_per_server", "orig_outlet_c", "lb_outlet_c"}); err != nil {
+		return err
+	}
+	for _, p := range pts {
+		rec := []string{
+			p.Trace,
+			strconv.Itoa(p.Interval),
+			strconv.FormatFloat(p.AvgUtil, 'f', 4, 64),
+			strconv.FormatFloat(p.MaxUtil, 'f', 4, 64),
+			strconv.FormatFloat(p.OrigPowerW, 'f', 4, 64),
+			strconv.FormatFloat(p.LBPowerW, 'f', 4, 64),
+			strconv.FormatFloat(p.OrigOutC, 'f', 3, 64),
+			strconv.FormatFloat(p.LBOutC, 'f', 3, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// writeToFile creates path, runs fn against it, and surfaces the first
+// error — including Close, so a full disk cannot pass silently.
+func writeToFile(path string, fn func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

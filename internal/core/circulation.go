@@ -1,6 +1,8 @@
 package core
 
 import (
+	"time"
+
 	"github.com/h2p-sim/h2p/internal/chiller"
 	"github.com/h2p-sim/h2p/internal/hydro"
 	"github.com/h2p-sim/h2p/internal/sched"
@@ -34,12 +36,17 @@ type Circulation struct {
 	// allocations. Exactly one worker steps a circulation per interval, so
 	// the scratch needs no synchronization.
 	scratch sched.Scratch
+
+	// met is the engine's telemetry (nil when disabled). Step records its
+	// own latency and the outlet-temperature series through it, sharded by
+	// circulation index.
+	met *engineMetrics
 }
 
 // newCirculation wires one circulation from the engine's configuration. The
 // pump is built (and implicitly validated) once here rather than once per
 // control interval.
-func newCirculation(index, lo, hi int, cfg Config, ctl *sched.Controller, plant chiller.Plant) Circulation {
+func newCirculation(index, lo, hi int, cfg Config, ctl *sched.Controller, plant chiller.Plant, met *engineMetrics) Circulation {
 	return Circulation{
 		Index:  index,
 		Lo:     lo,
@@ -47,6 +54,7 @@ func newCirculation(index, lo, hi int, cfg Config, ctl *sched.Controller, plant 
 		scheme: cfg.Scheme,
 		ctl:    ctl,
 		plant:  plant,
+		met:    met,
 		pump: hydro.Pump{
 			Name:       "circ",
 			MaxFlow:    cfg.PumpMaxFlow,
@@ -70,6 +78,9 @@ type CirculationInterval struct {
 	// Inlet and Flow are the chosen cooling setting.
 	Inlet units.Celsius
 	Flow  units.LitersPerHour
+	// Outlet is the circulation's mean coolant outlet temperature under
+	// the chosen setting — the TEG hot-side temperature.
+	Outlet units.Celsius
 	// MaxCPUTemp is the hottest die in the circulation.
 	MaxCPUTemp units.Celsius
 	// PumpPower is the circulation pump draw scaled to its server count.
@@ -85,6 +96,10 @@ type CirculationInterval struct {
 // dispatches the facility plant. col is the full datacenter column; Step
 // only touches col[c.Lo:c.Hi].
 func (c *Circulation) Step(col []float64) (CirculationInterval, error) {
+	var t0 time.Time
+	if c.met != nil {
+		t0 = time.Now()
+	}
 	d, err := c.ctl.DecideInto(col[c.Lo:c.Hi], c.scheme, &c.scratch)
 	if err != nil {
 		return CirculationInterval{}, err
@@ -110,7 +125,9 @@ func (c *Circulation) Step(col []float64) (CirculationInterval, error) {
 	// approach.
 	heat := d.TotalCPUPower()
 	meanOutlet := c.ctl.Space.OutletTemp(d.PlaneU, d.Setting.Flow, d.Setting.Inlet)
+	ci.Outlet = meanOutlet
 	target := d.Setting.Inlet - c.hxApproach
 	ci.TowerPower, ci.ChillerPower = c.plant.Dispatch(heat, meanOutlet, target, c.wetBulb)
+	c.met.observeStep(c.Index, t0, float64(meanOutlet))
 	return ci, nil
 }

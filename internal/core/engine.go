@@ -40,6 +40,7 @@ import (
 	"github.com/h2p-sim/h2p/internal/sched"
 	"github.com/h2p-sim/h2p/internal/stats"
 	"github.com/h2p-sim/h2p/internal/teg"
+	"github.com/h2p-sim/h2p/internal/telemetry"
 	"github.com/h2p-sim/h2p/internal/trace"
 	"github.com/h2p-sim/h2p/internal/units"
 )
@@ -78,6 +79,14 @@ type Config struct {
 	// quantum (e.g. 1/512) makes revisited planes hit the cache at the
 	// cost of a sub-quantum perturbation of the chosen setting.
 	DecisionQuantum float64
+	// Telemetry, when non-nil, instruments the engine, its controller and
+	// the shared look-up space: interval/step latency histograms, queue
+	// wait, decision-cache counters, scan lengths, and the harvested-power
+	// and outlet-temperature series, plus a span tracer. nil — the default
+	// — is the true no-op path: the warm Decide/Step path performs no
+	// added atomics, no clock reads and zero allocations, and simulation
+	// results are bit-identical either way.
+	Telemetry *telemetry.Registry
 }
 
 // DefaultConfig returns the paper's evaluation configuration for the given
@@ -140,6 +149,10 @@ type IntervalResult struct {
 	// MeanInlet and MeanFlow average the chosen cooling settings.
 	MeanInlet units.Celsius
 	MeanFlow  units.LitersPerHour
+	// MeanOutlet averages the circulations' mean coolant outlet
+	// temperatures — the TEG hot-side series (Fig. 9's axis at datacenter
+	// scale).
+	MeanOutlet units.Celsius
 	// MaxCPUTemp is the hottest die across all circulations.
 	MaxCPUTemp units.Celsius
 	// PumpPower is the total circulation-pump draw.
@@ -174,6 +187,8 @@ type Engine struct {
 	cfg        Config
 	controller *sched.Controller
 	plant      chiller.Plant
+	// met instruments the interval loop; nil when cfg.Telemetry is nil.
+	met *engineMetrics
 }
 
 // NewEngine builds the look-up space and controller for cfg.
@@ -201,10 +216,19 @@ func newEngineWithSpace(cfg Config, space *lookup.Space) (*Engine, error) {
 		return nil, err
 	}
 	ctl.CacheQuantum = cfg.DecisionQuantum
+	if cfg.Telemetry != nil {
+		// Wire the whole decision stack into the run's registry: the
+		// controller's cache counters and chosen-setting distribution, and
+		// the shared space's scan-length metrics. Attachment is idempotent
+		// by metric name, so engines sharing a space or a registry (the
+		// Fleet's comparison runs) aggregate rather than collide.
+		ctl.AttachTelemetry(cfg.Telemetry)
+		space.AttachTelemetry(cfg.Telemetry)
+	}
 	return &Engine{cfg: cfg, controller: ctl, plant: chiller.Plant{
 		Tower:   chiller.DefaultTower(),
 		Chiller: chiller.Default(),
-	}}, nil
+	}, met: newEngineMetrics(cfg.Telemetry)}, nil
 }
 
 // Controller exposes the engine's cooling controller (used by benches and
@@ -224,7 +248,7 @@ func (e *Engine) circulations(nServers int) []Circulation {
 		if hi > nServers {
 			hi = nServers
 		}
-		circs = append(circs, newCirculation(len(circs), lo, hi, e.cfg, e.controller, e.plant))
+		circs = append(circs, newCirculation(len(circs), lo, hi, e.cfg, e.controller, e.plant, e.met))
 	}
 	return circs
 }
@@ -261,6 +285,10 @@ func (e *Engine) RunContext(ctx context.Context, tr *trace.Trace) (*Result, erro
 	if workers > len(circs) {
 		workers = len(circs)
 	}
+	if m := e.met; m != nil {
+		m.workers.Set(float64(workers))
+		m.circulations.Set(float64(len(circs)))
+	}
 	secs := tr.Interval.Seconds()
 	col := make([]float64, nServers)
 	parts := make([]CirculationInterval, len(circs))
@@ -274,13 +302,17 @@ func (e *Engine) RunContext(ctx context.Context, tr *trace.Trace) (*Result, erro
 		if err != nil {
 			return nil, err
 		}
+		var t0 time.Time
+		if e.met != nil {
+			t0 = time.Now()
+		}
 		if workers <= 1 {
 			for ci := range circs {
 				if parts[ci], err = circs[ci].Step(col); err != nil {
 					return nil, fmt.Errorf("interval %d circulation %d: %w", i, ci, err)
 				}
 			}
-		} else if err := stepParallel(ctx, circs, col, workers, parts, errs); err != nil {
+		} else if err := stepParallel(ctx, circs, col, workers, e.met, parts, errs); err != nil {
 			return nil, err
 		} else {
 			for ci, serr := range errs {
@@ -290,6 +322,7 @@ func (e *Engine) RunContext(ctx context.Context, tr *trace.Trace) (*Result, erro
 			}
 		}
 		ir := mergeInterval(col, parts)
+		e.met.observeInterval(i, t0, ir)
 		res.Intervals = append(res.Intervals, ir)
 
 		res.TEGEnergy += units.EnergyOver(ir.TotalTEGPower, secs).KilowattHours()
@@ -318,8 +351,14 @@ func (e *Engine) RunContext(ctx context.Context, tr *trace.Trace) (*Result, erro
 // goroutines, writing each circulation's contribution (or error) into its
 // own slot. It only returns an error for context cancellation; per-
 // circulation errors are reported through errs so the caller can surface
-// the lowest-index failure, matching the serial path.
-func stepParallel(ctx context.Context, circs []Circulation, col []float64, workers int, parts []CirculationInterval, errs []error) error {
+// the lowest-index failure, matching the serial path. When met is non-nil,
+// each task's wait between fan-out and claim is recorded as queue wait,
+// sharded by circulation index.
+func stepParallel(ctx context.Context, circs []Circulation, col []float64, workers int, met *engineMetrics, parts []CirculationInterval, errs []error) error {
+	var fanOut time.Time
+	if met != nil {
+		fanOut = time.Now()
+	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	wg.Add(workers)
@@ -330,6 +369,9 @@ func stepParallel(ctx context.Context, circs []Circulation, col []float64, worke
 				ci := int(next.Add(1)) - 1
 				if ci >= len(circs) || ctx.Err() != nil {
 					return
+				}
+				if met != nil {
+					met.queueWaitSec.ObserveHint(uint64(ci), time.Since(fanOut).Seconds())
 				}
 				parts[ci], errs[ci] = circs[ci].Step(col)
 			}
@@ -352,6 +394,7 @@ func mergeInterval(col []float64, parts []CirculationInterval) IntervalResult {
 		ir.TotalCPUPower += p.CPUPower
 		ir.MeanInlet += p.Inlet
 		ir.MeanFlow += p.Flow
+		ir.MeanOutlet += p.Outlet
 		if p.MaxCPUTemp > ir.MaxCPUTemp {
 			ir.MaxCPUTemp = p.MaxCPUTemp
 		}
@@ -362,6 +405,7 @@ func mergeInterval(col []float64, parts []CirculationInterval) IntervalResult {
 	circs := len(parts)
 	ir.MeanInlet /= units.Celsius(circs)
 	ir.MeanFlow /= units.LitersPerHour(circs)
+	ir.MeanOutlet /= units.Celsius(circs)
 	ir.TEGPowerPerServer = ir.TotalTEGPower / units.Watts(float64(len(col)))
 	return ir
 }

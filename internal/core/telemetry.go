@@ -1,0 +1,105 @@
+package core
+
+import (
+	"time"
+
+	"github.com/h2p-sim/h2p/internal/telemetry"
+)
+
+// Exported engine metric names.
+const (
+	metricIntervals      = "h2p_engine_intervals_total"
+	metricSteps          = "h2p_engine_circulation_steps_total"
+	metricIntervalSec    = "h2p_engine_interval_seconds"
+	metricStepSec        = "h2p_engine_circulation_step_seconds"
+	metricQueueWaitSec   = "h2p_engine_queue_wait_seconds"
+	metricWorkers        = "h2p_engine_workers"
+	metricCirculations   = "h2p_engine_circulations"
+	metricHarvestedPower = "h2p_interval_teg_power_watts_per_server"
+	metricOutletTemp     = "h2p_circulation_outlet_celsius"
+	metricMaxCPUTemp     = "h2p_interval_max_cpu_celsius"
+)
+
+// Span names recorded by the engine's tracer.
+const (
+	spanInterval    = "interval"
+	spanCirculation = "circulation"
+)
+
+// engineMetrics instruments the interval loop: wall-clock latency of whole
+// intervals and individual circulation steps, worker queue wait in the
+// parallel path, and the physical per-interval series the paper's evaluation
+// is built on (harvested TEG power, outlet temperature, hottest die). nil —
+// the default when Config.Telemetry is nil — disables everything: the run
+// loop pays one pointer test per interval and never reads the clock.
+type engineMetrics struct {
+	intervals      *telemetry.Counter
+	steps          *telemetry.Counter
+	intervalSec    *telemetry.Histogram
+	stepSec        *telemetry.Histogram
+	queueWaitSec   *telemetry.Histogram
+	workers        *telemetry.Gauge
+	circulations   *telemetry.Gauge
+	harvestedPower *telemetry.Histogram
+	outletTemp     *telemetry.Histogram
+	maxCPUTemp     *telemetry.Histogram
+	tracer         *telemetry.Tracer
+}
+
+// newEngineMetrics registers the engine's instruments with reg; a nil
+// registry yields nil (telemetry disabled). Several engines sharing one
+// registry (a Fleet comparison run) share the same instruments by name and
+// aggregate into one set of series.
+func newEngineMetrics(reg *telemetry.Registry) *engineMetrics {
+	if reg == nil {
+		return nil
+	}
+	return &engineMetrics{
+		intervals: reg.Counter(metricIntervals, "control intervals evaluated"),
+		steps:     reg.Counter(metricSteps, "circulation steps evaluated"),
+		intervalSec: reg.Histogram(metricIntervalSec, "wall-clock seconds per control interval",
+			telemetry.ExponentialBuckets(1e-5, 4, 10)),
+		stepSec: reg.Histogram(metricStepSec, "wall-clock seconds per circulation step",
+			telemetry.ExponentialBuckets(1e-6, 4, 10)),
+		queueWaitSec: reg.Histogram(metricQueueWaitSec, "seconds a circulation waited for a worker (parallel path)",
+			telemetry.ExponentialBuckets(1e-7, 4, 10)),
+		workers:      reg.Gauge(metricWorkers, "effective circulation worker pool size"),
+		circulations: reg.Gauge(metricCirculations, "circulations per interval"),
+		harvestedPower: reg.Histogram(metricHarvestedPower, "datacenter-mean harvested TEG power per server, one observation per interval",
+			telemetry.LinearBuckets(0, 1, 16)),
+		outletTemp: reg.Histogram(metricOutletTemp, "circulation mean coolant outlet temperature, one observation per step",
+			telemetry.LinearBuckets(30, 2, 15)),
+		maxCPUTemp: reg.Histogram(metricMaxCPUTemp, "hottest die across the datacenter, one observation per interval",
+			telemetry.LinearBuckets(40, 2, 15)),
+		tracer: reg.Tracer(telemetry.DefaultTraceCapacity),
+	}
+}
+
+// observeInterval records one merged control interval: its wall-clock
+// latency, the harvested-power and hottest-die series, and an "interval"
+// span.
+func (m *engineMetrics) observeInterval(i int, start time.Time, ir IntervalResult) {
+	if m == nil {
+		return
+	}
+	d := time.Since(start)
+	m.intervals.Inc()
+	m.intervalSec.Observe(d.Seconds())
+	m.harvestedPower.Observe(float64(ir.TEGPowerPerServer))
+	m.maxCPUTemp.Observe(float64(ir.MaxCPUTemp))
+	m.tracer.Record(spanInterval, int64(i), start, d)
+}
+
+// observeStep records one circulation step, sharded by circulation index so
+// parallel workers do not contend.
+func (m *engineMetrics) observeStep(index int, start time.Time, outlet float64) {
+	if m == nil {
+		return
+	}
+	d := time.Since(start)
+	hint := uint64(index)
+	m.steps.AddHint(hint, 1)
+	m.stepSec.ObserveHint(hint, d.Seconds())
+	m.outletTemp.ObserveHint(hint, outlet)
+	m.tracer.Record(spanCirculation, int64(index), start, d)
+}

@@ -56,6 +56,7 @@ func (e *Engine) ValidateQuasiStatic(tr *trace.Trace, maxIntervals int) (QuasiSt
 	// One RC node per server in the circulation; the coolant boundary is
 	// shared and moved to k(f)*T_in each interval.
 	var net thermalnet.Network
+	net.AttachTelemetry(e.cfg.Telemetry)
 	boundary := net.AddBoundary("coolant", 0)
 	dies := make([]thermalnet.NodeID, n)
 	for s := 0; s < n; s++ {

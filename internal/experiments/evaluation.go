@@ -7,6 +7,7 @@ import (
 	"github.com/h2p-sim/h2p/internal/core"
 	"github.com/h2p-sim/h2p/internal/sched"
 	"github.com/h2p-sim/h2p/internal/tco"
+	"github.com/h2p-sim/h2p/internal/telemetry"
 	"github.com/h2p-sim/h2p/internal/trace"
 	"github.com/h2p-sim/h2p/internal/units"
 )
@@ -20,6 +21,10 @@ type EvalParams struct {
 	// core.Config.Workers). 0 uses GOMAXPROCS; results are identical for
 	// any value.
 	Workers int
+	// Telemetry instruments every engine the experiments build (see
+	// core.Config.Telemetry). nil — the default — runs uninstrumented;
+	// results are bit-identical either way.
+	Telemetry *telemetry.Registry
 }
 
 // DefaultEvalParams is the paper's evaluation scale.
@@ -30,6 +35,7 @@ func DefaultEvalParams() EvalParams { return EvalParams{Servers: 1000, Seed: 42}
 func (p EvalParams) Config(scheme sched.Scheme) core.Config {
 	cfg := core.DefaultConfig(scheme)
 	cfg.Workers = p.Workers
+	cfg.Telemetry = p.Telemetry
 	return cfg
 }
 

@@ -76,6 +76,10 @@ type Space struct {
 	// so the decision hot path can stream candidates without allocating
 	// (tables.go).
 	tabs *candTables
+	// met holds the optional visitor-scan metrics (telemetry.go). An atomic
+	// pointer rather than a plain field: the space itself stays immutable
+	// and shareable while AttachTelemetry publishes the instruments.
+	met spaceMetricsPtr
 }
 
 // errBandNotPositive matches the historical SafetySlab/PlaneIntersection

@@ -85,10 +85,16 @@ func (s *Space) VisitPlane(u float64, visit func(cell int, p Point) bool) error 
 	t := s.tabs
 	iu, tx := numeric.Cell(t.uAxis, u)
 	w0, w1 := 1-tx, tx
+	visited := 0
 	for c := 0; c < t.cells; c++ {
+		visited++
 		if !visit(c, t.pointAt(c, u, iu, w0, w1)) {
-			return nil
+			break
 		}
+	}
+	if m := s.metrics(); m != nil {
+		m.planeScans.Inc()
+		m.planeScanCells.Observe(float64(visited))
 	}
 	return nil
 }
@@ -120,6 +126,13 @@ func (s *Space) VisitSafetySlab(tsafe, band units.Celsius, visit func(p Point) b
 		return errBandNotPositive
 	}
 	t := s.tabs
+	visited := 0
+	defer func() {
+		if m := s.metrics(); m != nil {
+			m.slabScans.Inc()
+			m.slabScanPoints.Observe(float64(visited))
+		}
+	}()
 	for iu, u := range t.uAxis {
 		for c := 0; c < t.cells; c++ {
 			base := c*t.nu + iu
@@ -127,6 +140,7 @@ func (s *Space) VisitSafetySlab(tsafe, band units.Celsius, visit func(p Point) b
 			if tcpu < tsafe-band || tcpu > tsafe+band {
 				continue
 			}
+			visited++
 			p := Point{
 				Utilization: u,
 				Flow:        units.LitersPerHour(t.flow[c]),

@@ -1,0 +1,54 @@
+package lookup
+
+import (
+	"sync/atomic"
+
+	"github.com/h2p-sim/h2p/internal/telemetry"
+)
+
+// Exported look-up space metric names.
+const (
+	metricPlaneScans     = "h2p_lookup_plane_scans_total"
+	metricPlaneScanCells = "h2p_lookup_plane_scan_cells"
+	metricSlabScans      = "h2p_lookup_slab_scans_total"
+	metricSlabScanPoints = "h2p_lookup_slab_scan_points"
+)
+
+// spaceMetrics instruments the candidate-table visitors: how often planes
+// are scanned (cache-miss work in the decision path) and how many cells each
+// scan walks before the visitor stops it.
+type spaceMetrics struct {
+	planeScans     *telemetry.Counter
+	planeScanCells *telemetry.Histogram
+	slabScans      *telemetry.Counter
+	slabScanPoints *telemetry.Histogram
+}
+
+// AttachTelemetry registers the space's visitor metrics with reg. The
+// grids themselves stay immutable — the metrics hang off an atomic pointer,
+// so attaching is safe even while other goroutines are mid-scan, and
+// attaching the same registry from several engines sharing one space (the
+// Fleet does) converges on the same instruments by name. A nil registry is
+// the no-op default: scans pay one atomic pointer load per call (not per
+// cell) and record nothing.
+func (s *Space) AttachTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	s.met.Store(&spaceMetrics{
+		planeScans: reg.Counter(metricPlaneScans, "utilization-plane candidate scans"),
+		planeScanCells: reg.Histogram(metricPlaneScanCells, "candidate cells walked per plane scan",
+			telemetry.LinearBuckets(0, 200, 8)),
+		slabScans: reg.Counter(metricSlabScans, "safety-slab grid scans"),
+		slabScanPoints: reg.Histogram(metricSlabScanPoints, "grid points visited per safety-slab scan",
+			telemetry.LinearBuckets(0, 4000, 8)),
+	})
+}
+
+// metrics returns the attached metrics, or nil.
+func (s *Space) metrics() *spaceMetrics { return s.met.Load() }
+
+// spaceMetricsPtr is embedded in Space as an atomic pointer so that
+// attaching telemetry never mutates the (otherwise immutable, widely
+// shared) space under a concurrent reader.
+type spaceMetricsPtr = atomic.Pointer[spaceMetrics]

@@ -1,0 +1,72 @@
+package lookup
+
+import (
+	"testing"
+
+	"github.com/h2p-sim/h2p/internal/telemetry"
+	"github.com/h2p-sim/h2p/internal/units"
+)
+
+// TestAttachTelemetryCountsScans checks the visitor instrumentation: every
+// plane and slab visit increments its scan counter and histograms the number
+// of cells/points actually touched, including early-terminated scans.
+func TestAttachTelemetryCountsScans(t *testing.T) {
+	s := buildDefault(t)
+	reg := telemetry.New()
+	s.AttachTelemetry(reg)
+
+	// One full plane scan, then one that stops after 10 cells.
+	if err := s.VisitPlane(0.5, func(int, Point) bool { return true }); err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	if err := s.VisitPlane(0.5, func(int, Point) bool { n++; return n < 10 }); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.VisitSafetySlab(60, 3, func(Point) bool { return true }); err != nil {
+		t.Fatal(err)
+	}
+
+	snap := reg.Snapshot()
+	counters := map[string]uint64{}
+	for _, c := range snap.Counters {
+		counters[c.Name] = c.Value
+	}
+	if counters["h2p_lookup_plane_scans_total"] != 2 {
+		t.Errorf("plane scans = %d, want 2", counters["h2p_lookup_plane_scans_total"])
+	}
+	if counters["h2p_lookup_slab_scans_total"] != 1 {
+		t.Errorf("slab scans = %d, want 1", counters["h2p_lookup_slab_scans_total"])
+	}
+	ax := s.Axes()
+	cells := len(ax.Flow) * len(ax.Inlet)
+	for _, h := range snap.Histograms {
+		switch h.Name {
+		case "h2p_lookup_plane_scan_cells":
+			if h.Count != 2 || h.Sum != float64(cells+10) {
+				t.Errorf("plane-scan histogram count=%d sum=%v, want 2/%d", h.Count, h.Sum, cells+10)
+			}
+		case "h2p_lookup_slab_scan_points":
+			if h.Count != 1 || h.Sum <= 0 {
+				t.Errorf("slab-scan histogram count=%d sum=%v", h.Count, h.Sum)
+			}
+		}
+	}
+}
+
+// TestUninstrumentedSpaceScansFreely pins the disabled path: a space never
+// offered a registry must keep visitor scans allocation-free.
+func TestUninstrumentedSpaceScansFreely(t *testing.T) {
+	s := buildDefault(t)
+	sink := units.Celsius(0)
+	allocs := testing.AllocsPerRun(20, func() {
+		_ = s.VisitPlane(0.5, func(_ int, p Point) bool {
+			sink = p.CPUTemp
+			return true
+		})
+	})
+	if allocs != 0 {
+		t.Errorf("uninstrumented VisitPlane = %v allocs/op, want 0", allocs)
+	}
+	_ = sink
+}

@@ -17,6 +17,7 @@ import (
 	"github.com/h2p-sim/h2p/internal/cpu"
 	"github.com/h2p-sim/h2p/internal/hydro"
 	"github.com/h2p-sim/h2p/internal/teg"
+	"github.com/h2p-sim/h2p/internal/telemetry"
 	"github.com/h2p-sim/h2p/internal/thermalnet"
 	"github.com/h2p-sim/h2p/internal/units"
 )
@@ -31,6 +32,33 @@ type Prototype struct {
 	// channels.
 	TempSensor hydro.TemperatureSensor
 	FlowMeter  hydro.FlowMeter
+	// Telemetry, when non-nil, instruments the campaigns the way the DAQ
+	// instrumented the test bed: histograms of every recorded CPU
+	// temperature, TEG voltage, outlet rise and harvested power, plus the
+	// transient solver's step counters. nil leaves every campaign
+	// uninstrumented and unchanged.
+	Telemetry *telemetry.Registry
+}
+
+// campaign metric helpers; each returns nil when telemetry is disabled.
+func (p *Prototype) cpuTempHist() *telemetry.Histogram {
+	return p.Telemetry.Histogram("h2p_proto_cpu_temp_celsius",
+		"recorded die temperatures across prototype campaigns", telemetry.LinearBuckets(20, 5, 16))
+}
+
+func (p *Prototype) tegVoltageHist() *telemetry.Histogram {
+	return p.Telemetry.Histogram("h2p_proto_teg_voltage_volts",
+		"recorded TEG open-circuit voltages", telemetry.LinearBuckets(0, 1, 14))
+}
+
+func (p *Prototype) outletRiseHist() *telemetry.Histogram {
+	return p.Telemetry.Histogram("h2p_proto_outlet_rise_celsius",
+		"recorded coolant outlet temperature rises", telemetry.LinearBuckets(0, 2, 12))
+}
+
+func (p *Prototype) tegPowerHist() *telemetry.Histogram {
+	return p.Telemetry.Histogram("h2p_proto_teg_power_watts",
+		"recorded matched-load TEG module powers", telemetry.LinearBuckets(0, 2, 12))
 }
 
 // NewDellT7910 returns the calibrated test bed.
@@ -94,6 +122,7 @@ func (p *Prototype) RunFig3(phases []LoadPhase, coolant units.Celsius, flow unit
 	}
 
 	var net thermalnet.Network
+	net.AttachTelemetry(p.Telemetry)
 	coolantNode := net.AddBoundary("coolant", coolant)
 	cpu0, err := net.AddNode("cpu0", p.Spec.ThermalCapacitance, coolant)
 	if err != nil {
@@ -126,6 +155,7 @@ func (p *Prototype) RunFig3(phases []LoadPhase, coolant units.Celsius, flow unit
 	}
 
 	res := Fig3Result{MaxOperating: p.Spec.MaxOperatingTemp}
+	cpuTemps, tegVolts := p.cpuTempHist(), p.tegVoltageHist()
 	minute := 0.0
 	record := func() error {
 		t0, err := net.Temp(cpu0)
@@ -147,6 +177,9 @@ func (p *Prototype) RunFig3(phases []LoadPhase, coolant units.Celsius, flow unit
 			CoolantTemp: p.TempSensor.Read(coolant),
 			TEGVoltage:  p.TEG.OpenCircuitVoltage(t0 - pl0),
 		}
+		cpuTemps.Observe(float64(sample.CPU0Temp))
+		cpuTemps.Observe(float64(sample.CPU1Temp))
+		tegVolts.Observe(float64(sample.TEGVoltage))
 		res.Samples = append(res.Samples, sample)
 		if sample.CPU0Temp > res.PeakCPU0 {
 			res.PeakCPU0 = sample.CPU0Temp
@@ -213,6 +246,7 @@ func (p *Prototype) RunFig7(flows []units.LitersPerHour, dTs []units.Celsius) ([
 		return nil, err
 	}
 	mod.FlowDerating = p.Derating
+	tegVolts := p.tegVoltageHist()
 	out := make([]Fig7Series, 0, len(flows))
 	for _, f := range flows {
 		if f <= 0 {
@@ -220,10 +254,9 @@ func (p *Prototype) RunFig7(flows []units.LitersPerHour, dTs []units.Celsius) ([
 		}
 		s := Fig7Series{Flow: p.FlowMeter.Read(f)}
 		for _, dt := range dTs {
-			s.Samples = append(s.Samples, VocSample{
-				DeltaT:  dt,
-				Voltage: mod.OpenCircuitVoltage(dt, f),
-			})
+			v := mod.OpenCircuitVoltage(dt, f)
+			tegVolts.Observe(float64(v))
+			s.Samples = append(s.Samples, VocSample{DeltaT: dt, Voltage: v})
 		}
 		out = append(out, s)
 	}
@@ -250,6 +283,7 @@ func (p *Prototype) RunFig8(ns []int, dTs []units.Celsius) ([]Fig8Series, error)
 		return nil, errors.New("proto: empty campaign")
 	}
 	const refFlow = 200
+	tegPower := p.tegPowerHist()
 	out := make([]Fig8Series, 0, len(ns))
 	for _, n := range ns {
 		mod, err := teg.NewModule(p.TEG, n)
@@ -259,8 +293,10 @@ func (p *Prototype) RunFig8(ns []int, dTs []units.Celsius) ([]Fig8Series, error)
 		mod.FlowDerating = p.Derating
 		s := Fig8Series{N: n}
 		for _, dt := range dTs {
+			pw := mod.MaxPower(dt, refFlow)
+			tegPower.Observe(float64(pw))
 			s.Voltage = append(s.Voltage, VocSample{DeltaT: dt, Voltage: mod.OpenCircuitVoltage(dt, refFlow)})
-			s.Power = append(s.Power, PowerSample{DeltaT: dt, Power: mod.MaxPower(dt, refFlow)})
+			s.Power = append(s.Power, PowerSample{DeltaT: dt, Power: pw})
 		}
 		out = append(out, s)
 	}
@@ -281,6 +317,7 @@ func (p *Prototype) RunFig9FlowSweep(utils []float64, flows []units.LitersPerHou
 	if len(utils) == 0 || len(flows) == 0 || len(inlets) == 0 {
 		return nil, errors.New("proto: empty campaign")
 	}
+	rise := p.outletRiseHist()
 	var out []Fig9Point
 	for _, u := range utils {
 		for _, f := range flows {
@@ -289,11 +326,13 @@ func (p *Prototype) RunFig9FlowSweep(utils []float64, flows []units.LitersPerHou
 				_ = tin // inlet temperature does not move the advective rise
 				sum += p.Spec.OutletDeltaT(u, f)
 			}
-			out = append(out, Fig9Point{
+			pt := Fig9Point{
 				Utilization: u,
 				Flow:        f,
 				DeltaTOut:   sum / units.Celsius(float64(len(inlets))),
-			})
+			}
+			rise.Observe(float64(pt.DeltaTOut))
+			out = append(out, pt)
 		}
 	}
 	return out, nil
@@ -306,15 +345,18 @@ func (p *Prototype) RunFig9InletSweep(utils []float64, inlets []units.Celsius) (
 		return nil, errors.New("proto: empty campaign")
 	}
 	const flow = 20
+	rise := p.outletRiseHist()
 	var out []Fig9Point
 	for _, u := range utils {
 		for _, tin := range inlets {
-			out = append(out, Fig9Point{
+			pt := Fig9Point{
 				Utilization: u,
 				Flow:        flow,
 				Inlet:       tin,
 				DeltaTOut:   p.Spec.OutletDeltaT(u, flow),
-			})
+			}
+			rise.Observe(float64(pt.DeltaTOut))
+			out = append(out, pt)
 		}
 	}
 	return out, nil
@@ -335,15 +377,18 @@ func (p *Prototype) RunFig10(utils []float64, coolants []units.Celsius) ([]Fig10
 		return nil, errors.New("proto: empty campaign")
 	}
 	const flow = 20
+	cpuTemps := p.cpuTempHist()
 	var out []Fig10Point
 	for _, tc := range coolants {
 		for _, u := range utils {
-			out = append(out, Fig10Point{
+			pt := Fig10Point{
 				Utilization:  u,
 				Coolant:      tc,
 				CPUTemp:      p.TempSensor.Read(p.Spec.Temperature(u, flow, tc)),
 				FrequencyGHz: p.Spec.Frequency(u),
-			})
+			}
+			cpuTemps.Observe(float64(pt.CPUTemp))
+			out = append(out, pt)
 		}
 	}
 	return out, nil
@@ -362,14 +407,17 @@ func (p *Prototype) RunFig11(coolants []units.Celsius, flows []units.LitersPerHo
 	if len(coolants) == 0 || len(flows) == 0 {
 		return nil, errors.New("proto: empty campaign")
 	}
+	cpuTemps := p.cpuTempHist()
 	var out []Fig11Point
 	for _, f := range flows {
 		for _, tc := range coolants {
-			out = append(out, Fig11Point{
+			pt := Fig11Point{
 				Coolant: tc,
 				Flow:    f,
 				CPUTemp: p.TempSensor.Read(p.Spec.Temperature(1.0, f, tc)),
-			})
+			}
+			cpuTemps.Observe(float64(pt.CPUTemp))
+			out = append(out, pt)
 		}
 	}
 	return out, nil

@@ -84,31 +84,9 @@ func (dc *decisionCache) store(key uint64, setting Setting, power units.Watts) {
 	}
 }
 
-// counterShards spreads the hits/calls counters so the parallel engine's
-// workers do not all bounce one cache line per Choose. A shard is selected
-// from the key's bucket hash, so a given plane always lands on the same
-// shard and totals stay exact.
-const counterShards = 16
-
-// shardedCounter is a cache-line-padded array of atomic counters summed on
-// read. The zero value is ready to use.
-type shardedCounter struct {
-	slots [counterShards]struct {
-		n atomic.Uint64
-		_ [56]byte // pad to a cache line so shards do not false-share
-	}
-}
-
-// add increments the shard owning the key.
-func (sc *shardedCounter) add(key uint64) {
-	sc.slots[bucketOf(key)%counterShards].n.Add(1)
-}
-
-// sum folds the shards into the lifetime total.
-func (sc *shardedCounter) sum() uint64 {
-	var t uint64
-	for i := range sc.slots {
-		t += sc.slots[i].n.Load()
-	}
-	return t
-}
+// The cache's hit/call/insert counters live in telemetry.Counter instances
+// (see Controller and telemetry.go in this package): the same cache-line-
+// padded sharded-atomic layout the bespoke shardedCounter used to implement
+// here, now shared with the rest of the engine's instrumentation. The
+// Fibonacci bucket hash doubles as the counters' shard hint, so a given
+// plane always lands on the same shard and totals stay exact.

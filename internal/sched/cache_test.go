@@ -5,6 +5,7 @@ import (
 	"sync"
 	"testing"
 
+	"github.com/h2p-sim/h2p/internal/telemetry"
 	"github.com/h2p-sim/h2p/internal/units"
 )
 
@@ -108,9 +109,11 @@ func TestDecisionCacheConcurrentStores(t *testing.T) {
 	wg.Wait()
 }
 
-// TestShardedCounter checks the padded counter shards sum exactly.
+// TestShardedCounter checks the cache's counters — now telemetry.Counter
+// instances sharded by the bucket hash, replacing the bespoke
+// shardedCounter — still sum exactly under concurrent hinted increments.
 func TestShardedCounter(t *testing.T) {
-	var sc shardedCounter
+	sc := telemetry.NewCounter("test_total")
 	const goroutines = 8
 	const perG = 1000
 	var wg sync.WaitGroup
@@ -119,12 +122,12 @@ func TestShardedCounter(t *testing.T) {
 		go func(g int) {
 			defer wg.Done()
 			for i := 0; i < perG; i++ {
-				sc.add(uint64(g*perG + i))
+				sc.AddHint(bucketOf(uint64(g*perG+i)), 1)
 			}
 		}(g)
 	}
 	wg.Wait()
-	if got := sc.sum(); got != goroutines*perG {
+	if got := sc.Value(); got != goroutines*perG {
 		t.Errorf("counter sum = %d, want %d", got, goroutines*perG)
 	}
 }

@@ -13,6 +13,7 @@ import (
 	"github.com/h2p-sim/h2p/internal/lookup"
 	"github.com/h2p-sim/h2p/internal/stats"
 	"github.com/h2p-sim/h2p/internal/teg"
+	"github.com/h2p-sim/h2p/internal/telemetry"
 	"github.com/h2p-sim/h2p/internal/units"
 )
 
@@ -68,8 +69,18 @@ type Controller struct {
 	// utilization bits: a sharded lock-free table (cache.go). Settings are
 	// a pure function of the plane, so concurrent fills are benign and
 	// order-independent.
-	cache       decisionCache
-	hits, calls shardedCounter
+	cache decisionCache
+	// hits/calls/inserts instrument the cache: sharded telemetry counters
+	// (the key's bucket hash is the shard hint, so workers on distinct
+	// planes touch distinct cache lines). NewController creates them
+	// standalone; AttachTelemetry swaps in registry-owned counters so a
+	// run's exporters see them. CacheStats reads whichever are current.
+	hits, calls, inserts *telemetry.Counter
+
+	// met carries the optional decision metrics (chosen-setting
+	// distribution, power-curve evaluation counts). nil — the default —
+	// disables them: the hot path pays one branch and nothing else.
+	met *schedMetrics
 
 	// curve is the precomputed power-vs-outlet-temperature curve
 	// (powercurve.go), derived from Module and ColdSource by NewController.
@@ -80,9 +91,11 @@ type Controller struct {
 
 // CacheStats reports the decision cache's lifetime hit count and total
 // Choose call count. It only sums atomic counters — it takes no lock and
-// never contends with concurrent Choose calls.
+// never contends with concurrent Choose calls. The counters live in the
+// telemetry layer; this accessor is the historical API, kept as a thin
+// adapter over them.
 func (c *Controller) CacheStats() (hits, calls uint64) {
-	return c.hits.sum(), c.calls.sum()
+	return c.hits.Value(), c.calls.Value()
 }
 
 // quantizePlane snaps the plane utilization to the cache quantum, staying
@@ -114,6 +127,9 @@ func NewController(space *lookup.Space, module *teg.Module, cold units.Celsius) 
 		TSafe:      space.Spec().SafeTemp,
 		Band:       1,
 		curve:      newPowerCurve(space, module, cold),
+		hits:       telemetry.NewCounter(metricCacheHits),
+		calls:      telemetry.NewCounter(metricCacheCalls),
+		inserts:    telemetry.NewCounter(metricCacheInserts),
 	}, nil
 }
 
@@ -154,9 +170,11 @@ func (c *Controller) Choose(planeU float64) (Setting, units.Watts, error) {
 	}
 	planeU = c.quantizePlane(planeU)
 	key := math.Float64bits(planeU)
-	c.calls.add(key)
+	hint := bucketOf(key)
+	c.calls.AddHint(hint, 1)
 	if setting, power, ok := c.cache.load(key); ok {
-		c.hits.add(key)
+		c.hits.AddHint(hint, 1)
+		c.observeChoice(hint, setting)
 		return setting, power, nil
 	}
 	setting, power, err := c.choose(planeU)
@@ -164,6 +182,8 @@ func (c *Controller) Choose(planeU float64) (Setting, units.Watts, error) {
 		return Setting{}, 0, err
 	}
 	c.cache.store(key, setting, power)
+	c.inserts.AddHint(hint, 1)
+	c.observeChoice(hint, setting)
 	return setting, power, nil
 }
 
@@ -177,8 +197,10 @@ func (c *Controller) choose(planeU float64) (Setting, units.Watts, error) {
 	best := Setting{}
 	bestP := units.Watts(-1)
 	found := false
+	evals := 0 // candidate power evaluations, reported once per miss
 	err := c.Space.VisitPlaneIntersection(planeU, c.TSafe, c.Band, func(cell int, p lookup.Point) bool {
 		found = true
+		evals++
 		if pw := c.candidatePower(cell, p); pw > bestP {
 			best, bestP = Setting{Flow: p.Flow, Inlet: p.Inlet}, pw
 		}
@@ -195,6 +217,7 @@ func (c *Controller) choose(planeU float64) (Setting, units.Watts, error) {
 		err = c.Space.VisitPlane(planeU, func(cell int, p lookup.Point) bool {
 			if p.CPUTemp <= c.TSafe+c.Band {
 				found = true
+				evals++
 				if pw := c.candidatePower(cell, p); pw > bestP {
 					best, bestP = Setting{Flow: p.Flow, Inlet: p.Inlet}, pw
 				}
@@ -204,6 +227,9 @@ func (c *Controller) choose(planeU float64) (Setting, units.Watts, error) {
 		if err != nil {
 			return Setting{}, 0, err
 		}
+	}
+	if m := c.met; m != nil {
+		m.curveEvals.Add(uint64(evals))
 	}
 	if !found {
 		return Setting{}, 0, fmt.Errorf("sched: no safe cooling setting for u=%v", planeU)

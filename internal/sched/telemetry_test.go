@@ -1,0 +1,144 @@
+package sched
+
+import (
+	"testing"
+
+	"github.com/h2p-sim/h2p/internal/telemetry"
+)
+
+// TestAttachNilTelemetryKeepsDecideIntoAllocationFree pins the acceptance
+// criterion for the disabled regime: a controller explicitly offered the
+// no-op (nil) registry must keep the warm decision path at exactly zero
+// allocations — telemetry off means off.
+func TestAttachNilTelemetryKeepsDecideIntoAllocationFree(t *testing.T) {
+	c := newController(t)
+	c.AttachTelemetry(nil)
+	us := make([]float64, 25)
+	for i := range us {
+		us[i] = float64(i) / 25
+	}
+	var sc Scratch
+	if _, err := c.DecideInto(us, Original, &sc); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := c.DecideInto(us, Original, &sc); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("warm DecideInto with nil registry = %v allocs/op, want 0", allocs)
+	}
+}
+
+// TestAttachedTelemetryWarmPathAllocationFree checks the enabled regime adds
+// no garbage either: counters and histograms record via atomics only, so a
+// warm DecideInto stays allocation-free with a live registry attached.
+func TestAttachedTelemetryWarmPathAllocationFree(t *testing.T) {
+	c := newController(t)
+	c.AttachTelemetry(telemetry.New())
+	us := make([]float64, 25)
+	for i := range us {
+		us[i] = float64(i) / 25
+	}
+	var sc Scratch
+	if _, err := c.DecideInto(us, Original, &sc); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := c.DecideInto(us, Original, &sc); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("warm DecideInto with live registry = %v allocs/op, want 0", allocs)
+	}
+}
+
+// TestAttachedCountersMatchCacheStats drives a mixed hit/miss sequence and
+// checks the registry-owned counters and the CacheStats accessor read the
+// same numbers — the accessor is a thin adapter over the same instruments.
+func TestAttachedCountersMatchCacheStats(t *testing.T) {
+	c := newController(t)
+	reg := telemetry.New()
+	c.AttachTelemetry(reg)
+	for i := 0; i < 40; i++ {
+		if _, _, err := c.Choose(float64(i%10) / 10); err != nil { // 10 planes, 4 rounds
+			t.Fatal(err)
+		}
+	}
+	hits, calls := c.CacheStats()
+	if calls != 40 || hits != 30 {
+		t.Fatalf("CacheStats = %d hits of %d calls, want 30/40", hits, calls)
+	}
+	hc := reg.Counter("h2p_decision_cache_hits_total", "").Value()
+	cc := reg.Counter("h2p_decision_cache_calls_total", "").Value()
+	ic := reg.Counter("h2p_decision_cache_inserts_total", "").Value()
+	if hc != hits || cc != calls {
+		t.Errorf("registry counters %d/%d != CacheStats %d/%d", hc, cc, hits, calls)
+	}
+	if ic != calls-hits {
+		t.Errorf("inserts = %d, want misses = %d", ic, calls-hits)
+	}
+}
+
+// TestChosenSettingDistribution checks the decision histograms see one
+// observation per Choose — hits included — and that the miss scan reports
+// its power-curve evaluation work.
+func TestChosenSettingDistribution(t *testing.T) {
+	c := newController(t)
+	reg := telemetry.New()
+	c.AttachTelemetry(reg)
+	const n = 25
+	for i := 0; i < n; i++ {
+		if _, _, err := c.Choose(float64(i%5) / 5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := reg.Snapshot()
+	var inlet, flow *telemetry.HistogramSnapshot
+	for i := range snap.Histograms {
+		switch snap.Histograms[i].Name {
+		case "h2p_decision_chosen_inlet_celsius":
+			inlet = &snap.Histograms[i]
+		case "h2p_decision_chosen_flow_lph":
+			flow = &snap.Histograms[i]
+		}
+	}
+	if inlet == nil || flow == nil {
+		t.Fatal("chosen-setting histograms not registered")
+	}
+	if inlet.Count != n || flow.Count != n {
+		t.Errorf("histogram counts inlet=%d flow=%d, want %d each", inlet.Count, flow.Count, n)
+	}
+	if inlet.Mean <= 0 || flow.Mean <= 0 {
+		t.Errorf("degenerate means inlet=%v flow=%v", inlet.Mean, flow.Mean)
+	}
+	evals := reg.Counter("h2p_decision_powercurve_evals_total", "").Value()
+	if evals == 0 {
+		t.Error("miss scans must report power-curve evaluations")
+	}
+}
+
+// TestAttachTelemetryPreservesDecisions pins that attaching a registry never
+// perturbs the numbers: the instrumented controller must return bit-identical
+// settings and power to an uninstrumented twin.
+func TestAttachTelemetryPreservesDecisions(t *testing.T) {
+	plain := newController(t)
+	inst := newController(t)
+	inst.AttachTelemetry(telemetry.New())
+	for i := 0; i <= 100; i++ {
+		u := float64(i) / 100
+		s1, p1, err := plain.Choose(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s2, p2, err := inst.Choose(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s1 != s2 || p1 != p2 {
+			t.Fatalf("u=%v: instrumented Choose diverged: %+v/%v vs %+v/%v", u, s2, p2, s1, p1)
+		}
+	}
+}

@@ -1,0 +1,203 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+)
+
+// This file holds the two exporters: the Prometheus text exposition format
+// (WriteProm) and a structured JSON snapshot (Snapshot / WriteJSON). Both
+// only read atomics — they never block concurrent writers — and both emit
+// instruments sorted by name so the output is deterministic and diffable
+// between runs.
+
+// fmtFloat renders a float the way the Prometheus text format expects:
+// shortest exact representation, +Inf spelled out.
+func fmtFloat(v float64) string {
+	if math.IsInf(v, +1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// sortedNames returns the registry's instrument names in sorted order.
+func (r *Registry) sortedNames() []string {
+	names := append([]string(nil), r.order...)
+	sort.Strings(names)
+	return names
+}
+
+// WriteProm writes every registered instrument in the Prometheus text
+// exposition format (version 0.0.4): counters and gauges as single samples,
+// histograms as cumulative `le` buckets plus `_sum` and `_count`. A nil
+// registry writes nothing.
+func (r *Registry) WriteProm(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	names := r.sortedNames()
+	insts := make([]interface{}, len(names))
+	for i, n := range names {
+		insts[i] = r.byName[n]
+	}
+	r.mu.Unlock()
+	for i, name := range names {
+		var err error
+		switch inst := insts[i].(type) {
+		case *Counter:
+			err = writePromScalar(w, name, inst.help, "counter", float64(inst.Value()))
+		case *Gauge:
+			err = writePromScalar(w, name, inst.help, "gauge", inst.Value())
+		case *Histogram:
+			err = writePromHistogram(w, name, inst.help, inst.Value())
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writePromHeader(w io.Writer, name, help, kind string) error {
+	if help != "" {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n", name, help); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "# TYPE %s %s\n", name, kind)
+	return err
+}
+
+func writePromScalar(w io.Writer, name, help, kind string, v float64) error {
+	if err := writePromHeader(w, name, help, kind); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s %s\n", name, fmtFloat(v))
+	return err
+}
+
+func writePromHistogram(w io.Writer, name, help string, v HistogramValue) error {
+	if err := writePromHeader(w, name, help, "histogram"); err != nil {
+		return err
+	}
+	cum := uint64(0)
+	for i, b := range v.Bounds {
+		cum += v.Counts[i]
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, fmtFloat(b), cum); err != nil {
+			return err
+		}
+	}
+	cum += v.Counts[len(v.Bounds)]
+	if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum %s\n", name, fmtFloat(v.Sum)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count %d\n", name, v.Count)
+	return err
+}
+
+// CounterSnapshot is one counter in a Snapshot.
+type CounterSnapshot struct {
+	Name  string `json:"name"`
+	Help  string `json:"help,omitempty"`
+	Value uint64 `json:"value"`
+}
+
+// GaugeSnapshot is one gauge in a Snapshot.
+type GaugeSnapshot struct {
+	Name  string  `json:"name"`
+	Help  string  `json:"help,omitempty"`
+	Value float64 `json:"value"`
+}
+
+// HistogramSnapshot is one histogram in a Snapshot. Counts are per-bucket
+// (non-cumulative); the final entry is the +Inf overflow bucket.
+type HistogramSnapshot struct {
+	Name   string    `json:"name"`
+	Help   string    `json:"help,omitempty"`
+	Bounds []float64 `json:"bounds"`
+	Counts []uint64  `json:"counts"`
+	Count  uint64    `json:"count"`
+	Sum    float64   `json:"sum"`
+	Mean   float64   `json:"mean"`
+}
+
+// Snapshot is a point-in-time copy of every registered instrument, ordered
+// by name. It is plain data: safe to retain, compare and marshal after the
+// run has moved on.
+type Snapshot struct {
+	Counters   []CounterSnapshot   `json:"counters"`
+	Gauges     []GaugeSnapshot     `json:"gauges"`
+	Histograms []HistogramSnapshot `json:"histograms"`
+	// SpansRecorded counts every span the tracer ever saw (the trace ring
+	// retains only the newest).
+	SpansRecorded uint64 `json:"spans_recorded"`
+}
+
+// Snapshot captures the registry. A nil registry — telemetry disabled —
+// returns nil, which downstream consumers (internal/report) must render as
+// "disabled", never as a run with zero counts.
+func (r *Registry) Snapshot() *Snapshot {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	names := r.sortedNames()
+	insts := make([]interface{}, len(names))
+	for i, n := range names {
+		insts[i] = r.byName[n]
+	}
+	tracer := r.tracer
+	r.mu.Unlock()
+	snap := &Snapshot{SpansRecorded: tracer.Total()}
+	for _, inst := range insts {
+		switch inst := inst.(type) {
+		case *Counter:
+			snap.Counters = append(snap.Counters, CounterSnapshot{Name: inst.name, Help: inst.help, Value: inst.Value()})
+		case *Gauge:
+			snap.Gauges = append(snap.Gauges, GaugeSnapshot{Name: inst.name, Help: inst.help, Value: inst.Value()})
+		case *Histogram:
+			v := inst.Value()
+			snap.Histograms = append(snap.Histograms, HistogramSnapshot{
+				Name: inst.name, Help: inst.help,
+				Bounds: v.Bounds, Counts: v.Counts,
+				Count: v.Count, Sum: v.Sum, Mean: v.Mean(),
+			})
+		}
+	}
+	return snap
+}
+
+// WriteJSON writes the registry snapshot as indented JSON. A nil registry
+// writes the JSON null literal, preserving the disabled/empty distinction.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+// WriteTrace writes the retained span ring as indented JSON (oldest span
+// first). A nil registry or a registry without a tracer writes an empty
+// array.
+func (r *Registry) WriteTrace(w io.Writer) error {
+	var spans []Span
+	if r != nil {
+		r.mu.Lock()
+		tracer := r.tracer
+		r.mu.Unlock()
+		spans = tracer.Snapshot()
+	}
+	if spans == nil {
+		spans = []Span{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(spans)
+}

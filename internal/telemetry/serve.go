@@ -1,0 +1,73 @@
+package telemetry
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+)
+
+// Handler returns an http.Handler exposing the registry for live run
+// introspection:
+//
+//	GET /metrics       Prometheus text exposition
+//	GET /metrics.json  JSON snapshot of every instrument
+//	GET /trace         JSON array of the retained span ring
+//
+// The handler only reads atomics and the span ring, so scraping a registry
+// mid-run never blocks the engine's workers.
+func (r *Registry) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := r.WriteProm(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := r.WriteJSON(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := r.WriteTrace(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Path != "/" {
+			http.NotFound(w, req)
+			return
+		}
+		fmt.Fprint(w, "h2p telemetry endpoint\n\n/metrics\n/metrics.json\n/trace\n")
+	})
+	return mux
+}
+
+// Server is a live telemetry endpoint bound to a local address.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve starts an HTTP server for the registry on addr (e.g. ":9102" or
+// "127.0.0.1:0") and returns once the listener is bound, serving in a
+// background goroutine. Serving a nil registry is allowed: the endpoint
+// exposes empty metrics.
+func Serve(addr string, r *Registry) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: r.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	go srv.Serve(ln) //nolint:errcheck // Close reports http.ErrServerClosed
+	return &Server{ln: ln, srv: srv}, nil
+}
+
+// Addr returns the server's bound address (useful with port 0).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server and releases the listener.
+func (s *Server) Close() error { return s.srv.Close() }

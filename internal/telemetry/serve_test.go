@@ -1,0 +1,106 @@
+package telemetry
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func get(t *testing.T, srv *httptest.Server, path string) (int, string, string) {
+	t.Helper()
+	resp, err := srv.Client().Get(srv.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, resp.Header.Get("Content-Type"), string(body)
+}
+
+// TestHandlerEndpoints exercises every route of the live endpoint against a
+// populated registry.
+func TestHandlerEndpoints(t *testing.T) {
+	srv := httptest.NewServer(goldenRegistry().Handler())
+	defer srv.Close()
+
+	code, ct, body := get(t, srv, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	if !strings.Contains(ct, "text/plain") || !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("/metrics content type %q", ct)
+	}
+	if !strings.Contains(body, "h2p_test_hits_total 7") ||
+		!strings.Contains(body, `h2p_test_latency_seconds_bucket{le="+Inf"} 3`) {
+		t.Errorf("/metrics body missing instruments:\n%s", body)
+	}
+
+	code, ct, body = get(t, srv, "/metrics.json")
+	if code != http.StatusOK || !strings.Contains(ct, "application/json") {
+		t.Fatalf("/metrics.json status %d content type %q", code, ct)
+	}
+	if !strings.Contains(body, `"h2p_test_workers"`) {
+		t.Errorf("/metrics.json body missing gauge:\n%s", body)
+	}
+
+	code, ct, body = get(t, srv, "/trace")
+	if code != http.StatusOK || !strings.Contains(ct, "application/json") {
+		t.Fatalf("/trace status %d content type %q", code, ct)
+	}
+	if strings.TrimSpace(body) != "[]" {
+		t.Errorf("/trace = %q, want empty array", body)
+	}
+
+	code, _, body = get(t, srv, "/")
+	if code != http.StatusOK || !strings.Contains(body, "/metrics") {
+		t.Errorf("index status %d body %q", code, body)
+	}
+	if code, _, _ = get(t, srv, "/nope"); code != http.StatusNotFound {
+		t.Errorf("unknown path status %d, want 404", code)
+	}
+}
+
+// TestHandlerNilRegistry checks serving a disabled registry works: the
+// endpoint exists but exposes nothing.
+func TestHandlerNilRegistry(t *testing.T) {
+	var r *Registry
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+	code, _, body := get(t, srv, "/metrics")
+	if code != http.StatusOK || body != "" {
+		t.Errorf("nil registry /metrics: status %d body %q", code, body)
+	}
+}
+
+// TestServe binds a real listener on an ephemeral port, scrapes it once,
+// and shuts down.
+func TestServe(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0", goldenRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	resp, err := http.Get("http://" + srv.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), "h2p_test_hits_total 7") {
+		t.Errorf("served metrics missing counter:\n%s", body)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := http.Get("http://" + srv.Addr() + "/metrics"); err == nil {
+		t.Error("server still reachable after Close")
+	}
+}

@@ -13,8 +13,10 @@ package thermalnet
 import (
 	"errors"
 	"fmt"
+	"math"
 
 	"github.com/h2p-sim/h2p/internal/numeric"
+	"github.com/h2p-sim/h2p/internal/telemetry"
 	"github.com/h2p-sim/h2p/internal/units"
 )
 
@@ -44,6 +46,27 @@ type Network struct {
 	state   []float64
 	free    []NodeID // nodes with finite capacitance, in state order
 	index   map[NodeID]int
+
+	// solver instrumentation; all nil (one branch per Advance) until
+	// AttachTelemetry is called.
+	advances  *telemetry.Counter
+	rk4Steps  *telemetry.Counter
+	ssProbes  *telemetry.Counter
+	simSecond *telemetry.Counter
+}
+
+// AttachTelemetry registers the network's solver counters with reg: how many
+// Advance calls ran, how many RK4 substeps they took, how many steady-state
+// probe windows were evaluated and how much simulated time was integrated
+// (whole seconds). A nil registry leaves the network uninstrumented.
+func (n *Network) AttachTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	n.advances = reg.Counter("h2p_thermalnet_advances_total", "thermal network Advance calls")
+	n.rk4Steps = reg.Counter("h2p_thermalnet_rk4_steps_total", "RK4 substeps integrated")
+	n.ssProbes = reg.Counter("h2p_thermalnet_steadystate_probes_total", "steady-state probe windows evaluated")
+	n.simSecond = reg.Counter("h2p_thermalnet_sim_seconds_total", "simulated seconds integrated (floor)")
 }
 
 // AddNode adds a thermal mass with the given heat capacity (J/°C, must be
@@ -190,6 +213,9 @@ func (n *Network) Advance(seconds, maxStep float64) error {
 	for k, id := range n.free {
 		n.nodes[id].temp = n.state[k]
 	}
+	n.advances.Inc()
+	n.rk4Steps.Add(uint64(math.Ceil(seconds / maxStep)))
+	n.simSecond.Add(uint64(seconds))
 	return nil
 }
 
@@ -210,6 +236,7 @@ func (n *Network) SteadyState(tol, maxSeconds, maxStep float64) (float64, error)
 		if err := n.Advance(window, maxStep); err != nil {
 			return elapsed, err
 		}
+		n.ssProbes.Inc()
 		elapsed += window
 		maxMove := 0.0
 		for i := range n.nodes {
