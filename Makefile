@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check telemetry-check bench bench-all experiments clean
+.PHONY: all build vet test race check telemetry-check fault-check fuzz-check bench bench-all experiments clean
 
 all: check
 
@@ -29,9 +29,25 @@ telemetry-check:
 	$(GO) test -race ./internal/telemetry ./internal/sched ./internal/lookup \
 		./internal/core ./internal/report ./cmd/h2psim ./cmd/h2pbench
 
+# fault-check gates the fault-injection layer under the race detector: the
+# injector itself, every engine/prototype call site, the property suites that
+# pin the degradation physics, and the CLI golden run.
+fault-check:
+	$(GO) test -race ./internal/fault ./internal/core ./internal/teg \
+		./internal/thermalnet ./internal/hydro ./internal/proto ./cmd/h2psim
+
+# fuzz-check smoke-runs every fuzz target briefly: long enough to catch a
+# parser regression on the seed corpus and its near mutations, short enough
+# for CI. Deep campaigns run the same targets with a larger -fuzztime.
+FUZZTIME ?= 5s
+fuzz-check:
+	$(GO) test ./internal/trace -run '^$$' -fuzz '^FuzzReadCSV$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/trace -run '^$$' -fuzz '^FuzzReadLongFormat$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/trace -run '^$$' -fuzz '^FuzzCSVRoundTrip$$' -fuzztime $(FUZZTIME)
+
 # check is the tier-1 gate: vet + build + race-enabled tests + the
-# telemetry gate.
-check: vet build race telemetry-check
+# telemetry, fault and fuzz gates.
+check: vet build race telemetry-check fault-check fuzz-check
 
 # bench tracks the decision hot path across PRs: the Decision* benchmarks in
 # internal/lookup (candidate scan) and internal/sched (controller) run with

@@ -25,6 +25,7 @@ import (
 	"path/filepath"
 
 	"github.com/h2p-sim/h2p/internal/experiments"
+	"github.com/h2p-sim/h2p/internal/fault"
 	"github.com/h2p-sim/h2p/internal/profiling"
 	"github.com/h2p-sim/h2p/internal/report"
 	"github.com/h2p-sim/h2p/internal/telemetry"
@@ -41,6 +42,8 @@ func main() {
 	telemetryAddr := flag.String("telemetry-addr", "", "serve live telemetry (/metrics, /metrics.json, /trace) on this address")
 	metricsOut := flag.String("metrics-out", "", "write Prometheus-style metrics to this file at exit")
 	traceOut := flag.String("trace-out", "", "write the span trace (JSON) to this file at exit")
+	faultPlan := flag.String("fault-plan", "", "fault plan for trace-driven experiments: JSON file or 'kind:rate[:severity],...' DSL")
+	faultSeed := flag.Int64("fault-seed", 1, "fault activation seed")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -51,12 +54,20 @@ func main() {
 		}
 		return
 	}
+	plan, err := fault.ParsePlan(*faultPlan)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "h2pbench:", err)
+		os.Exit(1)
+	}
 	stopProf, err := profiling.Start(*cpuProfile, *memProfile)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "h2pbench:", err)
 		os.Exit(1)
 	}
-	params := experiments.EvalParams{Servers: *servers, Seed: *seed, Workers: *workers}
+	params := experiments.EvalParams{
+		Servers: *servers, Seed: *seed, Workers: *workers,
+		Faults: plan, FaultSeed: *faultSeed,
+	}
 	if *telemetryAddr != "" || *metricsOut != "" || *traceOut != "" {
 		params.Telemetry = telemetry.New()
 	}

@@ -1,0 +1,122 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"github.com/h2p-sim/h2p/internal/fault"
+	"github.com/h2p-sim/h2p/internal/trace"
+)
+
+// The golden test freezes the exact end-to-end output of the simulator CLI —
+// the printed Fig. 14/15 tables and the -series-out export for both schemes —
+// against a small committed reference trace. Any drift in physics, scheduling
+// or formatting fails bit-exact; intentional changes regenerate with
+//
+//	go test ./cmd/h2psim -run Golden -update
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// refTrace regenerates the committed reference workload: 10 servers over two
+// hours of the low-fluctuation "common" class — two circulations at -circ 5,
+// 24 intervals, small enough to diff by eye.
+func refTrace() (*trace.Trace, error) {
+	cfg := trace.CommonConfig(10)
+	cfg.Horizon = 2 * time.Hour
+	cfg.Name = "golden-ref"
+	return trace.Generate(cfg, 7)
+}
+
+func writeGolden(t *testing.T, path string, data []byte) {
+	t.Helper()
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func compareGolden(t *testing.T, path string, got []byte) {
+	t.Helper()
+	if *update {
+		writeGolden(t, path, got)
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("golden file missing (run with -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s drifted from golden file; run with -update if the change is intentional\ngot:\n%s", path, got)
+	}
+}
+
+func TestGoldenRun(t *testing.T) {
+	refPath := filepath.Join("testdata", "ref.trace.csv")
+	if *update {
+		tr, err := refTrace()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := tr.WriteCSV(&buf); err != nil {
+			t.Fatal(err)
+		}
+		writeGolden(t, refPath, buf.Bytes())
+	}
+	if _, err := os.Stat(refPath); err != nil {
+		t.Fatalf("reference trace missing (run with -update): %v", err)
+	}
+
+	cases := []struct {
+		name string
+		plan string
+	}{
+		{"fault-free", ""},
+		{"degraded", "teg-degrade:0.2:0.5,pump-droop:0.3"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			plan, err := fault.ParsePlan(tc.plan)
+			if err != nil {
+				t.Fatal(err)
+			}
+			seriesPath := filepath.Join(t.TempDir(), "series.csv")
+			opt := runOptions{
+				circ: 5, workers: 1,
+				traceFile: refPath, seriesOut: seriesPath,
+				faults: plan, faultSeed: 1,
+			}
+			var out bytes.Buffer
+			if err := run(context.Background(), &out, opt); err != nil {
+				t.Fatal(err)
+			}
+			series, err := os.ReadFile(seriesPath)
+			if err != nil {
+				t.Fatal(err)
+			}
+			compareGolden(t, filepath.Join("testdata", tc.name+".stdout.golden"), out.Bytes())
+			compareGolden(t, filepath.Join("testdata", tc.name+".series.golden.csv"), series)
+		})
+	}
+}
+
+// The reference trace itself is pinned: regenerating it from the generator
+// must reproduce the committed file byte for byte, so the goldens above can
+// never silently drift via a changed input.
+func TestGoldenRefTraceStable(t *testing.T) {
+	tr, err := refTrace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	compareGolden(t, filepath.Join("testdata", "ref.trace.csv"), buf.Bytes())
+}

@@ -37,6 +37,7 @@ import (
 	"syscall"
 
 	"github.com/h2p-sim/h2p/internal/core"
+	"github.com/h2p-sim/h2p/internal/fault"
 	"github.com/h2p-sim/h2p/internal/profiling"
 	"github.com/h2p-sim/h2p/internal/sched"
 	"github.com/h2p-sim/h2p/internal/telemetry"
@@ -55,9 +56,17 @@ func main() {
 	metricsOut := flag.String("metrics-out", "", "write Prometheus-style metrics to this file at exit")
 	traceOut := flag.String("trace-out", "", "write the span trace (JSON) to this file at exit")
 	seriesOut := flag.String("series-out", "", "write the per-interval power/outlet series to this file (CSV, or JSON if it ends in .json)")
+	faultPlan := flag.String("fault-plan", "", "fault plan: JSON file or 'kind:rate[:severity],...' DSL (empty = fault-free)")
+	faultSeed := flag.Int64("fault-seed", 1, "fault activation seed")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	plan, err := fault.ParsePlan(*faultPlan)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "h2psim:", err)
+		os.Exit(1)
+	}
 
 	stopProf, err := profiling.Start(*cpuProfile, *memProfile)
 	if err != nil {
@@ -72,6 +81,7 @@ func main() {
 		workers: *workers, quantum: *quantum,
 		traceFile: *traceFile, series: *series,
 		metricsOut: *metricsOut, traceOut: *traceOut, seriesOut: *seriesOut,
+		faults: plan, faultSeed: *faultSeed,
 	}
 	if *telemetryAddr != "" || *metricsOut != "" || *traceOut != "" {
 		opt.telemetry = telemetry.New()
@@ -111,6 +121,10 @@ type runOptions struct {
 	metricsOut string
 	traceOut   string
 	seriesOut  string
+	// faults is the compiled-from-CLI fault plan; nil runs fault-free with
+	// output bit-identical to a build without the fault layer.
+	faults    *fault.Plan
+	faultSeed int64
 }
 
 func run(ctx context.Context, out io.Writer, opt runOptions) error {
@@ -139,6 +153,8 @@ func run(ctx context.Context, out io.Writer, opt runOptions) error {
 	cfg.Workers = opt.workers
 	cfg.DecisionQuantum = opt.quantum
 	cfg.Telemetry = opt.telemetry
+	cfg.Faults = opt.faults
+	cfg.FaultSeed = opt.faultSeed
 	series := opt.series
 
 	fleet := core.NewFleet()
@@ -191,6 +207,22 @@ func run(ctx context.Context, out io.Writer, opt runOptions) error {
 		preLB += r[1].PRE
 	}
 	fmt.Fprintf(out, "%-12s %-10.2f %-10.2f\n", "average", preOrig/n*100, preLB/n*100)
+
+	if !opt.faults.Empty() {
+		fmt.Fprintln(out)
+		fmt.Fprintf(out, "Fault injection — plan %s, seed %d:\n", opt.faults, opt.faultSeed)
+		fmt.Fprintf(out, "%-12s %-8s %-14s %-12s %-12s %-12s %-10s %-10s\n",
+			"trace", "scheme", "degraded_intv", "open_teg", "degr_teg", "sensor_fb", "droops", "retries")
+		for _, tr := range traces {
+			r := results[string(tr.Class)]
+			for si, name := range [2]string{"orig", "lb"} {
+				f := r[si].Faults
+				fmt.Fprintf(out, "%-12s %-8s %-14d %-12d %-12d %-12d %-10d %-10d\n",
+					tr.Class, name, f.DegradedIntervals, f.OpenTEG, f.DegradedTEG,
+					f.SensorFallbacks, f.PumpDroops, f.StepRetries)
+			}
+		}
+	}
 
 	if opt.seriesOut != "" {
 		if err := writeToFile(opt.seriesOut, func(w io.Writer) error {

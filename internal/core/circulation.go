@@ -1,9 +1,11 @@
 package core
 
 import (
+	"fmt"
 	"time"
 
 	"github.com/h2p-sim/h2p/internal/chiller"
+	"github.com/h2p-sim/h2p/internal/fault"
 	"github.com/h2p-sim/h2p/internal/hydro"
 	"github.com/h2p-sim/h2p/internal/sched"
 	"github.com/h2p-sim/h2p/internal/units"
@@ -31,6 +33,14 @@ type Circulation struct {
 	hxApproach units.Celsius
 	wetBulb    units.Celsius
 
+	// inj is the engine's fault injector; nil (the fault-free default) keeps
+	// every Step bit-identical to an engine with no fault layer at all.
+	inj *fault.Injector
+	// sensor guards the circulation's outlet-temperature channel against
+	// injected sensor-stuck faults with bounded last-good fallback. Exactly
+	// one worker steps a circulation per interval, so it needs no locking.
+	sensor hydro.LastGoodSensor
+
 	// scratch backs the controller's per-server decision buffers across
 	// control intervals, so a circulation's steady-state Step performs no
 	// allocations. Exactly one worker steps a circulation per interval, so
@@ -46,7 +56,7 @@ type Circulation struct {
 // newCirculation wires one circulation from the engine's configuration. The
 // pump is built (and implicitly validated) once here rather than once per
 // control interval.
-func newCirculation(index, lo, hi int, cfg Config, ctl *sched.Controller, plant chiller.Plant, met *engineMetrics) Circulation {
+func newCirculation(index, lo, hi int, cfg Config, ctl *sched.Controller, plant chiller.Plant, met *engineMetrics, inj *fault.Injector) Circulation {
 	return Circulation{
 		Index:  index,
 		Lo:     lo,
@@ -55,6 +65,8 @@ func newCirculation(index, lo, hi int, cfg Config, ctl *sched.Controller, plant 
 		ctl:    ctl,
 		plant:  plant,
 		met:    met,
+		inj:    inj,
+		sensor: hydro.LastGoodSensor{MaxStale: inj.MaxSensorStale()},
 		pump: hydro.Pump{
 			Name:       "circ",
 			MaxFlow:    cfg.PumpMaxFlow,
@@ -75,11 +87,13 @@ type CirculationInterval struct {
 	// TEGPower and CPUPower are the circulation's summed TEG harvest and
 	// CPU draw.
 	TEGPower, CPUPower units.Watts
-	// Inlet and Flow are the chosen cooling setting.
+	// Inlet and Flow are the chosen cooling setting (Flow is the realized
+	// flow: under an injected pump droop it sits below the commanded flow).
 	Inlet units.Celsius
 	Flow  units.LitersPerHour
 	// Outlet is the circulation's mean coolant outlet temperature under
-	// the chosen setting — the TEG hot-side temperature.
+	// the chosen setting — the TEG hot-side temperature. It is the physical
+	// truth even when the outlet sensor is faulted.
 	Outlet units.Celsius
 	// MaxCPUTemp is the hottest die in the circulation.
 	MaxCPUTemp units.Celsius
@@ -88,46 +102,166 @@ type CirculationInterval struct {
 	// TowerPower and ChillerPower are the facility plant draws dispatched
 	// for the circulation's heat.
 	TowerPower, ChillerPower units.Watts
+
+	// Fault accounting — all zero in a fault-free run.
+	//
+	// Degraded marks a circulation whose step failed every retry attempt:
+	// the engine excludes the contribution from the interval's sums and
+	// means instead of aborting or NaN-poisoning them.
+	Degraded bool
+	// TEGServers counts the servers contributing to TEGPower (open-circuit
+	// modules are excluded from the harvest sum AND from the per-server
+	// mean's denominator).
+	TEGServers int
+	// OpenTEG and DegradedTEG count this interval's open-circuit and
+	// degradation-scaled modules.
+	OpenTEG, DegradedTEG int
+	// SensorStatus reports the outlet-sensor fallback state.
+	SensorStatus hydro.SensorStatus
+	// PumpDrooped marks an interval served below the commanded flow.
+	PumpDrooped bool
+	// Retries counts step attempts beyond the first.
+	Retries int
 }
 
 // Step runs one control interval: it reads the circulation's servers from
 // the datacenter-wide utilization column, decides the cooling setting and
 // (under LoadBalance) the workload placement, harvests TEG power, and
 // dispatches the facility plant. col is the full datacenter column; Step
-// only touches col[c.Lo:c.Hi].
-func (c *Circulation) Step(col []float64) (CirculationInterval, error) {
+// only touches col[c.Lo:c.Hi]. interval is the trace interval index, which
+// keys the fault injector's activation schedule.
+//
+// Without an injector, errors propagate to the caller untouched. With one,
+// a failing step is retried under the plan's capped-exponential-backoff
+// policy; a circulation that fails every attempt returns a Degraded
+// contribution (no error) so one bad circulation cannot abort the
+// datacenter run.
+func (c *Circulation) Step(col []float64, interval int) (CirculationInterval, error) {
+	if c.inj == nil {
+		return c.stepOnce(col, interval, 0)
+	}
+	retry := c.inj.Retry()
+	attempts := retry.Attempts()
+	for a := 0; a < attempts; a++ {
+		if a > 0 {
+			if d := retry.Delay(a - 1); d > 0 {
+				time.Sleep(d)
+			}
+			c.met.observeFault(c.Index, faultObs{retries: 1})
+		}
+		ci, err := c.stepOnce(col, interval, a)
+		if err == nil {
+			ci.Retries = a
+			return ci, nil
+		}
+	}
+	c.met.observeFault(c.Index, faultObs{degraded: true})
+	return CirculationInterval{Degraded: true, Retries: attempts - 1}, nil
+}
+
+// stepOnce is one step attempt.
+func (c *Circulation) stepOnce(col []float64, interval, attempt int) (CirculationInterval, error) {
 	var t0 time.Time
 	if c.met != nil {
 		t0 = time.Now()
+	}
+	if c.inj.StepError(interval, c.Index, attempt) {
+		return CirculationInterval{}, fmt.Errorf("circulation %d interval %d attempt %d: %w",
+			c.Index, interval, attempt, fault.ErrInjected)
 	}
 	d, err := c.ctl.DecideInto(col[c.Lo:c.Hi], c.scheme, &c.scratch)
 	if err != nil {
 		return CirculationInterval{}, err
 	}
 	ci := CirculationInterval{
-		TEGPower:   d.TotalTEGPower(),
 		CPUPower:   d.TotalCPUPower(),
 		Inlet:      d.Setting.Inlet,
 		Flow:       d.Setting.Flow,
 		MaxCPUTemp: d.MaxCPUTemp,
+		TEGServers: c.Servers(),
 	}
-	// Per-server pump share at the commanded flow.
+	c.harvest(&ci, d, interval)
+	// Per-server pump share at the commanded flow, derated by any injected
+	// droop. The realized flow feeds the physics below: outlet temperature,
+	// TEG output scaling and the plant dispatch all see the droop.
 	flow := d.Setting.Flow
 	if flow > c.maxFlow {
 		flow = c.maxFlow
+	}
+	meanOutlet := c.ctl.Space.OutletTemp(d.PlaneU, d.Setting.Flow, d.Setting.Inlet)
+	if ff := c.inj.FlowFactor(interval, c.Index); ff < 1 {
+		ci.PumpDrooped = true
+		realized := flow * units.LitersPerHour(ff)
+		// Re-evaluate the plane physics at the realized flow. The TEG sum
+		// is rescaled by the plane-utilization power ratio: exact under
+		// LoadBalance (every server runs at the plane utilization) and
+		// first-order under Original (servers share one setting; the hottest
+		// server dominates the ratio).
+		droopOutlet := c.ctl.Space.OutletTemp(d.PlaneU, realized, d.Setting.Inlet)
+		healthy := c.ctl.PowerAt(d.Setting, d.PlaneU)
+		drooped := c.ctl.PowerAt(sched.Setting{Flow: realized, Inlet: d.Setting.Inlet}, d.PlaneU)
+		if healthy > 0 {
+			ci.TEGPower *= units.Watts(float64(drooped) / float64(healthy))
+		}
+		if t := c.ctl.Space.CPUTemp(d.PlaneU, realized, d.Setting.Inlet); t > ci.MaxCPUTemp {
+			ci.MaxCPUTemp = t
+		}
+		flow, meanOutlet = realized, droopOutlet
+		ci.Flow = realized
 	}
 	if err := c.pump.SetFlow(flow); err != nil {
 		return CirculationInterval{}, err
 	}
 	ci.PumpPower = c.pump.Power() * units.Watts(float64(c.Servers()))
 	// Facility plant: reject the circulation's heat, returning water at
-	// the mean outlet, re-supplied below the inlet target by the HX
-	// approach.
+	// the sensed outlet, re-supplied below the inlet target by the HX
+	// approach. The control loop acts on the sensor; ci.Outlet stays the
+	// physical truth.
 	heat := d.TotalCPUPower()
-	meanOutlet := c.ctl.Space.OutletTemp(d.PlaneU, d.Setting.Flow, d.Setting.Inlet)
 	ci.Outlet = meanOutlet
+	sensedOutlet := meanOutlet
+	if c.inj != nil {
+		stuck := c.inj.SensorStuck(interval, c.Index)
+		sensedOutlet, ci.SensorStatus = c.sensor.Read(meanOutlet, stuck)
+	}
 	target := d.Setting.Inlet - c.hxApproach
-	ci.TowerPower, ci.ChillerPower = c.plant.Dispatch(heat, meanOutlet, target, c.wetBulb)
+	ci.TowerPower, ci.ChillerPower = c.plant.Dispatch(heat, sensedOutlet, target, c.wetBulb)
+	if ci.OpenTEG > 0 || ci.DegradedTEG > 0 || ci.PumpDrooped || ci.SensorStatus != hydro.SensorFresh {
+		c.met.observeFault(c.Index, faultObs{
+			openTEG:        ci.OpenTEG,
+			degradedTEG:    ci.DegradedTEG,
+			pumpDroop:      ci.PumpDrooped,
+			sensorStale:    ci.SensorStatus == hydro.SensorStale,
+			sensorDegraded: ci.SensorStatus == hydro.SensorDegraded,
+		})
+	}
 	c.met.observeStep(c.Index, t0, float64(meanOutlet))
 	return ci, nil
+}
+
+// harvest fills the circulation's TEG sum. Fault-free (nil injector) it is
+// the straight per-server sum — bit-identical to summing the decision —
+// while under faults open-circuit modules are excluded from both the sum and
+// the contributing-server count, and degraded modules are scaled by their
+// physical output factor.
+func (c *Circulation) harvest(ci *CirculationInterval, d sched.Decision, interval int) {
+	if c.inj == nil {
+		ci.TEGPower = d.TotalTEGPower()
+		return
+	}
+	var sum units.Watts
+	for i, p := range d.PerServerPower {
+		server := c.Lo + i
+		if c.inj.TEGOpen(interval, server) {
+			ci.OpenTEG++
+			ci.TEGServers--
+			continue
+		}
+		if f := c.inj.TEGFactor(interval, server); f < 1 {
+			ci.DegradedTEG++
+			p *= units.Watts(f)
+		}
+		sum += p
+	}
+	ci.TEGPower = sum
 }

@@ -36,6 +36,8 @@ import (
 
 	"github.com/h2p-sim/h2p/internal/chiller"
 	"github.com/h2p-sim/h2p/internal/cpu"
+	"github.com/h2p-sim/h2p/internal/fault"
+	"github.com/h2p-sim/h2p/internal/hydro"
 	"github.com/h2p-sim/h2p/internal/lookup"
 	"github.com/h2p-sim/h2p/internal/sched"
 	"github.com/h2p-sim/h2p/internal/stats"
@@ -87,6 +89,16 @@ type Config struct {
 	// added atomics, no clock reads and zero allocations, and simulation
 	// results are bit-identical either way.
 	Telemetry *telemetry.Registry
+	// Faults, when non-nil and non-empty, injects the plan's operating
+	// faults (TEG degradation/open-circuit, pump droop, stuck sensors,
+	// transient step errors) into every run. nil — the default — is the
+	// fault-free plant, with results bit-identical to an engine without the
+	// fault layer.
+	Faults *fault.Plan
+	// FaultSeed seeds the deterministic fault-activation hash. Activation
+	// is a pure function of (seed, fault stream, unit, interval), so runs
+	// are reproducible for any worker count.
+	FaultSeed int64
 }
 
 // DefaultConfig returns the paper's evaluation configuration for the given
@@ -126,6 +138,9 @@ func (c Config) Validate() error {
 	if c.DecisionQuantum < 0 {
 		return errors.New("core: DecisionQuantum must be non-negative")
 	}
+	if err := c.Faults.Validate(); err != nil {
+		return err
+	}
 	return c.Spec.Validate()
 }
 
@@ -159,6 +174,26 @@ type IntervalResult struct {
 	PumpPower units.Watts
 	// TowerPower and ChillerPower are the facility plant draws.
 	TowerPower, ChillerPower units.Watts
+
+	// Fault accounting — all zero in a fault-free run.
+	//
+	// DegradedCirculations counts circulations excluded from this
+	// interval's sums and means after exhausting their step retries.
+	DegradedCirculations int
+	// HealthyTEGServers is the per-server mean's denominator: servers whose
+	// module contributed to the harvest sum (open-circuit modules and
+	// degraded circulations are excluded, never averaged in as zeros).
+	HealthyTEGServers int
+	// OpenTEGModules and DegradedTEGModules count the interval's
+	// open-circuit and degradation-scaled modules.
+	OpenTEGModules, DegradedTEGModules int
+	// SensorFallbacks and SensorDegraded count outlet sensors served from
+	// the last-good fallback, and fallbacks past the staleness bound.
+	SensorFallbacks, SensorDegraded int
+	// PumpDroops counts circulations served below commanded flow.
+	PumpDroops int
+	// StepRetries counts step attempts beyond each circulation's first.
+	StepRetries int
 }
 
 // Result is a complete trace-driven evaluation run.
@@ -177,6 +212,41 @@ type Result struct {
 	TEGEnergy             units.KilowattHours
 	CPUEnergy             units.KilowattHours
 	PlantEnergy           units.KilowattHours // pumps + tower + chiller
+
+	// Faults summarizes injected-fault handling across the run; the zero
+	// value means a fault-free plant.
+	Faults FaultSummary
+}
+
+// FaultSummary aggregates the run's fault accounting.
+type FaultSummary struct {
+	// DegradedIntervals counts circulation-intervals excluded after
+	// exhausting retries.
+	DegradedIntervals int64
+	// OpenTEG and DegradedTEG count module-intervals excluded (open
+	// circuit) and scaled (degradation).
+	OpenTEG, DegradedTEG int64
+	// SensorFallbacks and SensorDegraded count last-good sensor servings
+	// and servings past the staleness bound.
+	SensorFallbacks, SensorDegraded int64
+	// PumpDroops counts circulation-intervals below commanded flow.
+	PumpDroops int64
+	// StepRetries counts step attempts beyond the first.
+	StepRetries int64
+}
+
+// Any reports whether any fault fired during the run.
+func (f FaultSummary) Any() bool { return f != (FaultSummary{}) }
+
+// accumulate folds one interval's accounting into the summary.
+func (f *FaultSummary) accumulate(ir IntervalResult) {
+	f.DegradedIntervals += int64(ir.DegradedCirculations)
+	f.OpenTEG += int64(ir.OpenTEGModules)
+	f.DegradedTEG += int64(ir.DegradedTEGModules)
+	f.SensorFallbacks += int64(ir.SensorFallbacks)
+	f.SensorDegraded += int64(ir.SensorDegraded)
+	f.PumpDroops += int64(ir.PumpDroops)
+	f.StepRetries += int64(ir.StepRetries)
 }
 
 // Engine runs trace-driven simulations under a fixed configuration. An
@@ -189,6 +259,9 @@ type Engine struct {
 	plant      chiller.Plant
 	// met instruments the interval loop; nil when cfg.Telemetry is nil.
 	met *engineMetrics
+	// inj is cfg.Faults compiled against cfg.FaultSeed; nil when the plan
+	// is nil or empty (the fault-free fast path).
+	inj *fault.Injector
 }
 
 // NewEngine builds the look-up space and controller for cfg.
@@ -225,10 +298,14 @@ func newEngineWithSpace(cfg Config, space *lookup.Space) (*Engine, error) {
 		ctl.AttachTelemetry(cfg.Telemetry)
 		space.AttachTelemetry(cfg.Telemetry)
 	}
+	inj, err := cfg.Faults.Compile(cfg.FaultSeed)
+	if err != nil {
+		return nil, err
+	}
 	return &Engine{cfg: cfg, controller: ctl, plant: chiller.Plant{
 		Tower:   chiller.DefaultTower(),
 		Chiller: chiller.Default(),
-	}, met: newEngineMetrics(cfg.Telemetry)}, nil
+	}, met: newEngineMetrics(cfg.Telemetry), inj: inj}, nil
 }
 
 // Controller exposes the engine's cooling controller (used by benches and
@@ -248,7 +325,7 @@ func (e *Engine) circulations(nServers int) []Circulation {
 		if hi > nServers {
 			hi = nServers
 		}
-		circs = append(circs, newCirculation(len(circs), lo, hi, e.cfg, e.controller, e.plant, e.met))
+		circs = append(circs, newCirculation(len(circs), lo, hi, e.cfg, e.controller, e.plant, e.met, e.inj))
 	}
 	return circs
 }
@@ -308,11 +385,11 @@ func (e *Engine) RunContext(ctx context.Context, tr *trace.Trace) (*Result, erro
 		}
 		if workers <= 1 {
 			for ci := range circs {
-				if parts[ci], err = circs[ci].Step(col); err != nil {
+				if parts[ci], err = circs[ci].Step(col, i); err != nil {
 					return nil, fmt.Errorf("interval %d circulation %d: %w", i, ci, err)
 				}
 			}
-		} else if err := stepParallel(ctx, circs, col, workers, e.met, parts, errs); err != nil {
+		} else if err := stepParallel(ctx, circs, col, i, workers, e.met, parts, errs); err != nil {
 			return nil, err
 		} else {
 			for ci, serr := range errs {
@@ -324,6 +401,7 @@ func (e *Engine) RunContext(ctx context.Context, tr *trace.Trace) (*Result, erro
 		ir := mergeInterval(col, parts)
 		e.met.observeInterval(i, t0, ir)
 		res.Intervals = append(res.Intervals, ir)
+		res.Faults.accumulate(ir)
 
 		res.TEGEnergy += units.EnergyOver(ir.TotalTEGPower, secs).KilowattHours()
 		res.CPUEnergy += units.EnergyOver(ir.TotalCPUPower, secs).KilowattHours()
@@ -354,7 +432,7 @@ func (e *Engine) RunContext(ctx context.Context, tr *trace.Trace) (*Result, erro
 // the lowest-index failure, matching the serial path. When met is non-nil,
 // each task's wait between fan-out and claim is recorded as queue wait,
 // sharded by circulation index.
-func stepParallel(ctx context.Context, circs []Circulation, col []float64, workers int, met *engineMetrics, parts []CirculationInterval, errs []error) error {
+func stepParallel(ctx context.Context, circs []Circulation, col []float64, interval, workers int, met *engineMetrics, parts []CirculationInterval, errs []error) error {
 	var fanOut time.Time
 	if met != nil {
 		fanOut = time.Now()
@@ -373,7 +451,7 @@ func stepParallel(ctx context.Context, circs []Circulation, col []float64, worke
 				if met != nil {
 					met.queueWaitSec.ObserveHint(uint64(ci), time.Since(fanOut).Seconds())
 				}
-				parts[ci], errs[ci] = circs[ci].Step(col)
+				parts[ci], errs[ci] = circs[ci].Step(col, interval)
 			}
 		}()
 	}
@@ -384,12 +462,26 @@ func stepParallel(ctx context.Context, circs []Circulation, col []float64, worke
 // mergeInterval folds per-circulation contributions into one IntervalResult
 // in circulation index order — the exact accumulation order of the serial
 // engine, so parallel runs reassociate no floating-point sums.
+//
+// Degraded circulations (step failed every retry) are excluded from the sums
+// and the means' denominators, and open-circuit TEG modules are excluded
+// from the per-server mean's denominator: a faulted plant shrinks the
+// population instead of NaN-poisoning or zero-diluting the averages. With no
+// faults every circulation is healthy and the arithmetic is bit-identical to
+// the fault-free merge.
 func mergeInterval(col []float64, parts []CirculationInterval) IntervalResult {
 	ir := IntervalResult{
 		AvgUtilization: stats.Mean(col),
 		MaxUtilization: stats.Max(col),
 	}
+	healthy := 0
 	for _, p := range parts {
+		if p.Degraded {
+			ir.DegradedCirculations++
+			ir.StepRetries += p.Retries
+			continue
+		}
+		healthy++
 		ir.TotalTEGPower += p.TEGPower
 		ir.TotalCPUPower += p.CPUPower
 		ir.MeanInlet += p.Inlet
@@ -401,11 +493,31 @@ func mergeInterval(col []float64, parts []CirculationInterval) IntervalResult {
 		ir.PumpPower += p.PumpPower
 		ir.TowerPower += p.TowerPower
 		ir.ChillerPower += p.ChillerPower
+
+		ir.HealthyTEGServers += p.TEGServers
+		ir.OpenTEGModules += p.OpenTEG
+		ir.DegradedTEGModules += p.DegradedTEG
+		if p.SensorStatus == hydro.SensorStale {
+			ir.SensorFallbacks++
+		} else if p.SensorStatus == hydro.SensorDegraded {
+			ir.SensorDegraded++
+		}
+		if p.PumpDrooped {
+			ir.PumpDroops++
+		}
+		ir.StepRetries += p.Retries
 	}
-	circs := len(parts)
-	ir.MeanInlet /= units.Celsius(circs)
-	ir.MeanFlow /= units.LitersPerHour(circs)
-	ir.MeanOutlet /= units.Celsius(circs)
-	ir.TEGPowerPerServer = ir.TotalTEGPower / units.Watts(float64(len(col)))
+	if healthy == 0 {
+		// Every circulation degraded (or parts was empty): report zeroed
+		// physics rather than 0/0 NaNs. The utilization stats above are
+		// still meaningful — they come from the trace, not the plant.
+		return ir
+	}
+	ir.MeanInlet /= units.Celsius(healthy)
+	ir.MeanFlow /= units.LitersPerHour(healthy)
+	ir.MeanOutlet /= units.Celsius(healthy)
+	if ir.HealthyTEGServers > 0 {
+		ir.TEGPowerPerServer = ir.TotalTEGPower / units.Watts(float64(ir.HealthyTEGServers))
+	}
 	return ir
 }

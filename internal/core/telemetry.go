@@ -20,6 +20,18 @@ const (
 	metricMaxCPUTemp     = "h2p_interval_max_cpu_celsius"
 )
 
+// Exported fault-layer metric names. The report's Telemetry section groups
+// everything under the "h2p_fault_" prefix into its own fault subsection.
+const (
+	metricFaultOpenTEG        = "h2p_fault_teg_open_total"
+	metricFaultDegradedTEG    = "h2p_fault_teg_degraded_total"
+	metricFaultPumpDroop      = "h2p_fault_pump_droop_total"
+	metricFaultSensorStale    = "h2p_fault_sensor_stale_total"
+	metricFaultSensorDegraded = "h2p_fault_sensor_degraded_total"
+	metricFaultStepRetries    = "h2p_fault_step_retries_total"
+	metricFaultDegraded       = "h2p_fault_degraded_intervals_total"
+)
+
 // Span names recorded by the engine's tracer.
 const (
 	spanInterval    = "interval"
@@ -44,6 +56,16 @@ type engineMetrics struct {
 	outletTemp     *telemetry.Histogram
 	maxCPUTemp     *telemetry.Histogram
 	tracer         *telemetry.Tracer
+
+	// Fault-layer counters, sharded by circulation index like the step
+	// metrics. They only ever move when an Injector is active.
+	faultOpenTEG        *telemetry.Counter
+	faultDegradedTEG    *telemetry.Counter
+	faultPumpDroop      *telemetry.Counter
+	faultSensorStale    *telemetry.Counter
+	faultSensorDegraded *telemetry.Counter
+	faultStepRetries    *telemetry.Counter
+	faultDegraded       *telemetry.Counter
 }
 
 // newEngineMetrics registers the engine's instruments with reg; a nil
@@ -72,6 +94,56 @@ func newEngineMetrics(reg *telemetry.Registry) *engineMetrics {
 		maxCPUTemp: reg.Histogram(metricMaxCPUTemp, "hottest die across the datacenter, one observation per interval",
 			telemetry.LinearBuckets(40, 2, 15)),
 		tracer: reg.Tracer(telemetry.DefaultTraceCapacity),
+
+		faultOpenTEG:        reg.Counter(metricFaultOpenTEG, "open-circuit TEG module-intervals excluded from the harvest sum"),
+		faultDegradedTEG:    reg.Counter(metricFaultDegradedTEG, "degradation-scaled TEG module-intervals"),
+		faultPumpDroop:      reg.Counter(metricFaultPumpDroop, "circulation-intervals served below commanded flow"),
+		faultSensorStale:    reg.Counter(metricFaultSensorStale, "outlet-sensor readings served from the last-good fallback"),
+		faultSensorDegraded: reg.Counter(metricFaultSensorDegraded, "outlet-sensor fallbacks past the staleness bound"),
+		faultStepRetries:    reg.Counter(metricFaultStepRetries, "circulation step retry attempts"),
+		faultDegraded:       reg.Counter(metricFaultDegraded, "circulation-intervals degraded after exhausting retries"),
+	}
+}
+
+// faultObs is one circulation's fault accounting for a step (or retry)
+// observation.
+type faultObs struct {
+	openTEG        int
+	degradedTEG    int
+	pumpDroop      bool
+	sensorStale    bool
+	sensorDegraded bool
+	retries        int
+	degraded       bool
+}
+
+// observeFault folds one fault observation into the counters, sharded by
+// circulation index so parallel workers do not contend.
+func (m *engineMetrics) observeFault(index int, o faultObs) {
+	if m == nil {
+		return
+	}
+	hint := uint64(index)
+	if o.openTEG > 0 {
+		m.faultOpenTEG.AddHint(hint, uint64(o.openTEG))
+	}
+	if o.degradedTEG > 0 {
+		m.faultDegradedTEG.AddHint(hint, uint64(o.degradedTEG))
+	}
+	if o.pumpDroop {
+		m.faultPumpDroop.AddHint(hint, 1)
+	}
+	if o.sensorStale {
+		m.faultSensorStale.AddHint(hint, 1)
+	}
+	if o.sensorDegraded {
+		m.faultSensorDegraded.AddHint(hint, 1)
+	}
+	if o.retries > 0 {
+		m.faultStepRetries.AddHint(hint, uint64(o.retries))
+	}
+	if o.degraded {
+		m.faultDegraded.AddHint(hint, 1)
 	}
 }
 

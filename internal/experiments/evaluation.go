@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"github.com/h2p-sim/h2p/internal/core"
+	"github.com/h2p-sim/h2p/internal/fault"
 	"github.com/h2p-sim/h2p/internal/sched"
 	"github.com/h2p-sim/h2p/internal/tco"
 	"github.com/h2p-sim/h2p/internal/telemetry"
@@ -25,6 +26,12 @@ type EvalParams struct {
 	// core.Config.Telemetry). nil — the default — runs uninstrumented;
 	// results are bit-identical either way.
 	Telemetry *telemetry.Registry
+	// Faults injects the given fault plan into every engine the experiments
+	// build (see core.Config.Faults). nil — the default — runs fault-free
+	// with results bit-identical to a build without the fault layer.
+	Faults *fault.Plan
+	// FaultSeed fixes the fault activation draws (see core.Config.FaultSeed).
+	FaultSeed int64
 }
 
 // DefaultEvalParams is the paper's evaluation scale.
@@ -36,6 +43,8 @@ func (p EvalParams) Config(scheme sched.Scheme) core.Config {
 	cfg := core.DefaultConfig(scheme)
 	cfg.Workers = p.Workers
 	cfg.Telemetry = p.Telemetry
+	cfg.Faults = p.Faults
+	cfg.FaultSeed = p.FaultSeed
 	return cfg
 }
 

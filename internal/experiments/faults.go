@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+
+	"github.com/h2p-sim/h2p/internal/core"
+	"github.com/h2p-sim/h2p/internal/fault"
+	"github.com/h2p-sim/h2p/internal/sched"
+	"github.com/h2p-sim/h2p/internal/trace"
+)
+
+// faultSweepRates are the TEG-degradation population fractions the robustness
+// sweep evaluates; 0 is the healthy baseline.
+var faultSweepRates = []float64{0, 0.05, 0.10, 0.20}
+
+// FaultSweep quantifies graceful degradation: per-CPU harvested power under
+// TEG_Original on the three workload classes while a growing fraction of the
+// fleet's TEG modules runs degraded (30% severity, the fault layer's
+// default). The healthy row is bit-identical to the fault-free engine; the
+// faulted rows must decline smoothly rather than collapse or go non-finite.
+func FaultSweep(p EvalParams) (*Table, error) {
+	traces, err := trace.GenerateAll(p.Servers, p.Seed)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:      "FAULTS",
+		Title:   "Harvested power per CPU (TEG_Original) vs TEG degradation rate",
+		Columns: []string{"fault_rate_pct", "drastic_W", "irregular_W", "common_W", "avg_W", "loss_pct", "degraded_modules"},
+	}
+	fleet := core.NewFleet()
+	var baselineAvg float64
+	for _, rate := range faultSweepRates {
+		cfg := p.Config(sched.Original)
+		if rate > 0 {
+			cfg.Faults = &fault.Plan{Specs: []fault.Spec{{Kind: fault.TEGDegrade, Rate: rate}}}
+			cfg.FaultSeed = p.FaultSeed
+		}
+		byClass := map[trace.Class]float64{}
+		var sum float64
+		var degraded int64
+		for _, tr := range traces {
+			orig, _, err := fleet.CompareContext(context.Background(), tr, cfg)
+			if err != nil {
+				return nil, err
+			}
+			byClass[tr.Class] = float64(orig.AvgTEGPowerPerServer)
+			sum += float64(orig.AvgTEGPowerPerServer)
+			if orig.Faults.DegradedTEG > degraded {
+				degraded = orig.Faults.DegradedTEG
+			}
+		}
+		avg := sum / float64(len(traces))
+		if rate == 0 {
+			baselineAvg = avg
+		}
+		t.AddRow(
+			fmt.Sprintf("%.0f", rate*100),
+			fmt.Sprintf("%.3f", byClass[trace.Drastic]),
+			fmt.Sprintf("%.3f", byClass[trace.Irregular]),
+			fmt.Sprintf("%.3f", byClass[trace.Common]),
+			fmt.Sprintf("%.3f", avg),
+			fmt.Sprintf("%.2f", (1-avg/baselineAvg)*100),
+			fmt.Sprintf("%d", degraded),
+		)
+	}
+	t.Notes = append(t.Notes,
+		"degradation: 30% severity (Seebeck x0.7, internal resistance x1.3) on a seeded population fraction",
+		"degraded_modules counts faulted module-intervals in the worst-affected trace",
+		"rate 0 is bit-identical to an engine built without the fault layer")
+	return t, nil
+}

@@ -1,0 +1,42 @@
+package experiments
+
+import (
+	"strconv"
+	"testing"
+)
+
+// The fault sweep must decline monotonically with the injected degradation
+// rate and start from a healthy baseline with zero degraded modules.
+func TestFaultSweepMonotoneDecline(t *testing.T) {
+	tab, err := FaultSweep(EvalParams{Servers: 60, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != len(faultSweepRates) {
+		t.Fatalf("got %d rows, want %d", len(tab.Rows), len(faultSweepRates))
+	}
+	prev := -1.0
+	for i, row := range tab.Rows {
+		avg, err := strconv.ParseFloat(row[4], 64)
+		if err != nil {
+			t.Fatalf("row %d avg_W %q: %v", i, row[4], err)
+		}
+		if avg <= 0 {
+			t.Fatalf("row %d: non-positive average power %v", i, avg)
+		}
+		if prev > 0 && avg >= prev {
+			t.Fatalf("row %d: power did not decline with fault rate: %v -> %v", i, prev, avg)
+		}
+		prev = avg
+		degraded, err := strconv.Atoi(row[6])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 && degraded != 0 {
+			t.Fatalf("healthy baseline reported %d degraded modules", degraded)
+		}
+		if i > 0 && degraded == 0 {
+			t.Fatalf("row %d: faulted run reported no degraded modules", i)
+		}
+	}
+}

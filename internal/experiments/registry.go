@@ -44,6 +44,7 @@ var registry = map[string]Runner{
 	"coolant":   func(EvalParams) (*Table, error) { return CoolantChoice() },
 	"skus":      SKUGenerality,
 	"stability": ControlStability,
+	"faults":    FaultSweep,
 }
 
 // IDs returns the registered experiment ids, sorted.

@@ -1,0 +1,98 @@
+package fault
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestParsePlanEmpty(t *testing.T) {
+	p, err := ParsePlan("   ")
+	if err != nil || p != nil {
+		t.Fatalf("ParsePlan(blank) = %v, %v; want nil, nil", p, err)
+	}
+}
+
+func TestParsePlanDSL(t *testing.T) {
+	p, err := ParsePlan("teg-degrade:0.1:0.5, pump-droop:0.05")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Specs) != 2 {
+		t.Fatalf("got %d specs, want 2", len(p.Specs))
+	}
+	if p.Specs[0].Kind != TEGDegrade || p.Specs[0].Rate != 0.1 || p.Specs[0].Severity != 0.5 {
+		t.Errorf("spec 0 = %+v", p.Specs[0])
+	}
+	if p.Specs[1].Kind != PumpDroop || p.Specs[1].Rate != 0.05 {
+		t.Errorf("spec 1 = %+v", p.Specs[1])
+	}
+}
+
+func TestParsePlanErrors(t *testing.T) {
+	for _, s := range []string{
+		"teg-degrade",          // no rate
+		"teg-degrade:x",        // bad rate
+		"teg-degrade:0.1:y",    // bad severity
+		"teg-degrade:0.1:1:2",  // too many fields
+		"melted:0.1",           // unknown kind
+		"teg-degrade:1.5",      // rate out of range
+		",",                    // nothing
+		"/no/such/file.json:a", // not a file, not DSL either
+	} {
+		if _, err := ParsePlan(s); err == nil {
+			t.Errorf("ParsePlan(%q) accepted", s)
+		}
+	}
+}
+
+func TestParsePlanJSONFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "plan.json")
+	body := `{
+		"specs": [
+			{"kind": "sensor-stuck", "windows": [{"from": 2, "to": 5, "unit": -1}], "max_stale": 4},
+			{"kind": "teg-open", "rate": 0.02}
+		],
+		"retry": {"max_attempts": 5}
+	}`
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	p, err := ParsePlan(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Specs) != 2 || p.Retry.MaxAttempts != 5 {
+		t.Fatalf("plan = %+v", p)
+	}
+	w := p.Specs[0].Windows[0]
+	if w.From != 2 || w.To != 5 || w.Unit != -1 {
+		t.Errorf("window = %+v", w)
+	}
+	if p.Specs[0].MaxStale != 4 {
+		t.Errorf("max_stale = %d", p.Specs[0].MaxStale)
+	}
+
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"specs":[{"kind":"teg-open"}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParsePlan(bad); err == nil {
+		t.Error("invalid JSON plan accepted")
+	}
+}
+
+func TestPlanString(t *testing.T) {
+	var p *Plan
+	if got := p.String(); got != "none" {
+		t.Errorf("nil String = %q", got)
+	}
+	p = &Plan{Specs: []Spec{
+		{Kind: TEGDegrade, Rate: 0.1, Severity: 0.5},
+		{Kind: SensorStuck, Windows: []Window{{From: 0, To: 3, Unit: -1}}},
+	}}
+	if got := p.String(); got == "" || got == "none" {
+		t.Errorf("String = %q", got)
+	}
+}

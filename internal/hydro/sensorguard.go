@@ -1,0 +1,66 @@
+package hydro
+
+import "github.com/h2p-sim/h2p/internal/units"
+
+// DefaultSensorMaxStale is how many consecutive intervals a LastGoodSensor
+// serves its held reading before it declares itself degraded.
+const DefaultSensorMaxStale = 3
+
+// SensorStatus classifies one LastGoodSensor reading.
+type SensorStatus int
+
+const (
+	// SensorFresh: the live reading was good and was served.
+	SensorFresh SensorStatus = iota
+	// SensorStale: the sensor is stuck; the last good reading was served
+	// within the staleness bound.
+	SensorStale
+	// SensorDegraded: the sensor is stuck and the staleness bound is
+	// exhausted (or no good reading was ever captured); the consumer gets
+	// the live value back and should mark the interval degraded.
+	SensorDegraded
+)
+
+// LastGoodSensor is the fault-tolerant wrapper around a temperature channel:
+// while the underlying sensor reads correctly it passes readings through and
+// remembers the latest one; when the channel is stuck it serves the held
+// last-good reading for at most MaxStale consecutive intervals, after which
+// it reports SensorDegraded and hands back the live value rather than keep
+// trusting arbitrarily old data.
+//
+// The zero value is ready to use with DefaultSensorMaxStale. Not safe for
+// concurrent use; give each monitored channel its own instance.
+type LastGoodSensor struct {
+	// MaxStale bounds consecutive stale servings. 0 means
+	// DefaultSensorMaxStale.
+	MaxStale int
+
+	last   units.Celsius
+	stale  int
+	primed bool
+}
+
+// bound resolves the effective staleness bound.
+func (s *LastGoodSensor) bound() int {
+	if s.MaxStale > 0 {
+		return s.MaxStale
+	}
+	return DefaultSensorMaxStale
+}
+
+// Read reports the value a consumer should act on given the live channel
+// value and whether the channel is currently stuck.
+func (s *LastGoodSensor) Read(live units.Celsius, stuck bool) (units.Celsius, SensorStatus) {
+	if !stuck {
+		s.last, s.stale, s.primed = live, 0, true
+		return live, SensorFresh
+	}
+	if s.primed && s.stale < s.bound() {
+		s.stale++
+		return s.last, SensorStale
+	}
+	return live, SensorDegraded
+}
+
+// Staleness returns how many consecutive stale servings the sensor has made.
+func (s *LastGoodSensor) Staleness() int { return s.stale }

@@ -1,0 +1,110 @@
+package proto
+
+import (
+	"testing"
+
+	"github.com/h2p-sim/h2p/internal/fault"
+)
+
+func compileInjector(t *testing.T, p *fault.Plan, seed int64) *fault.Injector {
+	t.Helper()
+	in, err := p.Compile(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+// A nil injector records the physical truth: every sample is bit-identical
+// to a prototype without the fault layer.
+func TestFig3NilInjectorUnchanged(t *testing.T) {
+	base, err := NewDellT7910().RunFig3(DefaultFig3Phases(), 28, 20, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewDellT7910()
+	p.Faults = nil
+	res, err := p.RunFig3(DefaultFig3Phases(), 28, 20, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(base.Samples) != len(res.Samples) {
+		t.Fatalf("sample counts differ: %d vs %d", len(base.Samples), len(res.Samples))
+	}
+	for i := range base.Samples {
+		if base.Samples[i] != res.Samples[i] {
+			t.Fatalf("sample %d drifted: %+v vs %+v", i, base.Samples[i], res.Samples[i])
+		}
+	}
+	if res.StaleSamples != 0 || res.DegradedSamples != 0 {
+		t.Fatalf("fault accounting moved without an injector: %+v", res)
+	}
+}
+
+// A stuck cpu0 channel freezes CPU0Temp at the last good reading within the
+// staleness bound, then degrades back to the live value; cpu1 is untouched.
+func TestFig3SensorStuckChannel(t *testing.T) {
+	base, err := NewDellT7910().RunFig3(DefaultFig3Phases(), 28, 20, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewDellT7910()
+	p.Faults = compileInjector(t, &fault.Plan{Specs: []fault.Spec{{
+		Kind:     fault.SensorStuck,
+		MaxStale: 2,
+		Windows:  []fault.Window{{From: 5, To: 10, Unit: 0}}, // cpu0 channel
+	}}}, 1)
+	res, err := p.RunFig3(DefaultFig3Phases(), 28, 20, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.StaleSamples != 2 {
+		t.Errorf("StaleSamples = %d, want 2 (MaxStale)", res.StaleSamples)
+	}
+	if res.DegradedSamples != 3 {
+		t.Errorf("DegradedSamples = %d, want 3 (window 5-10 minus 2 stale)", res.DegradedSamples)
+	}
+	// Samples 5 and 6 serve sample 4's reading; cpu1 always tracks truth.
+	for _, i := range []int{5, 6} {
+		if res.Samples[i].CPU0Temp != base.Samples[4].CPU0Temp {
+			t.Errorf("sample %d: CPU0 %v, want frozen at %v", i, res.Samples[i].CPU0Temp, base.Samples[4].CPU0Temp)
+		}
+	}
+	for i := range res.Samples {
+		if res.Samples[i].CPU1Temp != base.Samples[i].CPU1Temp {
+			t.Fatalf("sample %d: healthy cpu1 channel drifted", i)
+		}
+	}
+	// Past the bound the channel degrades back to live truth.
+	for _, i := range []int{7, 8, 9} {
+		if res.Samples[i].CPU0Temp != base.Samples[i].CPU0Temp {
+			t.Errorf("sample %d: degraded channel should serve live value", i)
+		}
+	}
+}
+
+// An open-circuit TEG reads zero volts for the faulted samples.
+func TestFig3TEGOpenZeroesVoltage(t *testing.T) {
+	p := NewDellT7910()
+	p.Faults = compileInjector(t, &fault.Plan{Specs: []fault.Spec{{
+		Kind:    fault.TEGOpen,
+		Windows: []fault.Window{{From: 20, To: 30, Unit: 0}},
+	}}}, 0)
+	res, err := p.RunFig3(DefaultFig3Phases(), 28, 20, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawNonZero := false
+	for i, s := range res.Samples {
+		inWindow := i >= 20 && i < 30
+		if inWindow && s.TEGVoltage != 0 {
+			t.Fatalf("sample %d: open TEG read %v V", i, s.TEGVoltage)
+		}
+		if !inWindow && s.TEGVoltage > 0 {
+			sawNonZero = true
+		}
+	}
+	if !sawNonZero {
+		t.Fatal("no healthy voltage recorded outside the fault window")
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"fmt"
 
 	"github.com/h2p-sim/h2p/internal/cpu"
+	"github.com/h2p-sim/h2p/internal/fault"
 	"github.com/h2p-sim/h2p/internal/hydro"
 	"github.com/h2p-sim/h2p/internal/teg"
 	"github.com/h2p-sim/h2p/internal/telemetry"
@@ -38,6 +39,14 @@ type Prototype struct {
 	// transient solver's step counters. nil leaves every campaign
 	// uninstrumented and unchanged.
 	Telemetry *telemetry.Registry
+	// Faults, when non-nil, injects instrumentation faults into the
+	// transient campaigns: sensor-stuck faults freeze the DAQ temperature
+	// channels (cpu0/cpu1/coolant are fault units 0/1/2, the sample index
+	// is the fault interval) with bounded last-good fallback, and a TEG
+	// open-circuit fault on unit 0 zeroes the measured voltage. nil — the
+	// default — records the physical truth bit-identically to a
+	// prototype without the fault layer.
+	Faults *fault.Injector
 }
 
 // campaign metric helpers; each returns nil when telemetry is disabled.
@@ -95,6 +104,11 @@ type Fig3Result struct {
 	PeakCPU0, PeakCPU1 units.Celsius
 	// MaxOperating echoes the CPU limit for reporting.
 	MaxOperating units.Celsius
+	// StaleSamples counts temperature readings served from a channel's
+	// last-good fallback under an injected sensor fault; DegradedSamples
+	// counts readings past the staleness bound (served live and flagged).
+	// Both are zero without a fault injector.
+	StaleSamples, DegradedSamples int
 }
 
 // DefaultFig3Phases returns the paper's 50-minute 0/10/20/0 % profile.
@@ -157,6 +171,27 @@ func (p *Prototype) RunFig3(phases []LoadPhase, coolant units.Celsius, flow unit
 	res := Fig3Result{MaxOperating: p.Spec.MaxOperatingTemp}
 	cpuTemps, tegVolts := p.cpuTempHist(), p.tegVoltageHist()
 	minute := 0.0
+	// One last-good guard per DAQ temperature channel; the guards only act
+	// when a fault injector marks a channel stuck at a sample.
+	maxStale := p.Faults.MaxSensorStale()
+	guards := [3]hydro.LastGoodSensor{
+		{MaxStale: maxStale}, {MaxStale: maxStale}, {MaxStale: maxStale},
+	}
+	readChannel := func(sampleIdx, channel int, truth units.Celsius) units.Celsius {
+		live := p.TempSensor.Read(truth)
+		if p.Faults == nil {
+			return live
+		}
+		v, status := guards[channel].Read(live, p.Faults.SensorStuck(sampleIdx, channel))
+		switch status {
+		case hydro.SensorStale:
+			res.StaleSamples++
+		case hydro.SensorDegraded:
+			res.DegradedSamples++
+		}
+		return v
+	}
+	sampleIdx := 0
 	record := func() error {
 		t0, err := net.Temp(cpu0)
 		if err != nil {
@@ -170,13 +205,18 @@ func (p *Prototype) RunFig3(phases []LoadPhase, coolant units.Celsius, flow unit
 		if err != nil {
 			return err
 		}
+		voltage := p.TEG.OpenCircuitVoltage(t0 - pl0)
+		if p.Faults.TEGOpen(sampleIdx, 0) {
+			voltage = 0
+		}
 		sample := Fig3Sample{
 			Minute:      minute,
-			CPU0Temp:    p.TempSensor.Read(t0),
-			CPU1Temp:    p.TempSensor.Read(t1),
-			CoolantTemp: p.TempSensor.Read(coolant),
-			TEGVoltage:  p.TEG.OpenCircuitVoltage(t0 - pl0),
+			CPU0Temp:    readChannel(sampleIdx, 0, t0),
+			CPU1Temp:    readChannel(sampleIdx, 1, t1),
+			CoolantTemp: readChannel(sampleIdx, 2, coolant),
+			TEGVoltage:  voltage,
 		}
+		sampleIdx++
 		cpuTemps.Observe(float64(sample.CPU0Temp))
 		cpuTemps.Observe(float64(sample.CPU1Temp))
 		tegVolts.Observe(float64(sample.TEGVoltage))

@@ -60,4 +60,45 @@ func TestWriteTelemetrySnapshotSection(t *testing.T) {
 	if strings.Contains(out, "disabled") {
 		t.Error("disabled notice must not appear alongside a snapshot")
 	}
+	// No fault counters were recorded: the section must say fault-free
+	// explicitly instead of vanishing.
+	if !strings.Contains(out, "### Fault injection") || !strings.Contains(out, "fault-free") {
+		t.Errorf("fault-free notice missing:\n%s", out)
+	}
+}
+
+// TestWriteTelemetryFaultSection checks h2p_fault_* counters are pulled out
+// of the run metrics into their own fault-injection subsection.
+func TestWriteTelemetryFaultSection(t *testing.T) {
+	reg := telemetry.New()
+	reg.Counter("h2p_decision_cache_hits_total", "").Add(5)
+	reg.Counter("h2p_fault_teg_degraded_total", "").Add(24)
+	reg.Counter("h2p_fault_pump_droop_total", "").Add(13)
+
+	var buf bytes.Buffer
+	opts := DefaultOptions(experiments.EvalParams{Servers: 10, Seed: 1})
+	opts.Telemetry = reg.Snapshot()
+	if err := Write(&buf, opts, []*experiments.Table{sampleTable()}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"### Fault injection",
+		"| h2p_fault_teg_degraded_total | 24 |",
+		"| h2p_fault_pump_droop_total | 13 |",
+		"degraded gracefully",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in report:\n%s", want, out)
+		}
+	}
+	// The fault counters must not also appear in the general metrics table
+	// above the subsection.
+	general := out[:strings.Index(out, "### Fault injection")]
+	if strings.Contains(general, "h2p_fault_") {
+		t.Error("fault counters leaked into the general metrics table")
+	}
+	if !strings.Contains(general, "| h2p_decision_cache_hits_total | 5 |") {
+		t.Error("general counter missing from the run metrics table")
+	}
 }

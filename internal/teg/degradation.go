@@ -1,0 +1,60 @@
+package teg
+
+import (
+	"errors"
+	"math"
+)
+
+// Degradation models a damaged (not merely aged — see Aging) TEG module:
+// thermal cycling, moisture ingress or contact fatigue scale the Seebeck
+// coefficient down and raise the internal resistance. Both move output the
+// same direction: by Eq. 5, matched-load power goes as the square of the
+// open-circuit voltage over the resistance, so
+//
+//	P_degraded / P_healthy = SeebeckScale^2 / ResistanceScale.
+//
+// The zero value is not meaningful; build one with NewDegradation or fill
+// the fields explicitly and Validate.
+type Degradation struct {
+	// SeebeckScale multiplies the device's Seebeck slope, in (0, 1].
+	SeebeckScale float64
+	// ResistanceScale multiplies the device's internal resistance, >= 1.
+	ResistanceScale float64
+}
+
+// NewDegradation maps one severity knob s in [0, 1] onto both physical
+// channels: Seebeck x (1-s), resistance x (1+s). s = 0 is a healthy module,
+// s -> 1 a dead one.
+func NewDegradation(s float64) (Degradation, error) {
+	if math.IsNaN(s) || s < 0 || s > 1 {
+		return Degradation{}, errors.New("teg: degradation severity outside [0, 1]")
+	}
+	return Degradation{SeebeckScale: 1 - s, ResistanceScale: 1 + s}, nil
+}
+
+// Validate reports whether the degradation is physically meaningful: a
+// damaged module never produces a larger voltage or a smaller resistance
+// than a healthy one.
+func (d Degradation) Validate() error {
+	if math.IsNaN(d.SeebeckScale) || d.SeebeckScale < 0 || d.SeebeckScale > 1 {
+		return errors.New("teg: SeebeckScale must be in [0, 1]")
+	}
+	if math.IsNaN(d.ResistanceScale) || d.ResistanceScale < 1 {
+		return errors.New("teg: ResistanceScale must be >= 1")
+	}
+	return nil
+}
+
+// OutputFactor returns the degraded module's output as a fraction of
+// nameplate at matched load (Eq. 5). It is always in [0, 1]: degradation
+// can only ever shrink harvest.
+func (d Degradation) OutputFactor() float64 {
+	f := d.SeebeckScale * d.SeebeckScale / d.ResistanceScale
+	if f < 0 {
+		return 0
+	}
+	if f > 1 {
+		return 1
+	}
+	return f
+}

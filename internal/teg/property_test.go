@@ -1,0 +1,151 @@
+package teg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/h2p-sim/h2p/internal/units"
+)
+
+// randomDevice draws a physically plausible device around the SP 1848
+// calibration. The Pmax fit's vertex -b/(2a) stays at or below 1 °C, so the
+// empirical curve is monotone over the calibrated dT range [1, 60].
+func randomDevice(rng *rand.Rand) Device {
+	d := SP1848()
+	d.SeebeckSlope = 0.01 + 0.09*rng.Float64()
+	d.SeebeckOffset = -0.01 * rng.Float64()
+	d.InternalResistance = units.Ohms(0.5 + 4.5*rng.Float64())
+	a := 0.0003 + 0.0007*rng.Float64()
+	d.PmaxFit = [3]float64{0.0015 * rng.Float64(), -2 * a * rng.Float64(), a}
+	return d
+}
+
+// Property: TEG output power is never negative, for either electrical model,
+// anywhere in (and beyond) the rated envelope.
+func TestPropertyPowerNonNegative(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		d := randomDevice(rng)
+		if err := d.Validate(); err != nil {
+			t.Fatalf("trial %d: generated invalid device: %v", trial, err)
+		}
+		for probe := 0; probe < 50; probe++ {
+			dT := units.Celsius(-80 + 160*rng.Float64())
+			if p := d.MaxPowerEmpirical(dT); p < 0 || math.IsNaN(float64(p)) {
+				t.Fatalf("trial %d: empirical P(%v) = %v", trial, dT, p)
+			}
+			if p := d.MaxPowerPhysics(dT); p < 0 || math.IsNaN(float64(p)) {
+				t.Fatalf("trial %d: physics P(%v) = %v", trial, dT, p)
+			}
+		}
+	}
+}
+
+// Property: over the calibrated range (dT >= 1 °C, above every generated
+// fit's vertex) output power is monotone non-decreasing in dT for both
+// models.
+func TestPropertyPowerMonotoneInDeltaT(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 200; trial++ {
+		d := randomDevice(rng)
+		lo := units.Celsius(1 + 58*rng.Float64())
+		hi := lo + units.Celsius(1e-3+(60-float64(lo))*rng.Float64())
+		if d.MaxPowerEmpirical(hi) < d.MaxPowerEmpirical(lo) {
+			t.Fatalf("trial %d: empirical P not monotone: P(%v)=%v > P(%v)=%v",
+				trial, lo, d.MaxPowerEmpirical(lo), hi, d.MaxPowerEmpirical(hi))
+		}
+		if d.MaxPowerPhysics(hi) < d.MaxPowerPhysics(lo) {
+			t.Fatalf("trial %d: physics P not monotone between %v and %v", trial, lo, hi)
+		}
+	}
+}
+
+// Property: degradation never increases output. The output factor is in
+// [0, 1], monotone non-increasing in severity, and applying the degraded
+// Seebeck/resistance to a device never raises its matched-load power.
+func TestPropertyDegradationNeverGains(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 200; trial++ {
+		d := randomDevice(rng)
+		s1 := rng.Float64()
+		s2 := s1 + (1-s1)*rng.Float64()
+		deg1, err := NewDegradation(s1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		deg2, err := NewDegradation(s2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f1, f2 := deg1.OutputFactor(), deg2.OutputFactor()
+		if f1 < 0 || f1 > 1 || f2 < 0 || f2 > 1 {
+			t.Fatalf("trial %d: factors outside [0,1]: %v, %v", trial, f1, f2)
+		}
+		if f2 > f1 {
+			t.Fatalf("trial %d: deeper severity %v gained output: %v > %v", trial, s2, f2, f1)
+		}
+		// Push the degradation through the physics model directly.
+		damaged := d
+		damaged.SeebeckSlope *= deg1.SeebeckScale
+		damaged.InternalResistance *= units.Ohms(deg1.ResistanceScale)
+		dT := units.Celsius(1 + 59*rng.Float64())
+		if s1 < 1 { // SeebeckScale 0 makes the damaged device invalid — skip
+			if damaged.MaxPowerPhysics(dT) > d.MaxPowerPhysics(dT) {
+				t.Fatalf("trial %d: damaged device out-produces healthy at dT=%v", trial, dT)
+			}
+		}
+	}
+}
+
+// Property: a module of N series devices produces exactly N times the
+// single-device power and voltage at any operating point.
+func TestPropertyModuleSeriesScaling(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 100; trial++ {
+		d := randomDevice(rng)
+		n := 1 + rng.Intn(24)
+		mod, err := NewModule(d, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dT := units.Celsius(1 + 59*rng.Float64())
+		const flow = 200 // reference flow: no derating configured
+		wantP := units.Watts(float64(d.MaxPowerEmpirical(dT)) * float64(n))
+		if got := mod.MaxPower(dT, flow); got != wantP {
+			t.Fatalf("trial %d: module power %v, want %v", trial, got, wantP)
+		}
+		wantV := units.Volts(float64(d.OpenCircuitVoltage(dT)) * float64(n))
+		if got := mod.OpenCircuitVoltage(dT, flow); got != wantV {
+			t.Fatalf("trial %d: module voltage %v, want %v", trial, got, wantV)
+		}
+	}
+}
+
+// Property: matched load maximizes PowerAtLoad — no load resistance beats
+// the module's own resistance (Sec. III-C).
+func TestPropertyMatchedLoadIsOptimal(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 100; trial++ {
+		d := randomDevice(rng)
+		mod, err := NewModule(d, 1+rng.Intn(12))
+		if err != nil {
+			t.Fatal(err)
+		}
+		dT := units.Celsius(5 + 50*rng.Float64())
+		matched, err := mod.PowerAtLoad(dT, 200, mod.Resistance())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for probe := 0; probe < 20; probe++ {
+			load := units.Ohms(float64(mod.Resistance()) * math.Exp(2*rng.Float64()-1))
+			p, err := mod.PowerAtLoad(dT, 200, load)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if p > matched+1e-12 {
+				t.Fatalf("trial %d: load %v out-produces matched load: %v > %v", trial, load, p, matched)
+			}
+		}
+	}
+}

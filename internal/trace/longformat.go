@@ -5,9 +5,21 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"strconv"
 	"time"
+)
+
+// Resampling bounds: a hostile (or corrupt) file must not be able to force an
+// enormous allocation through a single far-out timestamp. Real workloads stay
+// far inside these — Alibaba is 12.5k machines x 288 five-minute intervals
+// (3.6M cells), a 30-day machine trace is 8640 intervals.
+const (
+	// MaxLongFormatIntervals caps the resampled interval span of a single file.
+	MaxLongFormatIntervals = 1 << 20
+	// MaxLongFormatCells caps machines x intervals of the resulting trace.
+	MaxLongFormatCells = 1 << 24
 )
 
 // LongFormatOptions describes a "long"-format usage file: one row per
@@ -104,9 +116,15 @@ func ReadLongFormat(r io.Reader, o LongFormatOptions) (*Trace, error) {
 		if err != nil {
 			return nil, fmt.Errorf("trace: bad timestamp %q: %w", rec[o.TimestampColumn], err)
 		}
+		if math.IsNaN(ts) || math.IsInf(ts, 0) {
+			return nil, fmt.Errorf("trace: non-finite timestamp %v", ts)
+		}
 		util, err := strconv.ParseFloat(rec[o.UtilColumn], 64)
 		if err != nil {
 			return nil, fmt.Errorf("trace: bad utilization %q: %w", rec[o.UtilColumn], err)
+		}
+		if math.IsNaN(util) || math.IsInf(util, 0) {
+			return nil, fmt.Errorf("trace: non-finite utilization %v", util)
 		}
 		id := rec[o.MachineColumn]
 		m, ok := machines[id]
@@ -116,7 +134,14 @@ func ReadLongFormat(r io.Reader, o LongFormatOptions) (*Trace, error) {
 			order = append(order, id)
 			buckets[m] = map[int]*cell{}
 		}
-		b := int(ts / o.Interval.Seconds())
+		fb := ts / o.Interval.Seconds()
+		// Guard the float->int conversion: out-of-range conversions are
+		// implementation-defined, and a single far-out timestamp would blow
+		// up the resampled span anyway.
+		if fb < -MaxLongFormatIntervals || fb > MaxLongFormatIntervals {
+			return nil, fmt.Errorf("trace: timestamp %v lands %.0f intervals out (max %d)", ts, fb, MaxLongFormatIntervals)
+		}
+		b := int(fb)
 		if b < minBucket {
 			minBucket = b
 		}
@@ -143,6 +168,13 @@ func ReadLongFormat(r io.Reader, o LongFormatOptions) (*Trace, error) {
 		return nil, errors.New("trace: long format file has no data rows")
 	}
 	intervals := maxBucket - minBucket + 1
+	if intervals > MaxLongFormatIntervals {
+		return nil, fmt.Errorf("trace: file spans %d intervals (max %d)", intervals, MaxLongFormatIntervals)
+	}
+	if cells := len(order) * intervals; cells > MaxLongFormatCells {
+		return nil, fmt.Errorf("trace: %d machines x %d intervals = %d cells (max %d)",
+			len(order), intervals, cells, MaxLongFormatCells)
+	}
 	tr, err := New(o.Name, o.Class, len(order), intervals, o.Interval)
 	if err != nil {
 		return nil, err
