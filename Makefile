@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check telemetry-check fault-check fuzz-check bench bench-all experiments clean
+.PHONY: all build vet vuln test race check telemetry-check fault-check fuzz-check stream-check bench bench-all experiments clean
 
 all: check
 
@@ -9,6 +9,17 @@ build:
 
 vet:
 	$(GO) vet ./...
+
+# vuln is best-effort: govulncheck is not baked into the toolchain image and
+# the gate must stay green offline, so a missing binary (or a network
+# failure reaching the vuln DB) degrades to a notice instead of breaking
+# check. Run it for real where the tool and network exist.
+vuln:
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./... || echo "govulncheck failed (offline?); continuing — best-effort gate"; \
+	else \
+		echo "govulncheck not installed; skipping (best-effort gate)"; \
+	fi
 
 test:
 	$(GO) test ./...
@@ -45,9 +56,18 @@ fuzz-check:
 	$(GO) test ./internal/trace -run '^$$' -fuzz '^FuzzReadLongFormat$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/trace -run '^$$' -fuzz '^FuzzCSVRoundTrip$$' -fuzztime $(FUZZTIME)
 
-# check is the tier-1 gate: vet + build + race-enabled tests + the
-# telemetry, fault and fuzz gates.
-check: vet build race telemetry-check fault-check fuzz-check
+# stream-check gates the streaming data path under the race detector: the
+# source adapters and their equivalence suites (streaming vs in-memory
+# bit-identity across classes, schemes and worker counts), checkpoint/resume
+# bit-equivalence, the memory-bound pins, and the CLI halt/resume and
+# convert golden flows.
+stream-check:
+	$(GO) test -race -run 'Stream|Source|Resume|Checkpoint|Convert|Generator' \
+		./internal/trace ./internal/core ./cmd/h2psim ./cmd/h2ptrace
+
+# check is the tier-1 gate: vet + best-effort vuln scan + build +
+# race-enabled tests + the telemetry, fault, fuzz and streaming gates.
+check: vet vuln build race telemetry-check fault-check fuzz-check stream-check
 
 # bench tracks the decision hot path across PRs: the Decision* benchmarks in
 # internal/lookup (candidate scan) and internal/sched (controller) run with

@@ -44,6 +44,7 @@ func main() {
 	traceOut := flag.String("trace-out", "", "write the span trace (JSON) to this file at exit")
 	faultPlan := flag.String("fault-plan", "", "fault plan for trace-driven experiments: JSON file or 'kind:rate[:severity],...' DSL")
 	faultSeed := flag.Int64("fault-seed", 1, "fault activation seed")
+	stream := flag.Bool("stream", false, "evaluate traces through streaming generator sources with O(servers) memory (bit-identical results)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -67,6 +68,7 @@ func main() {
 	params := experiments.EvalParams{
 		Servers: *servers, Seed: *seed, Workers: *workers,
 		Faults: plan, FaultSeed: *faultSeed,
+		Streaming: *stream,
 	}
 	if *telemetryAddr != "" || *metricsOut != "" || *traceOut != "" {
 		params.Telemetry = telemetry.New()

@@ -27,6 +27,7 @@ import (
 	"context"
 	"encoding/csv"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -58,6 +59,11 @@ func main() {
 	seriesOut := flag.String("series-out", "", "write the per-interval power/outlet series to this file (CSV, or JSON if it ends in .json)")
 	faultPlan := flag.String("fault-plan", "", "fault plan: JSON file or 'kind:rate[:severity],...' DSL (empty = fault-free)")
 	faultSeed := flag.Int64("fault-seed", 1, "fault activation seed")
+	stream := flag.Bool("stream", false, "streaming mode: pull trace columns through sources with O(servers) memory (bit-identical results)")
+	checkpoint := flag.String("checkpoint", "", "checkpoint file: runs snapshot themselves here at interval boundaries (implies -stream)")
+	checkpointEvery := flag.Int("checkpoint-every", 256, "checkpoint cadence in intervals")
+	resume := flag.Bool("resume", false, "resume the runs recorded in -checkpoint; output is byte-identical to an uninterrupted run (implies -stream)")
+	haltAfter := flag.Int("halt-after", 0, "halt every run at this interval boundary after checkpointing, exit "+fmt.Sprint(haltExitCode)+" (testing hook; implies -stream)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -82,6 +88,9 @@ func main() {
 		traceFile: *traceFile, series: *series,
 		metricsOut: *metricsOut, traceOut: *traceOut, seriesOut: *seriesOut,
 		faults: plan, faultSeed: *faultSeed,
+		stream:     *stream || *checkpoint != "" || *resume || *haltAfter > 0,
+		checkpoint: *checkpoint, checkpointEvery: *checkpointEvery,
+		resume: *resume, haltAfter: *haltAfter,
 	}
 	if *telemetryAddr != "" || *metricsOut != "" || *traceOut != "" {
 		opt.telemetry = telemetry.New()
@@ -103,6 +112,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, "h2psim:", err)
 	}
 	if runErr != nil {
+		if errors.Is(runErr, errHalted) {
+			// errHalted already carries the command prefix; a clean halt is
+			// not a failure, so it gets its own exit code.
+			fmt.Fprintln(os.Stderr, runErr)
+			os.Exit(haltExitCode)
+		}
 		fmt.Fprintln(os.Stderr, "h2psim:", runErr)
 		os.Exit(1)
 	}
@@ -125,9 +140,19 @@ type runOptions struct {
 	// output bit-identical to a build without the fault layer.
 	faults    *fault.Plan
 	faultSeed int64
+	// Streaming/checkpoint controls (stream.go). stream switches the run to
+	// the pull-based source path; checkpoint/resume/haltAfter imply it.
+	stream          bool
+	checkpoint      string
+	checkpointEvery int
+	resume          bool
+	haltAfter       int
 }
 
 func run(ctx context.Context, out io.Writer, opt runOptions) error {
+	if opt.stream {
+		return runStreaming(ctx, out, opt)
+	}
 	var traces []*trace.Trace
 	if opt.traceFile != "" {
 		f, err := os.Open(opt.traceFile)
@@ -225,8 +250,12 @@ func run(ctx context.Context, out io.Writer, opt runOptions) error {
 	}
 
 	if opt.seriesOut != "" {
+		labels := make([]string, len(traces))
+		for i, tr := range traces {
+			labels[i] = string(tr.Class)
+		}
 		if err := writeToFile(opt.seriesOut, func(w io.Writer) error {
-			return writeSeries(w, opt.seriesOut, traces, results)
+			return writeSeries(w, opt.seriesOut, labels, results)
 		}); err != nil {
 			return err
 		}
@@ -258,19 +287,20 @@ type seriesPoint struct {
 	LBOutC     float64 `json:"lb_outlet_c"`
 }
 
-// collectSeries flattens the per-interval results of every trace, in trace
-// order, into the export rows.
-func collectSeries(traces []*trace.Trace, results map[string][2]*core.Result) []seriesPoint {
+// collectSeries flattens the per-interval results of every trace, in label
+// order, into the export rows. labels index the results map, so both the
+// in-memory and streaming paths share this writer.
+func collectSeries(labels []string, results map[string][2]*core.Result) []seriesPoint {
 	var pts []seriesPoint
-	for _, tr := range traces {
-		r, ok := results[string(tr.Class)]
+	for _, label := range labels {
+		r, ok := results[label]
 		if !ok {
 			continue
 		}
 		orig, lb := r[0], r[1]
 		for i := range orig.Intervals {
 			pts = append(pts, seriesPoint{
-				Trace:      string(tr.Class),
+				Trace:      label,
 				Interval:   i,
 				AvgUtil:    orig.Intervals[i].AvgUtilization,
 				MaxUtil:    orig.Intervals[i].MaxUtilization,
@@ -286,8 +316,8 @@ func collectSeries(traces []*trace.Trace, results map[string][2]*core.Result) []
 
 // writeSeries renders the interval series as CSV, or as a JSON array when
 // the output path ends in .json.
-func writeSeries(w io.Writer, path string, traces []*trace.Trace, results map[string][2]*core.Result) error {
-	pts := collectSeries(traces, results)
+func writeSeries(w io.Writer, path string, labels []string, results map[string][2]*core.Result) error {
+	pts := collectSeries(labels, results)
 	if strings.HasSuffix(path, ".json") {
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")

@@ -5,6 +5,8 @@ import (
 	"context"
 	"encoding/csv"
 	"encoding/json"
+	"errors"
+	"io"
 	"os"
 	"path/filepath"
 	"strconv"
@@ -176,5 +178,94 @@ func TestRunCancelledContext(t *testing.T) {
 	var buf bytes.Buffer
 	if err := run(ctx, &buf, runOptions{servers: 60, circ: 20, seed: 42}); err == nil {
 		t.Error("cancelled context should abort the run")
+	}
+}
+
+// TestStreamOutputMatchesInMemory is the CLI-level equivalence pin: -stream
+// must print byte-identical tables (including the full -series dump) to the
+// in-memory path for the same cluster, seed and worker pool.
+func TestStreamOutputMatchesInMemory(t *testing.T) {
+	base := runOptions{servers: 60, circ: 20, seed: 42, workers: 2, series: true}
+
+	var mem bytes.Buffer
+	if err := run(context.Background(), &mem, base); err != nil {
+		t.Fatal(err)
+	}
+	stream := base
+	stream.stream = true
+	var str bytes.Buffer
+	if err := run(context.Background(), &str, stream); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(mem.Bytes(), str.Bytes()) {
+		t.Errorf("-stream output differs from in-memory output:\n--- in-memory ---\n%s\n--- stream ---\n%s",
+			mem.String(), str.String())
+	}
+}
+
+// TestStreamHaltResumeByteIdentical automates the kill/resume acceptance
+// flow: a run halted at a checkpoint boundary prints nothing, and the
+// resumed run's stdout and -series-out export are byte-identical to an
+// uninterrupted run's.
+func TestStreamHaltResumeByteIdentical(t *testing.T) {
+	dir := t.TempDir()
+	base := runOptions{servers: 60, circ: 20, seed: 42, workers: 2, series: true, stream: true}
+
+	full := base
+	full.seriesOut = filepath.Join(dir, "full.csv")
+	var fullOut bytes.Buffer
+	if err := run(context.Background(), &fullOut, full); err != nil {
+		t.Fatal(err)
+	}
+
+	cp := filepath.Join(dir, "cp.json")
+	halted := base
+	halted.checkpoint = cp
+	halted.checkpointEvery = 20
+	halted.haltAfter = 50
+	var haltOut bytes.Buffer
+	if err := run(context.Background(), &haltOut, halted); !errors.Is(err, errHalted) {
+		t.Fatalf("halted run: err = %v, want errHalted", err)
+	}
+	if haltOut.Len() != 0 {
+		t.Fatalf("halted run wrote %d bytes to stdout; a partial report must never print", haltOut.Len())
+	}
+	if _, err := os.Stat(cp); err != nil {
+		t.Fatalf("checkpoint file missing after halt: %v", err)
+	}
+
+	resumed := base
+	resumed.checkpoint = cp
+	resumed.resume = true
+	resumed.seriesOut = filepath.Join(dir, "resumed.csv")
+	var resumeOut bytes.Buffer
+	if err := run(context.Background(), &resumeOut, resumed); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(fullOut.Bytes(), resumeOut.Bytes()) {
+		t.Errorf("resumed stdout differs from uninterrupted run:\n--- full ---\n%s\n--- resumed ---\n%s",
+			fullOut.String(), resumeOut.String())
+	}
+	fullCSV, err := os.ReadFile(full.seriesOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumedCSV, err := os.ReadFile(resumed.seriesOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(fullCSV, resumedCSV) {
+		t.Error("resumed -series-out export differs from uninterrupted run")
+	}
+}
+
+// TestStreamResumeWithoutCheckpointFileFails pins the coordinator's refusal
+// to "resume" from nothing — a silent fresh start would masquerade as a
+// completed resume.
+func TestStreamResumeWithoutCheckpointFileFails(t *testing.T) {
+	opt := runOptions{servers: 40, circ: 20, seed: 1, stream: true,
+		checkpoint: filepath.Join(t.TempDir(), "missing.json"), resume: true}
+	if err := run(context.Background(), io.Discard, opt); err == nil {
+		t.Fatal("resume from a missing checkpoint file succeeded")
 	}
 }

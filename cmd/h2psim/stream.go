@@ -1,0 +1,362 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"github.com/h2p-sim/h2p/internal/core"
+	"github.com/h2p-sim/h2p/internal/sched"
+	"github.com/h2p-sim/h2p/internal/trace"
+)
+
+// errHalted is the command-level signal that every in-flight run stopped at
+// its -halt-after boundary with a checkpoint on disk. main exits with
+// haltExitCode so scripts (and the resume tests) can tell a clean halt from
+// a failure.
+var errHalted = errors.New("h2psim: halted at checkpoint boundary (resume with -resume)")
+
+// haltExitCode is the process exit code for a clean -halt-after stop.
+const haltExitCode = 3
+
+// streamSpec is one trace the streaming path evaluates: a display class, a
+// coordinator key, and an opener producing a fresh source per run (the two
+// schemes run concurrently and cannot share stream state).
+type streamSpec struct {
+	name  string
+	class trace.Class
+	open  core.SourceOpener
+}
+
+// streamSpecs builds the run list: the single -trace CSV, or the three
+// synthetic classes with the exact per-class seed schedule the in-memory
+// path uses.
+func streamSpecs(opt runOptions) ([]streamSpec, error) {
+	if opt.traceFile != "" {
+		src, err := trace.OpenCSVFile(opt.traceFile)
+		if err != nil {
+			return nil, err
+		}
+		m := src.Meta()
+		if err := src.Close(); err != nil {
+			return nil, err
+		}
+		path := opt.traceFile
+		return []streamSpec{{
+			name:  m.Name,
+			class: m.Class,
+			open:  func() (trace.Source, error) { return trace.OpenCSVFile(path) },
+		}}, nil
+	}
+	cfgs := trace.CanonicalConfigs(opt.servers)
+	specs := make([]streamSpec, 0, len(cfgs))
+	for i, cfg := range cfgs {
+		cfg, seed := cfg, trace.CanonicalSeed(opt.seed, i)
+		g, err := trace.NewGeneratorSource(cfg, seed)
+		if err != nil {
+			return nil, err
+		}
+		specs = append(specs, streamSpec{
+			name:  g.Meta().Name,
+			class: cfg.Class,
+			open:  func() (trace.Source, error) { return trace.NewGeneratorSource(cfg, seed) },
+		})
+	}
+	return specs, nil
+}
+
+// runKey names one trace x scheme run inside the checkpoint file.
+func runKey(name string, scheme sched.Scheme) string {
+	return name + "/" + string(scheme)
+}
+
+// checkpointEntry is one run's state in the checkpoint file: either a
+// completed Result or an in-progress engine checkpoint.
+type checkpointEntry struct {
+	Done       bool             `json:"done"`
+	Result     *core.Result     `json:"result,omitempty"`
+	Checkpoint *core.Checkpoint `json:"checkpoint,omitempty"`
+}
+
+// checkpointFile is the on-disk coordinator state.
+type checkpointFile struct {
+	Version int                         `json:"version"`
+	Entries map[string]*checkpointEntry `json:"entries"`
+}
+
+// coordinator serializes the concurrent runs' checkpoint writes into one
+// JSON file, replaced atomically (write-temp-then-rename) so a kill can
+// never leave a torn file behind.
+type coordinator struct {
+	mu   sync.Mutex
+	path string
+	file checkpointFile
+}
+
+// newCoordinator opens (or initializes) the checkpoint file at path. With
+// resume set, a missing file is an error — there is nothing to resume.
+func newCoordinator(path string, resume bool) (*coordinator, error) {
+	c := &coordinator{path: path, file: checkpointFile{
+		Version: core.CheckpointVersion,
+		Entries: map[string]*checkpointEntry{},
+	}}
+	data, err := os.ReadFile(path)
+	switch {
+	case errors.Is(err, os.ErrNotExist):
+		if resume {
+			return nil, fmt.Errorf("h2psim: -resume: no checkpoint file at %s", path)
+		}
+		return c, nil
+	case err != nil:
+		return nil, err
+	}
+	if !resume {
+		// A fresh (non-resume) run starts over; the stale file is replaced
+		// at the first checkpoint write.
+		return c, nil
+	}
+	if err := json.Unmarshal(data, &c.file); err != nil {
+		return nil, fmt.Errorf("h2psim: checkpoint file %s: %w", path, err)
+	}
+	if c.file.Version != core.CheckpointVersion {
+		return nil, fmt.Errorf("h2psim: checkpoint file %s is version %d, this build speaks %d",
+			path, c.file.Version, core.CheckpointVersion)
+	}
+	if c.file.Entries == nil {
+		c.file.Entries = map[string]*checkpointEntry{}
+	}
+	return c, nil
+}
+
+// entry returns the stored state for key, or nil.
+func (c *coordinator) entry(key string) *checkpointEntry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.file.Entries[key]
+}
+
+// setCheckpoint records an in-progress run's engine checkpoint.
+func (c *coordinator) setCheckpoint(key string, cp *core.Checkpoint) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.file.Entries[key] = &checkpointEntry{Checkpoint: cp}
+	return c.flushLocked()
+}
+
+// setDone records a completed run's full result.
+func (c *coordinator) setDone(key string, res *core.Result) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.file.Entries[key] = &checkpointEntry{Done: true, Result: res}
+	return c.flushLocked()
+}
+
+// flushLocked atomically replaces the checkpoint file with the current state.
+func (c *coordinator) flushLocked() error {
+	data, err := json.Marshal(&c.file)
+	if err != nil {
+		return err
+	}
+	dir := filepath.Dir(c.path)
+	tmp, err := os.CreateTemp(dir, ".h2psim-checkpoint-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), c.path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}
+
+// streamSchemes is the fixed scheme order of the comparison tables.
+var streamSchemes = [2]sched.Scheme{sched.Original, sched.LoadBalance}
+
+// runStreaming is the bounded-memory evaluation path: every trace is pulled
+// through a trace.Source, runs checkpoint at interval boundaries when
+// -checkpoint is set, and a -resume invocation continues from the file and
+// prints output byte-identical to an uninterrupted streaming run.
+func runStreaming(ctx context.Context, out io.Writer, opt runOptions) error {
+	specs, err := streamSpecs(opt)
+	if err != nil {
+		return err
+	}
+	var coord *coordinator
+	if opt.checkpoint != "" {
+		if coord, err = newCoordinator(opt.checkpoint, opt.resume); err != nil {
+			return err
+		}
+	} else if opt.resume {
+		return errors.New("h2psim: -resume requires -checkpoint")
+	}
+	keepSeries := opt.series || opt.seriesOut != ""
+
+	cfg := core.DefaultConfig(sched.Original)
+	cfg.ServersPerCirculation = opt.circ
+	cfg.Workers = opt.workers
+	cfg.DecisionQuantum = opt.quantum
+	cfg.Telemetry = opt.telemetry
+	cfg.Faults = opt.faults
+	cfg.FaultSeed = opt.faultSeed
+
+	fleet := core.NewFleet()
+	results := make(map[string][2]*core.Result)
+	halted := false
+	for _, sp := range specs {
+		var pair [2]*core.Result
+		var runs []core.SourceRun
+		var slots []int
+		for si, scheme := range streamSchemes {
+			key := runKey(sp.name, scheme)
+			var entry *checkpointEntry
+			if coord != nil {
+				entry = coord.entry(key)
+			}
+			if entry != nil && entry.Done {
+				pair[si] = entry.Result
+				continue
+			}
+			ro := &core.RunOptions{KeepSeries: keepSeries, HaltAfter: opt.haltAfter}
+			if entry != nil && entry.Checkpoint != nil {
+				ro.Resume = entry.Checkpoint
+			}
+			if coord != nil {
+				key := key
+				ro.Checkpoint = &core.CheckpointOptions{
+					Every: opt.checkpointEvery,
+					Write: func(cp *core.Checkpoint) error { return coord.setCheckpoint(key, cp) },
+				}
+			}
+			runs = append(runs, core.SourceRun{Open: sp.open, Scheme: scheme, Opts: ro})
+			slots = append(slots, si)
+		}
+		if len(runs) > 0 {
+			rs, err := fleet.RunSourcesContext(ctx, cfg, runs)
+			if err != nil && !errors.Is(err, core.ErrHalted) {
+				return err
+			}
+			if errors.Is(err, core.ErrHalted) {
+				halted = true
+			}
+			for j, r := range rs {
+				if r == nil {
+					continue
+				}
+				pair[slots[j]] = r
+				if coord != nil {
+					if err := coord.setDone(runKey(sp.name, streamSchemes[slots[j]]), r); err != nil {
+						return err
+					}
+				}
+			}
+		}
+		results[sp.name] = pair
+	}
+	if halted {
+		return errHalted
+	}
+	printStreamReport(out, specs, results, opt)
+
+	if opt.seriesOut != "" {
+		labels := make([]string, len(specs))
+		byLabel := make(map[string][2]*core.Result, len(specs))
+		for i, sp := range specs {
+			labels[i] = string(sp.class)
+			byLabel[string(sp.class)] = results[sp.name]
+		}
+		if err := writeToFile(opt.seriesOut, func(w io.Writer) error {
+			return writeSeries(w, opt.seriesOut, labels, byLabel)
+		}); err != nil {
+			return err
+		}
+	}
+	if opt.metricsOut != "" {
+		if err := writeToFile(opt.metricsOut, opt.telemetry.WriteProm); err != nil {
+			return err
+		}
+	}
+	if opt.traceOut != "" {
+		if err := writeToFile(opt.traceOut, opt.telemetry.WriteTrace); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// printStreamReport renders the Fig. 14/15 tables (and the fault table) from
+// streaming results. The layout matches the in-memory path; the meanU column
+// comes from the run's incrementally aggregated MeanAvgUtilization, since no
+// dense trace exists to describe.
+func printStreamReport(out io.Writer, specs []streamSpec, results map[string][2]*core.Result, opt runOptions) {
+	fmt.Fprintln(out, "Fig. 14 — generated electricity per CPU (W):")
+	fmt.Fprintf(out, "%-12s %-10s %-10s %-10s %-10s %-10s %-10s\n",
+		"trace", "orig avg", "orig peak", "lb avg", "lb peak", "gain%", "meanU")
+	var sumOrig, sumLB float64
+	for _, sp := range specs {
+		r := results[sp.name]
+		orig, lb := r[0], r[1]
+		gain := (float64(lb.AvgTEGPowerPerServer)/float64(orig.AvgTEGPowerPerServer) - 1) * 100
+		fmt.Fprintf(out, "%-12s %-10.3f %-10.3f %-10.3f %-10.3f %-10.2f %-10.3f\n",
+			sp.class,
+			float64(orig.AvgTEGPowerPerServer), float64(orig.PeakTEGPowerPerServer),
+			float64(lb.AvgTEGPowerPerServer), float64(lb.PeakTEGPowerPerServer),
+			gain, orig.MeanAvgUtilization)
+		sumOrig += float64(orig.AvgTEGPowerPerServer)
+		sumLB += float64(lb.AvgTEGPowerPerServer)
+		if opt.series {
+			fmt.Fprintf(out, "  interval series (%s): t, origW, lbW, avgU, maxU\n", sp.class)
+			for i := range orig.Intervals {
+				fmt.Fprintf(out, "  %4d %7.3f %7.3f %6.3f %6.3f\n", i,
+					float64(orig.Intervals[i].TEGPowerPerServer),
+					float64(lb.Intervals[i].TEGPowerPerServer),
+					orig.Intervals[i].AvgUtilization,
+					orig.Intervals[i].MaxUtilization)
+			}
+		}
+	}
+	n := float64(len(specs))
+	fmt.Fprintf(out, "%-12s %-10.3f %-10s %-10.3f %-10s %-10.2f\n",
+		"average", sumOrig/n, "-", sumLB/n, "-", (sumLB/sumOrig-1)*100)
+
+	fmt.Fprintln(out)
+	fmt.Fprintln(out, "Fig. 15 — power reusing efficiency (PRE, %):")
+	fmt.Fprintf(out, "%-12s %-10s %-10s\n", "trace", "orig", "lb")
+	var preOrig, preLB float64
+	for _, sp := range specs {
+		r := results[sp.name]
+		fmt.Fprintf(out, "%-12s %-10.2f %-10.2f\n", sp.class, r[0].PRE*100, r[1].PRE*100)
+		preOrig += r[0].PRE
+		preLB += r[1].PRE
+	}
+	fmt.Fprintf(out, "%-12s %-10.2f %-10.2f\n", "average", preOrig/n*100, preLB/n*100)
+
+	if !opt.faults.Empty() {
+		fmt.Fprintln(out)
+		fmt.Fprintf(out, "Fault injection — plan %s, seed %d:\n", opt.faults, opt.faultSeed)
+		fmt.Fprintf(out, "%-12s %-8s %-14s %-12s %-12s %-12s %-10s %-10s\n",
+			"trace", "scheme", "degraded_intv", "open_teg", "degr_teg", "sensor_fb", "droops", "retries")
+		for _, sp := range specs {
+			r := results[sp.name]
+			for si, name := range [2]string{"orig", "lb"} {
+				f := r[si].Faults
+				fmt.Fprintf(out, "%-12s %-8s %-14d %-12d %-12d %-12d %-10d %-10d\n",
+					sp.class, name, f.DegradedIntervals, f.OpenTEG, f.DegradedTEG,
+					f.SensorFallbacks, f.PumpDroops, f.StepRetries)
+			}
+		}
+	}
+}

@@ -4,6 +4,7 @@
 //
 //	h2ptrace -gen drastic -servers 1000 -seed 42 -out drastic.csv
 //	h2ptrace -inspect drastic.csv
+//	h2ptrace -convert machine_usage.csv -out usage.csv
 package main
 
 import (
@@ -22,16 +23,33 @@ func main() {
 	out := flag.String("out", "", "output CSV path (stdout if empty)")
 	inspect := flag.String("inspect", "", "print statistics of a CSV trace")
 	imp := flag.String("import", "", "convert a long-format usage file (Alibaba machine_usage layout) to the h2p CSV format")
+	convert := flag.String("convert", "", "like -import, but streaming: never materializes the matrix, so it handles files larger than memory")
 	flag.Parse()
 
-	if err := run(os.Stdout, *gen, *servers, *seed, *out, *inspect, *imp); err != nil {
+	if err := run(os.Stdout, *gen, *servers, *seed, *out, *inspect, *imp, *convert); err != nil {
 		fmt.Fprintln(os.Stderr, "h2ptrace:", err)
 		os.Exit(1)
 	}
 }
 
-func run(stdout io.Writer, gen string, servers int, seed int64, out, inspect, imp string) error {
+func run(stdout io.Writer, gen string, servers int, seed int64, out, inspect, imp, convert string) error {
 	switch {
+	case convert != "":
+		src, err := trace.OpenLongFormatFile(convert, trace.AlibabaOptions())
+		if err != nil {
+			return err
+		}
+		defer src.Close()
+		var w io.Writer = stdout
+		if out != "" {
+			of, err := os.Create(out)
+			if err != nil {
+				return err
+			}
+			defer of.Close()
+			w = of
+		}
+		return trace.ConvertToCSV(src, w, "")
 	case imp != "":
 		f, err := os.Open(imp)
 		if err != nil {
@@ -109,6 +127,6 @@ func run(stdout io.Writer, gen string, servers int, seed int64, out, inspect, im
 		fmt.Fprintf(stdout, "max per-interval dispersion (Umax-Uavg): %.3f\n", maxDisp)
 		return nil
 	default:
-		return fmt.Errorf("one of -gen or -inspect is required")
+		return fmt.Errorf("one of -gen, -inspect, -import or -convert is required")
 	}
 }

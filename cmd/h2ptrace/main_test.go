@@ -10,7 +10,7 @@ import (
 
 func TestGenerateToStdout(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "common", 5, 1, "", "", ""); err != nil {
+	if err := run(&buf, "common", 5, 1, "", "", "", ""); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.HasPrefix(buf.String(), "#h2p-trace,google-common,common") {
@@ -21,11 +21,11 @@ func TestGenerateToStdout(t *testing.T) {
 func TestGenerateToFileAndInspect(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "d.csv")
 	var buf bytes.Buffer
-	if err := run(&buf, "drastic", 20, 7, path, "", ""); err != nil {
+	if err := run(&buf, "drastic", 20, 7, path, "", "", ""); err != nil {
 		t.Fatal(err)
 	}
 	buf.Reset()
-	if err := run(&buf, "", 0, 0, "", path, ""); err != nil {
+	if err := run(&buf, "", 0, 0, "", path, "", ""); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -38,21 +38,21 @@ func TestGenerateToFileAndInspect(t *testing.T) {
 
 func TestUnknownClass(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "bogus", 5, 1, "", "", ""); err == nil {
+	if err := run(&buf, "bogus", 5, 1, "", "", "", ""); err == nil {
 		t.Error("unknown class should error")
 	}
 }
 
 func TestNoActionErrors(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "", 5, 1, "", "", ""); err == nil {
+	if err := run(&buf, "", 5, 1, "", "", "", ""); err == nil {
 		t.Error("no action should error")
 	}
 }
 
 func TestInspectMissingFile(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "", 0, 0, "", "/nonexistent.csv", ""); err == nil {
+	if err := run(&buf, "", 0, 0, "", "/nonexistent.csv", "", ""); err == nil {
 		t.Error("missing file should error")
 	}
 }
@@ -63,7 +63,7 @@ func TestImportLongFormat(t *testing.T) {
 		t.Fatal(err)
 	}
 	var buf bytes.Buffer
-	if err := run(&buf, "", 0, 0, "", "", src); err != nil {
+	if err := run(&buf, "", 0, 0, "", "", src, ""); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.HasPrefix(buf.String(), "#h2p-trace,alibaba-machine-usage") {
@@ -71,9 +71,62 @@ func TestImportLongFormat(t *testing.T) {
 	}
 }
 
+// TestConvertMatchesImport pins the streaming -convert mode to the in-memory
+// -import path byte for byte: same long-format input, identical CSV out.
+func TestConvertMatchesImport(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "usage.csv")
+	data := "" +
+		"m_1,0,30\n" +
+		"m_1,60,50\n" +
+		"m_2,10,20\n" +
+		"m_1,300,60\n" +
+		"m_3,910,80\n"
+	if err := os.WriteFile(src, []byte(data), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var want bytes.Buffer
+	if err := run(&want, "", 0, 0, "", "", src, ""); err != nil {
+		t.Fatal(err)
+	}
+	var got bytes.Buffer
+	if err := run(&got, "", 0, 0, "", "", "", src); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), want.Bytes()) {
+		t.Fatalf("-convert output differs from -import:\n--- convert ---\n%s\n--- import ---\n%s",
+			got.String(), want.String())
+	}
+
+	// -convert honors -out like every other mode.
+	outPath := filepath.Join(dir, "converted.csv")
+	var empty bytes.Buffer
+	if err := run(&empty, "", 0, 0, outPath, "", "", src); err != nil {
+		t.Fatal(err)
+	}
+	onDisk, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(onDisk, want.Bytes()) {
+		t.Fatal("-convert -out file differs from -import output")
+	}
+	if empty.Len() != 0 {
+		t.Fatalf("stdout not empty with -out: %q", empty.String())
+	}
+}
+
+func TestConvertMissingFile(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "", 0, 0, "", "", "", "/nonexistent.csv"); err == nil {
+		t.Error("missing convert file should error")
+	}
+}
+
 func TestImportMissingFile(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "", 0, 0, "", "", "/nonexistent.csv"); err == nil {
+	if err := run(&buf, "", 0, 0, "", "", "/nonexistent.csv", ""); err == nil {
 		t.Error("missing import file should error")
 	}
 }

@@ -1,0 +1,133 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/h2p-sim/h2p/internal/hydro"
+	"github.com/h2p-sim/h2p/internal/sched"
+	"github.com/h2p-sim/h2p/internal/trace"
+)
+
+// CheckpointVersion is the current checkpoint schema version. Resume rejects
+// any other version rather than guessing at field semantics.
+const CheckpointVersion = 1
+
+// Checkpoint is a streaming run frozen at an interval boundary: everything
+// RunSourceContext needs to continue from NextInterval and produce bits
+// identical to the uninterrupted run.
+//
+// The engine's cross-interval state is deliberately small, which is what
+// makes exact resume possible:
+//
+//   - The running aggregates (energy sums, the per-server TEG power sum and
+//     peak, the utilization sum, the fault summary) accumulate in interval
+//     order, so restoring them and continuing the loop reassociates no
+//     floating-point sum. float64 values survive the JSON round trip exactly
+//     (encoding/json emits the shortest representation that parses back to
+//     the same bits).
+//   - Sensors holds each circulation's LastGoodSensor snapshot — the only
+//     mutable physics state that crosses an interval boundary.
+//   - The fault injector needs no state at all: activation is a pure
+//     function of (seed, stream, unit, interval), so the resumed run asks
+//     the same questions and gets the same answers (see fault.Injector).
+//   - CacheKeys lists the controller's memoized decision planes. The cache
+//     is a pure function of the plane, so the keys are purely a warm-start
+//     performance hint; results are bit-identical with or without them.
+//   - Series retains the per-interval results when the run keeps its series
+//     (RunOptions.KeepSeries), so a resumed run can still render the full
+//     interval series byte-identically.
+type Checkpoint struct {
+	Version int `json:"version"`
+
+	// Run identity — validated on resume so a checkpoint can never be
+	// replayed against a different trace, shape or scheme.
+	TraceName string        `json:"trace_name"`
+	Class     trace.Class   `json:"class"`
+	Scheme    sched.Scheme  `json:"scheme"`
+	Servers   int           `json:"servers"`
+	Intervals int           `json:"intervals"`
+	Interval  time.Duration `json:"interval_ns"`
+
+	// NextInterval is the first interval the resumed run evaluates.
+	NextInterval int `json:"next_interval"`
+
+	// Running aggregates at the boundary.
+	SumTEGPerServer  float64      `json:"sum_teg_per_server_w"`
+	PeakTEGPerServer float64      `json:"peak_teg_per_server_w"`
+	SumAvgUtil       float64      `json:"sum_avg_util"`
+	TEGEnergy        float64      `json:"teg_energy_kwh"`
+	CPUEnergy        float64      `json:"cpu_energy_kwh"`
+	PlantEnergy      float64      `json:"plant_energy_kwh"`
+	Faults           FaultSummary `json:"faults"`
+
+	// Sensors is one snapshot per circulation, in circulation index order.
+	Sensors []hydro.SensorState `json:"sensors"`
+
+	// CacheKeys warm-starts the decision cache (performance only).
+	CacheKeys []uint64 `json:"cache_keys,omitempty"`
+
+	// Series is the retained per-interval results (KeepSeries runs only);
+	// len(Series) == NextInterval.
+	Series []IntervalResult `json:"series,omitempty"`
+}
+
+// validateFor checks the checkpoint against the source and engine it is
+// about to resume.
+func (cp *Checkpoint) validateFor(m trace.Meta, cfg Config, circulations int, keepSeries bool) error {
+	if cp.Version != CheckpointVersion {
+		return fmt.Errorf("core: checkpoint version %d, engine speaks %d", cp.Version, CheckpointVersion)
+	}
+	if cp.TraceName != m.Name || cp.Servers != m.Servers || cp.Intervals != m.Intervals || cp.Interval != m.Interval {
+		return fmt.Errorf("core: checkpoint is for trace %q (%dx%d @ %v), source is %q (%dx%d @ %v)",
+			cp.TraceName, cp.Servers, cp.Intervals, cp.Interval,
+			m.Name, m.Servers, m.Intervals, m.Interval)
+	}
+	if cp.Scheme != cfg.Scheme {
+		return fmt.Errorf("core: checkpoint is for scheme %q, engine runs %q", cp.Scheme, cfg.Scheme)
+	}
+	if cp.NextInterval <= 0 || cp.NextInterval >= m.Intervals {
+		return fmt.Errorf("core: checkpoint resumes at interval %d outside (0,%d)", cp.NextInterval, m.Intervals)
+	}
+	if len(cp.Sensors) != circulations {
+		return fmt.Errorf("core: checkpoint has %d sensor snapshots, engine forms %d circulations",
+			len(cp.Sensors), circulations)
+	}
+	if keepSeries && len(cp.Series) != cp.NextInterval {
+		return fmt.Errorf("core: series retention requested but checkpoint holds %d of %d intervals"+
+			" (was the checkpointed run started without it?)", len(cp.Series), cp.NextInterval)
+	}
+	return nil
+}
+
+// snapshot freezes the run at the boundary before interval next.
+func (e *Engine) snapshot(m trace.Meta, circs []Circulation, res *Result, sumTEG, sumAvgUtil float64, next int, keepSeries bool) *Checkpoint {
+	cp := &Checkpoint{
+		Version:      CheckpointVersion,
+		TraceName:    m.Name,
+		Class:        m.Class,
+		Scheme:       e.cfg.Scheme,
+		Servers:      m.Servers,
+		Intervals:    m.Intervals,
+		Interval:     m.Interval,
+		NextInterval: next,
+
+		SumTEGPerServer:  sumTEG,
+		PeakTEGPerServer: float64(res.PeakTEGPowerPerServer),
+		SumAvgUtil:       sumAvgUtil,
+		TEGEnergy:        float64(res.TEGEnergy),
+		CPUEnergy:        float64(res.CPUEnergy),
+		PlantEnergy:      float64(res.PlantEnergy),
+		Faults:           res.Faults,
+
+		Sensors:   make([]hydro.SensorState, len(circs)),
+		CacheKeys: e.controller.CacheKeys(),
+	}
+	for ci := range circs {
+		cp.Sensors[ci] = circs[ci].sensor.State()
+	}
+	if keepSeries {
+		cp.Series = append([]IntervalResult(nil), res.Intervals...)
+	}
+	return cp
+}

@@ -14,9 +14,14 @@
 //   - Circulation (circulation.go) owns one water circulation's servers,
 //     pump, scheme decision and plant dispatch; circulations are
 //     independent within an interval.
-//   - Engine (this file) drives the interval loop, fanning the
-//     circulations of each interval out across a bounded worker pool and
-//     merging their contributions deterministically by circulation index.
+//   - Engine drives the interval loop, fanning the circulations of each
+//     interval out across a bounded worker pool and merging their
+//     contributions deterministically by circulation index. The loop itself
+//     lives in stream.go (RunSourceContext): it pulls trace columns from a
+//     trace.Source one interval at a time, so its working set is O(servers)
+//     regardless of trace length, and it can checkpoint at interval
+//     boundaries and resume bit-identically (checkpoint.go). The in-memory
+//     Run/RunContext API is a thin adapter over it.
 //   - Fleet (fleet.go) runs whole trace x scheme combinations
 //     concurrently, sharing one immutable look-up space per CPU spec and
 //     axes.
@@ -208,10 +213,14 @@ type Result struct {
 	// Summary metrics.
 	AvgTEGPowerPerServer  units.Watts // the headline Fig. 14 number
 	PeakTEGPowerPerServer units.Watts
-	PRE                   float64 // Eq. 19: TEG generation / CPU consumption
-	TEGEnergy             units.KilowattHours
-	CPUEnergy             units.KilowattHours
-	PlantEnergy           units.KilowattHours // pumps + tower + chiller
+	// MeanAvgUtilization is the run mean of the per-interval average
+	// utilization — the trace-side "meanU" available even when the interval
+	// series is not retained (streaming runs).
+	MeanAvgUtilization float64
+	PRE                float64 // Eq. 19: TEG generation / CPU consumption
+	TEGEnergy          units.KilowattHours
+	CPUEnergy          units.KilowattHours
+	PlantEnergy        units.KilowattHours // pumps + tower + chiller
 
 	// Faults summarizes injected-fault handling across the run; the zero
 	// value means a fault-free plant.
@@ -339,90 +348,16 @@ func (e *Engine) Run(tr *trace.Trace) (*Result, error) {
 // across the configured worker pool. The result is bit-identical for every
 // worker count. Cancelling the context aborts the run promptly with the
 // context's error.
+//
+// It is a thin adapter over the streaming loop (RunSourceContext): the trace
+// is wrapped in a TraceSource and the full interval series is retained, which
+// reproduces the historical in-memory behavior exactly.
 func (e *Engine) RunContext(ctx context.Context, tr *trace.Trace) (*Result, error) {
-	if err := tr.Validate(); err != nil {
+	src, err := trace.NewTraceSource(tr)
+	if err != nil {
 		return nil, err
 	}
-	nServers := tr.Servers()
-	circs := e.circulations(nServers)
-	if len(circs) == 0 {
-		// Guarded independently of trace.Validate so a degenerate trace
-		// can never NaN-poison the per-circulation means below.
-		return nil, errors.New("core: trace has no servers to form a circulation")
-	}
-	res := &Result{
-		TraceName: tr.Name,
-		Class:     tr.Class,
-		Scheme:    e.cfg.Scheme,
-		Interval:  tr.Interval,
-		Servers:   nServers,
-		Intervals: make([]IntervalResult, 0, tr.Intervals()),
-	}
-	workers := e.cfg.workers()
-	if workers > len(circs) {
-		workers = len(circs)
-	}
-	if m := e.met; m != nil {
-		m.workers.Set(float64(workers))
-		m.circulations.Set(float64(len(circs)))
-	}
-	secs := tr.Interval.Seconds()
-	col := make([]float64, nServers)
-	parts := make([]CirculationInterval, len(circs))
-	errs := make([]error, len(circs))
-	for i := 0; i < tr.Intervals(); i++ {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		var err error
-		col, err = tr.Column(i, col)
-		if err != nil {
-			return nil, err
-		}
-		var t0 time.Time
-		if e.met != nil {
-			t0 = time.Now()
-		}
-		if workers <= 1 {
-			for ci := range circs {
-				if parts[ci], err = circs[ci].Step(col, i); err != nil {
-					return nil, fmt.Errorf("interval %d circulation %d: %w", i, ci, err)
-				}
-			}
-		} else if err := stepParallel(ctx, circs, col, i, workers, e.met, parts, errs); err != nil {
-			return nil, err
-		} else {
-			for ci, serr := range errs {
-				if serr != nil {
-					return nil, fmt.Errorf("interval %d circulation %d: %w", i, ci, serr)
-				}
-			}
-		}
-		ir := mergeInterval(col, parts)
-		e.met.observeInterval(i, t0, ir)
-		res.Intervals = append(res.Intervals, ir)
-		res.Faults.accumulate(ir)
-
-		res.TEGEnergy += units.EnergyOver(ir.TotalTEGPower, secs).KilowattHours()
-		res.CPUEnergy += units.EnergyOver(ir.TotalCPUPower, secs).KilowattHours()
-		plant := ir.PumpPower + ir.TowerPower + ir.ChillerPower
-		res.PlantEnergy += units.EnergyOver(plant, secs).KilowattHours()
-
-		if ir.TEGPowerPerServer > res.PeakTEGPowerPerServer {
-			res.PeakTEGPowerPerServer = ir.TEGPowerPerServer
-		}
-	}
-	if len(res.Intervals) > 0 {
-		var sum units.Watts
-		for _, ir := range res.Intervals {
-			sum += ir.TEGPowerPerServer
-		}
-		res.AvgTEGPowerPerServer = sum / units.Watts(float64(len(res.Intervals)))
-	}
-	if res.CPUEnergy > 0 {
-		res.PRE = float64(res.TEGEnergy) / float64(res.CPUEnergy)
-	}
-	return res, nil
+	return e.RunSourceContext(ctx, src, &RunOptions{KeepSeries: true})
 }
 
 // stepParallel fans the circulations of one interval out across workers

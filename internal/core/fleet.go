@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"errors"
+	"io"
 	"reflect"
 	"sync"
 
@@ -157,4 +158,106 @@ func (f *Fleet) EvaluateContext(ctx context.Context, traces []*trace.Trace, base
 // the historical serial implementation.
 func Compare(tr *trace.Trace, base Config) (*Result, *Result, error) {
 	return NewFleet().CompareContext(context.Background(), tr, base)
+}
+
+// SourceOpener produces a fresh, private trace.Source for one run. Sources
+// are single-stream state (see trace.Source), so concurrent fleet runs
+// cannot share one: each run opens its own. The fleet closes sources that
+// implement io.Closer when their run finishes.
+type SourceOpener func() (trace.Source, error)
+
+// SourceRun is one streaming trace x scheme combination: a private source,
+// the scheme, and the run's options (series retention, checkpoint/resume).
+type SourceRun struct {
+	Open   SourceOpener
+	Scheme sched.Scheme
+	Opts   *RunOptions
+}
+
+// RunSourcesContext evaluates every streaming run concurrently, one
+// goroutine per run, each internally bounded by base.Workers, and returns
+// the results in run order.
+//
+// A run stopping at its HaltAfter boundary (ErrHalted) is a clean outcome,
+// not a failure: it neither cancels its siblings nor preempts their results.
+// Its slot stays nil and, once every run has finished, the aggregate error
+// is ErrHalted so the caller knows the batch is resumable. Real errors
+// cancel the batch and win over both halts and cancellations.
+func (f *Fleet) RunSourcesContext(ctx context.Context, base Config, runs []SourceRun) ([]*Result, error) {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	results := make([]*Result, len(runs))
+	errs := make([]error, len(runs))
+	var wg sync.WaitGroup
+	wg.Add(len(runs))
+	for i, r := range runs {
+		go func(i int, r SourceRun) {
+			defer wg.Done()
+			cfg := base
+			cfg.Scheme = r.Scheme
+			eng, err := f.Engine(cfg)
+			if err != nil {
+				errs[i] = err
+				cancel()
+				return
+			}
+			src, err := r.Open()
+			if err != nil {
+				errs[i] = err
+				cancel()
+				return
+			}
+			res, err := eng.RunSourceContext(ctx, src, r.Opts)
+			if c, ok := src.(io.Closer); ok {
+				if cerr := c.Close(); cerr != nil && err == nil {
+					err = cerr
+				}
+			}
+			if err != nil {
+				errs[i] = err
+				if !errors.Is(err, ErrHalted) {
+					cancel()
+				}
+				return
+			}
+			results[i] = res
+		}(i, r)
+	}
+	wg.Wait()
+	var firstCancel, firstHalt error
+	for _, err := range errs {
+		switch {
+		case err == nil:
+		case errors.Is(err, ErrHalted):
+			if firstHalt == nil {
+				firstHalt = err
+			}
+		case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+			if firstCancel == nil {
+				firstCancel = err
+			}
+		default:
+			return results, err
+		}
+	}
+	if firstCancel != nil {
+		return results, firstCancel
+	}
+	return results, firstHalt
+}
+
+// CompareSourceContext runs one source under both schemes concurrently —
+// the streaming counterpart of CompareContext — and returns (original,
+// loadBalance). Each scheme gets its own source from open and its own
+// options; results are bit-identical to materializing the source and
+// running CompareContext.
+func (f *Fleet) CompareSourceContext(ctx context.Context, open SourceOpener, base Config, origOpts, lbOpts *RunOptions) (*Result, *Result, error) {
+	results, err := f.RunSourcesContext(ctx, base, []SourceRun{
+		{Open: open, Scheme: sched.Original, Opts: origOpts},
+		{Open: open, Scheme: sched.LoadBalance, Opts: lbOpts},
+	})
+	if err != nil {
+		return results[0], results[1], err
+	}
+	return results[0], results[1], nil
 }

@@ -1,0 +1,244 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/h2p-sim/h2p/internal/trace"
+	"github.com/h2p-sim/h2p/internal/units"
+)
+
+// ErrHalted reports a run that stopped at the RunOptions.HaltAfter interval
+// boundary after writing its checkpoint. It is a clean, resumable stop, not
+// a failure.
+var ErrHalted = errors.New("core: run halted at checkpoint boundary")
+
+// RunOptions shapes one streaming run. The zero value (and a nil *RunOptions)
+// is the bounded-memory default: no retained series, no checkpoints.
+type RunOptions struct {
+	// KeepSeries retains every IntervalResult in Result.Intervals, like the
+	// in-memory Run API always did. Off, the run's working set is O(servers)
+	// regardless of trace length; the summary aggregates are bit-identical
+	// either way.
+	KeepSeries bool
+	// OnInterval, when non-nil, observes each merged interval as it
+	// completes — the streaming alternative to reading Result.Intervals.
+	OnInterval func(interval int, ir IntervalResult)
+	// Checkpoint enables periodic checkpoints.
+	Checkpoint *CheckpointOptions
+	// Resume continues a checkpointed run instead of starting at interval 0.
+	// The resumed run's Result (and, with KeepSeries, its series) is
+	// bit-identical to the uninterrupted run's.
+	Resume *Checkpoint
+	// HaltAfter, when positive, stops the run at the boundary after interval
+	// HaltAfter-1 is merged, writes a checkpoint (if configured) and returns
+	// ErrHalted. It exists to exercise kill/resume deterministically; a run
+	// whose HaltAfter is at or past the end never halts.
+	HaltAfter int
+}
+
+// CheckpointOptions configures periodic checkpointing.
+type CheckpointOptions struct {
+	// Every is the checkpoint cadence in intervals (a checkpoint lands at
+	// every boundary where the completed-interval count is a multiple of
+	// Every). Non-positive disables the cadence; a HaltAfter boundary still
+	// checkpoints.
+	Every int
+	// Write persists one checkpoint. It is called at interval boundaries,
+	// after the interval's workers have joined, so the snapshot is
+	// quiescent; a Write error aborts the run.
+	Write func(*Checkpoint) error
+}
+
+// keepSeries reports whether the options retain the interval series.
+func (o *RunOptions) keepSeries() bool { return o != nil && o.KeepSeries }
+
+// RunSource evaluates a source under the engine's configuration. See
+// RunSourceContext.
+func (e *Engine) RunSource(src trace.Source, opts *RunOptions) (*Result, error) {
+	return e.RunSourceContext(context.Background(), src, opts)
+}
+
+// RunSourceContext is the engine's streaming run loop: it pulls one column
+// at a time from src, fans each interval's circulations out across the
+// configured worker pool, and folds every interval into running aggregates.
+// Its working set is O(servers) — independent of the trace length — unless
+// opts retains the series.
+//
+// Bit-identity: the per-interval arithmetic and the aggregation order are
+// exactly those of the in-memory path (RunContext is a thin adapter over
+// this function), so for any source, scheme, worker count and fault plan the
+// Result matches Materialize(src) run through the legacy API bit for bit.
+//
+// Checkpoint/resume: with opts.Checkpoint set, the run snapshots itself at
+// interval boundaries; a later run given the snapshot as opts.Resume skips
+// the completed prefix and continues, producing a bit-identical Result. On
+// sources with random access (those implementing SeekInterval, like
+// TraceSource) the skip is O(1); otherwise the source replays and discards
+// the prefix columns, still with O(servers) memory.
+func (e *Engine) RunSourceContext(ctx context.Context, src trace.Source, opts *RunOptions) (*Result, error) {
+	meta := src.Meta()
+	if err := meta.Validate(); err != nil {
+		return nil, err
+	}
+	circs := e.circulations(meta.Servers)
+	if len(circs) == 0 {
+		// Guarded independently of the source's validation so a degenerate
+		// shape can never NaN-poison the per-circulation means.
+		return nil, errors.New("core: trace has no servers to form a circulation")
+	}
+	keepSeries := opts.keepSeries()
+	res := &Result{
+		TraceName: meta.Name,
+		Class:     meta.Class,
+		Scheme:    e.cfg.Scheme,
+		Interval:  meta.Interval,
+		Servers:   meta.Servers,
+	}
+	if keepSeries {
+		res.Intervals = make([]IntervalResult, 0, meta.Intervals)
+	}
+
+	// The running aggregates. Accumulated in interval order — the same order
+	// the legacy path summed its retained series in — so no floating-point
+	// sum is ever reassociated.
+	var sumTEG, sumAvgUtil float64
+	start := 0
+	if opts != nil && opts.Resume != nil {
+		cp := opts.Resume
+		if err := cp.validateFor(meta, e.cfg, len(circs), keepSeries); err != nil {
+			return nil, err
+		}
+		start = cp.NextInterval
+		sumTEG = cp.SumTEGPerServer
+		sumAvgUtil = cp.SumAvgUtil
+		res.PeakTEGPowerPerServer = units.Watts(cp.PeakTEGPerServer)
+		res.TEGEnergy = units.KilowattHours(cp.TEGEnergy)
+		res.CPUEnergy = units.KilowattHours(cp.CPUEnergy)
+		res.PlantEnergy = units.KilowattHours(cp.PlantEnergy)
+		res.Faults = cp.Faults
+		for ci := range circs {
+			circs[ci].sensor.SetState(cp.Sensors[ci])
+		}
+		if keepSeries {
+			res.Intervals = append(res.Intervals, cp.Series...)
+		}
+		e.controller.WarmCache(cp.CacheKeys)
+		if err := skipColumns(src, start, meta.Servers); err != nil {
+			return nil, err
+		}
+		e.met.observeResume(start)
+	}
+
+	workers := e.cfg.workers()
+	if workers > len(circs) {
+		workers = len(circs)
+	}
+	if m := e.met; m != nil {
+		m.workers.Set(float64(workers))
+		m.circulations.Set(float64(len(circs)))
+	}
+	secs := meta.Interval.Seconds()
+	col := make([]float64, meta.Servers)
+	parts := make([]CirculationInterval, len(circs))
+	errs := make([]error, len(circs))
+	for i := start; i < meta.Intervals; i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		got, err := src.NextColumn(col)
+		if err != nil {
+			return nil, fmt.Errorf("core: source at interval %d: %w", i, err)
+		}
+		if got != i {
+			return nil, fmt.Errorf("core: source delivered interval %d, want %d", got, i)
+		}
+		var t0 time.Time
+		if e.met != nil {
+			t0 = time.Now()
+		}
+		if workers <= 1 {
+			for ci := range circs {
+				if parts[ci], err = circs[ci].Step(col, i); err != nil {
+					return nil, fmt.Errorf("interval %d circulation %d: %w", i, ci, err)
+				}
+			}
+		} else if err := stepParallel(ctx, circs, col, i, workers, e.met, parts, errs); err != nil {
+			return nil, err
+		} else {
+			for ci, serr := range errs {
+				if serr != nil {
+					return nil, fmt.Errorf("interval %d circulation %d: %w", i, ci, serr)
+				}
+			}
+		}
+		ir := mergeInterval(col, parts)
+		e.met.observeInterval(i, t0, ir)
+		if keepSeries {
+			res.Intervals = append(res.Intervals, ir)
+		}
+		res.Faults.accumulate(ir)
+
+		res.TEGEnergy += units.EnergyOver(ir.TotalTEGPower, secs).KilowattHours()
+		res.CPUEnergy += units.EnergyOver(ir.TotalCPUPower, secs).KilowattHours()
+		plant := ir.PumpPower + ir.TowerPower + ir.ChillerPower
+		res.PlantEnergy += units.EnergyOver(plant, secs).KilowattHours()
+
+		sumTEG += float64(ir.TEGPowerPerServer)
+		sumAvgUtil += ir.AvgUtilization
+		if ir.TEGPowerPerServer > res.PeakTEGPowerPerServer {
+			res.PeakTEGPowerPerServer = ir.TEGPowerPerServer
+		}
+		if opts != nil && opts.OnInterval != nil {
+			opts.OnInterval(i, ir)
+		}
+
+		done := i + 1
+		halt := opts != nil && opts.HaltAfter > 0 && done >= opts.HaltAfter && done < meta.Intervals
+		if opts != nil && opts.Checkpoint != nil && opts.Checkpoint.Write != nil {
+			every := opts.Checkpoint.Every
+			if halt || (every > 0 && done%every == 0 && done < meta.Intervals) {
+				cp := e.snapshot(meta, circs, res, sumTEG, sumAvgUtil, done, keepSeries)
+				if err := opts.Checkpoint.Write(cp); err != nil {
+					return nil, fmt.Errorf("core: checkpoint at interval %d: %w", done, err)
+				}
+				e.met.observeCheckpoint()
+			}
+		}
+		if halt {
+			return nil, ErrHalted
+		}
+	}
+	res.AvgTEGPowerPerServer = units.Watts(sumTEG / float64(meta.Intervals))
+	res.MeanAvgUtilization = sumAvgUtil / float64(meta.Intervals)
+	if res.CPUEnergy > 0 {
+		res.PRE = float64(res.TEGEnergy) / float64(res.CPUEnergy)
+	}
+	return res, nil
+}
+
+// skipColumns positions src at interval start: one seek on sources with
+// random access, otherwise a replay-and-discard of the prefix (still
+// O(servers) memory — generators re-derive their columns, file sources
+// re-read them).
+func skipColumns(src trace.Source, start, servers int) error {
+	if start == 0 {
+		return nil
+	}
+	if s, ok := src.(interface{ SeekInterval(int) error }); ok {
+		return s.SeekInterval(start)
+	}
+	col := make([]float64, servers)
+	for i := 0; i < start; i++ {
+		got, err := src.NextColumn(col)
+		if err != nil {
+			return fmt.Errorf("core: resume skip at interval %d: %w", i, err)
+		}
+		if got != i {
+			return fmt.Errorf("core: resume skip: source delivered interval %d, want %d", got, i)
+		}
+	}
+	return nil
+}

@@ -18,6 +18,11 @@ const (
 	metricHarvestedPower = "h2p_interval_teg_power_watts_per_server"
 	metricOutletTemp     = "h2p_circulation_outlet_celsius"
 	metricMaxCPUTemp     = "h2p_interval_max_cpu_celsius"
+
+	// Streaming-path instruments (stream.go).
+	metricCheckpoints   = "h2p_engine_checkpoints_total"
+	metricResumes       = "h2p_engine_resumes_total"
+	metricResumeSkipped = "h2p_engine_resume_skipped_intervals_total"
 )
 
 // Exported fault-layer metric names. The report's Telemetry section groups
@@ -57,6 +62,12 @@ type engineMetrics struct {
 	maxCPUTemp     *telemetry.Histogram
 	tracer         *telemetry.Tracer
 
+	// Streaming-path counters: checkpoints written, runs resumed, and
+	// intervals skipped (not re-simulated) by resumes.
+	checkpoints   *telemetry.Counter
+	resumes       *telemetry.Counter
+	resumeSkipped *telemetry.Counter
+
 	// Fault-layer counters, sharded by circulation index like the step
 	// metrics. They only ever move when an Injector is active.
 	faultOpenTEG        *telemetry.Counter
@@ -94,6 +105,10 @@ func newEngineMetrics(reg *telemetry.Registry) *engineMetrics {
 		maxCPUTemp: reg.Histogram(metricMaxCPUTemp, "hottest die across the datacenter, one observation per interval",
 			telemetry.LinearBuckets(40, 2, 15)),
 		tracer: reg.Tracer(telemetry.DefaultTraceCapacity),
+
+		checkpoints:   reg.Counter(metricCheckpoints, "engine checkpoints written at interval boundaries"),
+		resumes:       reg.Counter(metricResumes, "runs resumed from a checkpoint"),
+		resumeSkipped: reg.Counter(metricResumeSkipped, "intervals skipped (not re-simulated) by checkpoint resumes"),
 
 		faultOpenTEG:        reg.Counter(metricFaultOpenTEG, "open-circuit TEG module-intervals excluded from the harvest sum"),
 		faultDegradedTEG:    reg.Counter(metricFaultDegradedTEG, "degradation-scaled TEG module-intervals"),
@@ -160,6 +175,23 @@ func (m *engineMetrics) observeInterval(i int, start time.Time, ir IntervalResul
 	m.harvestedPower.Observe(float64(ir.TEGPowerPerServer))
 	m.maxCPUTemp.Observe(float64(ir.MaxCPUTemp))
 	m.tracer.Record(spanInterval, int64(i), start, d)
+}
+
+// observeCheckpoint records one checkpoint written at an interval boundary.
+func (m *engineMetrics) observeCheckpoint() {
+	if m == nil {
+		return
+	}
+	m.checkpoints.Inc()
+}
+
+// observeResume records one resume and the intervals it skipped.
+func (m *engineMetrics) observeResume(skipped int) {
+	if m == nil {
+		return
+	}
+	m.resumes.Inc()
+	m.resumeSkipped.Add(uint64(skipped))
 }
 
 // observeStep records one circulation step, sharded by circulation index so

@@ -32,6 +32,12 @@ type EvalParams struct {
 	Faults *fault.Plan
 	// FaultSeed fixes the fault activation draws (see core.Config.FaultSeed).
 	FaultSeed int64
+	// Streaming evaluates the traces through generator sources instead of
+	// materialized matrices: each engine pulls columns on the fly with an
+	// O(servers) working set. Results are bit-identical to the in-memory
+	// path — the generator source replays the exact RNG schedule Generate
+	// uses — so the flag only changes the memory profile.
+	Streaming bool
 }
 
 // DefaultEvalParams is the paper's evaluation scale.
@@ -49,8 +55,15 @@ func (p EvalParams) Config(scheme sched.Scheme) core.Config {
 }
 
 // runs the three-trace comparison once, every trace x scheme combination in
-// flight concurrently over one shared look-up space.
-func runComparison(p EvalParams) ([]*trace.Trace, []*core.Result, []*core.Result, error) {
+// flight concurrently over one shared look-up space. The returned classes
+// identify the traces in run order; the callers only ever needed the class,
+// which is what lets the streaming path skip materializing the traces.
+// keepSeries is only consulted on the streaming path — the in-memory API
+// always retains the interval series.
+func runComparison(p EvalParams, keepSeries bool) ([]trace.Class, []*core.Result, []*core.Result, error) {
+	if p.Streaming {
+		return runStreamingComparison(p, keepSeries)
+	}
 	traces, err := trace.GenerateAll(p.Servers, p.Seed)
 	if err != nil {
 		return nil, nil, nil, err
@@ -59,13 +72,45 @@ func runComparison(p EvalParams) ([]*trace.Trace, []*core.Result, []*core.Result
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	return traces, origs, lbs, nil
+	classes := make([]trace.Class, len(traces))
+	for i, tr := range traces {
+		classes[i] = tr.Class
+	}
+	return classes, origs, lbs, nil
+}
+
+// runStreamingComparison is runComparison over generator sources: the same
+// classes, seeds and arithmetic, never materializing a matrix.
+func runStreamingComparison(p EvalParams, keepSeries bool) ([]trace.Class, []*core.Result, []*core.Result, error) {
+	cfgs := trace.CanonicalConfigs(p.Servers)
+	classes := make([]trace.Class, len(cfgs))
+	runs := make([]core.SourceRun, 0, 2*len(cfgs))
+	opts := &core.RunOptions{KeepSeries: keepSeries}
+	for i, cfg := range cfgs {
+		classes[i] = cfg.Class
+		seed := trace.CanonicalSeed(p.Seed, i)
+		open := func() (trace.Source, error) { return trace.NewGeneratorSource(cfg, seed) }
+		runs = append(runs,
+			core.SourceRun{Open: open, Scheme: sched.Original, Opts: opts},
+			core.SourceRun{Open: open, Scheme: sched.LoadBalance, Opts: opts},
+		)
+	}
+	results, err := core.NewFleet().RunSourcesContext(context.Background(), p.Config(sched.Original), runs)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	origs := make([]*core.Result, len(cfgs))
+	lbs := make([]*core.Result, len(cfgs))
+	for i := range cfgs {
+		origs[i], lbs[i] = results[2*i], results[2*i+1]
+	}
+	return classes, origs, lbs, nil
 }
 
 // Fig14 reproduces the electricity-generation evaluation: per-trace average
 // and peak per-CPU TEG power under TEG_Original and TEG_LoadBalance.
 func Fig14(p EvalParams) (*Table, error) {
-	traces, origs, lbs, err := runComparison(p)
+	classes, origs, lbs, err := runComparison(p, false)
 	if err != nil {
 		return nil, err
 	}
@@ -75,10 +120,10 @@ func Fig14(p EvalParams) (*Table, error) {
 		Columns: []string{"trace", "orig_avg_W", "orig_peak_W", "lb_avg_W", "lb_peak_W", "gain_pct"},
 	}
 	var sumO, sumL float64
-	for i, tr := range traces {
+	for i, class := range classes {
 		o, l := origs[i], lbs[i]
 		gain := (float64(l.AvgTEGPowerPerServer)/float64(o.AvgTEGPowerPerServer) - 1) * 100
-		t.AddRow(string(tr.Class),
+		t.AddRow(string(class),
 			fmt.Sprintf("%.3f", float64(o.AvgTEGPowerPerServer)),
 			fmt.Sprintf("%.3f", float64(o.PeakTEGPowerPerServer)),
 			fmt.Sprintf("%.3f", float64(l.AvgTEGPowerPerServer)),
@@ -88,7 +133,7 @@ func Fig14(p EvalParams) (*Table, error) {
 		sumO += float64(o.AvgTEGPowerPerServer)
 		sumL += float64(l.AvgTEGPowerPerServer)
 	}
-	n := float64(len(traces))
+	n := float64(len(classes))
 	t.AddRow("average",
 		fmt.Sprintf("%.3f", sumO/n), "-",
 		fmt.Sprintf("%.3f", sumL/n), "-",
@@ -102,13 +147,13 @@ func Fig14(p EvalParams) (*Table, error) {
 // Fig14Series emits the per-interval power series for one trace class under
 // both schemes (the time-series panels of Fig. 14).
 func Fig14Series(p EvalParams, class trace.Class) (*Table, error) {
-	traces, origs, lbs, err := runComparison(p)
+	classes, origs, lbs, err := runComparison(p, true)
 	if err != nil {
 		return nil, err
 	}
 	idx := -1
-	for i, tr := range traces {
-		if tr.Class == class {
+	for i, c := range classes {
+		if c == class {
 			idx = i
 		}
 	}
@@ -135,7 +180,7 @@ func Fig14Series(p EvalParams, class trace.Class) (*Table, error) {
 
 // Fig15 reproduces the power reusing efficiency per trace and scheme.
 func Fig15(p EvalParams) (*Table, error) {
-	traces, origs, lbs, err := runComparison(p)
+	classes, origs, lbs, err := runComparison(p, false)
 	if err != nil {
 		return nil, err
 	}
@@ -145,14 +190,14 @@ func Fig15(p EvalParams) (*Table, error) {
 		Columns: []string{"trace", "orig_PRE_pct", "lb_PRE_pct"},
 	}
 	var sumO, sumL float64
-	for i, tr := range traces {
-		t.AddRow(string(tr.Class),
+	for i, class := range classes {
+		t.AddRow(string(class),
 			fmt.Sprintf("%.2f", origs[i].PRE*100),
 			fmt.Sprintf("%.2f", lbs[i].PRE*100))
 		sumO += origs[i].PRE
 		sumL += lbs[i].PRE
 	}
-	n := float64(len(traces))
+	n := float64(len(classes))
 	t.AddRow("average", fmt.Sprintf("%.2f", sumO/n*100), fmt.Sprintf("%.2f", sumL/n*100))
 	t.Notes = append(t.Notes,
 		"paper: Original 12.0/13.8/11.9%; LoadBalance 13.7/16.2/12.8% (avg 14.23%)")
@@ -162,7 +207,7 @@ func Fig15(p EvalParams) (*Table, error) {
 // TableI reproduces the TCO analysis: the Table I entries, the Eq. 21/22
 // comparison, and the Sec. V-D fleet worked example.
 func TableI(p EvalParams) (*Table, error) {
-	_, origs, lbs, err := runComparison(p)
+	_, origs, lbs, err := runComparison(p, false)
 	if err != nil {
 		return nil, err
 	}

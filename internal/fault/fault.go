@@ -251,6 +251,13 @@ func (cs *compiledSpec) active(seed uint64, interval, unit, attempt int) bool {
 // engine queries on its hot path. All methods are pure functions of their
 // arguments, safe for any number of concurrent goroutines, and nil-receiver
 // safe — a nil *Injector reports a fully healthy plant.
+//
+// The purity is load-bearing for checkpoint/resume: because an activation
+// depends only on (seed, stream, unit, interval[, attempt]) — never on query
+// order or on which intervals were asked about before — a resumed run that
+// re-compiles the plan and queries only the remaining suffix of intervals
+// sees exactly the faults the uninterrupted run would have, so checkpoints
+// carry no injector state.
 type Injector struct {
 	seed     uint64
 	retry    RetryPolicy

@@ -238,3 +238,66 @@ func TestMaxSensorStale(t *testing.T) {
 		t.Errorf("explicit MaxSensorStale = %d, want 7", in.MaxSensorStale())
 	}
 }
+
+// TestActivationOrderAndAccessIndependent pins the property checkpoint/resume
+// is built on (see the Injector doc): activations are pure functions of their
+// coordinates, so querying intervals backwards, repeatedly, or only a suffix
+// — as a resumed run does — returns exactly what a forward full-run sweep
+// saw. A hidden RNG cursor or per-query memo anywhere in the injector would
+// fail this immediately.
+func TestActivationOrderAndAccessIndependent(t *testing.T) {
+	plan := &Plan{Specs: []Spec{
+		{Kind: TEGDegrade, Rate: 0.3},
+		{Kind: TEGOpen, Rate: 0.1},
+		{Kind: PumpDroop, Rate: 0.2},
+		{Kind: SensorStuck, Rate: 0.2},
+		{Kind: StepError, Rate: 0.1},
+	}}
+	const intervals, units = 48, 30
+	type cell struct {
+		tegFactor  float64
+		tegOpen    bool
+		flowFactor float64
+		stuck      bool
+		stepErr    bool
+	}
+	query := func(in *Injector, interval, unit int) cell {
+		return cell{
+			tegFactor:  in.TEGFactor(interval, unit),
+			tegOpen:    in.TEGOpen(interval, unit),
+			flowFactor: in.FlowFactor(interval, unit),
+			stuck:      in.SensorStuck(interval, unit),
+			stepErr:    in.StepError(interval, unit, 2),
+		}
+	}
+
+	// Forward sweep on one injector: the uninterrupted run.
+	forward := mustCompile(t, plan, 42)
+	var want [intervals][units]cell
+	for i := 0; i < intervals; i++ {
+		for u := 0; u < units; u++ {
+			want[i][u] = query(forward, i, u)
+		}
+	}
+
+	// Backward sweep on the same injector: order independence.
+	for i := intervals - 1; i >= 0; i-- {
+		for u := units - 1; u >= 0; u-- {
+			if query(forward, i, u) != want[i][u] {
+				t.Fatalf("backward re-query at (%d,%d) changed the activation", i, u)
+			}
+		}
+	}
+
+	// Suffix-only sweep on a fresh compile: the resumed run. It never asks
+	// about the completed prefix, yet must see the same tail activations.
+	resumed := mustCompile(t, plan, 42)
+	const resumeAt = intervals / 2
+	for i := intervals - 1; i >= resumeAt; i-- {
+		for u := 0; u < units; u++ {
+			if query(resumed, i, u) != want[i][u] {
+				t.Fatalf("suffix query at (%d,%d) differs from the full-run sweep", i, u)
+			}
+		}
+	}
+}

@@ -64,3 +64,26 @@ func (s *LastGoodSensor) Read(live units.Celsius, stuck bool) (units.Celsius, Se
 
 // Staleness returns how many consecutive stale servings the sensor has made.
 func (s *LastGoodSensor) Staleness() int { return s.stale }
+
+// SensorState is a LastGoodSensor's serializable snapshot: the held last-good
+// reading, the consecutive-stale count, and whether a good reading was ever
+// captured. It is the sensor's only cross-interval state, so checkpointing a
+// simulation amounts to saving one SensorState per monitored channel.
+type SensorState struct {
+	Last   units.Celsius `json:"last"`
+	Stale  int           `json:"stale"`
+	Primed bool          `json:"primed"`
+}
+
+// State snapshots the sensor's mutable state. MaxStale is configuration, not
+// state, and is deliberately excluded.
+func (s *LastGoodSensor) State() SensorState {
+	return SensorState{Last: s.last, Stale: s.stale, Primed: s.primed}
+}
+
+// SetState restores a snapshot taken with State. A sensor restored from a
+// snapshot behaves bit-identically to one that lived through the readings
+// that produced it.
+func (s *LastGoodSensor) SetState(st SensorState) {
+	s.last, s.stale, s.primed = st.Last, st.Stale, st.Primed
+}

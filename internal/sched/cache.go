@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"sort"
 	"sync/atomic"
 
 	"github.com/h2p-sim/h2p/internal/units"
@@ -82,6 +83,19 @@ func (dc *decisionCache) store(key uint64, setting Setting, power units.Watts) {
 			return
 		}
 	}
+}
+
+// keys collects every memoized key, sorted ascending so the listing is
+// deterministic regardless of insertion or bucket order.
+func (dc *decisionCache) keys() []uint64 {
+	var ks []uint64
+	for b := range dc.buckets {
+		for e := dc.buckets[b].Load(); e != nil; e = e.next {
+			ks = append(ks, e.key)
+		}
+	}
+	sort.Slice(ks, func(i, j int) bool { return ks[i] < ks[j] })
+	return ks
 }
 
 // The cache's hit/call/insert counters live in telemetry.Counter instances

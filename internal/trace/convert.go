@@ -1,0 +1,171 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// ConvertToCSV streams a source into the canonical WriteCSV layout without
+// ever materializing the servers × intervals matrix. The output is
+// byte-identical to Materialize(src).WriteCSV(w).
+//
+// The canonical layout is server-major but sources deliver interval-major
+// columns, so the conversion transposes through a fixed-width binary spool
+// file:
+//
+//   - Columns are buffered in batches of convertSpoolBudget bytes and
+//     written to the spool at each cell's final server-major offset
+//     (server*intervals + interval)*8 — one contiguous write per server per
+//     batch, so the spool fills with large sequential runs.
+//   - A second pass reads the spool sequentially and emits one CSV row per
+//     server.
+//
+// Peak memory is O(servers) + the constant batch budget, independent of the
+// interval count; the spool lives in tmpDir ("" = the system default) and
+// is removed before return.
+func ConvertToCSV(src Source, w io.Writer, tmpDir string) error {
+	m := src.Meta()
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	// The streamed header writer never quotes, so names that would make
+	// csv.Writer quote are rejected rather than silently corrupted.
+	if strings.ContainsAny(m.Name+string(m.Class), ",\"\r\n") {
+		return fmt.Errorf("trace: convert: name/class %q/%q need CSV quoting; rename the source", m.Name, m.Class)
+	}
+	spool, err := os.CreateTemp(tmpDir, "h2p-convert-*.spool")
+	if err != nil {
+		return err
+	}
+	defer func() {
+		spool.Close()
+		os.Remove(spool.Name())
+	}()
+	if err := spoolColumns(src, spool, m); err != nil {
+		return err
+	}
+	return writeCanonicalFromSpool(spool, w, m)
+}
+
+// convertSpoolBudget bounds the column batch the converter holds in memory
+// (bytes of float64 cells). 4 MiB batches keep spool writes long and
+// sequential while the working set stays small.
+const convertSpoolBudget = 4 << 20
+
+// spoolColumns drains the source into the spool in server-major order.
+func spoolColumns(src Source, spool *os.File, m Meta) error {
+	// batchCols columns are gathered before scattering to the spool; at
+	// least one, however wide the cluster is.
+	batchCols := convertSpoolBudget / (8 * m.Servers)
+	if batchCols < 1 {
+		batchCols = 1
+	}
+	if batchCols > m.Intervals {
+		batchCols = m.Intervals
+	}
+	batch := make([]float64, batchCols*m.Servers) // column-major within the batch
+	enc := make([]byte, batchCols*8)
+	col := make([]float64, m.Servers)
+	done := 0 // columns already spooled
+	inBatch := 0
+	flush := func() error {
+		if inBatch == 0 {
+			return nil
+		}
+		for s := 0; s < m.Servers; s++ {
+			for c := 0; c < inBatch; c++ {
+				binary.LittleEndian.PutUint64(enc[c*8:], math.Float64bits(batch[c*m.Servers+s]))
+			}
+			off := (int64(s)*int64(m.Intervals) + int64(done)) * 8
+			if _, err := spool.WriteAt(enc[:inBatch*8], off); err != nil {
+				return err
+			}
+		}
+		done += inBatch
+		inBatch = 0
+		return nil
+	}
+	for {
+		i, err := src.NextColumn(col)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		if i != done+inBatch {
+			return fmt.Errorf("trace: convert: source delivered interval %d, want %d", i, done+inBatch)
+		}
+		copy(batch[inBatch*m.Servers:], col)
+		inBatch++
+		if inBatch == batchCols {
+			if err := flush(); err != nil {
+				return err
+			}
+		}
+	}
+	if err := flush(); err != nil {
+		return err
+	}
+	if done != m.Intervals {
+		return fmt.Errorf("trace: convert: source delivered %d columns, meta says %d", done, m.Intervals)
+	}
+	return nil
+}
+
+// writeCanonicalFromSpool emits the canonical CSV from the server-major
+// spool. The field-by-field writer produces exactly the bytes
+// Trace.WriteCSV's csv.Writer would: plain floats never need quoting, and
+// rows end in '\n'.
+func writeCanonicalFromSpool(spool *os.File, w io.Writer, m Meta) error {
+	bw := bufio.NewWriterSize(w, 64<<10)
+	// Meta row, then the column-header row — streamed, never assembled.
+	if _, err := fmt.Fprintf(bw, "#h2p-trace,%s,%s,%s\n", m.Name, m.Class, m.Interval); err != nil {
+		return err
+	}
+	if _, err := bw.WriteString("server"); err != nil {
+		return err
+	}
+	for i := 0; i < m.Intervals; i++ {
+		if _, err := fmt.Fprintf(bw, ",t%d", i); err != nil {
+			return err
+		}
+	}
+	if err := bw.WriteByte('\n'); err != nil {
+		return err
+	}
+	if _, err := spool.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	br := bufio.NewReaderSize(spool, 64<<10)
+	cell := make([]byte, 8)
+	var num []byte
+	for s := 0; s < m.Servers; s++ {
+		if _, err := bw.WriteString(strconv.Itoa(s)); err != nil {
+			return err
+		}
+		for i := 0; i < m.Intervals; i++ {
+			if _, err := io.ReadFull(br, cell); err != nil {
+				return err
+			}
+			v := math.Float64frombits(binary.LittleEndian.Uint64(cell))
+			num = strconv.AppendFloat(num[:0], v, 'g', -1, 64)
+			if err := bw.WriteByte(','); err != nil {
+				return err
+			}
+			if _, err := bw.Write(num); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,79 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+)
+
+// TestConvertToCSVByteIdentical pins the streaming converter's output to
+// the in-memory reference path (ReadLongFormat + WriteCSV) byte for byte.
+func TestConvertToCSVByteIdentical(t *testing.T) {
+	o := AlibabaOptions()
+	input := "" +
+		"m0,0,10\n" +
+		"m0,60,30\n" +
+		"m1,250,40\n" +
+		"m0,300,50\n" +
+		"m1,320,60\n" +
+		"m0,900,70\n" +
+		"m2,910,80\n"
+
+	dense, err := ReadLongFormat(strings.NewReader(input), o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	if err := dense.WriteCSV(&want); err != nil {
+		t.Fatal(err)
+	}
+
+	open := func() (io.ReadCloser, error) {
+		return io.NopCloser(strings.NewReader(input)), nil
+	}
+	src, err := NewLongFormatSource(open, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	var got bytes.Buffer
+	if err := ConvertToCSV(src, &got, t.TempDir()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), want.Bytes()) {
+		t.Fatalf("streamed conversion differs from reference:\n--- streamed ---\n%s\n--- reference ---\n%s",
+			got.String(), want.String())
+	}
+}
+
+// TestConvertToCSVGenerator round-trips a generated trace through the
+// converter and the streaming CSV reader.
+func TestConvertToCSVGenerator(t *testing.T) {
+	cfg := CommonConfig(7)
+	g, err := NewGeneratorSource(cfg, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got bytes.Buffer
+	if err := ConvertToCSV(g, &got, t.TempDir()); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := Generate(cfg, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	if err := tr.WriteCSV(&want); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), want.Bytes()) {
+		t.Fatal("generator conversion differs from WriteCSV reference")
+	}
+	// And the converted bytes stream back loss-free.
+	src, err := NewCSVSource(bytes.NewReader(got.Bytes()), int64(got.Len()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireColumnsEqualTrace(t, drainSource(t, src), tr)
+}

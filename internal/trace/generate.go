@@ -2,6 +2,8 @@ package trace
 
 import (
 	"errors"
+	"fmt"
+	"io"
 	"math"
 	"math/rand"
 	"time"
@@ -83,67 +85,131 @@ func CommonConfig(servers int) GeneratorConfig {
 	}
 }
 
-// Generate produces a deterministic synthetic trace for the given seed.
-func Generate(cfg GeneratorConfig, seed int64) (*Trace, error) {
+// GeneratorSource streams a seeded synthetic trace column by column: the
+// same AR(1)+diurnal+spike process Generate materializes, produced on the
+// fly with an O(servers) working set. Generate is implemented on top of this
+// source, so the streamed columns are bit-identical to the dense matrix by
+// construction — the RNG consumption order is shared code, not a re-derived
+// twin.
+type GeneratorSource struct {
+	cfg       GeneratorConfig
+	intervals int
+	rng       *rand.Rand
+
+	// Per-server process state: persistent base levels, AR(1) noise, and
+	// the remaining length/height of any in-flight load spike.
+	base, noise, spikeHeight []float64
+	spikeLeft                []int
+
+	// Shared cross-server state.
+	swing  float64
+	perDay float64
+	next   int
+}
+
+// NewGeneratorSource validates cfg and draws the per-server base levels,
+// leaving the stream positioned at interval 0.
+func NewGeneratorSource(cfg GeneratorConfig, seed int64) (*GeneratorSource, error) {
 	if cfg.Servers <= 0 {
 		return nil, errors.New("trace: Servers must be positive")
 	}
 	if cfg.Interval <= 0 || cfg.Horizon < cfg.Interval {
 		return nil, errors.New("trace: bad horizon/interval")
 	}
-	intervals := int(cfg.Horizon / cfg.Interval)
-	tr, err := New(cfg.Name, cfg.Class, cfg.Servers, intervals, cfg.Interval)
+	g := &GeneratorSource{
+		cfg:         cfg,
+		intervals:   int(cfg.Horizon / cfg.Interval),
+		rng:         rand.New(rand.NewSource(seed)),
+		base:        make([]float64, cfg.Servers),
+		noise:       make([]float64, cfg.Servers),
+		spikeHeight: make([]float64, cfg.Servers),
+		spikeLeft:   make([]int, cfg.Servers),
+		perDay:      float64((24 * time.Hour) / cfg.Interval),
+	}
+	// Per-server persistent base levels.
+	for s := range g.base {
+		g.base[s] = units.Clamp(cfg.BaseMean+g.rng.NormFloat64()*cfg.BaseStd, 0.01, 0.95)
+	}
+	return g, nil
+}
+
+// Meta reports the generated trace's shape.
+func (g *GeneratorSource) Meta() Meta {
+	return Meta{
+		Name:      g.cfg.Name,
+		Class:     g.cfg.Class,
+		Servers:   g.cfg.Servers,
+		Intervals: g.intervals,
+		Interval:  g.cfg.Interval,
+	}
+}
+
+// NextColumn generates the next interval's column into dst. The per-call
+// cost is O(servers) with zero allocations in steady state.
+func (g *GeneratorSource) NextColumn(dst []float64) (int, error) {
+	if g.next >= g.intervals {
+		return 0, io.EOF
+	}
+	if len(dst) != g.cfg.Servers {
+		return 0, fmt.Errorf("trace: column buffer has %d slots, want %d", len(dst), g.cfg.Servers)
+	}
+	cfg, i := g.cfg, g.next
+	// Shared diurnal component peaking mid-day.
+	diurnal := cfg.DiurnalAmplitude * math.Sin(2*math.Pi*(float64(i)/g.perDay-0.25))
+	// Shared bounded random walk.
+	g.swing += g.rng.NormFloat64() * cfg.GlobalSwingAmplitude / 4
+	g.swing = units.Clamp(g.swing, -cfg.GlobalSwingAmplitude, cfg.GlobalSwingAmplitude)
+	for s := 0; s < cfg.Servers; s++ {
+		g.noise[s] = cfg.NoisePhi*g.noise[s] + g.rng.NormFloat64()*cfg.NoiseStd
+		if g.spikeLeft[s] > 0 {
+			g.spikeLeft[s]--
+		} else if g.rng.Float64() < cfg.SpikeProb {
+			g.spikeLeft[s] = 1 + g.rng.Intn(2*cfg.SpikeDurationIntervals)
+			g.spikeHeight[s] = cfg.SpikeMin + g.rng.Float64()*(cfg.SpikeMax-cfg.SpikeMin)
+		}
+		u := g.base[s] + diurnal + g.swing + g.noise[s]
+		if g.spikeLeft[s] > 0 {
+			u += g.spikeHeight[s]
+		}
+		dst[s] = units.Clamp(u, 0, 1)
+	}
+	g.next++
+	return i, nil
+}
+
+// Generate produces a deterministic synthetic trace for the given seed: the
+// materialized form of NewGeneratorSource's stream.
+func Generate(cfg GeneratorConfig, seed int64) (*Trace, error) {
+	g, err := NewGeneratorSource(cfg, seed)
 	if err != nil {
 		return nil, err
 	}
-	rng := rand.New(rand.NewSource(seed))
-
-	// Per-server persistent base levels.
-	base := make([]float64, cfg.Servers)
-	for s := range base {
-		base[s] = units.Clamp(cfg.BaseMean+rng.NormFloat64()*cfg.BaseStd, 0.01, 0.95)
-	}
-	noise := make([]float64, cfg.Servers) // AR(1) state
-	spikeLeft := make([]int, cfg.Servers) // intervals of spike remaining
-	spikeHeight := make([]float64, cfg.Servers)
-
-	perDay := float64((24 * time.Hour) / cfg.Interval)
-	swing := 0.0
-	for i := 0; i < intervals; i++ {
-		// Shared diurnal component peaking mid-day.
-		diurnal := cfg.DiurnalAmplitude * math.Sin(2*math.Pi*(float64(i)/perDay-0.25))
-		// Shared bounded random walk.
-		swing += rng.NormFloat64() * cfg.GlobalSwingAmplitude / 4
-		swing = units.Clamp(swing, -cfg.GlobalSwingAmplitude, cfg.GlobalSwingAmplitude)
-		for s := 0; s < cfg.Servers; s++ {
-			noise[s] = cfg.NoisePhi*noise[s] + rng.NormFloat64()*cfg.NoiseStd
-			if spikeLeft[s] > 0 {
-				spikeLeft[s]--
-			} else if rng.Float64() < cfg.SpikeProb {
-				spikeLeft[s] = 1 + rng.Intn(2*cfg.SpikeDurationIntervals)
-				spikeHeight[s] = cfg.SpikeMin + rng.Float64()*(cfg.SpikeMax-cfg.SpikeMin)
-			}
-			u := base[s] + diurnal + swing + noise[s]
-			if spikeLeft[s] > 0 {
-				u += spikeHeight[s]
-			}
-			tr.U[s][i] = units.Clamp(u, 0, 1)
-		}
-	}
-	return tr, tr.Validate()
+	return Materialize(g)
 }
 
-// GenerateAll returns the paper's three evaluation traces for the given
-// server count and seed, in drastic/irregular/common order.
-func GenerateAll(servers int, seed int64) ([]*Trace, error) {
-	configs := []GeneratorConfig{
+// CanonicalConfigs returns the paper's three evaluation classes' generator
+// configurations in drastic/irregular/common order. GenerateAll materializes
+// config i with CanonicalSeed(seed, i); streaming callers pair the two the
+// same way to get bit-identical columns without the matrices.
+func CanonicalConfigs(servers int) []GeneratorConfig {
+	return []GeneratorConfig{
 		DrasticConfig(servers),
 		IrregularConfig(servers),
 		CommonConfig(servers),
 	}
+}
+
+// CanonicalSeed is the per-class seed schedule GenerateAll uses for
+// CanonicalConfigs entry i.
+func CanonicalSeed(seed int64, i int) int64 { return seed + int64(i)*1000 }
+
+// GenerateAll returns the paper's three evaluation traces for the given
+// server count and seed, in drastic/irregular/common order.
+func GenerateAll(servers int, seed int64) ([]*Trace, error) {
+	configs := CanonicalConfigs(servers)
 	out := make([]*Trace, 0, len(configs))
 	for i, cfg := range configs {
-		tr, err := Generate(cfg, seed+int64(i)*1000)
+		tr, err := Generate(cfg, CanonicalSeed(seed, i))
 		if err != nil {
 			return nil, err
 		}

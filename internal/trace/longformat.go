@@ -74,6 +74,74 @@ func (o LongFormatOptions) Validate() error {
 	return nil
 }
 
+// neededColumns returns the highest column index the options reference.
+func (o LongFormatOptions) neededColumns() int {
+	need := o.MachineColumn
+	if o.TimestampColumn > need {
+		need = o.TimestampColumn
+	}
+	if o.UtilColumn > need {
+		need = o.UtilColumn
+	}
+	return need
+}
+
+// longRow is one parsed long-format observation: the machine id, the
+// resampling bucket its timestamp lands in, and the utilization already
+// scaled and clamped to [0, 1].
+type longRow struct {
+	id     string
+	bucket int
+	util   float64
+}
+
+// parseLongRow decodes one record under the options' layout. It is shared
+// by the in-memory reader and the streaming source, so the two agree on
+// every validation bound and on the exact scaled-and-clamped sample value.
+func parseLongRow(rec []string, o LongFormatOptions, need int) (longRow, error) {
+	if len(rec) <= need {
+		return longRow{}, fmt.Errorf("trace: row has %d fields, need > %d", len(rec), need)
+	}
+	ts, err := strconv.ParseFloat(rec[o.TimestampColumn], 64)
+	if err != nil {
+		return longRow{}, fmt.Errorf("trace: bad timestamp %q: %w", rec[o.TimestampColumn], err)
+	}
+	if math.IsNaN(ts) || math.IsInf(ts, 0) {
+		return longRow{}, fmt.Errorf("trace: non-finite timestamp %v", ts)
+	}
+	util, err := strconv.ParseFloat(rec[o.UtilColumn], 64)
+	if err != nil {
+		return longRow{}, fmt.Errorf("trace: bad utilization %q: %w", rec[o.UtilColumn], err)
+	}
+	if math.IsNaN(util) || math.IsInf(util, 0) {
+		return longRow{}, fmt.Errorf("trace: non-finite utilization %v", util)
+	}
+	fb := ts / o.Interval.Seconds()
+	// Guard the float->int conversion: out-of-range conversions are
+	// implementation-defined, and a single far-out timestamp would blow
+	// up the resampled span anyway.
+	if fb < -MaxLongFormatIntervals || fb > MaxLongFormatIntervals {
+		return longRow{}, fmt.Errorf("trace: timestamp %v lands %.0f intervals out (max %d)", ts, fb, MaxLongFormatIntervals)
+	}
+	u := util * o.UtilScale
+	if u < 0 {
+		u = 0
+	}
+	if u > 1 {
+		u = 1
+	}
+	return longRow{id: rec[o.MachineColumn], bucket: int(fb), util: u}, nil
+}
+
+// longReader wraps a csv.Reader configured for the options' layout.
+func longReader(r io.Reader, o LongFormatOptions) *csv.Reader {
+	cr := csv.NewReader(r)
+	cr.Comma = o.Comma
+	cr.FieldsPerRecord = -1
+	cr.ReuseRecord = true
+	return cr
+}
+
 // ReadLongFormat parses a long-format usage file into a Trace: observations
 // are bucketed into fixed intervals and averaged per machine; gaps carry the
 // machine's previous bucket forward (cluster traces sample every machine on
@@ -83,23 +151,14 @@ func ReadLongFormat(r io.Reader, o LongFormatOptions) (*Trace, error) {
 	if err := o.Validate(); err != nil {
 		return nil, err
 	}
-	cr := csv.NewReader(r)
-	cr.Comma = o.Comma
-	cr.FieldsPerRecord = -1
-	cr.ReuseRecord = true
+	cr := longReader(r, o)
 
 	type cell struct{ sum, n float64 }
 	machines := map[string]int{}       // machine id -> dense index
 	var order []string                 // dense index -> machine id
 	buckets := map[int]map[int]*cell{} // machine -> bucket -> accumulator
 	minBucket, maxBucket := int(^uint(0)>>1), -int(^uint(0)>>1)
-	need := o.MachineColumn
-	if o.TimestampColumn > need {
-		need = o.TimestampColumn
-	}
-	if o.UtilColumn > need {
-		need = o.UtilColumn
-	}
+	need := o.neededColumns()
 	rows := 0
 	for {
 		rec, err := cr.Read()
@@ -109,39 +168,18 @@ func ReadLongFormat(r io.Reader, o LongFormatOptions) (*Trace, error) {
 		if err != nil {
 			return nil, fmt.Errorf("trace: long format: %w", err)
 		}
-		if len(rec) <= need {
-			return nil, fmt.Errorf("trace: row has %d fields, need > %d", len(rec), need)
-		}
-		ts, err := strconv.ParseFloat(rec[o.TimestampColumn], 64)
+		row, err := parseLongRow(rec, o, need)
 		if err != nil {
-			return nil, fmt.Errorf("trace: bad timestamp %q: %w", rec[o.TimestampColumn], err)
+			return nil, err
 		}
-		if math.IsNaN(ts) || math.IsInf(ts, 0) {
-			return nil, fmt.Errorf("trace: non-finite timestamp %v", ts)
-		}
-		util, err := strconv.ParseFloat(rec[o.UtilColumn], 64)
-		if err != nil {
-			return nil, fmt.Errorf("trace: bad utilization %q: %w", rec[o.UtilColumn], err)
-		}
-		if math.IsNaN(util) || math.IsInf(util, 0) {
-			return nil, fmt.Errorf("trace: non-finite utilization %v", util)
-		}
-		id := rec[o.MachineColumn]
-		m, ok := machines[id]
+		m, ok := machines[row.id]
 		if !ok {
 			m = len(order)
-			machines[id] = m
-			order = append(order, id)
+			machines[row.id] = m
+			order = append(order, row.id)
 			buckets[m] = map[int]*cell{}
 		}
-		fb := ts / o.Interval.Seconds()
-		// Guard the float->int conversion: out-of-range conversions are
-		// implementation-defined, and a single far-out timestamp would blow
-		// up the resampled span anyway.
-		if fb < -MaxLongFormatIntervals || fb > MaxLongFormatIntervals {
-			return nil, fmt.Errorf("trace: timestamp %v lands %.0f intervals out (max %d)", ts, fb, MaxLongFormatIntervals)
-		}
-		b := int(fb)
+		b := row.bucket
 		if b < minBucket {
 			minBucket = b
 		}
@@ -153,14 +191,7 @@ func ReadLongFormat(r io.Reader, o LongFormatOptions) (*Trace, error) {
 			c = &cell{}
 			buckets[m][b] = c
 		}
-		u := util * o.UtilScale
-		if u < 0 {
-			u = 0
-		}
-		if u > 1 {
-			u = 1
-		}
-		c.sum += u
+		c.sum += row.util
 		c.n++
 		rows++
 	}

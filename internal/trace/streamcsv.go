@@ -1,0 +1,279 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// The canonical CSV layout is server-major (one row per server), but the
+// engine pulls interval-major columns. CSVSource squares that with an
+// O(servers) working set: an index pass records each data row's byte span,
+// then one small buffered cursor per row walks its fields in lockstep —
+// NextColumn reads exactly one field from every row. Memory is
+// O(servers × csvRowBufSize) regardless of how many intervals the file
+// holds; the matrix itself never exists in memory.
+
+// csvRowBufSize is each row cursor's read buffer: large enough to cover a
+// handful of float fields per refill, small enough that a fleet-sized trace
+// (12.5k servers) needs only ~6 MiB of cursor buffers.
+const csvRowBufSize = 512
+
+// csvMaxFieldLen bounds a single CSV field; the longest float64 the writer
+// emits is ~24 bytes, so anything past this is a corrupt or hostile file.
+const csvMaxFieldLen = 64
+
+// CSVSource streams a canonical (WriteCSV-layout) trace file column by
+// column. It accepts the same two layouts ReadCSV does — the two-line
+// #h2p-trace header, or a headerless matrix with default metadata — but
+// not quoted fields, which the canonical writer never emits.
+type CSVSource struct {
+	meta   Meta
+	rows   []*bufio.Reader // one positioned cursor per server row
+	ra     io.ReaderAt
+	spans  []rowSpan
+	next   int
+	primed bool // row cursors have consumed their server-id field
+	field  []byte
+	closer io.Closer
+}
+
+// rowSpan is one data row's byte range in the file, newline excluded.
+type rowSpan struct{ start, end int64 }
+
+// OpenCSVFile opens path as a streaming trace source. Close releases the
+// underlying file.
+func OpenCSVFile(path string) (*CSVSource, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	src, err := NewCSVSource(f, st.Size())
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	src.closer = f
+	return src, nil
+}
+
+// NewCSVSource indexes the canonical CSV held by ra and returns a source
+// positioned at interval 0. The index pass streams the file once with a
+// fixed-size buffer; only the per-row offsets (O(servers)) are retained.
+func NewCSVSource(ra io.ReaderAt, size int64) (*CSVSource, error) {
+	idx, err := indexCSV(ra, size)
+	if err != nil {
+		return nil, err
+	}
+	meta := Meta{Name: "csv-trace", Class: Class("unknown"), Interval: 5 * time.Minute}
+	if idx.metaFields != nil {
+		if len(idx.metaFields) != 4 {
+			return nil, fmt.Errorf("trace: malformed meta row (%d fields, want 4)", len(idx.metaFields))
+		}
+		meta.Name = idx.metaFields[1]
+		meta.Class = Class(idx.metaFields[2])
+		d, err := time.ParseDuration(idx.metaFields[3])
+		if err != nil {
+			return nil, fmt.Errorf("trace: bad interval: %w", err)
+		}
+		meta.Interval = d
+	}
+	meta.Servers = len(idx.spans)
+	meta.Intervals = idx.intervals
+	if err := meta.Validate(); err != nil {
+		return nil, err
+	}
+	src := &CSVSource{
+		meta:  meta,
+		ra:    ra,
+		spans: idx.spans,
+		rows:  make([]*bufio.Reader, len(idx.spans)),
+		field: make([]byte, 0, csvMaxFieldLen),
+	}
+	for i, sp := range idx.spans {
+		src.rows[i] = bufio.NewReaderSize(io.NewSectionReader(ra, sp.start, sp.end-sp.start), csvRowBufSize)
+	}
+	return src, nil
+}
+
+// Meta reports the file's shape.
+func (s *CSVSource) Meta() Meta { return s.meta }
+
+// Close releases the backing file when the source owns one.
+func (s *CSVSource) Close() error {
+	if s.closer != nil {
+		return s.closer.Close()
+	}
+	return nil
+}
+
+// NextColumn advances every row cursor by one field and fills dst with the
+// parsed utilizations.
+func (s *CSVSource) NextColumn(dst []float64) (int, error) {
+	if s.next >= s.meta.Intervals {
+		return 0, io.EOF
+	}
+	if len(dst) != s.meta.Servers {
+		return 0, fmt.Errorf("trace: column buffer has %d slots, want %d", len(dst), s.meta.Servers)
+	}
+	if !s.primed {
+		for r, br := range s.rows {
+			if _, err := s.readField(br); err != nil {
+				return 0, fmt.Errorf("trace: row %d server id: %w", r, err)
+			}
+		}
+		s.primed = true
+	}
+	i := s.next
+	for r, br := range s.rows {
+		f, err := s.readField(br)
+		if err != nil {
+			return 0, fmt.Errorf("trace: row %d interval %d: %w", r, i, err)
+		}
+		v, err := strconv.ParseFloat(string(f), 64)
+		if err != nil {
+			return 0, fmt.Errorf("trace: row %d interval %d: %w", r, i, err)
+		}
+		dst[r] = v
+	}
+	if err := validateColumn(dst, i); err != nil {
+		return 0, err
+	}
+	s.next++
+	return i, nil
+}
+
+// readField reads one comma-delimited field from a row cursor into the
+// source's reusable scratch. The last field of a row ends at the section's
+// EOF instead of a comma.
+func (s *CSVSource) readField(br *bufio.Reader) ([]byte, error) {
+	s.field = s.field[:0]
+	for {
+		b, err := br.ReadByte()
+		if err == io.EOF {
+			if len(s.field) == 0 {
+				return nil, io.ErrUnexpectedEOF
+			}
+			return s.field, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		if b == ',' {
+			return s.field, nil
+		}
+		if b == '"' {
+			return nil, fmt.Errorf("quoted fields are not supported by the streaming reader")
+		}
+		if len(s.field) >= csvMaxFieldLen {
+			return nil, fmt.Errorf("field exceeds %d bytes", csvMaxFieldLen)
+		}
+		s.field = append(s.field, b)
+	}
+}
+
+// csvIndex is the outcome of the indexing pass.
+type csvIndex struct {
+	metaFields []string // nil when the file is headerless
+	intervals  int
+	spans      []rowSpan
+}
+
+// indexCSV streams the file once, recording each line's byte span and comma
+// count. Rectangularity is enforced here so the column cursors can never
+// desynchronize mid-stream.
+func indexCSV(ra io.ReaderAt, size int64) (*csvIndex, error) {
+	br := bufio.NewReaderSize(io.NewSectionReader(ra, 0, size), 64<<10)
+	idx := &csvIndex{intervals: -1}
+	var (
+		pos       int64
+		lineStart int64
+		commas    int
+		prev      byte
+		line      int
+		sawData   bool
+		capture   []byte // first line only, to parse a #h2p-trace meta row
+		headerCut = false
+	)
+	endLine := func(end int64) error {
+		if prev == '\r' {
+			end--
+		}
+		if end == lineStart { // empty line (e.g. trailing newline): skip
+			return nil
+		}
+		defer func() { line++ }()
+		if line == 0 {
+			if len(capture) > 0 && capture[len(capture)-1] == '\r' {
+				capture = capture[:len(capture)-1]
+			}
+			if strings.HasPrefix(string(capture), "#h2p-trace") {
+				idx.metaFields = strings.Split(string(capture), ",")
+				headerCut = true
+				return nil
+			}
+			// Headerless matrix: this is a data row; fall through.
+		}
+		if headerCut && line == 1 {
+			// Column-header row: field count fixes the interval count.
+			idx.intervals = commas
+			if idx.intervals < 1 {
+				return fmt.Errorf("trace: CSV rows need a server id and at least one sample")
+			}
+			return nil
+		}
+		if idx.intervals < 0 {
+			idx.intervals = commas
+			if idx.intervals < 1 {
+				return fmt.Errorf("trace: CSV rows need a server id and at least one sample")
+			}
+		} else if commas != idx.intervals {
+			return fmt.Errorf("trace: row %d has %d fields, want %d", len(idx.spans), commas+1, idx.intervals+1)
+		}
+		idx.spans = append(idx.spans, rowSpan{start: lineStart, end: end})
+		sawData = true
+		return nil
+	}
+	for {
+		b, err := br.ReadByte()
+		if err == io.EOF {
+			if pos > lineStart {
+				if err := endLine(pos); err != nil {
+					return nil, err
+				}
+			}
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		pos++
+		switch b {
+		case '\n':
+			if err := endLine(pos - 1); err != nil {
+				return nil, err
+			}
+			lineStart, commas, prev = pos, 0, 0
+			continue
+		case ',':
+			commas++
+		}
+		if line == 0 && len(capture) < 4096 {
+			capture = append(capture, b)
+		}
+		prev = b
+	}
+	if !sawData {
+		return nil, fmt.Errorf("trace: CSV has no data rows")
+	}
+	return idx, nil
+}

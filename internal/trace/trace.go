@@ -38,10 +38,43 @@ type Trace struct {
 	U        [][]float64
 }
 
+// MaxCells bounds the dense servers × intervals matrix New will allocate:
+// 2^31 float64 cells is a 16 GiB backing array, far beyond any in-memory
+// evaluation (the paper's largest is 12.5k servers × 288 intervals = 3.6M
+// cells). Longer traces belong on the streaming Source path, which never
+// materializes the matrix.
+const MaxCells = 1 << 31
+
+// ShapeError reports a trace shape New refuses to allocate: non-positive
+// axes, a servers × intervals product that would overflow int, or one past
+// MaxCells. It is a typed error so loaders can distinguish "this file asks
+// for an absurd allocation" from parse failures.
+type ShapeError struct {
+	Servers, Intervals int
+	Reason             string
+}
+
+func (e *ShapeError) Error() string {
+	return fmt.Sprintf("trace: invalid shape %d servers x %d intervals: %s",
+		e.Servers, e.Intervals, e.Reason)
+}
+
 // New allocates a zero trace with the given shape.
 func New(name string, class Class, servers, intervals int, interval time.Duration) (*Trace, error) {
 	if servers <= 0 || intervals <= 0 {
-		return nil, errors.New("trace: servers and intervals must be positive")
+		return nil, &ShapeError{Servers: servers, Intervals: intervals,
+			Reason: "servers and intervals must be positive"}
+	}
+	// Guard servers*intervals against int overflow before the product is
+	// formed: a wrapped product would under-allocate the backing slice and
+	// the row-slicing loop below would panic (or worse, silently alias).
+	if intervals > math.MaxInt/servers {
+		return nil, &ShapeError{Servers: servers, Intervals: intervals,
+			Reason: "servers x intervals overflows int"}
+	}
+	if cells := servers * intervals; cells > MaxCells {
+		return nil, &ShapeError{Servers: servers, Intervals: intervals,
+			Reason: fmt.Sprintf("%d cells exceeds MaxCells (%d); use the streaming Source path", cells, MaxCells)}
 	}
 	if interval <= 0 {
 		return nil, errors.New("trace: interval must be positive")
