@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet vuln test race check telemetry-check fault-check fuzz-check stream-check bench bench-all experiments clean
+.PHONY: all build vet vuln test race check telemetry-check fault-check fuzz-check stream-check kernel-check bench bench-all experiments clean
 
 all: check
 
@@ -65,19 +65,35 @@ stream-check:
 	$(GO) test -race -run 'Stream|Source|Resume|Checkpoint|Convert|Generator' \
 		./internal/trace ./internal/core ./cmd/h2psim ./cmd/h2ptrace
 
+# kernel-check gates the batched column kernels under the race detector:
+# the SoA gather/eval kernels in internal/lookup, the DecideBatch cache-probe
+# and scan phases in internal/sched (including the fuzz corpus replayed as
+# unit tests), and the engine-level batch-vs-serial bit-equality suites in
+# internal/core (every class x scheme x worker count x fault plan).
+kernel-check:
+	$(GO) test -race -run 'Batch|Kernel|Segment|Gather' \
+		./internal/lookup ./internal/sched ./internal/core
+
 # check is the tier-1 gate: vet + best-effort vuln scan + build +
-# race-enabled tests + the telemetry, fault, fuzz and streaming gates.
-check: vet vuln build race telemetry-check fault-check fuzz-check stream-check
+# race-enabled tests + the telemetry, fault, fuzz, streaming and batch-kernel
+# gates.
+check: vet vuln build race telemetry-check fault-check fuzz-check stream-check kernel-check
 
 # bench tracks the decision hot path across PRs: the Decision* benchmarks in
 # internal/lookup (candidate scan) and internal/sched (controller) run with
-# -benchmem and land in BENCH_decision.json as a test2json stream. Render or
-# compare snapshots with `go run ./cmd/h2pbenchdiff BENCH_decision.json
-# [other.json]`.
+# -benchmem and land in BENCH_decision.json as a test2json stream, and the
+# end-to-end IntervalThroughput* benchmarks in internal/core (10k-server
+# columns through Engine.RunSourceContext, batch vs. pinned-serial) land in
+# BENCH_interval.json. Render or compare snapshots with `go run
+# ./cmd/h2pbenchdiff BENCH_decision.json [other.json]`; add `-threshold 10`
+# to fail on >10% ns/op regressions.
 bench:
 	$(GO) test -run '^$$' -bench Decision -benchmem -count=1 -json \
 		./internal/lookup ./internal/sched > BENCH_decision.json
+	$(GO) test -run '^$$' -bench IntervalThroughput -benchmem -count=1 -json \
+		./internal/core > BENCH_interval.json
 	$(GO) run ./cmd/h2pbenchdiff BENCH_decision.json
+	$(GO) run ./cmd/h2pbenchdiff BENCH_interval.json
 
 bench-all:
 	$(GO) test -run '^$$' -bench . -benchmem ./...
@@ -87,4 +103,4 @@ experiments:
 
 clean:
 	$(GO) clean ./...
-	rm -rf results BENCH_decision.json
+	rm -rf results BENCH_decision.json BENCH_interval.json

@@ -45,6 +45,7 @@ func main() {
 	faultPlan := flag.String("fault-plan", "", "fault plan for trace-driven experiments: JSON file or 'kind:rate[:severity],...' DSL")
 	faultSeed := flag.Int64("fault-seed", 1, "fault activation seed")
 	stream := flag.Bool("stream", false, "evaluate traces through streaming generator sources with O(servers) memory (bit-identical results)")
+	serial := flag.Bool("serial", false, "pin engines to the legacy per-server decide loop instead of the batch kernels (bit-identical results; for A/B timing)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -68,7 +69,7 @@ func main() {
 	params := experiments.EvalParams{
 		Servers: *servers, Seed: *seed, Workers: *workers,
 		Faults: plan, FaultSeed: *faultSeed,
-		Streaming: *stream,
+		Streaming: *stream, SerialDecide: *serial,
 	}
 	if *telemetryAddr != "" || *metricsOut != "" || *traceOut != "" {
 		params.Telemetry = telemetry.New()

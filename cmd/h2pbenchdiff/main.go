@@ -7,11 +7,18 @@
 //
 //	h2pbenchdiff BENCH_decision.json
 //	h2pbenchdiff old.json new.json
+//	h2pbenchdiff -threshold 5 old.json new.json   # exit 1 on >5% slowdowns
+//
+// With -threshold N (percent) in two-file mode, any benchmark whose ns/op
+// grew by more than N% fails the run: the regressions are listed on stderr
+// and the exit status is 1, which is what lets make targets and CI gate on
+// the stored benchmark artifacts.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"io"
 	"os"
@@ -21,40 +28,78 @@ import (
 )
 
 func main() {
-	args := os.Args[1:]
+	fs := flag.NewFlagSet("h2pbenchdiff", flag.ExitOnError)
+	threshold := fs.Float64("threshold", -1,
+		"fail (exit 1) when any benchmark's ns/op regresses by more than this percent; negative disables the gate")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: h2pbenchdiff [-threshold pct] <bench-file> [new-bench-file]")
+		fs.PrintDefaults()
+	}
+	fs.Parse(os.Args[1:])
+	args := fs.Args()
 	if len(args) < 1 || len(args) > 2 {
-		fmt.Fprintln(os.Stderr, "usage: h2pbenchdiff <bench-file> [new-bench-file]")
+		fs.Usage()
 		os.Exit(2)
 	}
-	if err := run(os.Stdout, args); err != nil {
+	regressed, err := run(os.Stdout, args, *threshold)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "h2pbenchdiff:", err)
+		os.Exit(1)
+	}
+	if len(regressed) > 0 {
+		fmt.Fprintf(os.Stderr, "h2pbenchdiff: %d benchmark(s) regressed beyond %.4g%%:\n", len(regressed), *threshold)
+		for _, r := range regressed {
+			fmt.Fprintln(os.Stderr, "  "+r)
+		}
 		os.Exit(1)
 	}
 }
 
-func run(out io.Writer, paths []string) error {
+// run prints the table or diff and, with a non-negative threshold in diff
+// mode, returns the benchmarks whose ns/op regressed beyond threshold percent.
+func run(out io.Writer, paths []string, threshold float64) ([]string, error) {
 	sets := make([]*benchSet, len(paths))
 	for i, p := range paths {
 		f, err := os.Open(p)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		s, err := parse(f)
 		f.Close()
 		if err != nil {
-			return fmt.Errorf("%s: %w", p, err)
+			return nil, fmt.Errorf("%s: %w", p, err)
 		}
 		if len(s.order) == 0 {
-			return fmt.Errorf("%s: no benchmark results found", p)
+			return nil, fmt.Errorf("%s: no benchmark results found", p)
 		}
 		sets[i] = s
 	}
 	if len(sets) == 1 {
 		writeTable(out, sets[0])
-		return nil
+		return nil, nil
 	}
 	writeDiff(out, sets[0], sets[1])
-	return nil
+	if threshold < 0 {
+		return nil, nil
+	}
+	return regressions(sets[0], sets[1], threshold), nil
+}
+
+// regressions lists the benchmarks present in both sets whose ns/op grew by
+// strictly more than threshold percent, in the old set's order.
+func regressions(old, new_ *benchSet, threshold float64) []string {
+	var out []string
+	for _, name := range old.order {
+		o := old.results[name]
+		n, ok := new_.results[name]
+		if !ok || o.NsPerOp == 0 {
+			continue
+		}
+		if pct := (n.NsPerOp/o.NsPerOp - 1) * 100; pct > threshold {
+			out = append(out, fmt.Sprintf("%s: %.2f -> %.2f ns/op (%+.1f%%)", name, o.NsPerOp, n.NsPerOp, pct))
+		}
+	}
+	return out
 }
 
 // result is one benchmark line. BytesPerOp/AllocsPerOp are -1 when the run

@@ -73,7 +73,7 @@ func TestRunSingleFileTable(t *testing.T) {
 		t.Fatal(err)
 	}
 	var sb strings.Builder
-	if err := run(&sb, []string{path}); err != nil {
+	if _, err := run(&sb, []string{path}, -1); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
@@ -95,7 +95,7 @@ func TestRunDiffTwoFiles(t *testing.T) {
 		t.Fatal(err)
 	}
 	var sb strings.Builder
-	if err := run(&sb, []string{oldPath, newPath}); err != nil {
+	if _, err := run(&sb, []string{oldPath, newPath}, -1); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
@@ -114,7 +114,53 @@ func TestRunRejectsEmptyFile(t *testing.T) {
 	if err := os.WriteFile(path, []byte("no benchmarks here\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(&strings.Builder{}, []string{path}); err == nil {
+	if _, err := run(&strings.Builder{}, []string{path}, -1); err == nil {
 		t.Error("file without benchmark lines should error")
+	}
+}
+
+// TestThresholdGate exercises the -threshold regression gate: the hit
+// benchmark slows 18.49 -> 25 ns/op (+35.2%) while the miss one improves, so
+// a 5% gate reports exactly the hit and a 50% gate passes.
+func TestThresholdGate(t *testing.T) {
+	const slower = `BenchmarkDecisionChooseMiss   100000	12000 ns/op
+BenchmarkDecisionChooseHit-8  50000000	25.00 ns/op
+`
+	dir := t.TempDir()
+	oldPath := filepath.Join(dir, "old.txt")
+	newPath := filepath.Join(dir, "new.txt")
+	if err := os.WriteFile(oldPath, []byte(plainBench), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(newPath, []byte(slower), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	regressed, err := run(&strings.Builder{}, []string{oldPath, newPath}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regressed) != 1 || !strings.Contains(regressed[0], "BenchmarkDecisionChooseHit") {
+		t.Errorf("5%% gate: regressed = %v, want the hit benchmark only", regressed)
+	}
+	if !strings.Contains(regressed[0], "+35.2%") {
+		t.Errorf("regression line missing delta: %q", regressed[0])
+	}
+
+	regressed, err = run(&strings.Builder{}, []string{oldPath, newPath}, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regressed) != 0 {
+		t.Errorf("50%% gate: regressed = %v, want none", regressed)
+	}
+
+	// Disabled gate never reports, even with regressions present.
+	regressed, err = run(&strings.Builder{}, []string{oldPath, newPath}, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regressed != nil {
+		t.Errorf("disabled gate: regressed = %v, want nil", regressed)
 	}
 }

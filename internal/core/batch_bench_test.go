@@ -1,0 +1,202 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/h2p-sim/h2p/internal/lookup"
+	"github.com/h2p-sim/h2p/internal/sched"
+	"github.com/h2p-sim/h2p/internal/trace"
+)
+
+// benchIntervalState builds a 10k-server engine plus a ring of trace columns
+// for steady-state interval stepping. The columns come from the Common class
+// generator — the trace whose plane churn is most representative — and the
+// first pass of the benchmark loop warms the decision cache, exactly like a
+// run's first intervals.
+type benchIntervalState struct {
+	cfg     Config
+	space   *lookup.Space
+	servers int
+	circs   []Circulation
+	cols    [][]float64
+	buf     []float64
+	parts   []CirculationInterval
+	errs    []error
+	ws      workerState
+}
+
+func newBenchIntervalState(b *testing.B, servers int, disableBatch bool) *benchIntervalState {
+	return newBenchIntervalClassState(b, servers, disableBatch, trace.CommonConfig(servers))
+}
+
+func newBenchIntervalClassState(b *testing.B, servers int, disableBatch bool, gcfg trace.GeneratorConfig) *benchIntervalState {
+	b.Helper()
+	cfg := DefaultConfig(sched.Original)
+	cfg.Workers = 1
+	cfg.DisableBatch = disableBatch
+	space, err := lookup.Build(cfg.Spec, cfg.Axes)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, err := trace.Generate(gcfg, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	st := &benchIntervalState{cfg: cfg, space: space, servers: servers}
+	const ring = 16
+	for i := 0; i < ring && i < len(tr.U[0]); i++ {
+		col := make([]float64, servers)
+		for s := 0; s < servers; s++ {
+			col[s] = tr.U[s][i]
+		}
+		st.cols = append(st.cols, col)
+	}
+	st.buf = make([]float64, servers)
+	st.reset(b)
+	st.parts = make([]CirculationInterval, len(st.circs))
+	st.errs = make([]error, len(st.circs))
+	return st
+}
+
+// reset rebuilds the engine around the shared look-up space, giving the
+// controller a fresh (empty) decision cache. The churn benchmarks call it
+// off the clock every churnWindow iterations so each measured window models
+// one bounded-length run instead of a cache growing with b.N.
+func (st *benchIntervalState) reset(b *testing.B) {
+	b.Helper()
+	eng, err := newEngineWithSpace(st.cfg, st.space)
+	if err != nil {
+		b.Fatal(err)
+	}
+	st.circs = eng.circulations(st.servers)
+}
+
+// column materializes the interval-i column. With churn, every server's
+// utilization is scaled by a deterministic per-iteration factor just under 1,
+// so every circulation's plane key is fresh and each decision misses the
+// cache — the steady state of a CacheQuantum=0 run, where real columns
+// almost never repeat bit-identically. Without churn the ring columns repeat
+// verbatim and every decision is a cache hit.
+func (st *benchIntervalState) column(i int, churn bool) []float64 {
+	col := st.cols[i%len(st.cols)]
+	if !churn {
+		return col
+	}
+	scale := 1 - float64(i%100003+1)*1e-9
+	for s, u := range col {
+		st.buf[s] = u * scale
+	}
+	return st.buf
+}
+
+// step runs one interval over column i through the configured path.
+func (st *benchIntervalState) step(b *testing.B, i int, batch, churn bool) {
+	col := st.column(i, churn)
+	if batch {
+		stepBlock(st.circs, 0, len(st.circs), col, i, &st.ws, st.parts, st.errs)
+		for ci, err := range st.errs {
+			if err != nil {
+				b.Fatalf("circulation %d: %v", ci, err)
+			}
+		}
+		return
+	}
+	for ci := range st.circs {
+		var err error
+		if st.parts[ci], err = st.circs[ci].Step(col, i); err != nil {
+			b.Fatalf("circulation %d: %v", ci, err)
+		}
+	}
+}
+
+// churnWindow bounds how much decision-cache state a churn benchmark can
+// accumulate: every window the engine is rebuilt off the clock with an empty
+// cache, so each measured window models one churnWindow-interval run and
+// ns/op is independent of b.N. Without the bound every iteration's fresh
+// plane keys pile onto the cache's bucket chains and the benchmark ends up
+// measuring chain walks whose length scales with iteration count — and since
+// the faster path completes more iterations per benchtime, it is penalized
+// more, inverting the comparison.
+const churnWindow = 128
+
+// benchInterval measures one full control interval — decide + harvest +
+// plant — over a 10k-server column, single worker, on either path. The two
+// benchmarks differ only in the decide data path, so their ns/op ratio is
+// the batch kernels' interval speedup. The churn variants present fresh
+// plane keys every iteration (decision-cache misses, the CacheQuantum=0
+// steady state); the warm variants replay the ring verbatim (all hits).
+func benchInterval(b *testing.B, servers int, batch, churn bool) {
+	benchIntervalClass(b, servers, batch, churn, trace.CommonConfig(servers))
+}
+
+func benchIntervalClass(b *testing.B, servers int, batch, churn bool, gcfg trace.GeneratorConfig) {
+	st := newBenchIntervalClassState(b, servers, !batch, gcfg)
+	st.step(b, 0, batch, false) // warm the scratches and the ring's cache keys
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if churn && i > 0 && i%churnWindow == 0 {
+			b.StopTimer()
+			st.reset(b)
+			b.StartTimer()
+		}
+		st.step(b, i, batch, churn)
+	}
+	b.ReportMetric(float64(servers)*float64(b.N)/b.Elapsed().Seconds(), "servers/s")
+}
+
+func BenchmarkIntervalThroughputSerial10k(b *testing.B) { benchInterval(b, 10000, false, true) }
+func BenchmarkIntervalThroughputBatch10k(b *testing.B)  { benchInterval(b, 10000, true, true) }
+
+func BenchmarkIntervalThroughputSerialWarm10k(b *testing.B) { benchInterval(b, 10000, false, false) }
+func BenchmarkIntervalThroughputBatchWarm10k(b *testing.B)  { benchInterval(b, 10000, true, false) }
+
+// BenchmarkIntervalThroughputClasses runs the churn regime per trace class on
+// both decide paths; the before/after throughput table in EXPERIMENTS.md is
+// these rows.
+func BenchmarkIntervalThroughputClasses(b *testing.B) {
+	const servers = 10000
+	for _, gcfg := range trace.CanonicalConfigs(servers) {
+		for _, batch := range []bool{false, true} {
+			path := "serial"
+			if batch {
+				path = "batch"
+			}
+			b.Run(fmt.Sprintf("class=%s/path=%s", gcfg.Class, path), func(b *testing.B) {
+				benchIntervalClass(b, servers, batch, true, gcfg)
+			})
+		}
+	}
+}
+
+// BenchmarkIntervalThroughputBatchWorkers scales the batch path across the
+// worker pool on the parallel claiming loop.
+func BenchmarkIntervalThroughputBatchWorkers(b *testing.B) {
+	for _, workers := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			st := newBenchIntervalState(b, 10000, false)
+			states := make([]workerState, workers)
+			ctx := b.Context()
+			run := func(i int) {
+				if err := stepParallel(ctx, st.circs, st.column(i, true), i, workers, nil, states, true, st.parts, st.errs); err != nil {
+					b.Fatal(err)
+				}
+				for ci, err := range st.errs {
+					if err != nil {
+						b.Fatalf("circulation %d: %v", ci, err)
+					}
+				}
+			}
+			run(0)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if i > 0 && i%churnWindow == 0 {
+					b.StopTimer()
+					st.reset(b)
+					b.StartTimer()
+				}
+				run(i)
+			}
+		})
+	}
+}

@@ -25,9 +25,13 @@ type Circulation struct {
 	// Lo and Hi bound the circulation's server slice in the trace column.
 	Lo, Hi int
 
-	scheme     sched.Scheme
-	ctl        *sched.Controller
-	plant      chiller.Plant
+	scheme sched.Scheme
+	ctl    *sched.Controller
+	// serialDecide (Config.DisableBatch) pins Step's decision to the scalar
+	// reference path DecideSerial — per-server trilinear lookups — instead
+	// of the batched column kernels. Results are bit-identical either way.
+	serialDecide bool
+	plant        chiller.Plant
 	pump       hydro.Pump
 	maxFlow    units.LitersPerHour
 	hxApproach units.Celsius
@@ -58,14 +62,15 @@ type Circulation struct {
 // control interval.
 func newCirculation(index, lo, hi int, cfg Config, ctl *sched.Controller, plant chiller.Plant, met *engineMetrics, inj *fault.Injector) Circulation {
 	return Circulation{
-		Index:  index,
-		Lo:     lo,
-		Hi:     hi,
-		scheme: cfg.Scheme,
-		ctl:    ctl,
-		plant:  plant,
-		met:    met,
-		inj:    inj,
+		Index:        index,
+		Lo:           lo,
+		Hi:           hi,
+		scheme:       cfg.Scheme,
+		ctl:          ctl,
+		serialDecide: cfg.DisableBatch,
+		plant:        plant,
+		met:          met,
+		inj:          inj,
 		sensor: hydro.LastGoodSensor{MaxStale: inj.MaxSensorStale()},
 		pump: hydro.Pump{
 			Name:       "circ",
@@ -159,7 +164,38 @@ func (c *Circulation) Step(col []float64, interval int) (CirculationInterval, er
 	return CirculationInterval{Degraded: true, Retries: attempts - 1}, nil
 }
 
-// stepOnce is one step attempt.
+// stepWithDecision is Step with the interval's scheme decision already made
+// by the batched column kernel. The decision is a pure function of the
+// column, so precomputing it outside the retry loop changes no outcome: a
+// serial attempt that survives its injected-error check would recompute the
+// identical decision. Only the finish — injected-error check, harvest, pump,
+// plant — is retried; a circulation that fails every attempt degrades
+// exactly as under Step.
+func (c *Circulation) stepWithDecision(interval int, d *sched.Decision) (CirculationInterval, error) {
+	if c.inj == nil {
+		return c.finishOnce(interval, 0, d)
+	}
+	retry := c.inj.Retry()
+	attempts := retry.Attempts()
+	for a := 0; a < attempts; a++ {
+		if a > 0 {
+			if del := retry.Delay(a - 1); del > 0 {
+				time.Sleep(del)
+			}
+			c.met.observeFault(c.Index, faultObs{retries: 1})
+		}
+		ci, err := c.finishOnce(interval, a, d)
+		if err == nil {
+			ci.Retries = a
+			return ci, nil
+		}
+	}
+	c.met.observeFault(c.Index, faultObs{degraded: true})
+	return CirculationInterval{Degraded: true, Retries: attempts - 1}, nil
+}
+
+// stepOnce is one step attempt: the injected-error gate, the scheme decision
+// and the finish.
 func (c *Circulation) stepOnce(col []float64, interval, attempt int) (CirculationInterval, error) {
 	var t0 time.Time
 	if c.met != nil {
@@ -169,10 +205,37 @@ func (c *Circulation) stepOnce(col []float64, interval, attempt int) (Circulatio
 		return CirculationInterval{}, fmt.Errorf("circulation %d interval %d attempt %d: %w",
 			c.Index, interval, attempt, fault.ErrInjected)
 	}
-	d, err := c.ctl.DecideInto(col[c.Lo:c.Hi], c.scheme, &c.scratch)
+	var d sched.Decision
+	var err error
+	if c.serialDecide {
+		d, err = c.ctl.DecideSerial(col[c.Lo:c.Hi], c.scheme, &c.scratch)
+	} else {
+		d, err = c.ctl.DecideInto(col[c.Lo:c.Hi], c.scheme, &c.scratch)
+	}
 	if err != nil {
 		return CirculationInterval{}, err
 	}
+	return c.finish(interval, t0, d)
+}
+
+// finishOnce is one stepWithDecision attempt: stepOnce with the decision
+// taken as given.
+func (c *Circulation) finishOnce(interval, attempt int, d *sched.Decision) (CirculationInterval, error) {
+	var t0 time.Time
+	if c.met != nil {
+		t0 = time.Now()
+	}
+	if c.inj.StepError(interval, c.Index, attempt) {
+		return CirculationInterval{}, fmt.Errorf("circulation %d interval %d attempt %d: %w",
+			c.Index, interval, attempt, fault.ErrInjected)
+	}
+	return c.finish(interval, t0, *d)
+}
+
+// finish turns a scheme decision into the circulation's interval
+// contribution: TEG harvest, pump power, plant dispatch and the fault
+// accounting. It is the shared tail of the serial and batched step paths.
+func (c *Circulation) finish(interval int, t0 time.Time, d sched.Decision) (CirculationInterval, error) {
 	ci := CirculationInterval{
 		CPUPower:   d.TotalCPUPower(),
 		Inlet:      d.Setting.Inlet,

@@ -80,6 +80,12 @@ type Config struct {
 	// within each control interval. 0 means runtime.GOMAXPROCS(0); 1
 	// forces the serial path. Results are bit-identical for any value.
 	Workers int
+	// DisableBatch forces the legacy per-circulation decide path instead of
+	// the batched column kernels (sched.Controller.DecideBatch). The batch
+	// path is bit-identical to the legacy one for every scheme, worker count
+	// and fault plan — this switch exists as the referee for the equivalence
+	// suites and for A/B benchmarking, not as a compatibility escape.
+	DisableBatch bool
 	// DecisionQuantum is the cooling controller's plane-utilization cache
 	// quantum (sched.Controller.CacheQuantum). 0 — the default, and the
 	// paper-faithful setting — memoizes exact planes only; a positive
@@ -360,35 +366,133 @@ func (e *Engine) RunContext(ctx context.Context, tr *trace.Trace) (*Result, erro
 	return e.RunSourceContext(ctx, src, &RunOptions{KeepSeries: true})
 }
 
+// workerState is one worker's reusable batch-decision working set: the
+// controller's column scratch plus the per-block argument arrays. One
+// workerState belongs to exactly one worker goroutine for the run's
+// lifetime, so nothing here is synchronized.
+type workerState struct {
+	bs     sched.BatchScratch
+	ranges []sched.Range
+	scrs   []*sched.Scratch
+	decs   []sched.Decision
+}
+
+// grow sizes the per-block arrays to n circulations, reusing capacity.
+func (ws *workerState) grow(n int) {
+	if cap(ws.ranges) < n {
+		ws.ranges = make([]sched.Range, n)
+		ws.scrs = make([]*sched.Scratch, n)
+		ws.decs = make([]sched.Decision, n)
+	}
+	ws.ranges = ws.ranges[:n]
+	ws.scrs = ws.scrs[:n]
+	ws.decs = ws.decs[:n]
+}
+
+// blockSize picks the batch path's circulation-block granularity: with one
+// worker the whole datacenter is a single block (maximal cache-probe dedup);
+// with more, ~4 blocks per worker balance the pool without shrinking the
+// columns into per-circulation calls.
+func blockSize(circulations, workers int) int {
+	if workers <= 1 {
+		return circulations
+	}
+	bs := (circulations + workers*4 - 1) / (workers * 4)
+	if bs < 1 {
+		bs = 1
+	}
+	return bs
+}
+
+// stepBlock runs one contiguous block of circulations [lo, hi) through the
+// batched decision kernel and the per-circulation finish, writing each
+// circulation's contribution (or error) into its slot.
+//
+// The decision is a pure function of the column, so one DecideBatch serves
+// every retry attempt of every circulation in the block. If the batch
+// decision itself fails under an active fault injector, the block falls back
+// to the legacy per-circulation Step — reproducing exactly the serial
+// retry-then-degrade semantics for decide-stage failures. With no injector a
+// decide failure is fatal, attributed to the block's lowest failing
+// circulation with the untouched serial error.
+func stepBlock(circs []Circulation, lo, hi int, col []float64, interval int, ws *workerState, parts []CirculationInterval, errs []error) {
+	n := hi - lo
+	ws.grow(n)
+	for k := 0; k < n; k++ {
+		c := &circs[lo+k]
+		ws.ranges[k] = sched.Range{Lo: c.Lo, Hi: c.Hi}
+		ws.scrs[k] = &c.scratch
+		errs[lo+k] = nil
+	}
+	c0 := &circs[lo]
+	if err := c0.ctl.DecideBatch(col, ws.ranges, c0.scheme, &ws.bs, ws.scrs, ws.decs); err != nil {
+		if c0.inj != nil {
+			for k := 0; k < n; k++ {
+				parts[lo+k], errs[lo+k] = circs[lo+k].Step(col, interval)
+			}
+			return
+		}
+		var ge sched.GroupError
+		if errors.As(err, &ge) {
+			errs[lo+ge.Group] = ge.Err
+		} else {
+			errs[lo] = err
+		}
+		return
+	}
+	for k := 0; k < n; k++ {
+		parts[lo+k], errs[lo+k] = circs[lo+k].stepWithDecision(interval, &ws.decs[k])
+	}
+}
+
 // stepParallel fans the circulations of one interval out across workers
 // goroutines, writing each circulation's contribution (or error) into its
-// own slot. It only returns an error for context cancellation; per-
+// own slot. Workers claim contiguous circulation blocks: on the batch path
+// each block is one DecideBatch column call; on the legacy path blocks are
+// single circulations, preserving the historical per-circulation
+// granularity. It only returns an error for context cancellation; per-
 // circulation errors are reported through errs so the caller can surface
 // the lowest-index failure, matching the serial path. When met is non-nil,
-// each task's wait between fan-out and claim is recorded as queue wait,
-// sharded by circulation index.
-func stepParallel(ctx context.Context, circs []Circulation, col []float64, interval, workers int, met *engineMetrics, parts []CirculationInterval, errs []error) error {
+// each block's wait between fan-out and claim is recorded as queue wait,
+// sharded by its first circulation index.
+func stepParallel(ctx context.Context, circs []Circulation, col []float64, interval, workers int, met *engineMetrics, states []workerState, batch bool, parts []CirculationInterval, errs []error) error {
 	var fanOut time.Time
 	if met != nil {
 		fanOut = time.Now()
 	}
+	bs := 1
+	if batch {
+		bs = blockSize(len(circs), workers)
+	}
+	nBlocks := (len(circs) + bs - 1) / bs
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for {
-				ci := int(next.Add(1)) - 1
-				if ci >= len(circs) || ctx.Err() != nil {
+				b := int(next.Add(1)) - 1
+				if b >= nBlocks || ctx.Err() != nil {
 					return
 				}
-				if met != nil {
-					met.queueWaitSec.ObserveHint(uint64(ci), time.Since(fanOut).Seconds())
+				lo := b * bs
+				hi := lo + bs
+				if hi > len(circs) {
+					hi = len(circs)
 				}
-				parts[ci], errs[ci] = circs[ci].Step(col, interval)
+				if met != nil {
+					met.queueWaitSec.ObserveHint(uint64(lo), time.Since(fanOut).Seconds())
+				}
+				if batch {
+					stepBlock(circs, lo, hi, col, interval, &states[w], parts, errs)
+				} else {
+					for ci := lo; ci < hi; ci++ {
+						parts[ci], errs[ci] = circs[ci].Step(col, interval)
+					}
+				}
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	return ctx.Err()

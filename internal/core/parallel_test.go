@@ -142,7 +142,9 @@ func TestQuantizedCacheKeepsEquivalence(t *testing.T) {
 // TestRunContextCancellation verifies RunContext aborts promptly once its
 // context is cancelled, both when cancelled up front and mid-run.
 func TestRunContextCancellation(t *testing.T) {
-	tr, err := trace.Generate(trace.CommonConfig(200), 4)
+	// Large enough that the run cannot finish inside the millisecond timeout
+	// below, even on the batched decide path.
+	tr, err := trace.Generate(trace.CommonConfig(5000), 4)
 	if err != nil {
 		t.Fatal(err)
 	}

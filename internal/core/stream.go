@@ -141,9 +141,11 @@ func (e *Engine) RunSourceContext(ctx context.Context, src trace.Source, opts *R
 		m.circulations.Set(float64(len(circs)))
 	}
 	secs := meta.Interval.Seconds()
+	batch := !e.cfg.DisableBatch
 	col := make([]float64, meta.Servers)
 	parts := make([]CirculationInterval, len(circs))
 	errs := make([]error, len(circs))
+	states := make([]workerState, workers)
 	for i := start; i < meta.Intervals; i++ {
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -160,12 +162,23 @@ func (e *Engine) RunSourceContext(ctx context.Context, src trace.Source, opts *R
 			t0 = time.Now()
 		}
 		if workers <= 1 {
-			for ci := range circs {
-				if parts[ci], err = circs[ci].Step(col, i); err != nil {
-					return nil, fmt.Errorf("interval %d circulation %d: %w", i, ci, err)
+			if batch {
+				// One block spanning the datacenter: a single column call
+				// with maximal cache-probe dedup across circulations.
+				stepBlock(circs, 0, len(circs), col, i, &states[0], parts, errs)
+				for ci, serr := range errs {
+					if serr != nil {
+						return nil, fmt.Errorf("interval %d circulation %d: %w", i, ci, serr)
+					}
+				}
+			} else {
+				for ci := range circs {
+					if parts[ci], err = circs[ci].Step(col, i); err != nil {
+						return nil, fmt.Errorf("interval %d circulation %d: %w", i, ci, err)
+					}
 				}
 			}
-		} else if err := stepParallel(ctx, circs, col, i, workers, e.met, parts, errs); err != nil {
+		} else if err := stepParallel(ctx, circs, col, i, workers, e.met, states, batch, parts, errs); err != nil {
 			return nil, err
 		} else {
 			for ci, serr := range errs {

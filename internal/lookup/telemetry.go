@@ -8,20 +8,27 @@ import (
 
 // Exported look-up space metric names.
 const (
-	metricPlaneScans     = "h2p_lookup_plane_scans_total"
-	metricPlaneScanCells = "h2p_lookup_plane_scan_cells"
-	metricSlabScans      = "h2p_lookup_slab_scans_total"
-	metricSlabScanPoints = "h2p_lookup_slab_scan_points"
+	metricPlaneScans      = "h2p_lookup_plane_scans_total"
+	metricPlaneScanCells  = "h2p_lookup_plane_scan_cells"
+	metricSlabScans       = "h2p_lookup_slab_scans_total"
+	metricSlabScanPoints  = "h2p_lookup_slab_scan_points"
+	metricBatchScans      = "h2p_lookup_batch_scans_total"
+	metricBatchScanPlanes = "h2p_lookup_batch_scan_planes"
+	metricBatchScanCells  = "h2p_lookup_batch_scan_cells"
 )
 
 // spaceMetrics instruments the candidate-table visitors: how often planes
 // are scanned (cache-miss work in the decision path) and how many cells each
-// scan walks before the visitor stops it.
+// scan walks before the visitor stops it, plus the batch kernels' column
+// widths and blocked scan lengths.
 type spaceMetrics struct {
-	planeScans     *telemetry.Counter
-	planeScanCells *telemetry.Histogram
-	slabScans      *telemetry.Counter
-	slabScanPoints *telemetry.Histogram
+	planeScans      *telemetry.Counter
+	planeScanCells  *telemetry.Histogram
+	slabScans       *telemetry.Counter
+	slabScanPoints  *telemetry.Histogram
+	batchScans      *telemetry.Counter
+	batchScanPlanes *telemetry.Histogram
+	batchScanCells  *telemetry.Histogram
 }
 
 // AttachTelemetry registers the space's visitor metrics with reg. The
@@ -42,6 +49,11 @@ func (s *Space) AttachTelemetry(reg *telemetry.Registry) {
 		slabScans: reg.Counter(metricSlabScans, "safety-slab grid scans"),
 		slabScanPoints: reg.Histogram(metricSlabScanPoints, "grid points visited per safety-slab scan",
 			telemetry.LinearBuckets(0, 4000, 8)),
+		batchScans: reg.Counter(metricBatchScans, "batched candidate-plane scans"),
+		batchScanPlanes: reg.Histogram(metricBatchScanPlanes, "utilization planes evaluated per batch scan",
+			telemetry.LinearBuckets(0, 32, 9)),
+		batchScanCells: reg.Histogram(metricBatchScanCells, "blocked candidate cells walked per batch scan",
+			telemetry.LinearBuckets(0, 1000, 8)),
 	})
 }
 

@@ -1,0 +1,378 @@
+package sched
+
+import (
+	"fmt"
+	"math"
+	"slices"
+
+	"github.com/h2p-sim/h2p/internal/lookup"
+	"github.com/h2p-sim/h2p/internal/units"
+)
+
+// This file is the batched face of the controller: where DecideSerial runs
+// Steps 1-3 and the per-server evaluation one circulation at a time through
+// scalar look-up calls, DecideBatch takes a whole *column* of utilizations
+// partitioned into groups (one group per circulation) and processes them in
+// column passes:
+//
+//  1. reduce every group to its plane utilization and quantized cache key,
+//  2. sort-and-compact the keys so each distinct plane probes the sharded
+//     decision cache exactly once,
+//  3. resolve all cache-missed planes with the segment-pruned slab scan
+//     (lookup.GatherSlab over the controller's SegmentIndex), folding the
+//     slab filter, the safety fallback and the power argmax in cell order,
+//  4. scatter settings back to groups and evaluate the per-server outputs
+//     with the flattened-stencil kernels (lookup.BatchEval).
+//
+// Every step replicates the serial operation sequence exactly — same
+// comparisons, same blend order, same argmax tie-breaking (first strictly
+// greater in cell-ascending order), same error messages — so the results are
+// bit-identical to DecideSerial for any input. The equivalence suites and
+// the fuzzers in this package and internal/core pin that contract.
+
+// Range addresses one decision group — a circulation's servers — inside a
+// flat utilization column: the half-open window [Lo, Hi). Windows may
+// overlap; each group is decided independently.
+type Range struct {
+	Lo, Hi int
+}
+
+// GroupError attributes a DecideBatch failure to the lowest-indexed group
+// that failed. Err is exactly the error the serial path would have returned
+// for that group's slice, so unwrapping recovers the scalar behavior
+// (errors.Is/As see through the wrapper).
+type GroupError struct {
+	Group int
+	Err   error
+}
+
+func (e GroupError) Error() string { return fmt.Sprintf("group %d: %v", e.Group, e.Err) }
+func (e GroupError) Unwrap() error { return e.Err }
+
+// BatchScratch is the reusable working set of DecideBatch: the per-group
+// reduction arrays, the unique-plane cache-probe state, the fused scan
+// accumulators and the per-server temperature rows. A BatchScratch may be
+// reused across calls by one goroutine at a time (the engine keeps one per
+// worker); the zero value is ready to use. With a warm decision cache a
+// DecideBatch over a previously seen group shape performs zero allocations.
+type BatchScratch struct {
+	// Per-group state, len(ranges) wide.
+	planeU []float64 // raw (unquantized) plane utilization — what Decision.PlaneU reports
+	keys   []uint64  // quantized-plane cache key; valid only where gErrs[g] == nil
+	gErrs  []error   // per-group reduction/validation failure, serial message
+
+	// Per-unique-key state, one entry per distinct key among the valid
+	// groups, sorted ascending. published starts true for keys already in
+	// the cache and flips true when the first group scatters a miss back.
+	uniq      []uint64
+	published []bool
+	uSetting  []Setting
+	uPower    []units.Watts
+	uCell     []int32
+	uErr      []error
+
+	// Cache-missed planes (the batch scan's input column) and their index
+	// into the unique arrays.
+	missPlane []float64
+	missIdx   []int32
+
+	// Candidate rows for the miss scan, Space.Cells() wide: the gathered
+	// slab (or fallback) member cells of one plane and their blended outlet
+	// temperatures, over which the power argmax folds.
+	candCell []int32
+	candOut  []float64
+
+	// Per-server temperature rows for the scatter phase, widest-group wide.
+	cpuT, outT []float64
+
+	// loc is the column-location scratch shared by the miss scan and the
+	// per-server evaluations (they run strictly one after the other).
+	loc lookup.BatchLoc
+}
+
+// resize returns s with exactly n zeroed elements, reusing capacity.
+func resize[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	s = s[:n]
+	clear(s)
+	return s
+}
+
+// growGroups sizes the per-group arrays.
+func (bs *BatchScratch) growGroups(n int) {
+	bs.planeU = resize(bs.planeU, n)
+	bs.keys = resize(bs.keys, n)
+	bs.gErrs = resize(bs.gErrs, n)
+}
+
+// growUnique sizes the per-unique-key arrays.
+func (bs *BatchScratch) growUnique(n int) {
+	bs.published = resize(bs.published, n)
+	bs.uSetting = resize(bs.uSetting, n)
+	bs.uPower = resize(bs.uPower, n)
+	bs.uCell = resize(bs.uCell, n)
+	bs.uErr = resize(bs.uErr, n)
+}
+
+// growCandidates sizes the gather rows to the plane's cell count.
+func (bs *BatchScratch) growCandidates(cells int) {
+	if cap(bs.candCell) < cells {
+		bs.candCell = make([]int32, cells)
+		bs.candOut = make([]float64, cells)
+	}
+	bs.candCell = bs.candCell[:cells]
+	bs.candOut = bs.candOut[:cells]
+}
+
+// growServers sizes the per-server temperature rows.
+func (bs *BatchScratch) growServers(n int) {
+	if cap(bs.cpuT) < n {
+		bs.cpuT = make([]float64, n)
+		bs.outT = make([]float64, n)
+	}
+	bs.cpuT = bs.cpuT[:n]
+	bs.outT = bs.outT[:n]
+}
+
+// DecideBatch runs one control interval for every group of the column at
+// once: col holds the concatenated raw per-server utilizations, ranges
+// addresses each group's window, and the g-th Decision is written to out[g]
+// with its per-server slices aliasing scratches[g] (exactly as DecideInto
+// aliases its Scratch). Results are bit-identical to calling DecideSerial
+// per group; the only differences are mechanical — distinct planes are
+// scanned once per column instead of once per group, and the per-server
+// temperatures come from the flattened-stencil batch kernels.
+//
+// On failure the error is a GroupError attributing the lowest-indexed failed
+// group with the exact serial error; out entries for groups before it are
+// valid, the rest are unspecified. The three slice arguments must all be
+// len(ranges); each scratch must be non-nil.
+func (c *Controller) DecideBatch(col []float64, ranges []Range, scheme Scheme, bs *BatchScratch, scratches []*Scratch, out []Decision) error {
+	if len(scratches) != len(ranges) || len(out) != len(ranges) {
+		return fmt.Errorf("sched: DecideBatch buffers: %d ranges, %d scratches, %d decisions", len(ranges), len(scratches), len(out))
+	}
+	maxN := 0
+	for g, r := range ranges {
+		if r.Lo < 0 || r.Hi > len(col) || r.Lo > r.Hi {
+			return fmt.Errorf("sched: DecideBatch range %d [%d,%d) outside column of %d servers", g, r.Lo, r.Hi, len(col))
+		}
+		if scratches[g] == nil {
+			return fmt.Errorf("sched: DecideBatch scratch %d is nil", g)
+		}
+		if n := r.Hi - r.Lo; n > maxN {
+			maxN = n
+		}
+	}
+	if c.curve == nil {
+		// No precomputed power curve (controller assembled without
+		// NewController): decide group-by-group through the scalar path.
+		for g, r := range ranges {
+			d, err := c.DecideSerial(col[r.Lo:r.Hi], scheme, scratches[g])
+			if err != nil {
+				return GroupError{Group: g, Err: err}
+			}
+			out[g] = d
+		}
+		return nil
+	}
+
+	// Phase 1: reduce each group to its plane and cache key. Validation
+	// follows the serial sequence exactly: empty/unknown-scheme from
+	// PlaneUtilization first, then Choose's unit-interval check on the raw
+	// plane, then quantization.
+	bs.growGroups(len(ranges))
+	for g, r := range ranges {
+		planeU, err := PlaneUtilization(col[r.Lo:r.Hi], scheme)
+		if err != nil {
+			bs.gErrs[g] = err
+			continue
+		}
+		bs.planeU[g] = planeU
+		if planeU < 0 || planeU > 1 {
+			bs.gErrs[g] = errUtilizationOutsideUnit(planeU)
+			continue
+		}
+		bs.keys[g] = math.Float64bits(c.quantizePlane(planeU))
+	}
+
+	// Phase 2: one cache probe per distinct key.
+	bs.uniq = bs.uniq[:0]
+	for g := range ranges {
+		if bs.gErrs[g] == nil {
+			bs.uniq = append(bs.uniq, bs.keys[g])
+		}
+	}
+	slices.Sort(bs.uniq)
+	bs.uniq = slices.Compact(bs.uniq)
+	bs.growUnique(len(bs.uniq))
+	bs.missPlane = bs.missPlane[:0]
+	bs.missIdx = bs.missIdx[:0]
+	for j, key := range bs.uniq {
+		if setting, power, cell, ok := c.cache.load(key); ok {
+			bs.published[j] = true
+			bs.uSetting[j], bs.uPower[j], bs.uCell[j] = setting, power, cell
+		} else {
+			bs.missPlane = append(bs.missPlane, math.Float64frombits(key))
+			bs.missIdx = append(bs.missIdx, int32(j))
+		}
+	}
+	c.observeBatch(len(ranges), len(bs.uniq))
+
+	// Phase 3: resolve all missed planes with the segment-pruned slab scan.
+	// Gather order per plane is cell-ascending — VisitPlane's — so the
+	// strictly-greater argmax picks the exact setting the serial two-pass
+	// scan picks.
+	if len(bs.missPlane) > 0 {
+		if err := c.scanMisses(bs); err != nil {
+			// Attribute the scan failure to the lowest group holding a
+			// missed key, matching the serial "first circulation to decide
+			// this plane fails" behavior.
+			for g := range ranges {
+				if bs.gErrs[g] == nil {
+					if _, found := slices.BinarySearch(bs.missKeysView(), bs.keys[g]); found {
+						return GroupError{Group: g, Err: err}
+					}
+				}
+			}
+			return GroupError{Group: 0, Err: err}
+		}
+	}
+
+	// Phase 4: scatter in group order — publish fresh entries, account the
+	// cache counters exactly as per-group Choose calls would, and evaluate
+	// the per-server outputs with the batch kernels.
+	spec := c.Space.Spec()
+	for g, r := range ranges {
+		if bs.gErrs[g] != nil {
+			return GroupError{Group: g, Err: bs.gErrs[g]}
+		}
+		key := bs.keys[g]
+		j, _ := slices.BinarySearch(bs.uniq, key)
+		hint := bucketOf(key)
+		c.calls.AddHint(hint, 1)
+		if !bs.published[j] {
+			if err := bs.uErr[j]; err != nil {
+				return GroupError{Group: g, Err: err}
+			}
+			c.cache.store(key, bs.uSetting[j], bs.uPower[j], bs.uCell[j])
+			c.inserts.AddHint(hint, 1)
+			bs.published[j] = true
+		} else {
+			c.hits.AddHint(hint, 1)
+		}
+		c.observeChoice(hint, bs.uSetting[j])
+
+		n := r.Hi - r.Lo
+		sc := scratches[g]
+		sc.grow(n)
+		if err := effectiveInto(sc.eff, col[r.Lo:r.Hi], scheme); err != nil {
+			return GroupError{Group: g, Err: err} // unreachable: scheme validated above
+		}
+		d := Decision{
+			Scheme:            scheme,
+			PlaneU:            bs.planeU[g],
+			Setting:           bs.uSetting[j],
+			PerServerPower:    sc.power,
+			PerServerCPUPower: sc.cpuPower,
+		}
+		if scheme == LoadBalance {
+			// Balancing makes every server identical: evaluate once and
+			// broadcast, exactly as the serial path does.
+			u := sc.eff[0]
+			pw := c.PowerAt(d.Setting, u)
+			cp := spec.Power(u)
+			for i := range sc.eff {
+				d.PerServerPower[i] = pw
+				d.PerServerCPUPower[i] = cp
+			}
+			if t := c.Space.CPUTemp(u, d.Setting.Flow, d.Setting.Inlet); t > d.MaxCPUTemp {
+				d.MaxCPUTemp = t
+			}
+		} else {
+			// The per-server trilinear lookups collapse to one column
+			// location plus a two-term blend per server at the decided cell;
+			// the curve reproduces PowerAt bit-for-bit on the cell's
+			// grid-aligned setting.
+			cell := int(bs.uCell[j])
+			c.Space.LocateColumn(sc.eff, &bs.loc)
+			bs.growServers(n)
+			c.Space.BatchEval(cell, &bs.loc, bs.cpuT, bs.outT)
+			c.curve.powerAtColumn(cell, bs.outT, d.PerServerPower)
+			for i := range sc.eff {
+				d.PerServerCPUPower[i] = spec.Power(sc.eff[i])
+				if t := units.Celsius(bs.cpuT[i]); t > d.MaxCPUTemp {
+					d.MaxCPUTemp = t
+				}
+			}
+		}
+		out[g] = d
+	}
+	return nil
+}
+
+// missKeysView returns the sorted keys of the missed planes. missPlane is
+// built from uniq in ascending key order, so re-deriving the bits preserves
+// sortedness for the binary search in the scan-failure attribution path.
+func (bs *BatchScratch) missKeysView() []uint64 {
+	keys := make([]uint64, len(bs.missPlane))
+	for i, p := range bs.missPlane {
+		keys[i] = math.Float64bits(p)
+	}
+	return keys
+}
+
+// scanMisses resolves every cache-missed plane, or — when the safety band is
+// not positive, which the scalar scan rejects per call — defers to the scalar
+// path so the error text matches.
+//
+// The scan is the segment-pruned two-pass: for each missed plane (ascending,
+// since misses derive from the sorted unique keys) the slab members are
+// gathered through the controller's SegmentIndex — walking only the cells
+// whose stencil envelope can intersect the band, a small fraction of the
+// plane — and the power argmax folds over the gathered rows. Planes with an
+// empty slab fall back to the full below-band sweep, exactly like the serial
+// second pass. Membership, blend arithmetic, argmax order and the
+// curve-evaluation telemetry all replicate the scalar scan bit for bit.
+func (c *Controller) scanMisses(bs *BatchScratch) error {
+	if c.Band <= 0 {
+		for m, j := range bs.missIdx {
+			_, _, _, err := c.choose(bs.missPlane[m])
+			bs.uErr[j] = err
+		}
+		return nil
+	}
+	tsHi := c.TSafe + c.Band
+	idx := c.segmentIndex()
+	bs.growCandidates(c.Space.Cells())
+	var evals uint64
+	for m, j := range bs.missIdx {
+		u := bs.missPlane[m]
+		n, err := c.Space.GatherSlab(idx, u, bs.candCell, bs.candOut)
+		if err != nil {
+			return err
+		}
+		if n == 0 {
+			// The slab is unreachable: optimize over every setting keeping
+			// the die at or below TSafe+Band, as the serial fallback does.
+			if n, err = c.Space.GatherBelow(u, tsHi, bs.candCell, bs.candOut); err != nil {
+				return err
+			}
+		}
+		if n == 0 {
+			bs.uErr[j] = errNoSafeSetting(u)
+			continue
+		}
+		bestP, bestCell := c.curve.argmaxColumn(bs.candCell, bs.candOut, n)
+		flow, inlet := c.Space.CellSetting(int(bestCell))
+		bs.uSetting[j] = Setting{Flow: flow, Inlet: inlet}
+		bs.uPower[j] = bestP
+		bs.uCell[j] = bestCell
+		evals += uint64(n)
+	}
+	if m := c.met; m != nil {
+		m.curveEvals.Add(evals)
+	}
+	return nil
+}

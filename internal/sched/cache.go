@@ -33,12 +33,16 @@ import (
 const cacheBuckets = 1 << 12
 
 // cacheEntry is one memoized Choose outcome in a bucket chain. key holds
-// math.Float64bits of the quantized plane; setting/power are immutable after
-// the entry is published.
+// math.Float64bits of the quantized plane; setting/power/cell are immutable
+// after the entry is published. cell is the flat candidate-cell index the
+// setting came from (lookup.VisitPlane numbering): the batch decision kernel
+// indexes the flattened stencils with it, so a cache hit skips the
+// setting-to-cell resolution along with the scan.
 type cacheEntry struct {
 	key     uint64
 	setting Setting
 	power   units.Watts
+	cell    int32
 	next    *cacheEntry
 }
 
@@ -57,20 +61,20 @@ func bucketOf(key uint64) uint64 {
 
 // load returns the memoized outcome for key, if any. Allocation-free and
 // mutex-free: one atomic load plus a chain walk over immutable entries.
-func (dc *decisionCache) load(key uint64) (Setting, units.Watts, bool) {
+func (dc *decisionCache) load(key uint64) (Setting, units.Watts, int32, bool) {
 	for e := dc.buckets[bucketOf(key)].Load(); e != nil; e = e.next {
 		if e.key == key {
-			return e.setting, e.power, true
+			return e.setting, e.power, e.cell, true
 		}
 	}
-	return Setting{}, 0, false
+	return Setting{}, 0, 0, false
 }
 
 // store publishes a freshly computed outcome. Exactly one allocation; lost
 // CAS races re-check the chain so a key is inserted at most once.
-func (dc *decisionCache) store(key uint64, setting Setting, power units.Watts) {
+func (dc *decisionCache) store(key uint64, setting Setting, power units.Watts, cell int32) {
 	b := &dc.buckets[bucketOf(key)]
-	e := &cacheEntry{key: key, setting: setting, power: power}
+	e := &cacheEntry{key: key, setting: setting, power: power, cell: cell}
 	for {
 		head := b.Load()
 		for cur := head; cur != nil; cur = cur.next {

@@ -13,7 +13,7 @@ import (
 // then load, including keys that collide into one bucket.
 func TestDecisionCacheRoundTrip(t *testing.T) {
 	var dc decisionCache
-	if _, _, ok := dc.load(42); ok {
+	if _, _, _, ok := dc.load(42); ok {
 		t.Fatal("empty cache should miss")
 	}
 	keys := make([]uint64, 0, 64)
@@ -21,15 +21,15 @@ func TestDecisionCacheRoundTrip(t *testing.T) {
 		keys = append(keys, math.Float64bits(float64(i)/64))
 	}
 	for i, k := range keys {
-		dc.store(k, Setting{Flow: units.LitersPerHour(i), Inlet: units.Celsius(i)}, units.Watts(i))
+		dc.store(k, Setting{Flow: units.LitersPerHour(i), Inlet: units.Celsius(i)}, units.Watts(i), int32(i))
 	}
 	for i, k := range keys {
-		s, p, ok := dc.load(k)
+		s, p, cell, ok := dc.load(k)
 		if !ok {
 			t.Fatalf("key %d lost", i)
 		}
-		if s.Flow != units.LitersPerHour(i) || p != units.Watts(i) {
-			t.Fatalf("key %d: wrong value %+v/%v", i, s, p)
+		if s.Flow != units.LitersPerHour(i) || p != units.Watts(i) || cell != int32(i) {
+			t.Fatalf("key %d: wrong value %+v/%v/%d", i, s, p, cell)
 		}
 	}
 }
@@ -52,12 +52,12 @@ func TestDecisionCacheCollisionChain(t *testing.T) {
 		t.Fatal("no colliding key found in 2^20 probes")
 	}
 	var dc decisionCache
-	dc.store(base, Setting{Flow: 1}, 1)
-	dc.store(collider, Setting{Flow: 2}, 2)
-	if s, _, ok := dc.load(base); !ok || s.Flow != 1 {
+	dc.store(base, Setting{Flow: 1}, 1, 1)
+	dc.store(collider, Setting{Flow: 2}, 2, 2)
+	if s, _, _, ok := dc.load(base); !ok || s.Flow != 1 {
 		t.Errorf("base key lost after collision: %+v %v", s, ok)
 	}
-	if s, _, ok := dc.load(collider); !ok || s.Flow != 2 {
+	if s, _, _, ok := dc.load(collider); !ok || s.Flow != 2 {
 		t.Errorf("colliding key lost: %+v %v", s, ok)
 	}
 }
@@ -67,8 +67,8 @@ func TestDecisionCacheCollisionChain(t *testing.T) {
 func TestDecisionCacheDuplicateStore(t *testing.T) {
 	var dc decisionCache
 	key := math.Float64bits(0.25)
-	dc.store(key, Setting{Flow: 7}, 7)
-	dc.store(key, Setting{Flow: 8}, 8) // must be ignored: values are pure functions of the key
+	dc.store(key, Setting{Flow: 7}, 7, 7)
+	dc.store(key, Setting{Flow: 8}, 8, 8) // must be ignored: values are pure functions of the key
 	n := 0
 	for e := dc.buckets[bucketOf(key)].Load(); e != nil; e = e.next {
 		if e.key == key {
@@ -78,7 +78,7 @@ func TestDecisionCacheDuplicateStore(t *testing.T) {
 	if n != 1 {
 		t.Errorf("key appears %d times on the chain, want 1", n)
 	}
-	if s, _, _ := dc.load(key); s.Flow != 7 {
+	if s, _, _, _ := dc.load(key); s.Flow != 7 {
 		t.Errorf("first published value must win, got flow %v", s.Flow)
 	}
 }
@@ -98,8 +98,8 @@ func TestDecisionCacheConcurrentStores(t *testing.T) {
 			for i := 0; i < perG; i++ {
 				// Overlapping key ranges force CAS races on shared buckets.
 				k := math.Float64bits(float64(i%257) / 257)
-				dc.store(k, Setting{Flow: units.LitersPerHour(i % 257)}, units.Watts(i%257))
-				if s, _, ok := dc.load(k); !ok || int(s.Flow) != i%257 {
+				dc.store(k, Setting{Flow: units.LitersPerHour(i % 257)}, units.Watts(i%257), int32(i%257))
+				if s, _, _, ok := dc.load(k); !ok || int(s.Flow) != i%257 {
 					t.Errorf("g%d: key %d corrupted: %+v %v", g, i%257, s, ok)
 					return
 				}

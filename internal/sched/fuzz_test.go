@@ -1,0 +1,192 @@
+package sched
+
+import (
+	"errors"
+	"math"
+	"sync"
+	"testing"
+
+	"github.com/h2p-sim/h2p/internal/cpu"
+	"github.com/h2p-sim/h2p/internal/lookup"
+	"github.com/h2p-sim/h2p/internal/teg"
+	"github.com/h2p-sim/h2p/internal/units"
+)
+
+// fuzzSpace memoizes the fitted look-up space and module for the fuzzers:
+// both are immutable after construction, so parallel fuzz workers share them
+// and build only their own (cheap) controllers per input.
+var fuzzSpace = sync.OnceValues(func() (*lookup.Space, *teg.Module) {
+	space, err := lookup.Build(cpu.XeonE52650V3(), lookup.DefaultAxes())
+	if err != nil {
+		panic(err)
+	}
+	mod, err := teg.NewModule(teg.SP1848(), 12)
+	if err != nil {
+		panic(err)
+	}
+	mod.FlowDerating = teg.DefaultFlowDerating()
+	return space, mod
+})
+
+// fuzzColumn decodes raw fuzz bytes into a utilization column: most bytes map
+// into [0, 1], with reserved values injecting the hostile cases the decision
+// path must validate (NaN, above-unit, below-zero). degrade halves a
+// deterministic subset of servers, modeling a column observed under partial
+// fault degradation.
+func fuzzColumn(data []byte, degrade byte) []float64 {
+	us := make([]float64, len(data))
+	for i, b := range data {
+		switch b {
+		case 0xFF:
+			us[i] = math.NaN()
+		case 0xFE:
+			us[i] = 1.5
+		case 0xFD:
+			us[i] = -0.25
+		default:
+			us[i] = float64(b) / 252
+		}
+		if degrade > 0 && (i*31+int(degrade))%7 == 0 {
+			us[i] *= 0.5
+		}
+	}
+	return us
+}
+
+// FuzzDecideBatchEquivalence is the batch kernels' bit-equality fuzzer: for
+// arbitrary columns (including NaN and out-of-unit utilizations), group
+// shapes (including empty groups), cache quanta, schemes and fault-degraded
+// servers, DecideBatch must reproduce the looped scalar reference —
+// DecideSerial per group, which DecideInto adapts — exactly: same decisions
+// bit for bit, or the same first failing group with the same error text. A
+// second batch round over the now-warm cache must match as well.
+func FuzzDecideBatchEquivalence(f *testing.F) {
+	f.Add([]byte{10, 20, 250, 40, 50, 60, 70, 80}, 0.0, byte(2), false, byte(0))
+	f.Add([]byte{0, 252, 126, 126, 3, 200}, 1.0/512, byte(3), true, byte(5))
+	f.Add([]byte{0xFF, 100, 0xFE, 30, 0xFD, 90}, 0.0, byte(1), false, byte(0))
+	f.Add([]byte{42}, 0.25, byte(8), true, byte(1))
+	f.Add([]byte{}, 0.0, byte(1), false, byte(0))
+	f.Add([]byte{5, 5, 5, 5, 5, 5, 5, 5, 5, 5, 5, 5}, 0.001953125, byte(5), false, byte(9))
+	f.Fuzz(func(t *testing.T, data []byte, quantum float64, nGroups byte, lb bool, degrade byte) {
+		space, mod := fuzzSpace()
+		serialCtl, err := NewController(space, mod, 20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		batchCtl, err := NewController(space, mod, 20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		q := math.Abs(quantum)
+		if !(q < 1) { // rejects NaN and huge quanta in one comparison
+			q = 0
+		}
+		serialCtl.CacheQuantum = q
+		batchCtl.CacheQuantum = q
+		scheme := Original
+		if lb {
+			scheme = LoadBalance
+		}
+
+		col := fuzzColumn(data, degrade)
+		groups := int(nGroups%8) + 1
+		ranges := make([]Range, groups)
+		for g := range ranges {
+			ranges[g] = Range{Lo: g * len(col) / groups, Hi: (g + 1) * len(col) / groups}
+		}
+
+		// Scalar reference: DecideSerial per group, stopping at the first
+		// error exactly as the engine's legacy loop would.
+		refs := make([]refDecision, 0, groups)
+		var refErr error
+		refGroup := -1
+		for g, r := range ranges {
+			d, err := serialCtl.DecideSerial(col[r.Lo:r.Hi], scheme, &Scratch{})
+			if err != nil {
+				refErr, refGroup = err, g
+				break
+			}
+			refs = append(refs, refDecision{
+				d:   d,
+				pw:  append([]units.Watts(nil), d.PerServerPower...),
+				cpw: append([]units.Watts(nil), d.PerServerCPUPower...),
+			})
+		}
+
+		// DecideInto must match DecideSerial group-wise (the adapter path).
+		for g, r := range ranges {
+			if g > len(refs) {
+				break
+			}
+			d, err := batchCtl.DecideInto(col[r.Lo:r.Hi], scheme, &Scratch{})
+			if g == len(refs) {
+				if err == nil || refErr == nil || err.Error() != refErr.Error() {
+					t.Fatalf("group %d: DecideInto err %v, DecideSerial err %v", g, err, refErr)
+				}
+				break
+			}
+			if err != nil {
+				t.Fatalf("group %d: DecideInto err %v, serial succeeded", g, err)
+			}
+			requireDecisionsMatch(t, "DecideInto", g, refs[g], d)
+		}
+
+		// Two batch rounds: cold cache, then warm (hits and dedup paths).
+		for round := 0; round < 2; round++ {
+			bs := &BatchScratch{}
+			scratches := make([]*Scratch, groups)
+			for g := range scratches {
+				scratches[g] = &Scratch{}
+			}
+			out := make([]Decision, groups)
+			err := batchCtl.DecideBatch(col, ranges, scheme, bs, scratches, out)
+			if refErr != nil {
+				var ge GroupError
+				if err == nil || !errors.As(err, &ge) {
+					t.Fatalf("round %d: DecideBatch err %v, want GroupError for group %d (%v)", round, err, refGroup, refErr)
+				}
+				if ge.Group != refGroup || ge.Err.Error() != refErr.Error() {
+					t.Fatalf("round %d: DecideBatch failed group %d (%v), serial failed group %d (%v)",
+						round, ge.Group, ge.Err, refGroup, refErr)
+				}
+				continue
+			}
+			if err != nil {
+				t.Fatalf("round %d: DecideBatch err %v, serial succeeded", round, err)
+			}
+			for g := range refs {
+				requireDecisionsMatch(t, "DecideBatch", g, refs[g], out[g])
+			}
+		}
+	})
+}
+
+// refDecision is a scalar-reference decision with its per-server slices
+// cloned out of the (reused) scratch.
+type refDecision struct {
+	d   Decision
+	pw  []units.Watts
+	cpw []units.Watts
+}
+
+// requireDecisionsMatch asserts bit-identity between a scalar reference
+// decision and a batch-path decision for one group.
+func requireDecisionsMatch(t *testing.T, path string, g int, r refDecision, got Decision) {
+	t.Helper()
+	if got.Scheme != r.d.Scheme || got.Setting != r.d.Setting ||
+		math.Float64bits(got.PlaneU) != math.Float64bits(r.d.PlaneU) ||
+		math.Float64bits(float64(got.MaxCPUTemp)) != math.Float64bits(float64(r.d.MaxCPUTemp)) {
+		t.Fatalf("%s group %d: header differs: got %+v want %+v", path, g, got, r.d)
+	}
+	if len(got.PerServerPower) != len(r.pw) {
+		t.Fatalf("%s group %d: %d per-server powers, want %d", path, g, len(got.PerServerPower), len(r.pw))
+	}
+	for i := range r.pw {
+		if math.Float64bits(float64(got.PerServerPower[i])) != math.Float64bits(float64(r.pw[i])) {
+			t.Fatalf("%s group %d server %d: power %v != %v", path, g, i, got.PerServerPower[i], r.pw[i])
+		}
+		if math.Float64bits(float64(got.PerServerCPUPower[i])) != math.Float64bits(float64(r.cpw[i])) {
+			t.Fatalf("%s group %d server %d: cpu power %v != %v", path, g, i, got.PerServerCPUPower[i], r.cpw[i])
+		}
+	}
+}

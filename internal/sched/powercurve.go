@@ -67,3 +67,54 @@ func (pc *powerCurve) powerAt(cell int, outlet units.Celsius) units.Watts {
 	}
 	return units.Watts(p * pc.n)
 }
+
+// argmaxColumn folds powerAt over gathered candidate rows — cells[i] paired
+// with outlet temperature outs[i] — returning the first strictly-greatest
+// power and its cell, exactly the serial scan's tie-breaking (rows arrive in
+// ascending cell order). The fit coefficients and cold-side temperature are
+// hoisted; the per-element operation sequence is powerAt's, so the winning
+// power is bit-identical to the scalar fold.
+func (pc *powerCurve) argmaxColumn(cells []int32, outs []float64, n int) (units.Watts, int32) {
+	f0, f1, f2 := pc.fit[0], pc.fit[1], pc.fit[2]
+	cold, scale := pc.cold, pc.n
+	bestP := units.Watts(-1)
+	bestCell := int32(0)
+	for i := 0; i < n; i++ {
+		var pw units.Watts
+		if dT := outs[i] - cold; dT > 0 {
+			x := math.Abs(dT * pc.factors[int(cells[i])/pc.ni])
+			p := f0 + f1*x + f2*x*x
+			if p < 0 {
+				p = 0
+			}
+			pw = units.Watts(p * scale)
+		}
+		if pw > bestP {
+			bestP, bestCell = pw, cells[i]
+		}
+	}
+	return bestP, bestCell
+}
+
+// powerAtColumn is powerAt over a column of outlet temperatures at one fixed
+// cell: the per-cell derating factor and the fit coefficients are hoisted out
+// of the loop, with the identical per-element operation sequence, so every
+// output is bit-identical to the scalar call.
+func (pc *powerCurve) powerAtColumn(cell int, outs []float64, dst []units.Watts) {
+	factor := pc.factors[cell/pc.ni]
+	f0, f1, f2 := pc.fit[0], pc.fit[1], pc.fit[2]
+	cold, n := pc.cold, pc.n
+	for i, out := range outs {
+		dT := out - cold
+		if dT <= 0 {
+			dst[i] = 0
+			continue
+		}
+		x := math.Abs(dT * factor)
+		p := f0 + f1*x + f2*x*x
+		if p < 0 {
+			p = 0
+		}
+		dst[i] = units.Watts(p * n)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"github.com/h2p-sim/h2p/internal/lookup"
 	"github.com/h2p-sim/h2p/internal/stats"
@@ -87,6 +88,25 @@ type Controller struct {
 	// A controller assembled without NewController leaves it nil and the
 	// candidate scan falls back to the (bit-identical) module path.
 	curve *powerCurve
+
+	// slabIdx caches the per-segment candidate index the batch miss scan
+	// prunes with (lookup.BuildSegmentIndex over [TSafe-Band, TSafe+Band]).
+	// It is built lazily on first use and rebuilt if the band parameters are
+	// changed between calls; concurrent rebuilds are benign (the index is a
+	// pure function of the space and the band).
+	slabIdx atomic.Pointer[lookup.SegmentIndex]
+}
+
+// segmentIndex returns the cached candidate index for the current band,
+// (re)building it when absent or stale.
+func (c *Controller) segmentIndex() *lookup.SegmentIndex {
+	tsLo, tsHi := c.TSafe-c.Band, c.TSafe+c.Band
+	if idx := c.slabIdx.Load(); idx != nil && idx.Matches(tsLo, tsHi) {
+		return idx
+	}
+	idx := c.Space.BuildSegmentIndex(tsLo, tsHi)
+	c.slabIdx.Store(idx)
+	return idx
 }
 
 // CacheStats reports the decision cache's lifetime hit count and total
@@ -193,26 +213,39 @@ func (c *Controller) PowerAt(s Setting, u float64) units.Watts {
 // plus a chain walk — so concurrent workers never serialize on a warm
 // controller.
 func (c *Controller) Choose(planeU float64) (Setting, units.Watts, error) {
+	setting, power, _, err := c.chooseCached(planeU)
+	return setting, power, err
+}
+
+// errUtilizationOutsideUnit is Choose's validation error, shared with the
+// batch probe so both paths fail with identical messages.
+func errUtilizationOutsideUnit(planeU float64) error {
+	return fmt.Errorf("sched: utilization %v outside [0,1]", planeU)
+}
+
+// chooseCached is Choose plus the winning candidate's flat cell index, which
+// the batch per-server kernel indexes the flattened stencils with.
+func (c *Controller) chooseCached(planeU float64) (Setting, units.Watts, int32, error) {
 	if planeU < 0 || planeU > 1 {
-		return Setting{}, 0, fmt.Errorf("sched: utilization %v outside [0,1]", planeU)
+		return Setting{}, 0, 0, errUtilizationOutsideUnit(planeU)
 	}
 	planeU = c.quantizePlane(planeU)
 	key := math.Float64bits(planeU)
 	hint := bucketOf(key)
 	c.calls.AddHint(hint, 1)
-	if setting, power, ok := c.cache.load(key); ok {
+	if setting, power, cell, ok := c.cache.load(key); ok {
 		c.hits.AddHint(hint, 1)
 		c.observeChoice(hint, setting)
-		return setting, power, nil
+		return setting, power, cell, nil
 	}
-	setting, power, err := c.choose(planeU)
+	setting, power, cell, err := c.choose(planeU)
 	if err != nil {
-		return Setting{}, 0, err
+		return Setting{}, 0, 0, err
 	}
-	c.cache.store(key, setting, power)
+	c.cache.store(key, setting, power, cell)
 	c.inserts.AddHint(hint, 1)
 	c.observeChoice(hint, setting)
-	return setting, power, nil
+	return setting, power, cell, nil
 }
 
 // choose runs the uncached Steps 1-3 at the exact plane utilization,
@@ -221,21 +254,22 @@ func (c *Controller) Choose(planeU float64) (Setting, units.Watts, error) {
 // fuse into one allocation-free scan. The visit order matches the seed's
 // PlaneIntersection order and the power evaluation is bit-identical, so the
 // chosen setting never drifts from the slice-based implementation.
-func (c *Controller) choose(planeU float64) (Setting, units.Watts, error) {
+func (c *Controller) choose(planeU float64) (Setting, units.Watts, int32, error) {
 	best := Setting{}
 	bestP := units.Watts(-1)
+	bestCell := int32(0)
 	found := false
 	evals := 0 // candidate power evaluations, reported once per miss
 	err := c.Space.VisitPlaneIntersection(planeU, c.TSafe, c.Band, func(cell int, p lookup.Point) bool {
 		found = true
 		evals++
 		if pw := c.candidatePower(cell, p); pw > bestP {
-			best, bestP = Setting{Flow: p.Flow, Inlet: p.Inlet}, pw
+			best, bestP, bestCell = Setting{Flow: p.Flow, Inlet: p.Inlet}, pw, int32(cell)
 		}
 		return true
 	})
 	if err != nil {
-		return Setting{}, 0, err
+		return Setting{}, 0, 0, err
 	}
 	if !found {
 		// Fallback: the slab is unreachable (at low utilization even the
@@ -247,22 +281,28 @@ func (c *Controller) choose(planeU float64) (Setting, units.Watts, error) {
 				found = true
 				evals++
 				if pw := c.candidatePower(cell, p); pw > bestP {
-					best, bestP = Setting{Flow: p.Flow, Inlet: p.Inlet}, pw
+					best, bestP, bestCell = Setting{Flow: p.Flow, Inlet: p.Inlet}, pw, int32(cell)
 				}
 			}
 			return true
 		})
 		if err != nil {
-			return Setting{}, 0, err
+			return Setting{}, 0, 0, err
 		}
 	}
 	if m := c.met; m != nil {
 		m.curveEvals.Add(uint64(evals))
 	}
 	if !found {
-		return Setting{}, 0, fmt.Errorf("sched: no safe cooling setting for u=%v", planeU)
+		return Setting{}, 0, 0, errNoSafeSetting(planeU)
 	}
-	return best, bestP, nil
+	return best, bestP, bestCell, nil
+}
+
+// errNoSafeSetting is the empty-intersection failure, shared between the
+// scalar and batch scans so both report identical errors.
+func errNoSafeSetting(planeU float64) error {
+	return fmt.Errorf("sched: no safe cooling setting for u=%v", planeU)
 }
 
 // candidatePower returns the TEG module output of a streamed candidate,
@@ -280,12 +320,18 @@ func (c *Controller) candidatePower(cell int, p lookup.Point) units.Watts {
 	return c.Module.MaxPower(dT, p.Flow)
 }
 
+// ErrEmptyUtilizations is returned when a decision is requested over an
+// empty utilization set — a circulation with no servers has no plane to
+// draw. DecideBatch wraps it in a GroupError attributing the offending
+// group; errors.Is sees through the wrapper.
+var ErrEmptyUtilizations = errors.New("sched: empty utilization set")
+
 // PlaneUtilization reduces a circulation's per-server utilizations to the
 // control-plane value for the scheme: the maximum under Original, the mean
 // under LoadBalance.
 func PlaneUtilization(us []float64, scheme Scheme) (float64, error) {
 	if len(us) == 0 {
-		return 0, errors.New("sched: empty utilization set")
+		return 0, ErrEmptyUtilizations
 	}
 	switch scheme {
 	case Original:
@@ -303,7 +349,7 @@ func PlaneUtilization(us []float64, scheme Scheme) (float64, error) {
 // freshly allocated.
 func EffectiveUtilizations(us []float64, scheme Scheme) ([]float64, error) {
 	if len(us) == 0 {
-		return nil, errors.New("sched: empty utilization set")
+		return nil, ErrEmptyUtilizations
 	}
 	out := make([]float64, len(us))
 	if err := effectiveInto(out, us, scheme); err != nil {
@@ -352,6 +398,14 @@ type Scratch struct {
 	eff      []float64
 	power    []units.Watts
 	cpuPower []units.Watts
+
+	// Single-group adapter state: DecideInto routes through DecideBatch with
+	// the whole slice as one group, so a lone Scratch carries the batch
+	// working set and the fixed-size argument windows the adapter hands over.
+	bs   BatchScratch
+	rng  [1]Range
+	dec  [1]Decision
+	self [1]*Scratch
 }
 
 // grow resizes the buffers to n servers, reusing capacity.
@@ -378,7 +432,34 @@ func (c *Controller) Decide(us []float64, scheme Scheme) (Decision, error) {
 // DecideInto with the same scratch. With a warm decision cache the call
 // performs zero allocations, which is what lets the parallel engine hold
 // its per-interval cost flat. Results are bit-identical to Decide.
+//
+// DecideInto is a thin single-group adapter over DecideBatch — the batched
+// column kernel is the one decision implementation — and stays bit-identical
+// to the scalar reference path DecideSerial.
 func (c *Controller) DecideInto(us []float64, scheme Scheme, sc *Scratch) (Decision, error) {
+	if c.curve == nil {
+		// A controller assembled without NewController has no precomputed
+		// power curve; the batch kernels require it, the scalar path does not.
+		return c.DecideSerial(us, scheme, sc)
+	}
+	sc.rng[0] = Range{Lo: 0, Hi: len(us)}
+	sc.self[0] = sc
+	if err := c.DecideBatch(us, sc.rng[:], scheme, &sc.bs, sc.self[:], sc.dec[:]); err != nil {
+		var ge GroupError
+		if errors.As(err, &ge) {
+			return Decision{}, ge.Err
+		}
+		return Decision{}, err
+	}
+	return sc.dec[0], nil
+}
+
+// DecideSerial is the scalar reference implementation of a control interval:
+// one Choose on the plane utilization, then per-server evaluation through
+// the interpolated look-up calls. The batch kernels are pinned bit-identical
+// to it — it is the referee of the equivalence suites and the fallback for
+// controllers assembled without NewController.
+func (c *Controller) DecideSerial(us []float64, scheme Scheme, sc *Scratch) (Decision, error) {
 	planeU, err := PlaneUtilization(us, scheme)
 	if err != nil {
 		return Decision{}, err

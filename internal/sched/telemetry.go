@@ -14,6 +14,8 @@ const (
 	metricChosenInlet  = "h2p_decision_chosen_inlet_celsius"
 	metricChosenFlow   = "h2p_decision_chosen_flow_lph"
 	metricCurveEvals   = "h2p_decision_powercurve_evals_total"
+	metricBatchGroups  = "h2p_decision_batch_groups"
+	metricBatchUnique  = "h2p_decision_batch_unique_planes"
 )
 
 // schedMetrics holds the optional (registry-attached) decision metrics.
@@ -27,6 +29,11 @@ type schedMetrics struct {
 	// curveEvals counts candidate power-curve evaluations: the Step 2-3
 	// scan work performed on cache misses.
 	curveEvals *telemetry.Counter
+	// batchGroups/batchUnique histogram each DecideBatch call's width: how
+	// many groups it decided and how many distinct (quantized) planes
+	// survived the key dedup — the batch path's cache-probe compression.
+	batchGroups *telemetry.Histogram
+	batchUnique *telemetry.Histogram
 }
 
 // AttachTelemetry registers the controller's decision metrics with reg and
@@ -51,6 +58,19 @@ func (c *Controller) AttachTelemetry(reg *telemetry.Registry) {
 		chosenFlow: reg.Histogram(metricChosenFlow, "chosen coolant flow per decision",
 			telemetry.LinearBuckets(20, 20, 12)),
 		curveEvals: reg.Counter(metricCurveEvals, "candidate TEG power-curve evaluations (cache-miss scan work)"),
+		batchGroups: reg.Histogram(metricBatchGroups, "decision groups per DecideBatch call",
+			telemetry.LinearBuckets(0, 8, 9)),
+		batchUnique: reg.Histogram(metricBatchUnique, "distinct quantized planes per DecideBatch call",
+			telemetry.LinearBuckets(0, 4, 9)),
+	}
+}
+
+// observeBatch records one DecideBatch call's group and unique-plane counts
+// when decision metrics are attached. One branch when they are not.
+func (c *Controller) observeBatch(groups, unique int) {
+	if m := c.met; m != nil {
+		m.batchGroups.Observe(float64(groups))
+		m.batchUnique.Observe(float64(unique))
 	}
 }
 
