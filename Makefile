@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet vuln test race check telemetry-check fault-check fuzz-check stream-check kernel-check bench bench-all experiments clean
+.PHONY: all build vet vuln test race check telemetry-check fault-check fuzz-check stream-check kernel-check shard-check bench bench-all experiments clean
 
 all: check
 
@@ -55,6 +55,7 @@ fuzz-check:
 	$(GO) test ./internal/trace -run '^$$' -fuzz '^FuzzReadCSV$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/trace -run '^$$' -fuzz '^FuzzReadLongFormat$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/trace -run '^$$' -fuzz '^FuzzCSVRoundTrip$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/shard -run '^$$' -fuzz '^FuzzShardEquivalence$$' -fuzztime $(FUZZTIME)
 
 # stream-check gates the streaming data path under the race detector: the
 # source adapters and their equivalence suites (streaming vs in-memory
@@ -74,10 +75,21 @@ kernel-check:
 	$(GO) test -race -run 'Batch|Kernel|Segment|Gather' \
 		./internal/lookup ./internal/sched ./internal/core
 
+# shard-check gates the sharded execution layer under the race detector: the
+# partition/prefetch/merge pipeline in internal/shard (sharded-vs-unsharded
+# bit-identity across classes, schemes, shard counts and fault plans;
+# prefetch-ordering; checkpoint layout validation), the ShardRunner and
+# aggregator seams in internal/core, and the CLI -shards equivalence and
+# cross-layout resume flows.
+shard-check:
+	$(GO) test -race -run 'Shard|Prefetch|Partition' \
+		./internal/shard ./internal/core ./cmd/h2psim
+	$(GO) test -race -run TestFig14ShardedMatchesDefault ./internal/experiments
+
 # check is the tier-1 gate: vet + best-effort vuln scan + build +
-# race-enabled tests + the telemetry, fault, fuzz, streaming and batch-kernel
-# gates.
-check: vet vuln build race telemetry-check fault-check fuzz-check stream-check kernel-check
+# race-enabled tests + the telemetry, fault, fuzz, streaming, batch-kernel
+# and shard gates.
+check: vet vuln build race telemetry-check fault-check fuzz-check stream-check kernel-check shard-check
 
 # bench tracks the decision hot path across PRs: the Decision* benchmarks in
 # internal/lookup (candidate scan) and internal/sched (controller) run with
@@ -87,13 +99,21 @@ check: vet vuln build race telemetry-check fault-check fuzz-check stream-check k
 # BENCH_interval.json. Render or compare snapshots with `go run
 # ./cmd/h2pbenchdiff BENCH_decision.json [other.json]`; add `-threshold 10`
 # to fail on >10% ns/op regressions.
+# The ShardScaling benchmark runs the full month-scale trace once per rung of
+# the shard ladder (-benchtime 1x), landing the multicore scaling curve in
+# BENCH_shard.json; h2pbenchdiff renders every unit including the servers/s
+# throughput column, and `h2pbenchdiff -threshold 10 old.json BENCH_shard.json`
+# gates throughput drops as well as ns/op growth.
 bench:
 	$(GO) test -run '^$$' -bench Decision -benchmem -count=1 -json \
 		./internal/lookup ./internal/sched > BENCH_decision.json
 	$(GO) test -run '^$$' -bench IntervalThroughput -benchmem -count=1 -json \
 		./internal/core > BENCH_interval.json
+	$(GO) test -run '^$$' -bench ShardScaling -benchmem -benchtime 1x -count=1 -json \
+		./internal/shard > BENCH_shard.json
 	$(GO) run ./cmd/h2pbenchdiff BENCH_decision.json
 	$(GO) run ./cmd/h2pbenchdiff BENCH_interval.json
+	$(GO) run ./cmd/h2pbenchdiff BENCH_shard.json
 
 bench-all:
 	$(GO) test -run '^$$' -bench . -benchmem ./...
@@ -103,4 +123,4 @@ experiments:
 
 clean:
 	$(GO) clean ./...
-	rm -rf results BENCH_decision.json BENCH_interval.json
+	rm -rf results BENCH_decision.json BENCH_interval.json BENCH_shard.json

@@ -1,18 +1,23 @@
 // Command h2pbenchdiff is a benchstat-lite for the repo's benchmark
 // artifacts: it reads the output of `go test -bench` — either the plain text
 // stream or the test2json stream that `make bench` stores in
-// BENCH_decision.json — and prints the results as a table. Given two files it
-// prints an old-vs-new comparison with deltas, which is how the before/after
-// tables in EXPERIMENTS.md are produced:
+// BENCH_decision.json / BENCH_interval.json / BENCH_shard.json — and prints
+// every measured unit as a table: ns/op, custom b.ReportMetric units like
+// servers/s, and the -benchmem B/op and allocs/op columns. Given two files it
+// prints an old-vs-new comparison with per-unit deltas, which is how the
+// before/after tables in EXPERIMENTS.md are produced:
 //
-//	h2pbenchdiff BENCH_decision.json
+//	h2pbenchdiff BENCH_shard.json
 //	h2pbenchdiff old.json new.json
 //	h2pbenchdiff -threshold 5 old.json new.json   # exit 1 on >5% slowdowns
 //
-// With -threshold N (percent) in two-file mode, any benchmark whose ns/op
-// grew by more than N% fails the run: the regressions are listed on stderr
-// and the exit status is 1, which is what lets make targets and CI gate on
-// the stored benchmark artifacts.
+// With -threshold N (percent) in two-file mode, a benchmark fails the run
+// when its ns/op grew by more than N% or any of its throughput units (those
+// ending in "/s", like servers/s) dropped by more than N%: the regressions
+// are listed on stderr and the exit status is 1, which is what lets make
+// targets and CI gate on the stored benchmark artifacts. Memory units are
+// compared in the tables but do not gate — allocator jitter is not a
+// throughput regression.
 package main
 
 import (
@@ -23,6 +28,7 @@ import (
 	"io"
 	"os"
 	"regexp"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -30,7 +36,7 @@ import (
 func main() {
 	fs := flag.NewFlagSet("h2pbenchdiff", flag.ExitOnError)
 	threshold := fs.Float64("threshold", -1,
-		"fail (exit 1) when any benchmark's ns/op regresses by more than this percent; negative disables the gate")
+		"fail (exit 1) when any benchmark's ns/op grows — or a */s throughput unit drops — by more than this percent; negative disables the gate")
 	fs.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: h2pbenchdiff [-threshold pct] <bench-file> [new-bench-file]")
 		fs.PrintDefaults()
@@ -47,7 +53,7 @@ func main() {
 		os.Exit(1)
 	}
 	if len(regressed) > 0 {
-		fmt.Fprintf(os.Stderr, "h2pbenchdiff: %d benchmark(s) regressed beyond %.4g%%:\n", len(regressed), *threshold)
+		fmt.Fprintf(os.Stderr, "h2pbenchdiff: %d regression(s) beyond %.4g%%:\n", len(regressed), *threshold)
 		for _, r := range regressed {
 			fmt.Fprintln(os.Stderr, "  "+r)
 		}
@@ -56,7 +62,7 @@ func main() {
 }
 
 // run prints the table or diff and, with a non-negative threshold in diff
-// mode, returns the benchmarks whose ns/op regressed beyond threshold percent.
+// mode, returns the gated regressions.
 func run(out io.Writer, paths []string, threshold float64) ([]string, error) {
 	sets := make([]*benchSet, len(paths))
 	for i, p := range paths {
@@ -85,30 +91,85 @@ func run(out io.Writer, paths []string, threshold float64) ([]string, error) {
 	return regressions(sets[0], sets[1], threshold), nil
 }
 
-// regressions lists the benchmarks present in both sets whose ns/op grew by
-// strictly more than threshold percent, in the old set's order.
+// throughputUnit reports whether higher is better for the unit: the
+// b.ReportMetric rate units end in "/s" (servers/s, MB/s); every other unit
+// in a bench stream is a per-op cost.
+func throughputUnit(unit string) bool { return strings.HasSuffix(unit, "/s") }
+
+// regressions lists the gated regressions for benchmarks present in both
+// sets, in the old set's order: ns/op growing beyond threshold percent, and
+// any shared throughput unit dropping beyond threshold percent. Other cost
+// units (B/op, allocs/op) are shown in the diff but deliberately not gated.
 func regressions(old, new_ *benchSet, threshold float64) []string {
 	var out []string
 	for _, name := range old.order {
 		o := old.results[name]
 		n, ok := new_.results[name]
-		if !ok || o.NsPerOp == 0 {
+		if !ok {
 			continue
 		}
-		if pct := (n.NsPerOp/o.NsPerOp - 1) * 100; pct > threshold {
-			out = append(out, fmt.Sprintf("%s: %.2f -> %.2f ns/op (%+.1f%%)", name, o.NsPerOp, n.NsPerOp, pct))
+		for _, unit := range o.units() {
+			ov, nv := o.Values[unit], n.Values[unit]
+			if ov == 0 {
+				continue
+			}
+			if _, shared := n.Values[unit]; !shared {
+				continue
+			}
+			pct := (nv/ov - 1) * 100
+			switch {
+			case unit == "ns/op" && pct > threshold:
+				out = append(out, fmt.Sprintf("%s: %s -> %s ns/op (%+.1f%%)",
+					name, formatValue(ov), formatValue(nv), pct))
+			case throughputUnit(unit) && -pct > threshold:
+				out = append(out, fmt.Sprintf("%s: %s -> %s %s (%+.1f%%)",
+					name, formatValue(ov), formatValue(nv), unit, pct))
+			}
 		}
 	}
 	return out
 }
 
-// result is one benchmark line. BytesPerOp/AllocsPerOp are -1 when the run
-// was not benchmem-enabled.
+// result is one benchmark line: the iteration count and every measured
+// (value, unit) pair — ns/op always, plus any b.ReportMetric units and the
+// -benchmem pair when present.
 type result struct {
-	Iters       int64
-	NsPerOp     float64
-	BytesPerOp  float64
-	AllocsPerOp float64
+	Iters  int64
+	Values map[string]float64
+}
+
+// unitRank orders units for display: time first, then custom metrics
+// alphabetically, then the -benchmem pair.
+func unitRank(unit string) int {
+	switch unit {
+	case "ns/op":
+		return 0
+	case "B/op":
+		return 2
+	case "allocs/op":
+		return 3
+	}
+	return 1
+}
+
+// units lists the result's units in display order.
+func (r result) units() []string {
+	out := make([]string, 0, len(r.Values))
+	for u := range r.Values {
+		out = append(out, u)
+	}
+	sortUnits(out)
+	return out
+}
+
+func sortUnits(units []string) {
+	sort.Slice(units, func(i, j int) bool {
+		ri, rj := unitRank(units[i]), unitRank(units[j])
+		if ri != rj {
+			return ri < rj
+		}
+		return units[i] < units[j]
+	})
 }
 
 // benchSet preserves first-seen order so tables read like the source stream.
@@ -117,28 +178,64 @@ type benchSet struct {
 	results map[string]result
 }
 
+// allUnits is the union of every result's units, in display order.
+func (s *benchSet) allUnits() []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, name := range s.order {
+		for u := range s.results[name].Values {
+			if !seen[u] {
+				seen[u] = true
+				out = append(out, u)
+			}
+		}
+	}
+	sortUnits(out)
+	return out
+}
+
 // testEvent is the subset of the test2json schema h2pbenchdiff consumes.
 type testEvent struct {
 	Action string `json:"Action"`
 	Output string `json:"Output"`
 }
 
-// benchLine matches `BenchmarkName[-P]  N  X ns/op [ Y B/op  Z allocs/op ]`.
-var benchLine = regexp.MustCompile(
-	`^(Benchmark\S+?)(-\d+)?\s+(\d+)\s+([0-9.]+) ns/op(?:\s+([0-9.]+) B/op\s+([0-9.]+) allocs/op)?`)
+// benchName matches a benchmark line's leading name, with the optional
+// GOMAXPROCS suffix stripped so runs from different machines line up.
+var benchName = regexp.MustCompile(`^(Benchmark\S+?)(-\d+)?(?:\s+(\d.*))?$`)
 
-// nameOnly and resultOnly handle the split emission of verbose/test2json
-// streams, where `BenchmarkName\n` and the measurement arrive as separate
-// lines.
-var (
-	nameOnly   = regexp.MustCompile(`^(Benchmark\S+?)(-\d+)?$`)
-	resultOnly = regexp.MustCompile(
-		`^(\d+)\s+([0-9.]+) ns/op(?:\s+([0-9.]+) B/op\s+([0-9.]+) allocs/op)?`)
-)
+// parseMeasurement parses the post-name tail of a benchmark line — the
+// iteration count followed by (value, unit) pairs. It accepts any units but
+// requires ns/op among them, which is what separates a measurement from
+// arbitrary prose starting with a number.
+func parseMeasurement(tail string) (result, bool) {
+	fields := strings.Fields(tail)
+	if len(fields) < 3 || len(fields)%2 == 0 {
+		return result{}, false
+	}
+	iters, err := strconv.ParseInt(fields[0], 10, 64)
+	if err != nil {
+		return result{}, false
+	}
+	values := make(map[string]float64, len(fields)/2)
+	for i := 1; i < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return result{}, false
+		}
+		values[fields[i+1]] = v
+	}
+	if _, ok := values["ns/op"]; !ok {
+		return result{}, false
+	}
+	return result{Iters: iters, Values: values}, true
+}
 
 // parse accepts either raw `go test -bench` text or a test2json stream; in
 // the latter each line is an event whose Output fragments carry the same
-// text. Non-benchmark lines are ignored either way.
+// text. Non-benchmark lines are ignored either way. Verbose and test2json
+// streams split `BenchmarkName\n` and its measurement across lines, which
+// the pending-name state stitches back together.
 func parse(r io.Reader) (*benchSet, error) {
 	s := &benchSet{results: make(map[string]result)}
 	sc := bufio.NewScanner(r)
@@ -157,22 +254,22 @@ func parse(r io.Reader) (*benchSet, error) {
 			line = strings.TrimSuffix(ev.Output, "\n")
 		}
 		line = strings.TrimSpace(line)
-		if m := benchLine.FindStringSubmatch(line); m != nil {
-			if err := s.record(m[1], m[3], m[4], m[5], m[6]); err != nil {
-				return nil, err
+		if m := benchName.FindStringSubmatch(line); m != nil {
+			if m[3] == "" {
+				pending = m[1]
+				continue
 			}
-			pending = ""
+			if res, ok := parseMeasurement(m[3]); ok {
+				s.record(m[1], res)
+				pending = ""
+			}
 			continue
 		}
-		if m := nameOnly.FindStringSubmatch(line); m != nil {
-			pending = m[1]
-			continue
-		}
-		if m := resultOnly.FindStringSubmatch(line); m != nil && pending != "" {
-			if err := s.record(pending, m[1], m[2], m[3], m[4]); err != nil {
-				return nil, err
+		if pending != "" && line != "" && line[0] >= '0' && line[0] <= '9' {
+			if res, ok := parseMeasurement(line); ok {
+				s.record(pending, res)
+				pending = ""
 			}
-			pending = ""
 		}
 	}
 	if err := sc.Err(); err != nil {
@@ -181,79 +278,92 @@ func parse(r io.Reader) (*benchSet, error) {
 	return s, nil
 }
 
-// record parses the numeric fields and files the result; bytesS/allocsS are
-// empty when the run lacked -benchmem.
-func (s *benchSet) record(name, itersS, nsS, bytesS, allocsS string) error {
-	iters, err := strconv.ParseInt(itersS, 10, 64)
-	if err != nil {
-		return err
-	}
-	ns, err := strconv.ParseFloat(nsS, 64)
-	if err != nil {
-		return err
-	}
-	res := result{Iters: iters, NsPerOp: ns, BytesPerOp: -1, AllocsPerOp: -1}
-	if bytesS != "" {
-		if res.BytesPerOp, err = strconv.ParseFloat(bytesS, 64); err != nil {
-			return err
-		}
-		if res.AllocsPerOp, err = strconv.ParseFloat(allocsS, 64); err != nil {
-			return err
-		}
-	}
+// record files the result. Last write wins on duplicate names (e.g.
+// -count > 1): the most recent run is the most warmed-up one.
+func (s *benchSet) record(name string, res result) {
 	if _, seen := s.results[name]; !seen {
 		s.order = append(s.order, name)
 	}
-	// Last write wins on duplicate names (e.g. -count > 1): the most recent
-	// run is the most warmed-up one.
 	s.results[name] = res
-	return nil
 }
 
-func writeTable(out io.Writer, s *benchSet) {
-	fmt.Fprintf(out, "%-42s %14s %12s %12s\n", "benchmark", "ns/op", "B/op", "allocs/op")
-	for _, name := range s.order {
-		r := s.results[name]
-		fmt.Fprintf(out, "%-42s %14.2f %12s %12s\n",
-			name, r.NsPerOp, memCell(r.BytesPerOp), memCell(r.AllocsPerOp))
+// formatValue renders a measurement compactly across the ns-to-minutes and
+// ones-to-billions ranges the units span.
+func formatValue(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case v >= 1e6 || v < 0.01:
+		return strconv.FormatFloat(v, 'g', 6, 64)
+	default:
+		return strconv.FormatFloat(v, 'f', 2, 64)
 	}
 }
 
+// cell renders one unit's value, blank-dashed when the run lacked the unit.
+func cell(r result, unit string) string {
+	v, ok := r.Values[unit]
+	if !ok {
+		return "-"
+	}
+	return formatValue(v)
+}
+
+func writeTable(out io.Writer, s *benchSet) {
+	units := s.allUnits()
+	fmt.Fprintf(out, "%-44s", "benchmark")
+	for _, u := range units {
+		fmt.Fprintf(out, " %14s", u)
+	}
+	fmt.Fprintln(out)
+	for _, name := range s.order {
+		r := s.results[name]
+		fmt.Fprintf(out, "%-44s", name)
+		for _, u := range units {
+			fmt.Fprintf(out, " %14s", cell(r, u))
+		}
+		fmt.Fprintln(out)
+	}
+}
+
+// writeDiff prints one row per benchmark per unit, so every measured unit —
+// ns/op, servers/s, B/op, allocs/op — gets an old/new/delta comparison, not
+// just the time column.
 func writeDiff(out io.Writer, old, new_ *benchSet) {
-	fmt.Fprintf(out, "%-42s %14s %14s %9s %10s %10s\n",
-		"benchmark", "old ns/op", "new ns/op", "delta", "old allocs", "new allocs")
+	fmt.Fprintf(out, "%-44s %-12s %14s %14s %9s\n",
+		"benchmark", "unit", "old", "new", "delta")
 	for _, name := range old.order {
 		o := old.results[name]
 		n, ok := new_.results[name]
 		if !ok {
-			fmt.Fprintf(out, "%-42s %14.2f %14s\n", name, o.NsPerOp, "(gone)")
+			fmt.Fprintf(out, "%-44s %-12s %14s %14s\n", name, "ns/op", formatValue(o.Values["ns/op"]), "(gone)")
 			continue
 		}
-		fmt.Fprintf(out, "%-42s %14.2f %14.2f %9s %10s %10s\n",
-			name, o.NsPerOp, n.NsPerOp, delta(o.NsPerOp, n.NsPerOp),
-			memCell(o.AllocsPerOp), memCell(n.AllocsPerOp))
+		for _, unit := range o.units() {
+			nv, shared := n.Values[unit]
+			if !shared {
+				fmt.Fprintf(out, "%-44s %-12s %14s %14s\n", name, unit, cell(o, unit), "(gone)")
+				continue
+			}
+			fmt.Fprintf(out, "%-44s %-12s %14s %14s %9s\n",
+				name, unit, cell(o, unit), formatValue(nv), delta(o.Values[unit], nv))
+		}
 	}
 	for _, name := range new_.order {
 		if _, ok := old.results[name]; !ok {
 			n := new_.results[name]
-			fmt.Fprintf(out, "%-42s %14s %14.2f %9s %10s %10s\n",
-				name, "(new)", n.NsPerOp, "", "", memCell(n.AllocsPerOp))
+			for _, unit := range n.units() {
+				fmt.Fprintf(out, "%-44s %-12s %14s %14s\n", name, unit, "(new)", cell(n, unit))
+			}
 		}
 	}
 }
 
-// delta formats the relative change in ns/op, negative = faster.
+// delta formats the relative change, negative = smaller. For cost units
+// (ns/op, B/op) negative is faster; for throughput units positive is faster.
 func delta(old, new_ float64) string {
 	if old == 0 {
 		return "?"
 	}
 	return fmt.Sprintf("%+.1f%%", (new_/old-1)*100)
-}
-
-// memCell renders a -benchmem column, blank when the run lacked it.
-func memCell(v float64) string {
-	if v < 0 {
-		return "-"
-	}
-	return strconv.FormatFloat(v, 'f', -1, 64)
 }

@@ -13,19 +13,22 @@ pkg: github.com/h2p-sim/h2p/internal/sched
 BenchmarkDecisionChooseMiss        	   91450	     14517 ns/op	      48 B/op	       1 allocs/op
 BenchmarkDecisionChooseHit-8       	65073976	        18.49 ns/op	       0 B/op	       0 allocs/op
 BenchmarkDecisionDecide            	 2751466	       442.3 ns/op
+BenchmarkShardScaling/shards=2-8   	       1	2000000000 ns/op	 54000000 servers/s	  1024 B/op	      12 allocs/op
 PASS
 ok  	github.com/h2p-sim/h2p/internal/sched	7.015s
 `
 
 // jsonBench mirrors a real test2json stream: the benchmark name and its
 // measurement arrive as separate output events (the split `go test -json`
-// actually emits), plus one single-line event for the inline form.
+// actually emits), plus one single-line event for the inline form carrying a
+// custom b.ReportMetric unit.
 const jsonBench = `{"Action":"start","Package":"github.com/h2p-sim/h2p/internal/sched"}
 {"Action":"run","Package":"p","Test":"BenchmarkDecisionChooseMiss"}
 {"Action":"output","Package":"p","Test":"BenchmarkDecisionChooseMiss","Output":"=== RUN   BenchmarkDecisionChooseMiss\n"}
 {"Action":"output","Package":"p","Test":"BenchmarkDecisionChooseMiss","Output":"BenchmarkDecisionChooseMiss\n"}
 {"Action":"output","Package":"p","Test":"BenchmarkDecisionChooseMiss","Output":"  100000\t     12000 ns/op\t      48 B/op\t       1 allocs/op\n"}
 {"Action":"output","Package":"p","Output":"BenchmarkDecisionChooseHit-8       \t70000000\t        17.20 ns/op\t       0 B/op\t       0 allocs/op\n"}
+{"Action":"output","Package":"p","Output":"BenchmarkShardScaling/shards=2-8   \t       1\t1000000000 ns/op\t 108000000 servers/s\t  1024 B/op\t      12 allocs/op\n"}
 {"Action":"output","Package":"p","Output":"ok  \tgithub.com/h2p-sim/h2p/internal/sched\t7.0s\n"}
 {"Action":"pass","Package":"p"}
 `
@@ -35,22 +38,28 @@ func TestParsePlainText(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(s.order) != 3 {
-		t.Fatalf("parsed %d benchmarks, want 3: %v", len(s.order), s.order)
+	if len(s.order) != 4 {
+		t.Fatalf("parsed %d benchmarks, want 4: %v", len(s.order), s.order)
 	}
 	miss := s.results["BenchmarkDecisionChooseMiss"]
-	if miss.NsPerOp != 14517 || miss.AllocsPerOp != 1 || miss.BytesPerOp != 48 {
+	if miss.Values["ns/op"] != 14517 || miss.Values["allocs/op"] != 1 || miss.Values["B/op"] != 48 {
 		t.Errorf("miss parsed wrong: %+v", miss)
 	}
 	// The -8 GOMAXPROCS suffix must be stripped so old/new runs on different
 	// machines still line up.
 	hit, ok := s.results["BenchmarkDecisionChooseHit"]
-	if !ok || hit.NsPerOp != 18.49 {
+	if !ok || hit.Values["ns/op"] != 18.49 {
 		t.Errorf("hit parsed wrong: %+v (ok=%v)", hit, ok)
 	}
 	// A line without -benchmem columns keeps the table usable.
-	if d := s.results["BenchmarkDecisionDecide"]; d.AllocsPerOp != -1 || d.NsPerOp != 442.3 {
+	d := s.results["BenchmarkDecisionDecide"]
+	if _, present := d.Values["allocs/op"]; present || d.Values["ns/op"] != 442.3 {
 		t.Errorf("no-benchmem line parsed wrong: %+v", d)
+	}
+	// Custom b.ReportMetric units ride along with the standard columns.
+	sh := s.results["BenchmarkShardScaling/shards=2"]
+	if sh.Values["servers/s"] != 54000000 || sh.Values["ns/op"] != 2000000000 || sh.Values["B/op"] != 1024 {
+		t.Errorf("ReportMetric line parsed wrong: %+v", sh)
 	}
 }
 
@@ -59,11 +68,31 @@ func TestParseTest2JSON(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(s.order) != 2 {
-		t.Fatalf("parsed %d benchmarks, want 2: %v", len(s.order), s.order)
+	if len(s.order) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3: %v", len(s.order), s.order)
 	}
-	if s.results["BenchmarkDecisionChooseMiss"].NsPerOp != 12000 {
+	if s.results["BenchmarkDecisionChooseMiss"].Values["ns/op"] != 12000 {
 		t.Errorf("json miss parsed wrong: %+v", s.results["BenchmarkDecisionChooseMiss"])
+	}
+	if s.results["BenchmarkShardScaling/shards=2"].Values["servers/s"] != 108000000 {
+		t.Errorf("json ReportMetric parsed wrong: %+v", s.results["BenchmarkShardScaling/shards=2"])
+	}
+}
+
+func TestUnitsDisplayOrder(t *testing.T) {
+	s, err := parse(strings.NewReader(plainBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := s.allUnits()
+	want := []string{"ns/op", "servers/s", "B/op", "allocs/op"}
+	if len(got) != len(want) {
+		t.Fatalf("allUnits = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("allUnits = %v, want %v", got, want)
+		}
 	}
 }
 
@@ -77,7 +106,7 @@ func TestRunSingleFileTable(t *testing.T) {
 		t.Fatal(err)
 	}
 	out := sb.String()
-	for _, want := range []string{"BenchmarkDecisionChooseMiss", "14517.00", "allocs/op"} {
+	for _, want := range []string{"BenchmarkDecisionChooseMiss", "14517.00", "allocs/op", "servers/s", "5.4e+07"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("table missing %q:\n%s", want, out)
 		}
@@ -99,9 +128,14 @@ func TestRunDiffTwoFiles(t *testing.T) {
 		t.Fatal(err)
 	}
 	out := sb.String()
-	// 14517 -> 12000 is -17.3%.
+	// 14517 -> 12000 ns/op is -17.3%.
 	if !strings.Contains(out, "-17.3%") {
-		t.Errorf("diff missing delta:\n%s", out)
+		t.Errorf("diff missing ns/op delta:\n%s", out)
+	}
+	// 54M -> 108M servers/s is +100%: the secondary unit must be compared
+	// too, on its own row.
+	if !strings.Contains(out, "+100.0%") {
+		t.Errorf("diff missing servers/s delta:\n%s", out)
 	}
 	// Decide exists only in the old file.
 	if !strings.Contains(out, "(gone)") {
@@ -119,9 +153,9 @@ func TestRunRejectsEmptyFile(t *testing.T) {
 	}
 }
 
-// TestThresholdGate exercises the -threshold regression gate: the hit
-// benchmark slows 18.49 -> 25 ns/op (+35.2%) while the miss one improves, so
-// a 5% gate reports exactly the hit and a 50% gate passes.
+// TestThresholdGate exercises the -threshold regression gate on ns/op: the
+// hit benchmark slows 18.49 -> 25 ns/op (+35.2%) while the miss one
+// improves, so a 5% gate reports exactly the hit and a 50% gate passes.
 func TestThresholdGate(t *testing.T) {
 	const slower = `BenchmarkDecisionChooseMiss   100000	12000 ns/op
 BenchmarkDecisionChooseHit-8  50000000	25.00 ns/op
@@ -162,5 +196,43 @@ BenchmarkDecisionChooseHit-8  50000000	25.00 ns/op
 	}
 	if regressed != nil {
 		t.Errorf("disabled gate: regressed = %v, want nil", regressed)
+	}
+}
+
+// TestThresholdGatesThroughputDrop pins the gate's second arm: a benchmark
+// whose ns/op holds steady but whose servers/s drops beyond the threshold
+// must fail, and a throughput GAIN must never trip the gate. Memory-unit
+// growth is deliberately ungated.
+func TestThresholdGatesThroughputDrop(t *testing.T) {
+	const old = `BenchmarkShardScaling/shards=2   1	2000000000 ns/op	54000000 servers/s	1024 B/op	12 allocs/op
+BenchmarkShardScaling/shards=4   1	1000000000 ns/op	108000000 servers/s	1024 B/op	12 allocs/op
+`
+	// shards=2: throughput halves at unchanged ns/op; shards=4: throughput
+	// doubles while B/op quadruples (allocator noise must not gate).
+	const new_ = `BenchmarkShardScaling/shards=2   1	2000000000 ns/op	27000000 servers/s	1024 B/op	12 allocs/op
+BenchmarkShardScaling/shards=4   1	1000000000 ns/op	216000000 servers/s	4096 B/op	48 allocs/op
+`
+	dir := t.TempDir()
+	oldPath := filepath.Join(dir, "old.txt")
+	newPath := filepath.Join(dir, "new.txt")
+	if err := os.WriteFile(oldPath, []byte(old), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(newPath, []byte(new_), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	regressed, err := run(&strings.Builder{}, []string{oldPath, newPath}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regressed) != 1 {
+		t.Fatalf("10%% gate: regressed = %v, want exactly the shards=2 throughput drop", regressed)
+	}
+	if !strings.Contains(regressed[0], "shards=2") || !strings.Contains(regressed[0], "servers/s") {
+		t.Errorf("unexpected regression line: %q", regressed[0])
+	}
+	if !strings.Contains(regressed[0], "-50.0%") {
+		t.Errorf("regression line missing drop delta: %q", regressed[0])
 	}
 }

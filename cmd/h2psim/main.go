@@ -6,13 +6,17 @@
 // Usage:
 //
 //	h2psim [-servers 1000] [-circ 25] [-seed 42] [-workers 0] [-trace file.csv] [-series]
-//	       [-telemetry-addr :9102] [-metrics-out run.metrics] [-trace-out run.trace]
+//	       [-shards N] [-telemetry-addr :9102] [-metrics-out run.metrics] [-trace-out run.trace]
 //	       [-series-out series.csv] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // The simulation fans the independent water circulations of every control
 // interval out across -workers goroutines (0 = all CPUs) and runs the two
 // schemes concurrently; results are bit-identical for any worker count.
-// Interrupting the process (SIGINT/SIGTERM) cancels the runs promptly.
+// -shards N instead partitions each run's circulations across N independent
+// engine shards with pipelined column prefetch (internal/shard) and implies
+// -stream; 0 resolves to all CPUs exactly like -workers 0, and results stay
+// bit-identical for every shard count. Interrupting the process
+// (SIGINT/SIGTERM) cancels the runs promptly.
 //
 // Telemetry: -telemetry-addr serves live Prometheus-style metrics
 // (/metrics), a JSON snapshot (/metrics.json) and the span trace (/trace)
@@ -49,7 +53,8 @@ func main() {
 	servers := flag.Int("servers", 1000, "number of servers in the simulated cluster")
 	circ := flag.Int("circ", 25, "servers per water circulation")
 	seed := flag.Int64("seed", 42, "workload generator seed")
-	workers := flag.Int("workers", 0, "circulation worker pool size (0 = GOMAXPROCS)")
+	workers := flag.Int("workers", 0, "circulation worker pool size "+core.ParallelismFlagHelp)
+	shards := flag.Int("shards", -1, "engine shards for sharded streaming execution, implies -stream; -1 = unsharded, 0 resolves like -workers 0 "+core.ParallelismFlagHelp)
 	quantum := flag.Float64("quantum", 0, "decision-cache utilization quantum (0 = exact, paper-faithful; try 1/512)")
 	traceFile := flag.String("trace", "", "optional CSV trace file (replaces the synthetic traces)")
 	series := flag.Bool("series", false, "also print the per-interval power series")
@@ -82,13 +87,24 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	if *shards < -1 {
+		fmt.Fprintln(os.Stderr, "h2psim: -shards must be -1 (unsharded), 0 (all CPUs) or positive")
+		os.Exit(1)
+	}
+	shardCount := 0
+	if *shards >= 0 {
+		// Resolve now so runOptions carries a concrete shard count and
+		// -shards 0 means exactly what -workers 0 means: all CPUs.
+		shardCount = core.ResolveParallelism(*shards)
+	}
 	opt := runOptions{
 		servers: *servers, circ: *circ, seed: *seed,
 		workers: *workers, quantum: *quantum,
 		traceFile: *traceFile, series: *series,
 		metricsOut: *metricsOut, traceOut: *traceOut, seriesOut: *seriesOut,
 		faults: plan, faultSeed: *faultSeed,
-		stream:     *stream || *checkpoint != "" || *resume || *haltAfter > 0,
+		shards:     shardCount,
+		stream:     *stream || *checkpoint != "" || *resume || *haltAfter > 0 || *shards >= 0,
 		checkpoint: *checkpoint, checkpointEvery: *checkpointEvery,
 		resume: *resume, haltAfter: *haltAfter,
 	}
@@ -141,7 +157,11 @@ type runOptions struct {
 	faults    *fault.Plan
 	faultSeed int64
 	// Streaming/checkpoint controls (stream.go). stream switches the run to
-	// the pull-based source path; checkpoint/resume/haltAfter imply it.
+	// the pull-based source path; checkpoint/resume/haltAfter and -shards
+	// imply it. shards > 0 (already resolved from the -shards flag) further
+	// routes every run through the sharded execution layer (internal/shard);
+	// 0 keeps the single-engine path.
+	shards          int
 	stream          bool
 	checkpoint      string
 	checkpointEvery int

@@ -12,6 +12,7 @@ import (
 
 	"github.com/h2p-sim/h2p/internal/core"
 	"github.com/h2p-sim/h2p/internal/sched"
+	"github.com/h2p-sim/h2p/internal/shard"
 	"github.com/h2p-sim/h2p/internal/trace"
 )
 
@@ -75,12 +76,17 @@ func runKey(name string, scheme sched.Scheme) string {
 	return name + "/" + string(scheme)
 }
 
-// checkpointEntry is one run's state in the checkpoint file: either a
-// completed Result or an in-progress engine checkpoint.
+// checkpointEntry is one run's state in the checkpoint file: a completed
+// Result, an in-progress engine checkpoint, or — under -shards — an
+// in-progress sharded checkpoint. The sharded record's Merged field is itself
+// a complete engine checkpoint, so dropping -shards between invocations still
+// resumes; the reverse direction (adding -shards over an unsharded
+// checkpoint) is rejected rather than guessed at.
 type checkpointEntry struct {
-	Done       bool             `json:"done"`
-	Result     *core.Result     `json:"result,omitempty"`
-	Checkpoint *core.Checkpoint `json:"checkpoint,omitempty"`
+	Done       bool              `json:"done"`
+	Result     *core.Result      `json:"result,omitempty"`
+	Checkpoint *core.Checkpoint  `json:"checkpoint,omitempty"`
+	Sharded    *shard.Checkpoint `json:"sharded,omitempty"`
 }
 
 // checkpointFile is the on-disk coordinator state.
@@ -145,6 +151,14 @@ func (c *coordinator) setCheckpoint(key string, cp *core.Checkpoint) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.file.Entries[key] = &checkpointEntry{Checkpoint: cp}
+	return c.flushLocked()
+}
+
+// setSharded records an in-progress sharded run's checkpoint.
+func (c *coordinator) setSharded(key string, cp *shard.Checkpoint) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.file.Entries[key] = &checkpointEntry{Sharded: cp}
 	return c.flushLocked()
 }
 
@@ -218,6 +232,15 @@ func runStreaming(ctx context.Context, out io.Writer, opt runOptions) error {
 	halted := false
 	for _, sp := range specs {
 		var pair [2]*core.Result
+		if opt.shards > 0 {
+			h, err := runShardedSpec(ctx, fleet, cfg, sp, coord, keepSeries, opt, &pair)
+			if err != nil {
+				return err
+			}
+			halted = halted || h
+			results[sp.name] = pair
+			continue
+		}
 		var runs []core.SourceRun
 		var slots []int
 		for si, scheme := range streamSchemes {
@@ -233,6 +256,11 @@ func runStreaming(ctx context.Context, out io.Writer, opt runOptions) error {
 			ro := &core.RunOptions{KeepSeries: keepSeries, HaltAfter: opt.haltAfter}
 			if entry != nil && entry.Checkpoint != nil {
 				ro.Resume = entry.Checkpoint
+			} else if entry != nil && entry.Sharded != nil {
+				// The sharded record's Merged field is a complete engine
+				// checkpoint in global circulation order, so a run
+				// checkpointed under -shards resumes unsharded from it.
+				ro.Resume = &entry.Sharded.Merged
 			}
 			if coord != nil {
 				key := key
@@ -295,6 +323,66 @@ func runStreaming(ctx context.Context, out io.Writer, opt runOptions) error {
 		}
 	}
 	return nil
+}
+
+// runShardedSpec runs one trace's two scheme runs through the sharded
+// execution layer (internal/shard), sequentially: each run already spreads
+// across opt.shards engine shards, so running the schemes concurrently on top
+// would only oversubscribe the cores the shards are meant to fill. It fills
+// pair in scheme order and reports whether any run halted at its -halt-after
+// boundary. Checkpoints land in the coordinator as Sharded entries; resuming
+// them under a different shard count is rejected by the shard layer with a
+// layout error rather than silently recomputed.
+func runShardedSpec(ctx context.Context, fleet *core.Fleet, cfg core.Config, sp streamSpec,
+	coord *coordinator, keepSeries bool, opt runOptions, pair *[2]*core.Result) (halted bool, err error) {
+	for si, scheme := range streamSchemes {
+		key := runKey(sp.name, scheme)
+		var entry *checkpointEntry
+		if coord != nil {
+			entry = coord.entry(key)
+		}
+		if entry != nil && entry.Done {
+			pair[si] = entry.Result
+			continue
+		}
+		so := &shard.Options{Shards: opt.shards, KeepSeries: keepSeries, HaltAfter: opt.haltAfter}
+		if entry != nil {
+			switch {
+			case entry.Sharded != nil:
+				so.Resume = entry.Sharded
+			case entry.Checkpoint != nil:
+				return false, fmt.Errorf("run %s was checkpointed unsharded; resume without -shards (a sharded checkpoint would resume either way), or restart without -resume", key)
+			}
+		}
+		if coord != nil {
+			key := key
+			so.Checkpoint = &shard.CheckpointOptions{
+				Every: opt.checkpointEvery,
+				Write: func(cp *shard.Checkpoint) error { return coord.setSharded(key, cp) },
+			}
+		}
+		scfg := cfg
+		scfg.Scheme = scheme
+		src, err := sp.open()
+		if err != nil {
+			return false, err
+		}
+		res, err := shard.Run(ctx, fleet, scfg, src, so)
+		if errors.Is(err, core.ErrHalted) {
+			halted = true
+			continue
+		}
+		if err != nil {
+			return false, err
+		}
+		pair[si] = res
+		if coord != nil {
+			if err := coord.setDone(key, res); err != nil {
+				return false, err
+			}
+		}
+	}
+	return halted, nil
 }
 
 // printStreamReport renders the Fig. 14/15 tables (and the fault table) from

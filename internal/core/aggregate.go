@@ -1,0 +1,151 @@
+package core
+
+import (
+	"github.com/h2p-sim/h2p/internal/sched"
+	"github.com/h2p-sim/h2p/internal/trace"
+	"github.com/h2p-sim/h2p/internal/units"
+)
+
+// MergeInterval folds per-circulation contributions into one IntervalResult
+// in circulation index order — the exact accumulation order of the serial
+// engine, so no floating-point sum is ever reassociated no matter which
+// worker (or which shard) produced each contribution. col is the full
+// datacenter utilization column; parts holds every circulation's contribution
+// in circulation index order.
+//
+// It is the exported face of the engine's internal merge, shared with the
+// sharded execution layer (internal/shard) so sharded runs are bit-identical
+// to unsharded ones by construction rather than by reimplementation.
+func MergeInterval(col []float64, parts []CirculationInterval) IntervalResult {
+	return mergeInterval(col, parts)
+}
+
+// Aggregator is the run-level fold of the streaming engine: it accumulates
+// IntervalResults into a Result's running aggregates in interval order, the
+// same order the legacy in-memory path summed its retained series in, so no
+// floating-point sum is ever reassociated. RunSourceContext folds through an
+// Aggregator, and so does the sharded merger (internal/shard) — one fold
+// implementation is what pins the two paths bit-identical.
+//
+// An Aggregator is single-goroutine state: exactly one merger folds at a
+// time. Checkpoint/Restore freeze and resume the fold at an interval
+// boundary.
+type Aggregator struct {
+	meta       trace.Meta
+	scheme     sched.Scheme
+	keepSeries bool
+	secs       float64
+
+	res                *Result
+	sumTEG, sumAvgUtil float64
+	next               int
+}
+
+// NewAggregator starts an empty fold for one run over the source shape meta.
+// With keepSeries every folded IntervalResult is retained in the Result's
+// series; without it the working set is O(1) in the trace length.
+func NewAggregator(meta trace.Meta, scheme sched.Scheme, keepSeries bool) *Aggregator {
+	res := &Result{
+		TraceName: meta.Name,
+		Class:     meta.Class,
+		Scheme:    scheme,
+		Interval:  meta.Interval,
+		Servers:   meta.Servers,
+	}
+	if keepSeries {
+		res.Intervals = make([]IntervalResult, 0, meta.Intervals)
+	}
+	return &Aggregator{
+		meta:       meta,
+		scheme:     scheme,
+		keepSeries: keepSeries,
+		secs:       meta.Interval.Seconds(),
+		res:        res,
+	}
+}
+
+// Fold accumulates one merged interval. Intervals must be folded in interval
+// order, starting at 0 (or at the restored checkpoint's NextInterval).
+func (a *Aggregator) Fold(ir IntervalResult) {
+	if a.keepSeries {
+		a.res.Intervals = append(a.res.Intervals, ir)
+	}
+	a.res.Faults.accumulate(ir)
+
+	a.res.TEGEnergy += units.EnergyOver(ir.TotalTEGPower, a.secs).KilowattHours()
+	a.res.CPUEnergy += units.EnergyOver(ir.TotalCPUPower, a.secs).KilowattHours()
+	plant := ir.PumpPower + ir.TowerPower + ir.ChillerPower
+	a.res.PlantEnergy += units.EnergyOver(plant, a.secs).KilowattHours()
+
+	a.sumTEG += float64(ir.TEGPowerPerServer)
+	a.sumAvgUtil += ir.AvgUtilization
+	if ir.TEGPowerPerServer > a.res.PeakTEGPowerPerServer {
+		a.res.PeakTEGPowerPerServer = ir.TEGPowerPerServer
+	}
+	a.next++
+}
+
+// Folded reports how many intervals have been folded so far — equivalently,
+// the next interval index the fold expects.
+func (a *Aggregator) Folded() int { return a.next }
+
+// KeepsSeries reports whether the fold retains the interval series.
+func (a *Aggregator) KeepsSeries() bool { return a.keepSeries }
+
+// Checkpoint freezes the fold at the current interval boundary: the run
+// identity, NextInterval, every running aggregate and (for series-keeping
+// folds) the retained series. The engine-side state — sensor snapshots and
+// decision-cache keys — is the caller's to fill in.
+func (a *Aggregator) Checkpoint() *Checkpoint {
+	cp := &Checkpoint{
+		Version:      CheckpointVersion,
+		TraceName:    a.meta.Name,
+		Class:        a.meta.Class,
+		Scheme:       a.scheme,
+		Servers:      a.meta.Servers,
+		Intervals:    a.meta.Intervals,
+		Interval:     a.meta.Interval,
+		NextInterval: a.next,
+
+		SumTEGPerServer:  a.sumTEG,
+		PeakTEGPerServer: float64(a.res.PeakTEGPowerPerServer),
+		SumAvgUtil:       a.sumAvgUtil,
+		TEGEnergy:        float64(a.res.TEGEnergy),
+		CPUEnergy:        float64(a.res.CPUEnergy),
+		PlantEnergy:      float64(a.res.PlantEnergy),
+		Faults:           a.res.Faults,
+	}
+	if a.keepSeries {
+		cp.Series = append([]IntervalResult(nil), a.res.Intervals...)
+	}
+	return cp
+}
+
+// Restore resumes the fold from a validated checkpoint's aggregates; the next
+// Fold must deliver interval cp.NextInterval. The caller is responsible for
+// having run ValidateFor first.
+func (a *Aggregator) Restore(cp *Checkpoint) {
+	a.next = cp.NextInterval
+	a.sumTEG = cp.SumTEGPerServer
+	a.sumAvgUtil = cp.SumAvgUtil
+	a.res.PeakTEGPowerPerServer = units.Watts(cp.PeakTEGPerServer)
+	a.res.TEGEnergy = units.KilowattHours(cp.TEGEnergy)
+	a.res.CPUEnergy = units.KilowattHours(cp.CPUEnergy)
+	a.res.PlantEnergy = units.KilowattHours(cp.PlantEnergy)
+	a.res.Faults = cp.Faults
+	if a.keepSeries {
+		a.res.Intervals = append(a.res.Intervals, cp.Series...)
+	}
+}
+
+// Finalize completes the fold after the last interval: the run means divide
+// by the full interval count, exactly as the legacy path did. The returned
+// Result must not be folded into further.
+func (a *Aggregator) Finalize() *Result {
+	a.res.AvgTEGPowerPerServer = units.Watts(a.sumTEG / float64(a.meta.Intervals))
+	a.res.MeanAvgUtilization = a.sumAvgUtil / float64(a.meta.Intervals)
+	if a.res.CPUEnergy > 0 {
+		a.res.PRE = float64(a.res.TEGEnergy) / float64(a.res.CPUEnergy)
+	}
+	return a.res
+}

@@ -72,9 +72,12 @@ type Checkpoint struct {
 	Series []IntervalResult `json:"series,omitempty"`
 }
 
-// validateFor checks the checkpoint against the source and engine it is
-// about to resume.
-func (cp *Checkpoint) validateFor(m trace.Meta, cfg Config, circulations int, keepSeries bool) error {
+// ValidateFor checks the checkpoint against the source shape and engine
+// configuration it is about to resume: RunSourceContext calls it on its
+// Resume option, and the sharded execution layer (internal/shard) calls it on
+// the merged aggregates of a sharded checkpoint before layering its own
+// shard-layout validation on top.
+func (cp *Checkpoint) ValidateFor(m trace.Meta, cfg Config, circulations int, keepSeries bool) error {
 	if cp.Version != CheckpointVersion {
 		return fmt.Errorf("core: checkpoint version %d, engine speaks %d", cp.Version, CheckpointVersion)
 	}
@@ -100,34 +103,14 @@ func (cp *Checkpoint) validateFor(m trace.Meta, cfg Config, circulations int, ke
 	return nil
 }
 
-// snapshot freezes the run at the boundary before interval next.
-func (e *Engine) snapshot(m trace.Meta, circs []Circulation, res *Result, sumTEG, sumAvgUtil float64, next int, keepSeries bool) *Checkpoint {
-	cp := &Checkpoint{
-		Version:      CheckpointVersion,
-		TraceName:    m.Name,
-		Class:        m.Class,
-		Scheme:       e.cfg.Scheme,
-		Servers:      m.Servers,
-		Intervals:    m.Intervals,
-		Interval:     m.Interval,
-		NextInterval: next,
-
-		SumTEGPerServer:  sumTEG,
-		PeakTEGPerServer: float64(res.PeakTEGPowerPerServer),
-		SumAvgUtil:       sumAvgUtil,
-		TEGEnergy:        float64(res.TEGEnergy),
-		CPUEnergy:        float64(res.CPUEnergy),
-		PlantEnergy:      float64(res.PlantEnergy),
-		Faults:           res.Faults,
-
-		Sensors:   make([]hydro.SensorState, len(circs)),
-		CacheKeys: e.controller.CacheKeys(),
-	}
+// snapshot freezes the run at the aggregator's current boundary: the fold's
+// aggregates plus the engine-side state (sensor snapshots, cache keys).
+func (e *Engine) snapshot(agg *Aggregator, circs []Circulation) *Checkpoint {
+	cp := agg.Checkpoint()
+	cp.Sensors = make([]hydro.SensorState, len(circs))
 	for ci := range circs {
 		cp.Sensors[ci] = circs[ci].sensor.State()
 	}
-	if keepSeries {
-		cp.Series = append([]IntervalResult(nil), res.Intervals...)
-	}
+	cp.CacheKeys = e.controller.CacheKeys()
 	return cp
 }

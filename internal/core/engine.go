@@ -34,7 +34,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -155,12 +154,37 @@ func (c Config) Validate() error {
 	return c.Spec.Validate()
 }
 
-// workers resolves the effective worker count.
-func (c Config) workers() int {
-	if c.Workers > 0 {
-		return c.Workers
+// workers resolves the effective worker count through the shared
+// ResolveParallelism rule.
+func (c Config) workers() int { return ResolveParallelism(c.Workers) }
+
+// Circulations reports how many circulations an nServers datacenter forms
+// under the configuration — the partitioning the sharded execution layer
+// aligns its server ranges to.
+func (c Config) Circulations(nServers int) int {
+	n := c.ServersPerCirculation
+	if n > nServers {
+		n = nServers
 	}
-	return runtime.GOMAXPROCS(0)
+	if n <= 0 {
+		return 0
+	}
+	return (nServers + n - 1) / n
+}
+
+// CirculationSpan returns the server range [lo, hi) of circulation ci in an
+// nServers datacenter — the same spans Engine.circulations wires.
+func (c Config) CirculationSpan(nServers, ci int) (lo, hi int) {
+	n := c.ServersPerCirculation
+	if n > nServers {
+		n = nServers
+	}
+	lo = ci * n
+	hi = lo + n
+	if hi > nServers {
+		hi = nServers
+	}
+	return lo, hi
 }
 
 // IntervalResult captures one control interval of the whole datacenter.
@@ -330,17 +354,18 @@ func (e *Engine) Controller() *sched.Controller { return e.controller }
 // circulations partitions nServers into Config.ServersPerCirculation-sized
 // circulations (the last one may be short) and wires each one.
 func (e *Engine) circulations(nServers int) []Circulation {
-	n := e.cfg.ServersPerCirculation
-	if n > nServers {
-		n = nServers
-	}
-	var circs []Circulation
-	for lo := 0; lo < nServers; lo += n {
-		hi := lo + n
-		if hi > nServers {
-			hi = nServers
-		}
-		circs = append(circs, newCirculation(len(circs), lo, hi, e.cfg, e.controller, e.plant, e.met, e.inj))
+	return e.circulationsRange(nServers, 0, e.cfg.Circulations(nServers))
+}
+
+// circulationsRange wires the circulations [cLo, cHi) of an nServers
+// datacenter, preserving their global indices and server spans: circulation
+// ci always owns the same servers and the same fault-activation identity no
+// matter which contiguous subrange (engine shard) it is built into.
+func (e *Engine) circulationsRange(nServers, cLo, cHi int) []Circulation {
+	circs := make([]Circulation, 0, cHi-cLo)
+	for ci := cLo; ci < cHi; ci++ {
+		lo, hi := e.cfg.CirculationSpan(nServers, ci)
+		circs = append(circs, newCirculation(ci, lo, hi, e.cfg, e.controller, e.plant, e.met, e.inj))
 	}
 	return circs
 }

@@ -7,7 +7,6 @@ import (
 	"time"
 
 	"github.com/h2p-sim/h2p/internal/trace"
-	"github.com/h2p-sim/h2p/internal/units"
 )
 
 // ErrHalted reports a run that stopped at the RunOptions.HaltAfter interval
@@ -90,43 +89,24 @@ func (e *Engine) RunSourceContext(ctx context.Context, src trace.Source, opts *R
 		return nil, errors.New("core: trace has no servers to form a circulation")
 	}
 	keepSeries := opts.keepSeries()
-	res := &Result{
-		TraceName: meta.Name,
-		Class:     meta.Class,
-		Scheme:    e.cfg.Scheme,
-		Interval:  meta.Interval,
-		Servers:   meta.Servers,
-	}
-	if keepSeries {
-		res.Intervals = make([]IntervalResult, 0, meta.Intervals)
-	}
-
-	// The running aggregates. Accumulated in interval order — the same order
-	// the legacy path summed its retained series in — so no floating-point
-	// sum is ever reassociated.
-	var sumTEG, sumAvgUtil float64
+	// The running aggregates fold in interval order — the same order the
+	// legacy path summed its retained series in — so no floating-point sum is
+	// ever reassociated. The Aggregator is shared with the sharded merger
+	// (internal/shard), which is what keeps the two paths bit-identical.
+	agg := NewAggregator(meta, e.cfg.Scheme, keepSeries)
 	start := 0
 	if opts != nil && opts.Resume != nil {
 		cp := opts.Resume
-		if err := cp.validateFor(meta, e.cfg, len(circs), keepSeries); err != nil {
+		if err := cp.ValidateFor(meta, e.cfg, len(circs), keepSeries); err != nil {
 			return nil, err
 		}
 		start = cp.NextInterval
-		sumTEG = cp.SumTEGPerServer
-		sumAvgUtil = cp.SumAvgUtil
-		res.PeakTEGPowerPerServer = units.Watts(cp.PeakTEGPerServer)
-		res.TEGEnergy = units.KilowattHours(cp.TEGEnergy)
-		res.CPUEnergy = units.KilowattHours(cp.CPUEnergy)
-		res.PlantEnergy = units.KilowattHours(cp.PlantEnergy)
-		res.Faults = cp.Faults
+		agg.Restore(cp)
 		for ci := range circs {
 			circs[ci].sensor.SetState(cp.Sensors[ci])
 		}
-		if keepSeries {
-			res.Intervals = append(res.Intervals, cp.Series...)
-		}
 		e.controller.WarmCache(cp.CacheKeys)
-		if err := skipColumns(src, start, meta.Servers); err != nil {
+		if err := trace.Skip(src, start); err != nil {
 			return nil, err
 		}
 		e.met.observeResume(start)
@@ -140,7 +120,6 @@ func (e *Engine) RunSourceContext(ctx context.Context, src trace.Source, opts *R
 		m.workers.Set(float64(workers))
 		m.circulations.Set(float64(len(circs)))
 	}
-	secs := meta.Interval.Seconds()
 	batch := !e.cfg.DisableBatch
 	col := make([]float64, meta.Servers)
 	parts := make([]CirculationInterval, len(circs))
@@ -189,21 +168,7 @@ func (e *Engine) RunSourceContext(ctx context.Context, src trace.Source, opts *R
 		}
 		ir := mergeInterval(col, parts)
 		e.met.observeInterval(i, t0, ir)
-		if keepSeries {
-			res.Intervals = append(res.Intervals, ir)
-		}
-		res.Faults.accumulate(ir)
-
-		res.TEGEnergy += units.EnergyOver(ir.TotalTEGPower, secs).KilowattHours()
-		res.CPUEnergy += units.EnergyOver(ir.TotalCPUPower, secs).KilowattHours()
-		plant := ir.PumpPower + ir.TowerPower + ir.ChillerPower
-		res.PlantEnergy += units.EnergyOver(plant, secs).KilowattHours()
-
-		sumTEG += float64(ir.TEGPowerPerServer)
-		sumAvgUtil += ir.AvgUtilization
-		if ir.TEGPowerPerServer > res.PeakTEGPowerPerServer {
-			res.PeakTEGPowerPerServer = ir.TEGPowerPerServer
-		}
+		agg.Fold(ir)
 		if opts != nil && opts.OnInterval != nil {
 			opts.OnInterval(i, ir)
 		}
@@ -213,7 +178,7 @@ func (e *Engine) RunSourceContext(ctx context.Context, src trace.Source, opts *R
 		if opts != nil && opts.Checkpoint != nil && opts.Checkpoint.Write != nil {
 			every := opts.Checkpoint.Every
 			if halt || (every > 0 && done%every == 0 && done < meta.Intervals) {
-				cp := e.snapshot(meta, circs, res, sumTEG, sumAvgUtil, done, keepSeries)
+				cp := e.snapshot(agg, circs)
 				if err := opts.Checkpoint.Write(cp); err != nil {
 					return nil, fmt.Errorf("core: checkpoint at interval %d: %w", done, err)
 				}
@@ -224,34 +189,5 @@ func (e *Engine) RunSourceContext(ctx context.Context, src trace.Source, opts *R
 			return nil, ErrHalted
 		}
 	}
-	res.AvgTEGPowerPerServer = units.Watts(sumTEG / float64(meta.Intervals))
-	res.MeanAvgUtilization = sumAvgUtil / float64(meta.Intervals)
-	if res.CPUEnergy > 0 {
-		res.PRE = float64(res.TEGEnergy) / float64(res.CPUEnergy)
-	}
-	return res, nil
-}
-
-// skipColumns positions src at interval start: one seek on sources with
-// random access, otherwise a replay-and-discard of the prefix (still
-// O(servers) memory — generators re-derive their columns, file sources
-// re-read them).
-func skipColumns(src trace.Source, start, servers int) error {
-	if start == 0 {
-		return nil
-	}
-	if s, ok := src.(interface{ SeekInterval(int) error }); ok {
-		return s.SeekInterval(start)
-	}
-	col := make([]float64, servers)
-	for i := 0; i < start; i++ {
-		got, err := src.NextColumn(col)
-		if err != nil {
-			return fmt.Errorf("core: resume skip at interval %d: %w", i, err)
-		}
-		if got != i {
-			return fmt.Errorf("core: resume skip: source delivered interval %d, want %d", got, i)
-		}
-	}
-	return nil
+	return agg.Finalize(), nil
 }

@@ -138,6 +138,36 @@ func TestFig14And15SmallScale(t *testing.T) {
 	}
 }
 
+// TestFig14ShardedMatchesDefault pins EvalParams.Shards: routing the
+// evaluation through the sharded execution layer must leave every table cell
+// identical — the tables are formatted from the folded results, so equal
+// strings mean bit-equal aggregates.
+func TestFig14ShardedMatchesDefault(t *testing.T) {
+	want, err := Fig14(smallParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, shards := range []int{1, 3} {
+		p := smallParams()
+		p.Shards = shards
+		got, err := Fig14(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wb, gb bytes.Buffer
+		if err := want.WriteCSV(&wb); err != nil {
+			t.Fatal(err)
+		}
+		if err := got.WriteCSV(&gb); err != nil {
+			t.Fatal(err)
+		}
+		if wb.String() != gb.String() {
+			t.Errorf("Shards=%d: Fig14 differs from unsharded:\n--- unsharded ---\n%s--- sharded ---\n%s",
+				shards, wb.String(), gb.String())
+		}
+	}
+}
+
 func TestFig14Series(t *testing.T) {
 	tab, err := Fig14Series(smallParams(), trace.Drastic)
 	if err != nil {

@@ -1,0 +1,81 @@
+// Package shard is the sharded execution layer of the engine: it partitions
+// one streaming run by contiguous circulation ranges into independent engine
+// shards, pipelines trace decoding one interval ahead of compute, and merges
+// shard contributions back into the engine's own interval-order aggregate
+// fold — so a sharded run is bit-identical to the unsharded engine for every
+// trace class, scheme, shard count and fault plan, by construction.
+//
+// # Why sharding beats the interval worker pool
+//
+// The engine's internal worker pool (core.Config.Workers) fans the
+// circulations of ONE interval out and joins them before folding — a barrier
+// per interval. Shards remove the barrier: each shard owns its circulation
+// range end-to-end (its own decision cache, batch scratch, fault-injector
+// view and telemetry handles), steps it through the batched column kernel,
+// and only the merged fold is sequential. A double-buffered column prefetch
+// (Options.Prefetch) decodes interval t+1 while the shards compute t, so the
+// decoder is off the critical path too.
+//
+// # Why the results are bit-identical
+//
+// Three invariants carry the proof:
+//
+//   - Circulations keep their global indices and server spans inside a
+//     shard (core.ShardRunner), so fault activation — a pure function of
+//     (seed, stream, unit, interval) — is unchanged.
+//   - The decision kernel is grouping-invariant: DecideBatch over any
+//     sub-range equals the serial per-circulation decisions (pinned by the
+//     core batch-equivalence suite), and the decision cache is a pure
+//     function of the utilization plane, so per-shard caches change hit
+//     rates, never results.
+//   - Merging reuses core.MergeInterval and core.Aggregator — the engine's
+//     own folds, in circulation order within an interval and interval order
+//     across the run — so no floating-point sum is ever reassociated.
+package shard
+
+import (
+	"fmt"
+
+	"github.com/h2p-sim/h2p/internal/core"
+)
+
+// Range is a contiguous half-open circulation range [Lo, Hi) owned by one
+// shard. Bounds are global circulation indices (core.Config.Circulations).
+type Range struct {
+	Lo int `json:"lo"`
+	Hi int `json:"hi"`
+}
+
+// Circulations reports the number of circulations in the range.
+func (r Range) Circulations() int { return r.Hi - r.Lo }
+
+// String formats the range in the half-open notation used by errors.
+func (r Range) String() string { return fmt.Sprintf("[%d,%d)", r.Lo, r.Hi) }
+
+// Partition splits circulations [0, n) into at most shards contiguous
+// ranges, as evenly as possible: every range gets n/shards circulations and
+// the first n%shards ranges get one extra. A non-positive shard count
+// resolves through core.ResolveParallelism (all CPUs); a shard count above n
+// clamps to n so no range is ever empty. Partition(n, 1) is the unsharded
+// layout [0, n).
+func Partition(n, shards int) []Range {
+	if n <= 0 {
+		return nil
+	}
+	shards = core.ResolveParallelism(shards)
+	if shards > n {
+		shards = n
+	}
+	base, extra := n/shards, n%shards
+	ranges := make([]Range, shards)
+	lo := 0
+	for s := range ranges {
+		size := base
+		if s < extra {
+			size++
+		}
+		ranges[s] = Range{Lo: lo, Hi: lo + size}
+		lo += size
+	}
+	return ranges
+}

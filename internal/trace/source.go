@@ -111,6 +111,32 @@ func (s *TraceSource) SeekInterval(i int) error {
 	return nil
 }
 
+// Skip positions src so the next NextColumn returns interval start: one seek
+// on sources with random access (those implementing SeekInterval, like
+// TraceSource), otherwise a replay-and-discard of the prefix columns — still
+// O(servers) memory, since generators re-derive their columns and file
+// sources re-read them. It is the shared resume repositioning of the
+// streaming engine and the sharded prefetcher.
+func Skip(src Source, start int) error {
+	if start <= 0 {
+		return nil
+	}
+	if s, ok := src.(interface{ SeekInterval(int) error }); ok {
+		return s.SeekInterval(start)
+	}
+	col := make([]float64, src.Meta().Servers)
+	for i := 0; i < start; i++ {
+		got, err := src.NextColumn(col)
+		if err != nil {
+			return fmt.Errorf("trace: skip at interval %d: %w", i, err)
+		}
+		if got != i {
+			return fmt.Errorf("trace: skip: source delivered interval %d, want %d", got, i)
+		}
+	}
+	return nil
+}
+
 // Materialize drains a source into a dense *Trace: the bridge from the
 // streaming world back to the in-memory API. It is the one place a source's
 // full matrix is ever allocated, so callers opt into the O(servers ×
