@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet vuln test race check telemetry-check fault-check fuzz-check stream-check kernel-check shard-check bench bench-all experiments clean
+.PHONY: all build vet vuln test race check telemetry-check fault-check fuzz-check stream-check kernel-check shard-check obs-check bench bench-all experiments clean
 
 all: check
 
@@ -86,10 +86,21 @@ shard-check:
 		./internal/shard ./internal/core ./cmd/h2psim
 	$(GO) test -race -run TestFig14ShardedMatchesDefault ./internal/experiments
 
+# obs-check gates the run-observability layer under the race detector: the
+# journal recorder/reader round-trip, the live hub + SSE endpoints, the
+# Perfetto exporter's golden validity test, the tracer ring's concurrent
+# Record hammer, the journal-on/off bit-identity suites, and the h2pstat and
+# h2psim CLI flows (journal + halt/resume append, /healthz, graceful
+# shutdown).
+obs-check:
+	$(GO) test -race -run 'Obs|Journal|Recorder|Perfetto|Hub|Runs|SSE|Serve|SelfStats|Tracer|Healthz|Observer|Env|Summar|Status|EventCounts|Tail' \
+		./internal/obs ./internal/telemetry ./internal/core ./internal/shard \
+		./cmd/h2psim ./cmd/h2pstat ./cmd/h2pbenchdiff
+
 # check is the tier-1 gate: vet + best-effort vuln scan + build +
-# race-enabled tests + the telemetry, fault, fuzz, streaming, batch-kernel
-# and shard gates.
-check: vet vuln build race telemetry-check fault-check fuzz-check stream-check kernel-check shard-check
+# race-enabled tests + the telemetry, fault, fuzz, streaming, batch-kernel,
+# shard and observability gates.
+check: vet vuln build race telemetry-check fault-check fuzz-check stream-check kernel-check shard-check obs-check
 
 # bench tracks the decision hot path across PRs: the Decision* benchmarks in
 # internal/lookup (candidate scan) and internal/sched (controller) run with
@@ -104,13 +115,20 @@ check: vet vuln build race telemetry-check fault-check fuzz-check stream-check k
 # BENCH_shard.json; h2pbenchdiff renders every unit including the servers/s
 # throughput column, and `h2pbenchdiff -threshold 10 old.json BENCH_shard.json`
 # gates throughput drops as well as ns/op growth.
+# Each artifact opens with the h2p_bench_env header line (`h2pbench
+# -bench-env`): go version, GOMAXPROCS, CPU model, commit. h2pbenchdiff
+# reads it back and warns when two compared artifacts come from different
+# environments, so hardware deltas are not mistaken for regressions.
 bench:
+	$(GO) run ./cmd/h2pbench -bench-env > BENCH_decision.json
 	$(GO) test -run '^$$' -bench Decision -benchmem -count=1 -json \
-		./internal/lookup ./internal/sched > BENCH_decision.json
+		./internal/lookup ./internal/sched >> BENCH_decision.json
+	$(GO) run ./cmd/h2pbench -bench-env > BENCH_interval.json
 	$(GO) test -run '^$$' -bench IntervalThroughput -benchmem -count=1 -json \
-		./internal/core > BENCH_interval.json
+		./internal/core >> BENCH_interval.json
+	$(GO) run ./cmd/h2pbench -bench-env > BENCH_shard.json
 	$(GO) test -run '^$$' -bench ShardScaling -benchmem -benchtime 1x -count=1 -json \
-		./internal/shard > BENCH_shard.json
+		./internal/shard >> BENCH_shard.json
 	$(GO) run ./cmd/h2pbenchdiff BENCH_decision.json
 	$(GO) run ./cmd/h2pbenchdiff BENCH_interval.json
 	$(GO) run ./cmd/h2pbenchdiff BENCH_shard.json

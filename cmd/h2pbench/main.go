@@ -19,15 +19,18 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
+	"time"
 
 	"github.com/h2p-sim/h2p/internal/core"
 	"github.com/h2p-sim/h2p/internal/experiments"
 	"github.com/h2p-sim/h2p/internal/fault"
+	"github.com/h2p-sim/h2p/internal/obs"
 	"github.com/h2p-sim/h2p/internal/profiling"
 	"github.com/h2p-sim/h2p/internal/report"
 	"github.com/h2p-sim/h2p/internal/telemetry"
@@ -51,8 +54,18 @@ func main() {
 	serial := flag.Bool("serial", false, "pin engines to the legacy per-server decide loop instead of the batch kernels (bit-identical results; for A/B timing)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	benchEnv := flag.Bool("bench-env", false, "print the benchmark environment header (one JSON line, `make bench` stamps it into BENCH_*.json) and exit")
+	journal := flag.String("journal", "", "write a structured experiment journal (JSONL) to this file")
+	runID := flag.String("run-id", "", "run id recorded in the journal (default: UTC start timestamp)")
 	flag.Parse()
 
+	if *benchEnv {
+		if err := json.NewEncoder(os.Stdout).Encode(obs.BenchEnvHeader{Env: obs.CaptureEnvironment()}); err != nil {
+			fmt.Fprintln(os.Stderr, "h2pbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *list {
 		for _, id := range experiments.IDs() {
 			fmt.Println(id)
@@ -95,6 +108,39 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "h2pbench: telemetry at http://%s/metrics\n", srv.Addr())
 	}
+	// -journal records the invocation at experiment granularity: a manifest
+	// with the environment and knobs, one event per completed experiment.
+	var rec *obs.Recorder
+	var rr *obs.RunRecorder
+	if *journal != "" {
+		rec, err = obs.Create(*journal, false)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "h2pbench:", err)
+			os.Exit(1)
+		}
+		if *runID == "" {
+			*runID = time.Now().UTC().Format("20060102T150405Z")
+		}
+		m := obs.Manifest{
+			RunID: *runID,
+			Trace: "experiments-" + *exp,
+			Config: obs.RunConfig{
+				Servers:               *servers,
+				ServersPerCirculation: 0,
+				Scheme:                "both",
+				Workers:               core.ResolveParallelism(*workers),
+				Shards:                params.Shards,
+				Seed:                  *seed,
+				FaultSeed:             *faultSeed,
+				Streaming:             *stream,
+			},
+			Env: obs.CaptureEnvironment(),
+		}
+		if !plan.Empty() {
+			m.Config.FaultPlan = plan.String()
+		}
+		rr = obs.NewRunRecorder(rec, m, 0)
+	}
 	var runErr error
 	if *reportPath != "" {
 		runErr = writeReport(*reportPath, params)
@@ -102,7 +148,7 @@ func main() {
 			fmt.Printf("report written to %s\n", *reportPath)
 		}
 	} else {
-		runErr = run(os.Stdout, *exp, params, *csvDir)
+		runErr = run(os.Stdout, *exp, params, *csvDir, rr)
 	}
 	if runErr == nil && *metricsOut != "" {
 		runErr = writeToFile(*metricsOut, params.Telemetry.WriteProm)
@@ -112,6 +158,9 @@ func main() {
 	}
 	if srv != nil {
 		srv.Close()
+	}
+	if err := rec.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "h2pbench: journal:", err)
 	}
 	if err := stopProf(); err != nil {
 		fmt.Fprintln(os.Stderr, "h2pbench:", err)
@@ -150,7 +199,7 @@ func writeToFile(path string, fn func(io.Writer) error) error {
 	return f.Close()
 }
 
-func run(out io.Writer, exp string, params experiments.EvalParams, csvDir string) error {
+func run(out io.Writer, exp string, params experiments.EvalParams, csvDir string, rr *obs.RunRecorder) error {
 	var tables []*experiments.Table
 	if exp == "all" {
 		ts, err := experiments.RunAll(params)
@@ -165,7 +214,9 @@ func run(out io.Writer, exp string, params experiments.EvalParams, csvDir string
 		}
 		tables = []*experiments.Table{t}
 	}
+	defer rr.Event(obs.EventNote, len(tables), "all experiments complete")
 	for i, t := range tables {
+		rr.Event(obs.EventNote, i, "experiment "+t.ID+" complete")
 		if i > 0 {
 			fmt.Fprintln(out)
 		}

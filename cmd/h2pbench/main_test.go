@@ -16,7 +16,7 @@ func smallParams() experiments.EvalParams {
 
 func TestRunSingleExperiment(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "fig8", smallParams(), ""); err != nil {
+	if err := run(&buf, "fig8", smallParams(), "", nil); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "== FIG8") {
@@ -26,7 +26,7 @@ func TestRunSingleExperiment(t *testing.T) {
 
 func TestRunUnknownExperiment(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "nope", smallParams(), ""); err == nil {
+	if err := run(&buf, "nope", smallParams(), "", nil); err == nil {
 		t.Error("unknown experiment should error")
 	}
 }
@@ -34,7 +34,7 @@ func TestRunUnknownExperiment(t *testing.T) {
 func TestRunWritesCSV(t *testing.T) {
 	dir := t.TempDir()
 	var buf bytes.Buffer
-	if err := run(&buf, "fig13", smallParams(), dir); err != nil {
+	if err := run(&buf, "fig13", smallParams(), dir, nil); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(filepath.Join(dir, "FIG13.csv"))

@@ -31,6 +31,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	"github.com/h2p-sim/h2p/internal/obs"
 )
 
 func main() {
@@ -84,11 +86,30 @@ func run(out io.Writer, paths []string, threshold float64) ([]string, error) {
 		writeTable(out, sets[0])
 		return nil, nil
 	}
+	warnEnvMismatch(os.Stderr, sets[0], sets[1])
 	writeDiff(out, sets[0], sets[1])
 	if threshold < 0 {
 		return nil, nil
 	}
 	return regressions(sets[0], sets[1], threshold), nil
+}
+
+// warnEnvMismatch compares the environment headers `make bench` stamps into
+// the artifacts and warns — without gating — when the two runs come from
+// different machines or toolchains: their deltas are hardware notes, not
+// regressions. Artifacts without a header (older files) compare silently.
+func warnEnvMismatch(w io.Writer, old, new_ *benchSet) {
+	if old.env == nil || new_.env == nil {
+		return
+	}
+	diffs := old.env.Mismatch(*new_.env)
+	if len(diffs) == 0 {
+		return
+	}
+	fmt.Fprintln(w, "h2pbenchdiff: warning: benchmark environments differ; deltas may reflect hardware, not code:")
+	for _, d := range diffs {
+		fmt.Fprintln(w, "  "+d)
+	}
 }
 
 // throughputUnit reports whether higher is better for the unit: the
@@ -176,6 +197,9 @@ func sortUnits(units []string) {
 type benchSet struct {
 	order   []string
 	results map[string]result
+	// env is the recording environment from the file's h2p_bench_env header
+	// line, when present.
+	env *obs.Environment
 }
 
 // allUnits is the union of every result's units, in display order.
@@ -244,6 +268,14 @@ func parse(r io.Reader) (*benchSet, error) {
 	for sc.Scan() {
 		line := sc.Text()
 		if strings.HasPrefix(line, "{") {
+			if strings.Contains(line, `"h2p_bench_env"`) {
+				var hdr obs.BenchEnvHeader
+				if err := json.Unmarshal([]byte(line), &hdr); err == nil {
+					env := hdr.Env
+					s.env = &env
+					continue
+				}
+			}
 			var ev testEvent
 			if err := json.Unmarshal([]byte(line), &ev); err != nil {
 				return nil, fmt.Errorf("bad test2json line: %w", err)

@@ -236,3 +236,75 @@ BenchmarkShardScaling/shards=4   1	1000000000 ns/op	216000000 servers/s	4096 B/o
 		t.Errorf("regression line missing drop delta: %q", regressed[0])
 	}
 }
+
+// envHeader is a `h2pbench -bench-env` header line as `make bench` prepends
+// to each artifact.
+const envHeader = `{"h2p_bench_env":{"go_version":"go1.24.0","goos":"linux","goarch":"amd64","gomaxprocs":8,"num_cpu":8,"cpu_model":"TestCPU 3000"}}
+`
+
+func TestParseEnvHeader(t *testing.T) {
+	s, err := parse(strings.NewReader(envHeader + plainBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.env == nil {
+		t.Fatal("env header was not captured")
+	}
+	if s.env.GoVersion != "go1.24.0" || s.env.CPUModel != "TestCPU 3000" || s.env.GOMAXPROCS != 8 {
+		t.Errorf("env parsed wrong: %+v", s.env)
+	}
+	// The header must not eat any benchmark lines.
+	if len(s.order) != 4 {
+		t.Errorf("parsed %d benchmarks with header present, want 4", len(s.order))
+	}
+	// A file without the header parses with a nil env (older artifacts).
+	bare, err := parse(strings.NewReader(plainBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bare.env != nil {
+		t.Errorf("headerless file grew an env: %+v", bare.env)
+	}
+}
+
+func TestWarnEnvMismatch(t *testing.T) {
+	mk := func(header string) *benchSet {
+		t.Helper()
+		s, err := parse(strings.NewReader(header + plainBench))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	same := mk(envHeader)
+	other := mk(`{"h2p_bench_env":{"go_version":"go1.23.0","goos":"linux","goarch":"amd64","gomaxprocs":16,"num_cpu":16,"cpu_model":"OtherCPU 9000"}}` + "\n")
+	headerless := mk("")
+
+	var buf strings.Builder
+	warnEnvMismatch(&buf, same, mk(envHeader))
+	if buf.Len() != 0 {
+		t.Errorf("matching environments warned:\n%s", buf.String())
+	}
+
+	buf.Reset()
+	warnEnvMismatch(&buf, same, other)
+	out := buf.String()
+	if !strings.Contains(out, "environments differ") {
+		t.Fatalf("mismatched environments did not warn:\n%s", out)
+	}
+	for _, want := range []string{"go1.23.0", "OtherCPU 9000", "gomaxprocs"} {
+		if !strings.Contains(strings.ToLower(out), strings.ToLower(want)) {
+			t.Errorf("warning missing %q:\n%s", want, out)
+		}
+	}
+
+	// One- or two-sided missing headers stay silent: old artifacts must not
+	// spam warnings.
+	buf.Reset()
+	warnEnvMismatch(&buf, headerless, other)
+	warnEnvMismatch(&buf, same, headerless)
+	warnEnvMismatch(&buf, headerless, headerless)
+	if buf.Len() != 0 {
+		t.Errorf("headerless comparison warned:\n%s", buf.String())
+	}
+}

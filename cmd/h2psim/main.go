@@ -40,9 +40,11 @@ import (
 	"strconv"
 	"strings"
 	"syscall"
+	"time"
 
 	"github.com/h2p-sim/h2p/internal/core"
 	"github.com/h2p-sim/h2p/internal/fault"
+	"github.com/h2p-sim/h2p/internal/obs"
 	"github.com/h2p-sim/h2p/internal/profiling"
 	"github.com/h2p-sim/h2p/internal/sched"
 	"github.com/h2p-sim/h2p/internal/telemetry"
@@ -69,6 +71,8 @@ func main() {
 	checkpointEvery := flag.Int("checkpoint-every", 256, "checkpoint cadence in intervals")
 	resume := flag.Bool("resume", false, "resume the runs recorded in -checkpoint; output is byte-identical to an uninterrupted run (implies -stream)")
 	haltAfter := flag.Int("halt-after", 0, "halt every run at this interval boundary after checkpointing, exit "+fmt.Sprint(haltExitCode)+" (testing hook; implies -stream)")
+	journal := flag.String("journal", "", "write a structured run journal (JSONL) to this file; -resume appends to it (implies -stream)")
+	runID := flag.String("run-id", "", "run id recorded in the journal and the live /runs endpoints (default: UTC start timestamp)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -104,25 +108,51 @@ func main() {
 		metricsOut: *metricsOut, traceOut: *traceOut, seriesOut: *seriesOut,
 		faults: plan, faultSeed: *faultSeed,
 		shards:     shardCount,
-		stream:     *stream || *checkpoint != "" || *resume || *haltAfter > 0 || *shards >= 0,
+		stream:     *stream || *checkpoint != "" || *resume || *haltAfter > 0 || *shards >= 0 || *journal != "",
 		checkpoint: *checkpoint, checkpointEvery: *checkpointEvery,
 		resume: *resume, haltAfter: *haltAfter,
+		runID: *runID,
+	}
+	if opt.runID == "" {
+		opt.runID = time.Now().UTC().Format("20060102T150405Z")
 	}
 	if *telemetryAddr != "" || *metricsOut != "" || *traceOut != "" {
 		opt.telemetry = telemetry.New()
 	}
-	var srv *telemetry.Server
-	if *telemetryAddr != "" {
-		srv, err = telemetry.Serve(*telemetryAddr, opt.telemetry)
+	// The journal recorder also feeds the live /runs endpoints: with only
+	// -telemetry-addr set, records flow to the hub and are discarded on disk.
+	switch {
+	case *journal != "":
+		opt.rec, err = obs.Create(*journal, *resume)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "h2psim:", err)
 			os.Exit(1)
 		}
-		fmt.Fprintf(os.Stderr, "h2psim: telemetry at http://%s/metrics\n", srv.Addr())
+	case *telemetryAddr != "":
+		opt.rec = obs.NewRecorder(io.Discard)
+	}
+	var srv *telemetry.Server
+	if *telemetryAddr != "" {
+		hub := obs.NewHub()
+		opt.rec.SetHub(hub)
+		stopSelf := opt.telemetry.StartSelfStats(0)
+		defer stopSelf()
+		srv, err = telemetry.ServeHandler(*telemetryAddr, obs.Handler(hub, opt.telemetry.Handler()))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "h2psim:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "h2psim: telemetry at http://%s/metrics (runs at /runs)\n", srv.Addr())
 	}
 	runErr := run(ctx, os.Stdout, opt)
 	if srv != nil {
-		srv.Close()
+		// Graceful: let an in-flight scrape or SSE tail drain before exit.
+		sctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		srv.Shutdown(sctx)
+		cancel()
+	}
+	if err := opt.rec.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "h2psim: journal:", err)
 	}
 	if err := stopProf(); err != nil {
 		fmt.Fprintln(os.Stderr, "h2psim:", err)
@@ -167,6 +197,10 @@ type runOptions struct {
 	checkpointEvery int
 	resume          bool
 	haltAfter       int
+	// rec journals run progress (nil when neither -journal nor
+	// -telemetry-addr asked for it); runID keys its records.
+	rec   *obs.Recorder
+	runID string
 }
 
 func run(ctx context.Context, out io.Writer, opt runOptions) error {

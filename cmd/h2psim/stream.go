@@ -11,6 +11,7 @@ import (
 	"sync"
 
 	"github.com/h2p-sim/h2p/internal/core"
+	"github.com/h2p-sim/h2p/internal/obs"
 	"github.com/h2p-sim/h2p/internal/sched"
 	"github.com/h2p-sim/h2p/internal/shard"
 	"github.com/h2p-sim/h2p/internal/trace"
@@ -26,12 +27,14 @@ var errHalted = errors.New("h2psim: halted at checkpoint boundary (resume with -
 const haltExitCode = 3
 
 // streamSpec is one trace the streaming path evaluates: a display class, a
-// coordinator key, and an opener producing a fresh source per run (the two
-// schemes run concurrently and cannot share stream state).
+// coordinator key, an opener producing a fresh source per run (the two
+// schemes run concurrently and cannot share stream state), and the trace's
+// meta for journal manifests.
 type streamSpec struct {
 	name  string
 	class trace.Class
 	open  core.SourceOpener
+	meta  trace.Meta
 }
 
 // streamSpecs builds the run list: the single -trace CSV, or the three
@@ -52,6 +55,7 @@ func streamSpecs(opt runOptions) ([]streamSpec, error) {
 			name:  m.Name,
 			class: m.Class,
 			open:  func() (trace.Source, error) { return trace.OpenCSVFile(path) },
+			meta:  m,
 		}}, nil
 	}
 	cfgs := trace.CanonicalConfigs(opt.servers)
@@ -66,6 +70,7 @@ func streamSpecs(opt runOptions) ([]streamSpec, error) {
 			name:  g.Meta().Name,
 			class: cfg.Class,
 			open:  func() (trace.Source, error) { return trace.NewGeneratorSource(cfg, seed) },
+			meta:  g.Meta(),
 		})
 	}
 	return specs, nil
@@ -74,6 +79,47 @@ func streamSpecs(opt runOptions) ([]streamSpec, error) {
 // runKey names one trace x scheme run inside the checkpoint file.
 func runKey(name string, scheme sched.Scheme) string {
 	return name + "/" + string(scheme)
+}
+
+// hostEnv captures the process environment once; every journal manifest of
+// an invocation shares it.
+var hostEnv = sync.OnceValue(obs.CaptureEnvironment)
+
+// journalRecorder opens one run's journal envelope — its manifest is written
+// immediately — and returns nil when journaling is off. The recorder rides
+// the run as its core.RunObserver; results stay bit-identical either way.
+func journalRecorder(opt runOptions, sp streamSpec, scheme sched.Scheme) *obs.RunRecorder {
+	if opt.rec == nil {
+		return nil
+	}
+	m := obs.Manifest{
+		RunID:           opt.runID,
+		Trace:           sp.name,
+		Class:           string(sp.class),
+		Servers:         sp.meta.Servers,
+		Intervals:       sp.meta.Intervals,
+		IntervalSeconds: sp.meta.Interval.Seconds(),
+		Config: obs.RunConfig{
+			Servers:               sp.meta.Servers,
+			ServersPerCirculation: opt.circ,
+			Scheme:                string(scheme),
+			Workers:               core.ResolveParallelism(opt.workers),
+			Shards:                opt.shards,
+			DecisionQuantum:       opt.quantum,
+			Seed:                  opt.seed,
+			FaultSeed:             opt.faultSeed,
+			Streaming:             true,
+		},
+		Env: hostEnv(),
+	}
+	if !opt.faults.Empty() {
+		m.Config.FaultPlan = opt.faults.String()
+	}
+	rr := obs.NewRunRecorder(opt.rec, m, 0)
+	if !opt.faults.Empty() {
+		rr.Event(obs.EventNote, 0, "fault plan active: "+opt.faults.String())
+	}
+	return rr
 }
 
 // checkpointEntry is one run's state in the checkpoint file: a completed
@@ -243,6 +289,7 @@ func runStreaming(ctx context.Context, out io.Writer, opt runOptions) error {
 		}
 		var runs []core.SourceRun
 		var slots []int
+		var recs []*obs.RunRecorder
 		for si, scheme := range streamSchemes {
 			key := runKey(sp.name, scheme)
 			var entry *checkpointEntry
@@ -254,6 +301,10 @@ func runStreaming(ctx context.Context, out io.Writer, opt runOptions) error {
 				continue
 			}
 			ro := &core.RunOptions{KeepSeries: keepSeries, HaltAfter: opt.haltAfter}
+			rr := journalRecorder(opt, sp, scheme)
+			if rr != nil {
+				ro.Observer = rr
+			}
 			if entry != nil && entry.Checkpoint != nil {
 				ro.Resume = entry.Checkpoint
 			} else if entry != nil && entry.Sharded != nil {
@@ -271,6 +322,7 @@ func runStreaming(ctx context.Context, out io.Writer, opt runOptions) error {
 			}
 			runs = append(runs, core.SourceRun{Open: sp.open, Scheme: scheme, Opts: ro})
 			slots = append(slots, si)
+			recs = append(recs, rr)
 		}
 		if len(runs) > 0 {
 			rs, err := fleet.RunSourcesContext(ctx, cfg, runs)
@@ -285,6 +337,7 @@ func runStreaming(ctx context.Context, out io.Writer, opt runOptions) error {
 					continue
 				}
 				pair[slots[j]] = r
+				recs[j].Done(r)
 				if coord != nil {
 					if err := coord.setDone(runKey(sp.name, streamSchemes[slots[j]]), r); err != nil {
 						return err
@@ -346,6 +399,10 @@ func runShardedSpec(ctx context.Context, fleet *core.Fleet, cfg core.Config, sp 
 			continue
 		}
 		so := &shard.Options{Shards: opt.shards, KeepSeries: keepSeries, HaltAfter: opt.haltAfter}
+		rr := journalRecorder(opt, sp, scheme)
+		if rr != nil {
+			so.Observer = rr
+		}
 		if entry != nil {
 			switch {
 			case entry.Sharded != nil:
@@ -376,6 +433,7 @@ func runShardedSpec(ctx context.Context, fleet *core.Fleet, cfg core.Config, sp 
 			return false, err
 		}
 		pair[si] = res
+		rr.Done(res)
 		if coord != nil {
 			if err := coord.setDone(key, res); err != nil {
 				return false, err

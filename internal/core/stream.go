@@ -36,6 +36,11 @@ type RunOptions struct {
 	// ErrHalted. It exists to exercise kill/resume deterministically; a run
 	// whose HaltAfter is at or past the end never halts.
 	HaltAfter int
+	// Observer, when non-nil, receives run-lifecycle callbacks (merged
+	// intervals, checkpoints, resume, halt) — the hook the run journal
+	// (internal/obs) attaches through. nil costs one pointer test per
+	// interval; results are bit-identical either way.
+	Observer RunObserver
 }
 
 // CheckpointOptions configures periodic checkpointing.
@@ -94,6 +99,13 @@ func (e *Engine) RunSourceContext(ctx context.Context, src trace.Source, opts *R
 	// ever reassociated. The Aggregator is shared with the sharded merger
 	// (internal/shard), which is what keeps the two paths bit-identical.
 	agg := NewAggregator(meta, e.cfg.Scheme, keepSeries)
+	var obs RunObserver
+	if opts != nil && opts.Observer != nil {
+		obs = opts.Observer
+		if sink, ok := obs.(CacheStatsSink); ok {
+			sink.AttachCacheStats(e.controller.CacheStats)
+		}
+	}
 	start := 0
 	if opts != nil && opts.Resume != nil {
 		cp := opts.Resume
@@ -110,6 +122,9 @@ func (e *Engine) RunSourceContext(ctx context.Context, src trace.Source, opts *R
 			return nil, err
 		}
 		e.met.observeResume(start)
+		if obs != nil {
+			obs.ObserveResume(start)
+		}
 	}
 
 	workers := e.cfg.workers()
@@ -172,6 +187,9 @@ func (e *Engine) RunSourceContext(ctx context.Context, src trace.Source, opts *R
 		if opts != nil && opts.OnInterval != nil {
 			opts.OnInterval(i, ir)
 		}
+		if obs != nil {
+			obs.ObserveInterval(i, ir)
+		}
 
 		done := i + 1
 		halt := opts != nil && opts.HaltAfter > 0 && done >= opts.HaltAfter && done < meta.Intervals
@@ -183,9 +201,15 @@ func (e *Engine) RunSourceContext(ctx context.Context, src trace.Source, opts *R
 					return nil, fmt.Errorf("core: checkpoint at interval %d: %w", done, err)
 				}
 				e.met.observeCheckpoint()
+				if obs != nil {
+					obs.ObserveCheckpoint(done)
+				}
 			}
 		}
 		if halt {
+			if obs != nil {
+				obs.ObserveHalt(done)
+			}
 			return nil, ErrHalted
 		}
 	}

@@ -1,0 +1,123 @@
+// Package obs is the run-level observability layer: a structured JSONL run
+// journal (Recorder/RunRecorder), a Chrome trace-event / Perfetto exporter
+// over the telemetry span ring, and live HTTP run endpoints (/runs,
+// /runs/{id}, /runs/{id}/events SSE) layered on top of the telemetry
+// handler. It observes the engine through core.RunObserver — pure
+// observation: simulation results are bit-identical with the layer on or
+// off, and a nil Recorder/RunRecorder is a true no-op (one branch, zero
+// allocations) pinned by AllocsPerRun tests.
+package obs
+
+import (
+	"bufio"
+	"os"
+	"runtime"
+	"runtime/debug"
+	"strconv"
+	"strings"
+)
+
+// Environment stamps where a run (or a benchmark artifact) was produced, so
+// journals — and the BENCH_*.json trajectory — are comparable across
+// machines: a throughput delta between two files recorded on different CPU
+// models is a hardware note, not a regression.
+type Environment struct {
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+	// CPUModel is the /proc/cpuinfo "model name" (best-effort; empty where
+	// the file does not exist, e.g. non-Linux).
+	CPUModel string `json:"cpu_model,omitempty"`
+	// Commit is the build's VCS revision from debug.ReadBuildInfo
+	// (best-effort; empty for builds without VCS stamping), with a "-dirty"
+	// suffix when the working tree was modified.
+	Commit string `json:"commit,omitempty"`
+}
+
+// CaptureEnvironment snapshots the current process's environment. Every
+// field is best-effort but the Go runtime ones are always present.
+func CaptureEnvironment() Environment {
+	return Environment{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		CPUModel:   cpuModel(),
+		Commit:     vcsCommit(),
+	}
+}
+
+// cpuModel reads the first "model name" line of /proc/cpuinfo.
+func cpuModel() string {
+	f, err := os.Open("/proc/cpuinfo")
+	if err != nil {
+		return ""
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := sc.Text()
+		if name, ok := strings.CutPrefix(line, "model name"); ok {
+			if _, v, ok := strings.Cut(name, ":"); ok {
+				return strings.TrimSpace(v)
+			}
+		}
+	}
+	return ""
+}
+
+// vcsCommit extracts the VCS revision baked into the binary, if any.
+func vcsCommit() string {
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return ""
+	}
+	var rev string
+	dirty := false
+	for _, s := range info.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	if rev != "" && dirty {
+		rev += "-dirty"
+	}
+	return rev
+}
+
+// Mismatch lists the fields on which two environments differ, as
+// "field: a vs b" strings — the h2pbenchdiff warning body. Identical
+// environments (and comparisons where either side lacks a field) yield nil.
+func (e Environment) Mismatch(other Environment) []string {
+	var out []string
+	diff := func(field, a, b string) {
+		if a != "" && b != "" && a != b {
+			out = append(out, field+": "+a+" vs "+b)
+		}
+	}
+	diff("go_version", e.GoVersion, other.GoVersion)
+	diff("goos", e.GOOS, other.GOOS)
+	diff("goarch", e.GOARCH, other.GOARCH)
+	diff("cpu_model", e.CPUModel, other.CPUModel)
+	if e.GOMAXPROCS != 0 && other.GOMAXPROCS != 0 && e.GOMAXPROCS != other.GOMAXPROCS {
+		out = append(out, "gomaxprocs: "+strconv.Itoa(e.GOMAXPROCS)+" vs "+strconv.Itoa(other.GOMAXPROCS))
+	}
+	if e.NumCPU != 0 && other.NumCPU != 0 && e.NumCPU != other.NumCPU {
+		out = append(out, "num_cpu: "+strconv.Itoa(e.NumCPU)+" vs "+strconv.Itoa(other.NumCPU))
+	}
+	return out
+}
+
+// BenchEnvHeader is the first line `make bench` writes into BENCH_*.json
+// (via `h2pbench -bench-env`): a single JSON object carrying the recording
+// environment. h2pbenchdiff recognizes the key and warns when two compared
+// artifacts come from different environments.
+type BenchEnvHeader struct {
+	Env Environment `json:"h2p_bench_env"`
+}

@@ -1,0 +1,151 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+func rec(run, typ string, t int64) *Record {
+	r := &Record{Type: typ, Run: run, TimeMS: t}
+	switch typ {
+	case "manifest":
+		r.Manifest = &Manifest{RunID: "r", Trace: "t"}
+	case "progress":
+		r.Progress = &Progress{Interval: 1, Done: 2, Total: 4}
+	case "done":
+		r.Done = &Done{Intervals: 4}
+	}
+	return r
+}
+
+func TestHubFoldsRuns(t *testing.T) {
+	h := NewHub()
+	h.Publish(rec("a/t/lb", "manifest", 10))
+	h.Publish(rec("b/t/tc", "manifest", 11))
+	h.Publish(rec("a/t/lb", "progress", 12))
+	h.Publish(&Record{Type: "event", Run: "a/t/lb", TimeMS: 13,
+		Event: &Event{Kind: EventCheckpoint, Interval: 2}})
+	h.Publish(rec("a/t/lb", "done", 14))
+
+	runs := h.Runs()
+	if len(runs) != 2 {
+		t.Fatalf("hub tracks %d runs, want 2", len(runs))
+	}
+	// First-seen order, not lexical.
+	if runs[0].Run != "a/t/lb" || runs[1].Run != "b/t/tc" {
+		t.Fatalf("run order = %s, %s", runs[0].Run, runs[1].Run)
+	}
+	a := h.Run("a/t/lb")
+	if a == nil || a.Records != 4 || a.Checkpoints != 1 || a.Done == nil || a.Progress == nil {
+		t.Fatalf("run a summary = %+v", a)
+	}
+	if a.FirstMS != 10 || a.LastMS != 14 {
+		t.Errorf("run a time bounds = [%d, %d], want [10, 14]", a.FirstMS, a.LastMS)
+	}
+	if h.Run("missing/run/key") != nil {
+		t.Error("unknown run key returned a summary")
+	}
+	// Returned summaries are copies: mutating one must not reach the hub.
+	a.Checkpoints = 99
+	if h.Run("a/t/lb").Checkpoints != 1 {
+		t.Error("mutating a returned summary reached the hub")
+	}
+}
+
+func TestHubSubscribe(t *testing.T) {
+	h := NewHub()
+	h.Publish(rec("a/t/lb", "manifest", 1))
+
+	all, cancelAll := h.Subscribe("")
+	one, cancelOne := h.Subscribe("a/t/lb")
+	other, cancelOther := h.Subscribe("b/t/lb")
+	defer cancelAll()
+	defer cancelOne()
+	defer cancelOther()
+
+	h.Publish(rec("a/t/lb", "progress", 2))
+	if got := (<-all).Type; got != "progress" {
+		t.Errorf("all-runs subscriber got %q", got)
+	}
+	if got := (<-one).Run; got != "a/t/lb" {
+		t.Errorf("per-run subscriber got run %q", got)
+	}
+	select {
+	case r := <-other:
+		t.Errorf("subscriber for another run received %+v", r)
+	default:
+	}
+
+	cancelOne()
+	h.Publish(rec("a/t/lb", "done", 3))
+	<-all
+	select {
+	case r := <-one:
+		t.Errorf("cancelled subscriber received %+v", r)
+	default:
+	}
+}
+
+// TestHubSlowSubscriberDrops pins the no-stall guarantee: a subscriber that
+// never drains loses records past its buffer, and Publish never blocks.
+func TestHubSlowSubscriberDrops(t *testing.T) {
+	h := NewHub()
+	ch, cancel := h.Subscribe("")
+	defer cancel()
+	for i := 0; i < subscriberBuffer+50; i++ {
+		h.Publish(rec("a/t/lb", "progress", int64(i))) // must not block
+	}
+	if len(ch) != subscriberBuffer {
+		t.Errorf("slow subscriber holds %d records, want buffer cap %d", len(ch), subscriberBuffer)
+	}
+	// The hub itself saw everything.
+	if got := h.Run("a/t/lb").Records; got != subscriberBuffer+50 {
+		t.Errorf("hub folded %d records, want %d", got, subscriberBuffer+50)
+	}
+}
+
+func TestHubConcurrentPublish(t *testing.T) {
+	h := NewHub()
+	ch, cancel := h.Subscribe("")
+	done := make(chan struct{})
+	go func() { // drain so the race covers the send path too
+		defer close(done)
+		for range ch {
+		}
+	}()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			run := []string{"a/t/lb", "b/t/tc"}[g%2]
+			for i := 0; i < 200; i++ {
+				h.Publish(rec(run, "progress", int64(i)))
+			}
+		}(g)
+	}
+	wg.Wait()
+	cancel()
+	close(ch)
+	<-done
+	total := 0
+	for _, s := range h.Runs() {
+		total += s.Records
+	}
+	if total != 8*200 {
+		t.Errorf("hub folded %d records, want %d", total, 8*200)
+	}
+}
+
+func TestHubNilSafe(t *testing.T) {
+	var h *Hub
+	h.Publish(rec("a/t/lb", "progress", 1))
+	if h.Runs() != nil || h.Run("a/t/lb") != nil {
+		t.Error("nil hub returned summaries")
+	}
+	ch, cancel := h.Subscribe("")
+	if ch == nil {
+		t.Error("nil hub Subscribe returned nil channel")
+	}
+	cancel()
+}

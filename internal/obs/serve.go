@@ -1,0 +1,119 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+)
+
+// Handler layers the live run endpoints over next (typically the telemetry
+// registry's handler, so one address serves metrics, traces and runs):
+//
+//	GET /runs                  JSON array of live run summaries
+//	GET /runs/{key}            one run's summary (key is <id>/<trace>/<scheme>)
+//	GET /runs/{key}/events     SSE stream of the run's journal records
+//	GET /runs/events           SSE stream across every run
+//
+// Everything else falls through to next. The SSE stream emits each journal
+// record as one event (`event: <record type>`, `data: <record JSON>`); a
+// consumer that falls behind misses records — the journal file is the
+// complete account, the stream is a live view.
+func Handler(hub *Hub, next http.Handler) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/runs", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		writeJSON(w, hub.Runs())
+	})
+	mux.HandleFunc("/runs/", func(w http.ResponseWriter, req *http.Request) {
+		key := strings.TrimPrefix(req.URL.Path, "/runs/")
+		switch {
+		case key == "events":
+			serveEvents(hub, "", w, req)
+		case strings.HasSuffix(key, "/events"):
+			serveEvents(hub, strings.TrimSuffix(key, "/events"), w, req)
+		default:
+			s := hub.Run(key)
+			if s == nil {
+				http.NotFound(w, req)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			writeJSON(w, s)
+		}
+	})
+	if next != nil {
+		mux.Handle("/", next)
+	}
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// serveEvents streams a run's records (or every run's, with key "") as
+// Server-Sent Events until the client disconnects.
+func serveEvents(hub *Hub, key string, w http.ResponseWriter, req *http.Request) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	if key != "" && hub.Run(key) == nil {
+		http.NotFound(w, req)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+
+	ch, cancel := hub.Subscribe(key)
+	defer cancel()
+
+	// Open with the current summaries so a late subscriber sees state, not
+	// just deltas.
+	for _, s := range snapshotFor(hub, key) {
+		if err := writeEvent(w, "summary", s); err != nil {
+			return
+		}
+	}
+	fl.Flush()
+
+	for {
+		select {
+		case <-req.Context().Done():
+			return
+		case rec := <-ch:
+			if err := writeEvent(w, rec.Type, &rec); err != nil {
+				return
+			}
+			fl.Flush()
+		}
+	}
+}
+
+func snapshotFor(hub *Hub, key string) []*RunSummary {
+	if key == "" {
+		return hub.Runs()
+	}
+	if s := hub.Run(key); s != nil {
+		return []*RunSummary{s}
+	}
+	return nil
+}
+
+// writeEvent emits one SSE frame. Record JSON never contains a newline
+// (encoding/json escapes them), so one data line suffices.
+func writeEvent(w http.ResponseWriter, event string, v any) error {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, b)
+	return err
+}

@@ -1,0 +1,170 @@
+package obs
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func testHub() *Hub {
+	h := NewHub()
+	h.Publish(&Record{Type: "manifest", Run: "r1/synth/load-balance", TimeMS: 1,
+		Manifest: &Manifest{RunID: "r1", Trace: "synth", Intervals: 4}})
+	h.Publish(&Record{Type: "progress", Run: "r1/synth/load-balance", TimeMS: 2,
+		Progress: &Progress{Interval: 1, Done: 2, Total: 4}})
+	return h
+}
+
+func TestServeRunsIndex(t *testing.T) {
+	srv := httptest.NewServer(Handler(testHub(), nil))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/runs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("content type = %q", ct)
+	}
+	var runs []RunSummary
+	if err := json.NewDecoder(resp.Body).Decode(&runs); err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 1 || runs[0].Run != "r1/synth/load-balance" || runs[0].Records != 2 {
+		t.Fatalf("runs index = %+v", runs)
+	}
+}
+
+func TestServeRunByKey(t *testing.T) {
+	srv := httptest.NewServer(Handler(testHub(), nil))
+	defer srv.Close()
+
+	// Run keys contain slashes; the route must still resolve them.
+	resp, err := http.Get(srv.URL + "/runs/r1/synth/load-balance")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var s RunSummary
+	if err := json.NewDecoder(resp.Body).Decode(&s); err != nil {
+		t.Fatal(err)
+	}
+	if s.Run != "r1/synth/load-balance" || s.Progress == nil || s.Progress.Done != 2 {
+		t.Fatalf("run summary = %+v", s)
+	}
+
+	resp404, err := http.Get(srv.URL + "/runs/no/such/run")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp404.Body.Close()
+	if resp404.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown run returned %d, want 404", resp404.StatusCode)
+	}
+}
+
+// TestServeRunsSSE subscribes to the event stream and checks it opens with a
+// summary frame, then carries records published after connect.
+func TestServeRunsSSE(t *testing.T) {
+	hub := testHub()
+	srv := httptest.NewServer(Handler(hub, nil))
+	defer srv.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, "GET", srv.URL+"/runs/events", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content type = %q", ct)
+	}
+
+	sc := bufio.NewScanner(resp.Body)
+	readFrame := func() (event, data string) {
+		for sc.Scan() {
+			line := sc.Text()
+			switch {
+			case strings.HasPrefix(line, "event: "):
+				event = strings.TrimPrefix(line, "event: ")
+			case strings.HasPrefix(line, "data: "):
+				data = strings.TrimPrefix(line, "data: ")
+			case line == "" && event != "":
+				return event, data
+			}
+		}
+		t.Fatalf("stream ended early: %v", sc.Err())
+		return "", ""
+	}
+
+	ev, data := readFrame()
+	if ev != "summary" {
+		t.Fatalf("first frame event = %q, want summary", ev)
+	}
+	var s RunSummary
+	if err := json.Unmarshal([]byte(data), &s); err != nil {
+		t.Fatalf("summary frame data: %v", err)
+	}
+	if s.Run != "r1/synth/load-balance" {
+		t.Errorf("summary frame run = %q", s.Run)
+	}
+
+	hub.Publish(&Record{Type: "done", Run: "r1/synth/load-balance", TimeMS: 3,
+		Done: &Done{Intervals: 4, AvgTEGWattsPerServer: 5.5}})
+	ev, data = readFrame()
+	if ev != "done" {
+		t.Fatalf("second frame event = %q, want done", ev)
+	}
+	var r Record
+	if err := json.Unmarshal([]byte(data), &r); err != nil {
+		t.Fatal(err)
+	}
+	if r.Done == nil || r.Done.AvgTEGWattsPerServer != 5.5 {
+		t.Errorf("done frame record = %+v", r)
+	}
+}
+
+func TestServeSSEUnknownRun(t *testing.T) {
+	srv := httptest.NewServer(Handler(testHub(), nil))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/runs/no/such/run/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown run SSE returned %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestServeFallthrough pins that non-/runs paths reach the wrapped handler —
+// the telemetry mux keeps serving /metrics and friends under the obs layer.
+func TestServeFallthrough(t *testing.T) {
+	next := http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Write([]byte("next:" + req.URL.Path))
+	})
+	srv := httptest.NewServer(Handler(testHub(), next))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body strings.Builder
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		body.WriteString(sc.Text())
+	}
+	if body.String() != "next:/metrics" {
+		t.Errorf("fallthrough body = %q", body.String())
+	}
+}

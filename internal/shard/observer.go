@@ -1,0 +1,87 @@
+package shard
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Stats is a point-in-time read of the sharded pipeline's timing counters,
+// handed to a run observer that implements StatsSink. It quantifies the
+// pipeline's health independent of the telemetry registry: cumulative decode
+// time, merger stalls (the pipeline's bubbles) and per-shard step time.
+type Stats struct {
+	// Shards is the run's shard count; StepSeconds has one entry per shard.
+	Shards int `json:"shards"`
+	// DecodeSeconds is the cumulative wall time the decoder spent producing
+	// columns.
+	DecodeSeconds float64 `json:"decode_seconds"`
+	// MergeWaits counts intervals the merger had to block for; the
+	// difference to intervals merged is how often the pipeline was ahead.
+	MergeWaits int64 `json:"merge_waits"`
+	// MergeWaitSeconds is the cumulative wall time the merger spent blocked
+	// waiting for its next in-order interval.
+	MergeWaitSeconds float64 `json:"merge_wait_seconds"`
+	// StepSeconds is each shard's cumulative stepping wall time — the skew
+	// between entries is the load imbalance across the partition.
+	StepSeconds []float64 `json:"step_seconds"`
+}
+
+// StatsSink is optionally implemented by a core.RunObserver passed in
+// Options.Observer: the run loop hands it a Stats reader before the first
+// interval, and the observer may call it whenever it records progress.
+type StatsSink interface {
+	AttachShardStats(stats func() Stats)
+}
+
+// statsCollector accumulates pipeline timings with one atomic per event.
+// Writers are the decoder, the shard workers (each owning its own slot) and
+// the merger; the snapshot reader is the observer's goroutine.
+type statsCollector struct {
+	decodeNanos    atomic.Int64
+	mergeWaits     atomic.Int64
+	mergeWaitNanos atomic.Int64
+	stepNanos      []atomic.Int64
+}
+
+func newStatsCollector(shards int) *statsCollector {
+	return &statsCollector{stepNanos: make([]atomic.Int64, shards)}
+}
+
+// nil-safe observation hooks; start is always set when the collector is.
+
+func (c *statsCollector) observeDecode(start time.Time) {
+	if c == nil {
+		return
+	}
+	c.decodeNanos.Add(int64(time.Since(start)))
+}
+
+func (c *statsCollector) observeStep(shard int, start time.Time) {
+	if c == nil {
+		return
+	}
+	c.stepNanos[shard].Add(int64(time.Since(start)))
+}
+
+func (c *statsCollector) observeMergeWait(start time.Time) {
+	if c == nil {
+		return
+	}
+	c.mergeWaits.Add(1)
+	c.mergeWaitNanos.Add(int64(time.Since(start)))
+}
+
+// snapshot folds the counters into a Stats value.
+func (c *statsCollector) snapshot() Stats {
+	st := Stats{
+		Shards:           len(c.stepNanos),
+		DecodeSeconds:    time.Duration(c.decodeNanos.Load()).Seconds(),
+		MergeWaits:       c.mergeWaits.Load(),
+		MergeWaitSeconds: time.Duration(c.mergeWaitNanos.Load()).Seconds(),
+		StepSeconds:      make([]float64, len(c.stepNanos)),
+	}
+	for s := range c.stepNanos {
+		st.StepSeconds[s] = time.Duration(c.stepNanos[s].Load()).Seconds()
+	}
+	return st
+}

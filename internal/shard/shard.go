@@ -49,6 +49,13 @@ type Options struct {
 	// and returns core.ErrHalted — the same kill/resume drill the
 	// unsharded engine runs.
 	HaltAfter int
+	// Observer, when non-nil, receives the same run-lifecycle callbacks the
+	// unsharded loop delivers (core.RunOptions.Observer), from the merger
+	// goroutine in interval order. An observer additionally implementing
+	// StatsSink gets the pipeline's timing counters, and one implementing
+	// core.CacheStatsSink gets the shard-summed decision-cache stats.
+	// Results are bit-identical with or without an observer.
+	Observer core.RunObserver
 }
 
 // CheckpointOptions configures periodic sharded checkpointing.
@@ -148,6 +155,30 @@ func Run(ctx context.Context, fleet *core.Fleet, cfg core.Config, src trace.Sour
 	}
 	met := newShardMetrics(cfg.Telemetry, shards, prefetch)
 
+	var obs core.RunObserver
+	var stats *statsCollector
+	if opts != nil && opts.Observer != nil {
+		obs = opts.Observer
+		if sink, ok := obs.(core.CacheStatsSink); ok {
+			sink.AttachCacheStats(func() (hits, calls uint64) {
+				for _, r := range runners {
+					h, c := r.CacheStats()
+					hits += h
+					calls += c
+				}
+				return hits, calls
+			})
+		}
+		if sink, ok := obs.(StatsSink); ok {
+			stats = newStatsCollector(shards)
+			sink.AttachShardStats(stats.snapshot)
+		}
+	}
+	// timed gates the pipeline's clock reads: they exist for the telemetry
+	// registry and/or the observer's stats, and are skipped entirely — no
+	// time.Now anywhere in the pipeline — when neither is attached.
+	timed := met != nil || stats != nil
+
 	keepSeries := opts != nil && opts.KeepSeries
 	agg := core.NewAggregator(meta, cfg.Scheme, keepSeries)
 	start := 0
@@ -166,6 +197,9 @@ func Run(ctx context.Context, fleet *core.Fleet, cfg core.Config, src trace.Sour
 		}
 		if err := trace.Skip(src, start); err != nil {
 			return nil, err
+		}
+		if obs != nil {
+			obs.ObserveResume(start)
 		}
 	}
 
@@ -246,7 +280,7 @@ func Run(ctx context.Context, fleet *core.Fleet, cfg core.Config, src trace.Sour
 				return
 			}
 			var t0 time.Time
-			if met != nil {
+			if timed {
 				t0 = time.Now()
 			}
 			got, err := src.NextColumn(sl.col)
@@ -265,7 +299,8 @@ func Run(ctx context.Context, fleet *core.Fleet, cfg core.Config, src trace.Sour
 				}
 				return
 			}
-			met.observeDecode(t0)
+			met.observeDecode(i, t0)
+			stats.observeDecode(t0)
 			sl.pending.Store(int32(shards))
 			for _, ch := range work {
 				select {
@@ -299,11 +334,12 @@ func Run(ctx context.Context, fleet *core.Fleet, cfg core.Config, src trace.Sour
 					return
 				}
 				var t0 time.Time
-				if met != nil {
+				if timed {
 					t0 = time.Now()
 				}
 				runner.Step(sl.col, sl.interval, sl.parts[r.Lo:r.Hi], sl.errs[r.Lo:r.Hi])
-				met.observeStep(s, t0)
+				met.observeStep(s, sl.interval, t0)
+				stats.observeStep(s, t0)
 				if sl.pending.Add(-1) == 0 {
 					select {
 					case mergeCh <- sl:
@@ -325,7 +361,7 @@ func Run(ctx context.Context, fleet *core.Fleet, cfg core.Config, src trace.Sour
 			delete(early, i)
 		} else {
 			var t0 time.Time
-			if met != nil {
+			if timed {
 				t0 = time.Now()
 			}
 			for sl == nil {
@@ -340,7 +376,8 @@ func Run(ctx context.Context, fleet *core.Fleet, cfg core.Config, src trace.Sour
 					return nil, ctx.Err()
 				}
 			}
-			met.observeMergeWait(t0)
+			met.observeMergeWait(i, t0)
+			stats.observeMergeWait(t0)
 		}
 		if sl.decodeErr != nil {
 			return nil, sl.decodeErr
@@ -355,6 +392,9 @@ func Run(ctx context.Context, fleet *core.Fleet, cfg core.Config, src trace.Sour
 		if opts != nil && opts.OnInterval != nil {
 			opts.OnInterval(i, ir)
 		}
+		if obs != nil {
+			obs.ObserveInterval(i, ir)
+		}
 		free <- sl
 
 		done := i + 1
@@ -363,11 +403,18 @@ func Run(ctx context.Context, fleet *core.Fleet, cfg core.Config, src trace.Sour
 			// merged (so every shard finished stepping it), and the decoder
 			// is parked on the gate (or, at the halt boundary, past its end
 			// bound), so no shard has seen interval done.
+			var t0 time.Time
+			if met != nil {
+				t0 = time.Now()
+			}
 			cp := checkpointAt(agg, ranges, runners)
 			if err := opts.Checkpoint.Write(cp); err != nil {
 				return nil, fmt.Errorf("shard: checkpoint at interval %d: %w", done, err)
 			}
-			met.observeCheckpoint()
+			met.observeCheckpoint(done, t0)
+			if obs != nil {
+				obs.ObserveCheckpoint(done)
+			}
 			if done != haltDone {
 				select {
 				case gate <- struct{}{}:
@@ -377,6 +424,9 @@ func Run(ctx context.Context, fleet *core.Fleet, cfg core.Config, src trace.Sour
 			}
 		}
 		if haltDone > 0 && done == haltDone {
+			if obs != nil {
+				obs.ObserveHalt(done)
+			}
 			return nil, core.ErrHalted
 		}
 	}

@@ -1,6 +1,7 @@
 package shard
 
 import (
+	"fmt"
 	"time"
 
 	"github.com/h2p-sim/h2p/internal/telemetry"
@@ -20,10 +21,26 @@ const (
 	metricCheckpoints   = "h2p_shard_checkpoints_total"
 )
 
+// Span names recorded by the sharded pipeline's tracer. Together with the
+// engine's "interval"/"circulation" spans they make the pipeline visible as
+// a timeline: the Perfetto exporter (internal/obs) maps each name — and each
+// per-shard step name — to its own track.
+const (
+	spanDecode     = "decode"
+	spanMergeWait  = "merge.wait"
+	spanCheckpoint = "checkpoint"
+)
+
+// stepSpanName returns the per-shard step span name ("shard03.step"). Names
+// are precomputed once per run so recording a span never allocates.
+func stepSpanName(shard int) string { return fmt.Sprintf("shard%02d.step", shard) }
+
 // shardMetrics instruments the sharded pipeline: per-shard step latency
 // (hinted by shard index so shards never contend on a counter cell), the
 // merger's wait for its next in-order slot (the pipeline's bubble gauge),
-// and decoder latency (the prefetch headroom). nil — the default when
+// and decoder latency (the prefetch headroom). Every observation also lands
+// in the registry's span tracer under the pipeline span names above, so the
+// ring exports as a per-shard timeline. nil — the default when
 // Config.Telemetry is nil — disables everything; simulation results are
 // bit-identical either way.
 type shardMetrics struct {
@@ -34,6 +51,8 @@ type shardMetrics struct {
 	mergeWait   *telemetry.Histogram
 	decodeSec   *telemetry.Histogram
 	checkpoints *telemetry.Counter
+	tracer      *telemetry.Tracer
+	stepNames   []string
 }
 
 // newShardMetrics registers the shard layer's instruments with reg; a nil
@@ -53,6 +72,11 @@ func newShardMetrics(reg *telemetry.Registry, shards, prefetch int) *shardMetric
 		decodeSec: reg.Histogram(metricDecodeSec, "seconds the decoder spent producing one column",
 			telemetry.ExponentialBuckets(1e-6, 4, 10)),
 		checkpoints: reg.Counter(metricCheckpoints, "sharded checkpoints written at interval boundaries"),
+		tracer:      reg.Tracer(telemetry.DefaultTraceCapacity),
+		stepNames:   make([]string, shards),
+	}
+	for s := range m.stepNames {
+		m.stepNames[s] = stepSpanName(s)
 	}
 	m.shards.Set(float64(shards))
 	m.prefetch.Set(float64(prefetch))
@@ -60,35 +84,44 @@ func newShardMetrics(reg *telemetry.Registry, shards, prefetch int) *shardMetric
 }
 
 // observeStep records one shard stepping one interval, hinted by shard index.
-func (m *shardMetrics) observeStep(shard int, start time.Time) {
+func (m *shardMetrics) observeStep(shard, interval int, start time.Time) {
 	if m == nil {
 		return
 	}
+	d := time.Since(start)
 	hint := uint64(shard)
 	m.intervals.AddHint(hint, 1)
-	m.stepSec.ObserveHint(hint, time.Since(start).Seconds())
+	m.stepSec.ObserveHint(hint, d.Seconds())
+	m.tracer.Record(m.stepNames[shard], int64(interval), start, d)
 }
 
 // observeMergeWait records how long the merger blocked for its next slot.
-func (m *shardMetrics) observeMergeWait(start time.Time) {
+func (m *shardMetrics) observeMergeWait(interval int, start time.Time) {
 	if m == nil {
 		return
 	}
-	m.mergeWait.Observe(time.Since(start).Seconds())
+	d := time.Since(start)
+	m.mergeWait.Observe(d.Seconds())
+	m.tracer.Record(spanMergeWait, int64(interval), start, d)
 }
 
 // observeDecode records one column decode.
-func (m *shardMetrics) observeDecode(start time.Time) {
+func (m *shardMetrics) observeDecode(interval int, start time.Time) {
 	if m == nil {
 		return
 	}
-	m.decodeSec.Observe(time.Since(start).Seconds())
+	d := time.Since(start)
+	m.decodeSec.Observe(d.Seconds())
+	m.tracer.Record(spanDecode, int64(interval), start, d)
 }
 
-// observeCheckpoint records one sharded checkpoint written.
-func (m *shardMetrics) observeCheckpoint() {
+// observeCheckpoint records one sharded checkpoint written at an interval
+// boundary: the counter plus a "checkpoint" span covering the drain-and-write
+// window (the pipeline is parked on the gate for its duration).
+func (m *shardMetrics) observeCheckpoint(done int, start time.Time) {
 	if m == nil {
 		return
 	}
 	m.checkpoints.Inc()
+	m.tracer.Record(spanCheckpoint, int64(done), start, time.Since(start))
 }

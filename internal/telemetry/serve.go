@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"net/http"
@@ -36,12 +37,16 @@ func (r *Registry) Handler() http.Handler {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, "ok\n")
+	})
 	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
 		if req.URL.Path != "/" {
 			http.NotFound(w, req)
 			return
 		}
-		fmt.Fprint(w, "h2p telemetry endpoint\n\n/metrics\n/metrics.json\n/trace\n")
+		fmt.Fprint(w, "h2p telemetry endpoint\n\n/metrics\n/metrics.json\n/trace\n/healthz\n")
 	})
 	return mux
 }
@@ -57,11 +62,18 @@ type Server struct {
 // background goroutine. Serving a nil registry is allowed: the endpoint
 // exposes empty metrics.
 func Serve(addr string, r *Registry) (*Server, error) {
+	return ServeHandler(addr, r.Handler())
+}
+
+// ServeHandler starts an HTTP server for an arbitrary handler on addr —
+// the seam that lets internal/obs layer its /runs endpoints over a
+// registry's handler while reusing the same lifecycle.
+func ServeHandler(addr string, h http.Handler) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
 	}
-	srv := &http.Server{Handler: r.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	srv := &http.Server{Handler: h, ReadHeaderTimeout: 5 * time.Second}
 	go srv.Serve(ln) //nolint:errcheck // Close reports http.ErrServerClosed
 	return &Server{ln: ln, srv: srv}, nil
 }
@@ -69,5 +81,11 @@ func Serve(addr string, r *Registry) (*Server, error) {
 // Addr returns the server's bound address (useful with port 0).
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
-// Close stops the server and releases the listener.
+// Close stops the server immediately and releases the listener.
 func (s *Server) Close() error { return s.srv.Close() }
+
+// Shutdown stops the server gracefully: the listener closes at once, but
+// in-flight requests (a scrape, an SSE tail) get until ctx's deadline to
+// finish. Used by h2psim on run completion so a final scrape is never cut
+// mid-response.
+func (s *Server) Shutdown(ctx context.Context) error { return s.srv.Shutdown(ctx) }

@@ -1,11 +1,13 @@
 package telemetry
 
 import (
+	"context"
 	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 )
 
 func get(t *testing.T, srv *httptest.Server, path string) (int, string, string) {
@@ -102,5 +104,80 @@ func TestServe(t *testing.T) {
 	}
 	if _, err := http.Get("http://" + srv.Addr() + "/metrics"); err == nil {
 		t.Error("server still reachable after Close")
+	}
+}
+
+// TestHealthz pins the liveness probe: always 200/ok, even on a nil registry.
+func TestHealthz(t *testing.T) {
+	srv := httptest.NewServer(goldenRegistry().Handler())
+	defer srv.Close()
+	code, ct, body := get(t, srv, "/healthz")
+	if code != http.StatusOK || body != "ok\n" {
+		t.Errorf("/healthz status %d body %q", code, body)
+	}
+	if !strings.Contains(ct, "text/plain") {
+		t.Errorf("/healthz content type %q", ct)
+	}
+
+	var nilReg *Registry
+	nilSrv := httptest.NewServer(nilReg.Handler())
+	defer nilSrv.Close()
+	if code, _, body := get(t, nilSrv, "/healthz"); code != http.StatusOK || body != "ok\n" {
+		t.Errorf("nil registry /healthz: status %d body %q", code, body)
+	}
+}
+
+// TestServeGracefulShutdown checks Shutdown lets an in-flight request finish:
+// a handler blocked mid-response when Shutdown starts still completes, while
+// the listener stops accepting new connections.
+func TestServeGracefulShutdown(t *testing.T) {
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	h := http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		close(entered)
+		<-release
+		io.WriteString(w, "slow response done")
+	})
+	srv, err := ServeHandler("127.0.0.1:0", h)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type result struct {
+		body string
+		err  error
+	}
+	got := make(chan result, 1)
+	go func() {
+		resp, err := http.Get("http://" + srv.Addr() + "/")
+		if err != nil {
+			got <- result{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		got <- result{body: string(b), err: err}
+	}()
+	<-entered
+
+	shutdownDone := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		shutdownDone <- srv.Shutdown(ctx)
+	}()
+
+	// The in-flight request is still being served; release it and check it
+	// completed intact.
+	close(release)
+	r := <-got
+	if r.err != nil || r.body != "slow response done" {
+		t.Errorf("in-flight request during shutdown: body %q err %v", r.body, r.err)
+	}
+	if err := <-shutdownDone; err != nil {
+		t.Errorf("graceful shutdown returned %v", err)
+	}
+	if _, err := http.Get("http://" + srv.Addr() + "/"); err == nil {
+		t.Error("server still accepting connections after Shutdown")
 	}
 }

@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"sync"
 	"testing"
 	"time"
 )
@@ -65,5 +66,49 @@ func TestTracerDefaultCapacity(t *testing.T) {
 	tr := NewTracer(0)
 	if cap(tr.spans) != DefaultTraceCapacity {
 		t.Errorf("cap = %d, want %d", cap(tr.spans), DefaultTraceCapacity)
+	}
+}
+
+// TestTracerConcurrentRecord hammers Record and Snapshot from many goroutines
+// — the race detector (obs-check runs this file with -race) is the real
+// assertion; the counts check that no record was lost.
+func TestTracerConcurrentRecord(t *testing.T) {
+	tr := NewTracer(64)
+	const writers, perWriter = 8, 500
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	readers.Add(1)
+	go func() { // concurrent reader: snapshots must stay well-formed
+		defer readers.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if spans := tr.Snapshot(); len(spans) > 64 {
+				t.Errorf("snapshot longer than ring: %d", len(spans))
+				return
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				tr.Record("s", int64(w*perWriter+i), tr.Epoch(), time.Microsecond)
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+	if tr.Total() != writers*perWriter {
+		t.Errorf("Total = %d, want %d", tr.Total(), writers*perWriter)
+	}
+	if tr.Len() != 64 {
+		t.Errorf("Len = %d, want full ring of 64", tr.Len())
 	}
 }
