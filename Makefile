@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet vuln test race check telemetry-check fault-check fuzz-check stream-check kernel-check shard-check obs-check bench bench-all experiments clean
+.PHONY: all build vet vuln test race check telemetry-check fault-check fuzz-check stream-check kernel-check shard-check obs-check serve-check load-check bench bench-all experiments clean
 
 all: check
 
@@ -56,6 +56,7 @@ fuzz-check:
 	$(GO) test ./internal/trace -run '^$$' -fuzz '^FuzzReadLongFormat$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/trace -run '^$$' -fuzz '^FuzzCSVRoundTrip$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/shard -run '^$$' -fuzz '^FuzzShardEquivalence$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/serve -run '^$$' -fuzz '^FuzzParseRunRequest$$' -fuzztime $(FUZZTIME)
 
 # stream-check gates the streaming data path under the race detector: the
 # source adapters and their equivalence suites (streaming vs in-memory
@@ -97,10 +98,29 @@ obs-check:
 		./internal/obs ./internal/telemetry ./internal/core ./internal/shard \
 		./cmd/h2psim ./cmd/h2pstat ./cmd/h2pbenchdiff
 
+# serve-check gates the run-server layer under the race detector: the request
+# decoder and quota unit suites, the HTTP conformance tests (413/429/503
+# admission ladder, cancel-mid-run with journal halt records, graceful drain),
+# the API-vs-CLI bit-identity equivalence suite, and both the daemon's and the
+# load harness's end-to-end lifecycles.
+serve-check:
+	$(GO) test -race ./internal/serve ./cmd/h2pserved ./cmd/h2pload
+
+# load-check runs the deterministic multi-tenant load profile against a
+# spawned in-process server: 8 tenants x 55 submissions each against a
+# 50-token no-refill allowance must yield exactly 50 accepted and 5 rejected
+# per tenant, with every accepted run's result hash verified against a locally
+# computed reference (zero mismatches, zero dropped runs) — the quota
+# arithmetic is timing-independent by construction, so the assertion is exact.
+load-check:
+	$(GO) run ./cmd/h2pload -spawn -tenants 8 -runs 55 \
+		-servers 60 -intervals 24 -submit-burst 50 \
+		-expect-accepted 50 -expect-rejected 5
+
 # check is the tier-1 gate: vet + best-effort vuln scan + build +
 # race-enabled tests + the telemetry, fault, fuzz, streaming, batch-kernel,
-# shard and observability gates.
-check: vet vuln build race telemetry-check fault-check fuzz-check stream-check kernel-check shard-check obs-check
+# shard, observability and run-server gates.
+check: vet vuln build race telemetry-check fault-check fuzz-check stream-check kernel-check shard-check obs-check serve-check
 
 # bench tracks the decision hot path across PRs: the Decision* benchmarks in
 # internal/lookup (candidate scan) and internal/sched (controller) run with

@@ -1,0 +1,135 @@
+// Command h2pserved is the h2p run server: a long-running daemon that accepts
+// trace-driven evaluation requests over HTTP+JSON and executes them on one
+// shared simulation fleet behind a bounded queue with per-tenant quotas.
+//
+//	h2pserved -addr 127.0.0.1:8080 -journal runs.jsonl \
+//	    -max-concurrent 4 -submit-burst 100 -submit-rate 10
+//
+// The API lives under /api/v1 (runs, sweeps, tenants); the rest of the
+// surface is the same observability stack h2psim serves: live run summaries
+// at /runs, SSE at /runs/events, metrics at /metrics, /healthz. h2pstat's
+// summary and tail commands work against a server URL directly.
+//
+// SIGINT/SIGTERM drains gracefully: new submissions get 503 immediately,
+// queued and running work completes (up to -drain-timeout, then it is
+// cancelled with journal halt records), SSE subscribers receive a terminal
+// shutdown frame, and only then does the listener close.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/h2p-sim/h2p/internal/obs"
+	"github.com/h2p-sim/h2p/internal/serve"
+	"github.com/h2p-sim/h2p/internal/telemetry"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	code := run(ctx, os.Args[1:], os.Stderr, nil)
+	stop()
+	os.Exit(code)
+}
+
+// run is the daemon body: parse flags, build the server, serve until ctx is
+// cancelled, then drain. ready (when non-nil) receives the bound address once
+// the listener is up — the seam the tests use with -addr 127.0.0.1:0.
+func run(ctx context.Context, args []string, stderr io.Writer, ready func(addr string)) int {
+	fs := flag.NewFlagSet("h2pserved", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", "127.0.0.1:8080", "listen address (host:port; port 0 picks a free port)")
+	journal := fs.String("journal", "", "JSONL run journal path (empty: records feed the live endpoints only)")
+	appendTo := fs.Bool("append", false, "append to an existing journal instead of truncating")
+	queue := fs.Int("queue", 256, "server-wide queued-run capacity (submits past it get 503)")
+	executors := fs.Int("executors", 0, "run-executor pool size (0 = all CPUs)")
+	traceDir := fs.String("trace-dir", "", "directory CSV trace refs resolve under (empty disables file refs)")
+	maxBody := fs.Int64("max-body", serve.DefaultMaxBodyBytes, "request body size limit in bytes (413 past it)")
+	maxServers := fs.Int("max-servers", 0, "per-run server-count cap (0 = default 100000)")
+	maxIntervals := fs.Int("max-intervals", 0, "per-run interval-count cap (0 = default 1<<20)")
+	maxConcurrent := fs.Int("max-concurrent", 0, "per-tenant concurrently executing runs (0 = unlimited)")
+	maxQueued := fs.Int("max-queued", 0, "per-tenant queued runs (0 = unlimited)")
+	submitBurst := fs.Float64("submit-burst", 0, "per-tenant submission token-bucket capacity (0 disables rate limiting)")
+	submitRate := fs.Float64("submit-rate", 0, "per-tenant submission bucket refill per second (0 with a burst: fixed allowance)")
+	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight runs before cancelling them")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+	if fs.NArg() != 0 {
+		fmt.Fprintln(stderr, "h2pserved: unexpected positional arguments")
+		return 2
+	}
+
+	rec := obs.NewRecorder(io.Discard)
+	if *journal != "" {
+		var err error
+		rec, err = obs.Create(*journal, *appendTo)
+		if err != nil {
+			fmt.Fprintln(stderr, "h2pserved:", err)
+			return 1
+		}
+	}
+	reg := telemetry.New()
+	stopSelf := reg.StartSelfStats(0)
+	defer stopSelf()
+
+	s := serve.NewServer(serve.Config{
+		Recorder:     rec,
+		Telemetry:    reg,
+		Queue:        *queue,
+		Executors:    *executors,
+		MaxBodyBytes: *maxBody,
+		MaxServers:   *maxServers,
+		MaxIntervals: *maxIntervals,
+		TraceDir:     *traceDir,
+		Quota: serve.Quota{
+			MaxConcurrent: *maxConcurrent,
+			MaxQueued:     *maxQueued,
+			SubmitBurst:   *submitBurst,
+			SubmitPerSec:  *submitRate,
+		},
+	})
+	srv, err := telemetry.ServeHandler(*addr, s.Handler())
+	if err != nil {
+		fmt.Fprintln(stderr, "h2pserved:", err)
+		return 1
+	}
+	fmt.Fprintf(stderr, "h2pserved: serving at http://%s/api/v1/runs (live runs at /runs, metrics at /metrics)\n", srv.Addr())
+	if ready != nil {
+		ready(srv.Addr())
+	}
+
+	<-ctx.Done()
+	fmt.Fprintf(stderr, "h2pserved: draining (timeout %s)\n", *drainTimeout)
+	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	drainErr := s.Drain(dctx)
+	cancel()
+	// Drain has already shut the hub down, so every SSE tail got its
+	// terminal frame; now the listener can close and in-flight responses
+	// finish.
+	sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	srv.Shutdown(sctx) //nolint:errcheck // best-effort listener drain on exit
+	cancel()
+	if err := rec.Close(); err != nil {
+		fmt.Fprintln(stderr, "h2pserved: journal:", err)
+		return 1
+	}
+	if drainErr != nil && !errors.Is(drainErr, context.DeadlineExceeded) {
+		fmt.Fprintln(stderr, "h2pserved: drain:", drainErr)
+		return 1
+	}
+	if drainErr != nil {
+		fmt.Fprintln(stderr, "h2pserved: drain timed out; remaining runs were cancelled")
+	}
+	return 0
+}

@@ -1,0 +1,120 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/h2p-sim/h2p/internal/obs"
+)
+
+// TestServedLifecycle drives the daemon end to end: boot on a free port,
+// submit a run over HTTP, watch it complete, verify the journal, then shut
+// down via context cancellation (the signal path) and check the exit code.
+func TestServedLifecycle(t *testing.T) {
+	journal := filepath.Join(t.TempDir(), "runs.jsonl")
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	addrCh := make(chan string, 1)
+	exit := make(chan int, 1)
+	go func() {
+		exit <- run(ctx,
+			[]string{"-addr", "127.0.0.1:0", "-journal", journal, "-submit-burst", "8"},
+			io.Discard, func(addr string) { addrCh <- addr })
+	}()
+	var base string
+	select {
+	case addr := <-addrCh:
+		base = "http://" + addr
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon never came up")
+	}
+
+	hz, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hz.Body.Close()
+	if hz.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz = %d", hz.StatusCode)
+	}
+
+	body := `{"trace":{"class":"common","servers":50,"seed":2,"intervals":8},"scheme":"original"}`
+	resp, err := http.Post(base+"/api/v1/runs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st struct {
+		ID    string `json:"id"`
+		State string `json:"state"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted || st.ID == "" {
+		t.Fatalf("submit = %d %+v", resp.StatusCode, st)
+	}
+
+	wr, err := http.Get(base + "/api/v1/runs/" + st.ID + "?wait=30s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(wr.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	wr.Body.Close()
+	if st.State != "done" {
+		t.Fatalf("run state = %s, want done", st.State)
+	}
+
+	cancel()
+	select {
+	case code := <-exit:
+		if code != 0 {
+			t.Fatalf("daemon exit code = %d", code)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon never exited after cancel")
+	}
+
+	f, err := os.Open(journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	records, err := obs.ReadJournal(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var manifests, dones int
+	for _, r := range records {
+		switch r.Type {
+		case "manifest":
+			manifests++
+		case "done":
+			dones++
+		}
+	}
+	if manifests != 1 || dones != 1 {
+		t.Fatalf("journal: %d manifests, %d dones, want 1/1", manifests, dones)
+	}
+}
+
+func TestServedBadFlags(t *testing.T) {
+	if code := run(context.Background(), []string{"-bogus"}, io.Discard, nil); code != 2 {
+		t.Errorf("bad flag exit = %d, want 2", code)
+	}
+	if code := run(context.Background(), []string{"positional"}, io.Discard, nil); code != 2 {
+		t.Errorf("positional arg exit = %d, want 2", code)
+	}
+	if code := run(context.Background(), []string{"-addr", "256.256.256.256:-1"}, io.Discard, nil); code != 1 {
+		t.Errorf("bad addr exit = %d, want 1", code)
+	}
+}

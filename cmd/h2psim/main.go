@@ -132,8 +132,9 @@ func main() {
 		opt.rec = obs.NewRecorder(io.Discard)
 	}
 	var srv *telemetry.Server
+	var hub *obs.Hub
 	if *telemetryAddr != "" {
-		hub := obs.NewHub()
+		hub = obs.NewHub()
 		opt.rec.SetHub(hub)
 		stopSelf := opt.telemetry.StartSelfStats(0)
 		defer stopSelf()
@@ -146,7 +147,10 @@ func main() {
 	}
 	runErr := run(ctx, os.Stdout, opt)
 	if srv != nil {
-		// Graceful: let an in-flight scrape or SSE tail drain before exit.
+		// Graceful, in explicit order: close the hub first so every SSE tail
+		// receives a terminal shutdown frame and returns, then let the
+		// listener drain in-flight scrapes before exit.
+		hub.Shutdown()
 		sctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
 		srv.Shutdown(sctx)
 		cancel()

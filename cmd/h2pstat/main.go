@@ -5,6 +5,7 @@
 // Usage:
 //
 //	h2pstat summary [-json] run.journal        per-run digest of a journal
+//	h2pstat summary [-json] http://host:port   same digest from a live server
 //	h2pstat trace -perfetto [-o out.json] spans.json
 //	                                           convert a /trace (or -trace-out)
 //	                                           span dump for ui.perfetto.dev
@@ -12,7 +13,9 @@
 //
 // The journal is JSONL (internal/obs schema v1); spans.json is the JSON
 // array served at /trace; tail connects to the /runs/events endpoint served
-// by `h2psim -telemetry-addr`.
+// by `h2psim -telemetry-addr` or h2pserved. summary and tail accept either a
+// bare host:port or an http(s):// URL, so the same commands inspect local
+// artifacts and live servers.
 package main
 
 import (
@@ -59,30 +62,25 @@ func main() {
 
 func usage() {
 	fmt.Fprint(os.Stderr, `usage:
-  h2pstat summary [-json] run.journal
+  h2pstat summary [-json] run.journal|http://host:port
   h2pstat trace -perfetto [-o out.json] spans.json
-  h2pstat tail [-run key] host:port
+  h2pstat tail [-run key] host:port|http://host:port
 `)
 }
 
-// cmdSummary digests a journal into per-run summaries.
+// cmdSummary digests a journal — a local JSONL file or a live server's /runs
+// endpoint, which serves the same summaries — into per-run rows.
 func cmdSummary(args []string) error {
 	fs := flag.NewFlagSet("summary", flag.ExitOnError)
 	asJSON := fs.Bool("json", false, "emit the summaries as JSON")
 	fs.Parse(args)
 	if fs.NArg() != 1 {
-		return fmt.Errorf("summary wants exactly one journal file, got %d args", fs.NArg())
+		return fmt.Errorf("summary wants exactly one journal file or server URL, got %d args", fs.NArg())
 	}
-	f, err := os.Open(fs.Arg(0))
+	sums, err := loadSummaries(fs.Arg(0))
 	if err != nil {
 		return err
 	}
-	defer f.Close()
-	records, err := obs.ReadJournal(f)
-	if err != nil {
-		return err
-	}
-	sums := obs.Summarize(records)
 	if *asJSON {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
@@ -90,6 +88,37 @@ func cmdSummary(args []string) error {
 	}
 	printSummaries(os.Stdout, sums)
 	return nil
+}
+
+// loadSummaries reads run summaries from a journal file, or — when arg is an
+// http(s):// URL — from a server's /runs endpoint, which serves exactly the
+// rows Summarize would fold from its journal.
+func loadSummaries(arg string) ([]*obs.RunSummary, error) {
+	if strings.HasPrefix(arg, "http://") || strings.HasPrefix(arg, "https://") {
+		resp, err := http.Get(strings.TrimSuffix(arg, "/") + "/runs")
+		if err != nil {
+			return nil, err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return nil, fmt.Errorf("summary: %s: %s", arg, resp.Status)
+		}
+		var sums []*obs.RunSummary
+		if err := json.NewDecoder(resp.Body).Decode(&sums); err != nil {
+			return nil, fmt.Errorf("summary: %s: %w", arg, err)
+		}
+		return sums, nil
+	}
+	f, err := os.Open(arg)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	records, err := obs.ReadJournal(f)
+	if err != nil {
+		return nil, err
+	}
+	return obs.Summarize(records), nil
 }
 
 // printSummaries renders the human summary table plus per-run detail lines.
@@ -232,11 +261,15 @@ func cmdTail(args []string) error {
 	run := fs.String("run", "", "tail one run key (<id>/<trace>/<scheme>) instead of every run")
 	fs.Parse(args)
 	if fs.NArg() != 1 {
-		return fmt.Errorf("tail wants exactly one host:port, got %d args", fs.NArg())
+		return fmt.Errorf("tail wants exactly one host:port or server URL, got %d args", fs.NArg())
 	}
-	url := "http://" + fs.Arg(0) + "/runs/events"
+	base := strings.TrimSuffix(fs.Arg(0), "/")
+	if !strings.HasPrefix(base, "http://") && !strings.HasPrefix(base, "https://") {
+		base = "http://" + base
+	}
+	url := base + "/runs/events"
 	if *run != "" {
-		url = "http://" + fs.Arg(0) + "/runs/" + *run + "/events"
+		url = base + "/runs/" + *run + "/events"
 	}
 	resp, err := http.Get(url)
 	if err != nil {

@@ -1,6 +1,9 @@
 package main
 
 import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
@@ -210,5 +213,38 @@ func TestSummaryRoundTripsLifecycleJournal(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("rendered summary missing %q:\n%s", want, out)
 		}
+	}
+}
+
+// TestLoadSummariesFromServer pins the server-URL mode: summary pointed at a
+// live endpoint reads the same rows /runs serves, so one command inspects
+// journals on disk and servers on the network.
+func TestLoadSummariesFromServer(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/runs" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode([]*obs.RunSummary{doneSummary()}) //nolint:errcheck
+	}))
+	defer srv.Close()
+
+	sums, err := loadSummaries(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sums) != 1 || sums[0].Run != doneSummary().Run || sums[0].Done == nil {
+		t.Fatalf("server summaries = %+v", sums)
+	}
+
+	var buf strings.Builder
+	printSummaries(&buf, sums)
+	if !strings.Contains(buf.String(), "4.321") {
+		t.Errorf("rendered server summary missing result:\n%s", buf.String())
+	}
+
+	if _, err := loadSummaries(srv.URL + "/missing"); err == nil {
+		t.Error("bad path summary fetch succeeded")
 	}
 }

@@ -13,14 +13,42 @@ type Hub struct {
 
 	// order remembers first-seen run order for stable listing.
 	order []string
+
+	// closed is closed by Shutdown; SSE handlers select on it so every
+	// subscriber receives a terminal frame before the listener goes away.
+	closed    chan struct{}
+	closeOnce sync.Once
 }
 
 // NewHub returns an empty hub.
 func NewHub() *Hub {
 	return &Hub{
-		runs: make(map[string]*RunSummary),
-		subs: make(map[string]map[chan Record]struct{}),
+		runs:   make(map[string]*RunSummary),
+		subs:   make(map[string]map[chan Record]struct{}),
+		closed: make(chan struct{}),
 	}
+}
+
+// Shutdown marks the hub terminally closed. Every SSE handler streaming from
+// it writes a final "shutdown" frame and returns, which is what makes a
+// graceful HTTP shutdown ordering explicit: close the hub first, then shut
+// the listener down — in-flight event streams end cleanly instead of riding
+// the shutdown timeout. Idempotent and nil-receiver safe; Publish after
+// Shutdown still folds summaries (late done records stay visible on /runs).
+func (h *Hub) Shutdown() {
+	if h == nil {
+		return
+	}
+	h.closeOnce.Do(func() { close(h.closed) })
+}
+
+// Done returns a channel closed once the hub has shut down. Nil-receiver
+// safe: a nil hub is never done.
+func (h *Hub) Done() <-chan struct{} {
+	if h == nil {
+		return nil
+	}
+	return h.closed
 }
 
 // subscriberBuffer bounds each SSE subscriber's channel. A subscriber that

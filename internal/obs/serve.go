@@ -88,6 +88,13 @@ func serveEvents(hub *Hub, key string, w http.ResponseWriter, req *http.Request)
 		select {
 		case <-req.Context().Done():
 			return
+		case <-hub.Done():
+			// Graceful-shutdown ordering: the hub closes before the HTTP
+			// listener, so every subscriber sees this terminal frame instead
+			// of an abruptly severed stream.
+			writeEvent(w, "shutdown", map[string]string{"reason": "server shutting down"}) //nolint:errcheck // stream is ending either way
+			fl.Flush()
+			return
 		case rec := <-ch:
 			if err := writeEvent(w, rec.Type, &rec); err != nil {
 				return

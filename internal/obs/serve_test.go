@@ -132,6 +132,58 @@ func TestServeRunsSSE(t *testing.T) {
 	}
 }
 
+// TestServeSSEShutdownTerminalEvent pins the graceful-shutdown ordering:
+// closing the hub makes every in-flight SSE handler write a terminal
+// "shutdown" frame and return, so a server can end the event streams cleanly
+// before it closes the listener (instead of keying shutdown off run
+// completion and severing subscribers mid-stream).
+func TestServeSSEShutdownTerminalEvent(t *testing.T) {
+	hub := testHub()
+	srv := httptest.NewServer(Handler(hub, nil))
+	defer srv.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, "GET", srv.URL+"/runs/events", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+
+	sc := bufio.NewScanner(resp.Body)
+	var events []string
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		var event string
+		for sc.Scan() {
+			line := sc.Text()
+			switch {
+			case strings.HasPrefix(line, "event: "):
+				event = strings.TrimPrefix(line, "event: ")
+			case line == "" && event != "":
+				events = append(events, event)
+				event = ""
+			}
+		}
+	}()
+
+	hub.Shutdown()
+	hub.Shutdown() // idempotent
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("SSE stream did not end after hub shutdown")
+	}
+	if len(events) == 0 || events[len(events)-1] != "shutdown" {
+		t.Fatalf("stream events = %v, want terminal shutdown frame", events)
+	}
+	if events[0] != "summary" {
+		t.Errorf("stream opened with %q, want summary", events[0])
+	}
+}
+
 func TestServeSSEUnknownRun(t *testing.T) {
 	srv := httptest.NewServer(Handler(testHub(), nil))
 	defer srv.Close()

@@ -1,0 +1,47 @@
+package serve
+
+import (
+	"context"
+	"io"
+
+	"github.com/h2p-sim/h2p/internal/core"
+	"github.com/h2p-sim/h2p/internal/shard"
+)
+
+// Execute evaluates one validated request on fleet — exactly the library path
+// the h2psim CLI drives, so an API-submitted run is bit-identical to the same
+// run launched from the command line. Shards > 0 routes through the sharded
+// pipeline; otherwise the single-engine streaming loop runs it. The observer
+// (typically the run's journal recorder) sees merged intervals in order
+// either way.
+//
+// The request must have passed Validate (the parse entry points guarantee
+// it); Execute opens a fresh trace source per call, so concurrent executions
+// of the same request never share generator state.
+func Execute(ctx context.Context, fleet *core.Fleet, req *RunRequest, traceDir string, observer core.RunObserver) (*core.Result, error) {
+	src, err := req.Trace.Open(traceDir)
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		if c, ok := src.(io.Closer); ok {
+			c.Close() //nolint:errcheck // read side already drained or aborted
+		}
+	}()
+	cfg := req.EngineConfig()
+	if req.Shards > 0 {
+		return shard.Run(ctx, fleet, cfg, src, &shard.Options{
+			Shards:     req.Shards,
+			KeepSeries: req.KeepSeries,
+			Observer:   observer,
+		})
+	}
+	eng, err := fleet.Engine(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return eng.RunSourceContext(ctx, src, &core.RunOptions{
+		KeepSeries: req.KeepSeries,
+		Observer:   observer,
+	})
+}

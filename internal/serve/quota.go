@@ -1,0 +1,132 @@
+package serve
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// Quota is the per-tenant admission policy. The zero value disables every
+// limit — a single-tenant lab server. Tenants are keyed by the X-Tenant
+// request header ("anonymous" when absent); each tenant gets an independent
+// instance of these limits.
+type Quota struct {
+	// MaxConcurrent bounds a tenant's simultaneously executing runs; runs
+	// past it wait in the queue without blocking other tenants' dispatch.
+	// 0 = unlimited.
+	MaxConcurrent int
+	// MaxQueued bounds a tenant's queued-but-not-started runs; submits past
+	// it are rejected with 429. 0 = unlimited.
+	MaxQueued int
+	// SubmitBurst is the token-bucket capacity for submissions: each
+	// accepted run (each expanded sweep child) costs one token. 0 disables
+	// rate limiting entirely.
+	SubmitBurst float64
+	// SubmitPerSec is the bucket refill rate. With SubmitBurst set and
+	// SubmitPerSec 0 the bucket never refills: a tenant gets exactly
+	// SubmitBurst submissions, ever — the deterministic configuration the
+	// load harness pins its rejection counts on.
+	SubmitPerSec float64
+}
+
+// tenant tracks one tenant's live counters and token bucket. All fields are
+// guarded by the server mutex; the bucket clock is the server's (injectable)
+// clock, so quota tests and the deterministic load profile never race wall
+// time.
+type tenant struct {
+	name    string
+	queued  int
+	running int
+
+	tokens     float64
+	lastRefill time.Time
+
+	// Accounting mirrors, exposed on /api/v1/tenants for operators and the
+	// load harness's exact-rejection assertions.
+	accepted     int64
+	rejectedRate int64
+	rejectedFull int64
+}
+
+// newTenant starts a tenant with a full bucket.
+func newTenant(name string, q Quota, now time.Time) *tenant {
+	return &tenant{name: name, tokens: q.SubmitBurst, lastRefill: now}
+}
+
+// takeTokens admits n submissions against the rate quota, refilling the
+// bucket on the injected clock. It reports whether the submissions are
+// admitted and, when not, how long until the bucket holds n tokens (0 when
+// it never will — the caller still advertises a positive Retry-After, since
+// "never" is indistinguishable from "operator will raise the quota").
+func (t *tenant) takeTokens(q Quota, now time.Time, n int) (ok bool, retryAfter time.Duration) {
+	if q.SubmitBurst <= 0 {
+		return true, 0
+	}
+	if dt := now.Sub(t.lastRefill); dt > 0 && q.SubmitPerSec > 0 {
+		t.tokens = math.Min(q.SubmitBurst, t.tokens+q.SubmitPerSec*dt.Seconds())
+	}
+	t.lastRefill = now
+	need := float64(n)
+	if t.tokens >= need {
+		t.tokens -= need
+		return true, 0
+	}
+	if q.SubmitPerSec > 0 {
+		return false, time.Duration((need - t.tokens) / q.SubmitPerSec * float64(time.Second))
+	}
+	return false, 0
+}
+
+// admit applies the full quota ladder for n new runs: rate bucket first,
+// queue depth second. It returns nil and bumps the counters on success, or a
+// *QuotaError naming the limit hit. Concurrency is not an admission check —
+// MaxConcurrent throttles dispatch, not submission.
+func (t *tenant) admit(q Quota, now time.Time, n int) *QuotaError {
+	if ok, retry := t.takeTokens(q, now, n); !ok {
+		t.rejectedRate += int64(n)
+		return &QuotaError{Tenant: t.name, Limit: "submit_rate", RetryAfter: retry,
+			msg: fmt.Sprintf("submit rate quota exhausted (burst %g, %g/s)", q.SubmitBurst, q.SubmitPerSec)}
+	}
+	if q.MaxQueued > 0 && t.queued+n > q.MaxQueued {
+		t.rejectedFull += int64(n)
+		return &QuotaError{Tenant: t.name, Limit: "max_queued", RetryAfter: time.Second,
+			msg: fmt.Sprintf("tenant queue full (%d queued, max %d)", t.queued, q.MaxQueued)}
+	}
+	t.queued += n
+	t.accepted += int64(n)
+	return nil
+}
+
+// QuotaError reports a 429 admission rejection: which limit fired and how
+// long the client should back off.
+type QuotaError struct {
+	Tenant     string
+	Limit      string // "submit_rate" or "max_queued"
+	RetryAfter time.Duration
+	msg        string
+}
+
+func (e *QuotaError) Error() string {
+	return fmt.Sprintf("serve: tenant %s: %s", e.Tenant, e.msg)
+}
+
+// retryAfterSeconds renders the error's backoff as a Retry-After value:
+// at least 1, whole seconds, rounded up.
+func (e *QuotaError) retryAfterSeconds() int {
+	s := int(math.Ceil(e.RetryAfter.Seconds()))
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+// TenantStatus is one tenant's row in GET /api/v1/tenants.
+type TenantStatus struct {
+	Tenant        string  `json:"tenant"`
+	Queued        int     `json:"queued"`
+	Running       int     `json:"running"`
+	Accepted      int64   `json:"accepted"`
+	RejectedRate  int64   `json:"rejected_rate"`
+	RejectedQueue int64   `json:"rejected_queue"`
+	Tokens        float64 `json:"tokens"`
+}

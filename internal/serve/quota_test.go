@@ -1,0 +1,95 @@
+package serve
+
+import (
+	"testing"
+	"time"
+)
+
+func TestQuotaFixedAllowance(t *testing.T) {
+	// SubmitBurst with no refill: exactly burst admissions, ever — the
+	// deterministic configuration the load harness pins its counts on.
+	q := Quota{SubmitBurst: 3}
+	now := time.Unix(1000, 0)
+	tn := newTenant("a", q, now)
+	for i := 0; i < 3; i++ {
+		if err := tn.admit(q, now, 1); err != nil {
+			t.Fatalf("admit %d: %v", i, err)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		now = now.Add(time.Hour) // time passing must not refill
+		err := tn.admit(q, now, 1)
+		if err == nil {
+			t.Fatalf("admit past burst succeeded on attempt %d", i)
+		}
+		if err.Limit != "submit_rate" {
+			t.Fatalf("limit = %q, want submit_rate", err.Limit)
+		}
+		if err.retryAfterSeconds() < 1 {
+			t.Errorf("Retry-After %d < 1", err.retryAfterSeconds())
+		}
+	}
+	if tn.accepted != 3 || tn.rejectedRate != 5 {
+		t.Errorf("counters = accepted %d rejectedRate %d, want 3/5", tn.accepted, tn.rejectedRate)
+	}
+}
+
+func TestQuotaRefill(t *testing.T) {
+	q := Quota{SubmitBurst: 2, SubmitPerSec: 1}
+	now := time.Unix(0, 0)
+	tn := newTenant("a", q, now)
+	if err := tn.admit(q, now, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := tn.admit(q, now, 1); err == nil {
+		t.Fatal("empty bucket admitted")
+	} else if err.RetryAfter != time.Second {
+		t.Errorf("RetryAfter = %v, want 1s for a 1/s refill", err.RetryAfter)
+	}
+	now = now.Add(1500 * time.Millisecond)
+	if err := tn.admit(q, now, 1); err != nil {
+		t.Fatalf("refilled bucket rejected: %v", err)
+	}
+	// Refill clamps at the burst.
+	now = now.Add(time.Hour)
+	if err := tn.admit(q, now, 2); err != nil {
+		t.Fatalf("clamped bucket rejected 2: %v", err)
+	}
+	if err := tn.admit(q, now, 1); err == nil {
+		t.Fatal("bucket exceeded burst after a long idle period")
+	}
+}
+
+func TestQuotaMaxQueued(t *testing.T) {
+	q := Quota{MaxQueued: 2}
+	now := time.Unix(0, 0)
+	tn := newTenant("a", q, now)
+	if err := tn.admit(q, now, 2); err != nil {
+		t.Fatal(err)
+	}
+	err := tn.admit(q, now, 1)
+	if err == nil || err.Limit != "max_queued" {
+		t.Fatalf("queue-full admit = %v, want max_queued rejection", err)
+	}
+	// Dispatch frees queue slots; admission resumes.
+	tn.queued--
+	if err := tn.admit(q, now, 1); err != nil {
+		t.Fatalf("freed slot rejected: %v", err)
+	}
+	if tn.rejectedFull != 1 {
+		t.Errorf("rejectedFull = %d, want 1", tn.rejectedFull)
+	}
+}
+
+func TestQuotaSweepAllOrNothing(t *testing.T) {
+	q := Quota{SubmitBurst: 5}
+	now := time.Unix(0, 0)
+	tn := newTenant("a", q, now)
+	if err := tn.admit(q, now, 6); err == nil {
+		t.Fatal("6-run sweep admitted against a 5-token bucket")
+	}
+	// The failed sweep consumed nothing: a 5-run sweep still fits.
+	if err := tn.admit(q, now, 5); err != nil {
+		t.Fatalf("5-run sweep rejected after failed 6-run admit: %v", err)
+	}
+}
