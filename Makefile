@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet vuln test race check telemetry-check fault-check fuzz-check stream-check kernel-check shard-check obs-check serve-check load-check bench bench-all experiments clean
+.PHONY: all build vet vuln test race check telemetry-check fault-check fuzz-check stream-check kernel-check shard-check obs-check serve-check env-check load-check bench bench-all experiments clean
 
 all: check
 
@@ -57,6 +57,7 @@ fuzz-check:
 	$(GO) test ./internal/trace -run '^$$' -fuzz '^FuzzCSVRoundTrip$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/shard -run '^$$' -fuzz '^FuzzShardEquivalence$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/serve -run '^$$' -fuzz '^FuzzParseRunRequest$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/env -run '^$$' -fuzz '^FuzzEnvProfile$$' -fuzztime $(FUZZTIME)
 
 # stream-check gates the streaming data path under the race detector: the
 # source adapters and their equivalence suites (streaming vs in-memory
@@ -98,6 +99,20 @@ obs-check:
 		./internal/obs ./internal/telemetry ./internal/core ./internal/shard \
 		./cmd/h2psim ./cmd/h2pstat ./cmd/h2pbenchdiff
 
+# env-check gates the facility-environment layer under the race detector: the
+# env sources (constant/seasonal/profile determinism, the profile fuzz corpus
+# replayed as unit tests), the heat-reuse sink and storage property suites
+# (storage never creates energy; reuse revenue non-negative and zero outside
+# the heating season), the core+shard bit-identity matrix (explicit constant ==
+# nil default across classes x schemes x shard counts x fault plans), the
+# checkpoint fingerprint/storage-state validation, mid-year seasonal resume,
+# and the serve/CLI environment surfaces.
+env-check:
+	$(GO) test -race ./internal/env ./internal/heatreuse ./internal/storage
+	$(GO) test -race -run 'Env|Seasonal|Storage|Reuse|Environment' \
+		./internal/core ./internal/shard ./internal/serve \
+		./internal/experiments ./cmd/h2psim ./cmd/h2pstat
+
 # serve-check gates the run-server layer under the race detector: the request
 # decoder and quota unit suites, the HTTP conformance tests (413/429/503
 # admission ladder, cancel-mid-run with journal halt records, graceful drain),
@@ -119,8 +134,8 @@ load-check:
 
 # check is the tier-1 gate: vet + best-effort vuln scan + build +
 # race-enabled tests + the telemetry, fault, fuzz, streaming, batch-kernel,
-# shard, observability and run-server gates.
-check: vet vuln build race telemetry-check fault-check fuzz-check stream-check kernel-check shard-check obs-check serve-check
+# shard, observability, run-server and facility-environment gates.
+check: vet vuln build race telemetry-check fault-check fuzz-check stream-check kernel-check shard-check obs-check serve-check env-check
 
 # bench tracks the decision hot path across PRs: the Decision* benchmarks in
 # internal/lookup (candidate scan) and internal/sched (controller) run with

@@ -43,8 +43,11 @@ import (
 	"time"
 
 	"github.com/h2p-sim/h2p/internal/core"
+	"github.com/h2p-sim/h2p/internal/env"
 	"github.com/h2p-sim/h2p/internal/fault"
+	"github.com/h2p-sim/h2p/internal/heatreuse"
 	"github.com/h2p-sim/h2p/internal/obs"
+	"github.com/h2p-sim/h2p/internal/storage"
 	"github.com/h2p-sim/h2p/internal/profiling"
 	"github.com/h2p-sim/h2p/internal/sched"
 	"github.com/h2p-sim/h2p/internal/telemetry"
@@ -66,6 +69,10 @@ func main() {
 	seriesOut := flag.String("series-out", "", "write the per-interval power/outlet series to this file (CSV, or JSON if it ends in .json)")
 	faultPlan := flag.String("fault-plan", "", "fault plan: JSON file or 'kind:rate[:severity],...' DSL (empty = fault-free)")
 	faultSeed := flag.Int64("fault-seed", 1, "fault activation seed")
+	envName := flag.String("env", "", "facility environment: 'constant' (default), 'seasonal', or a JSON profile path")
+	envSeed := flag.Int64("env-seed", 1, "seasonal environment jitter seed")
+	reuse := flag.Bool("reuse", false, "divert heat to a district-heating reuse sink when demand and outlet grade allow")
+	storageWh := flag.Float64("storage-wh", 0, "buffer harvested power in a hybrid SC+battery store of this total capacity (0 = none)")
 	stream := flag.Bool("stream", false, "streaming mode: pull trace columns through sources with O(servers) memory (bit-identical results)")
 	checkpoint := flag.String("checkpoint", "", "checkpoint file: runs snapshot themselves here at interval boundaries (implies -stream)")
 	checkpointEvery := flag.Int("checkpoint-every", 256, "checkpoint cadence in intervals")
@@ -80,6 +87,16 @@ func main() {
 	plan, err := fault.ParsePlan(*faultPlan)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "h2psim:", err)
+		os.Exit(1)
+	}
+
+	envSrc, err := buildEnv(*envName, *envSeed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "h2psim:", err)
+		os.Exit(1)
+	}
+	if *storageWh < 0 {
+		fmt.Fprintf(os.Stderr, "h2psim: -storage-wh must be non-negative, got %g\n", *storageWh)
 		os.Exit(1)
 	}
 
@@ -107,6 +124,8 @@ func main() {
 		traceFile: *traceFile, series: *series,
 		metricsOut: *metricsOut, traceOut: *traceOut, seriesOut: *seriesOut,
 		faults: plan, faultSeed: *faultSeed,
+		env: envSrc, envSeed: *envSeed,
+		reuse: *reuse, storageWh: *storageWh,
 		shards:     shardCount,
 		stream:     *stream || *checkpoint != "" || *resume || *haltAfter > 0 || *shards >= 0 || *journal != "",
 		checkpoint: *checkpoint, checkpointEvery: *checkpointEvery,
@@ -190,6 +209,14 @@ type runOptions struct {
 	// output bit-identical to a build without the fault layer.
 	faults    *fault.Plan
 	faultSeed int64
+	// env is the facility environment source built from -env/-env-seed (nil =
+	// the constant default, bit-identical to a build without the environment
+	// layer); reuse and storageWh wire the heat-reuse sink and the hybrid
+	// storage buffer into the run's energy balance.
+	env       env.Source
+	envSeed   int64
+	reuse     bool
+	storageWh float64
 	// Streaming/checkpoint controls (stream.go). stream switches the run to
 	// the pull-based source path; checkpoint/resume/haltAfter and -shards
 	// imply it. shards > 0 (already resolved from the -shards flag) further
@@ -238,6 +265,7 @@ func run(ctx context.Context, out io.Writer, opt runOptions) error {
 	cfg.Telemetry = opt.telemetry
 	cfg.Faults = opt.faults
 	cfg.FaultSeed = opt.faultSeed
+	opt.applyEnv(&cfg)
 	series := opt.series
 
 	fleet := core.NewFleet()
@@ -305,6 +333,16 @@ func run(ctx context.Context, out io.Writer, opt runOptions) error {
 					f.SensorFallbacks, f.PumpDroops, f.StepRetries)
 			}
 		}
+	}
+
+	if opt.envActive() {
+		labels := make([]string, len(traces))
+		pairs := make([][2]*core.Result, len(traces))
+		for i, tr := range traces {
+			labels[i] = string(tr.Class)
+			pairs[i] = results[string(tr.Class)]
+		}
+		printEnvReport(out, labels, pairs, opt)
 	}
 
 	if opt.seriesOut != "" {
@@ -403,6 +441,83 @@ func writeSeries(w io.Writer, path string, labels []string, results map[string][
 	}
 	cw.Flush()
 	return cw.Error()
+}
+
+// buildEnv resolves the -env flag: empty or "constant" keeps the nil default
+// (bit-identical to a build without the environment layer), "seasonal" seeds
+// the diurnal+annual model from -env-seed, and anything else is read as a
+// JSON profile path — the CLI, unlike the serve API, may read local files.
+func buildEnv(name string, seed int64) (env.Source, error) {
+	switch name {
+	case "", "constant":
+		return nil, nil
+	case "seasonal":
+		if seed < 0 {
+			return nil, fmt.Errorf("-env-seed must be non-negative, got %d", seed)
+		}
+		return env.DefaultSeasonal(uint64(seed)), nil
+	default:
+		return env.LoadProfile(name)
+	}
+}
+
+// applyEnv wires the CLI's environment choices into an engine config. A
+// default invocation leaves cfg untouched.
+func (opt runOptions) applyEnv(cfg *core.Config) {
+	if opt.env != nil {
+		cfg.Env = opt.env
+	}
+	if opt.reuse {
+		cfg.Reuse = heatreuse.DefaultSink()
+	}
+	if opt.storageWh > 0 {
+		spec := storage.BufferForCapacity(opt.storageWh)
+		cfg.Storage = &spec
+	}
+}
+
+// envActive reports whether any environment flag moved off its default —
+// the condition for the environment summary table, so default runs keep
+// byte-identical stdout.
+func (opt runOptions) envActive() bool {
+	return opt.env != nil || opt.reuse || opt.storageWh > 0
+}
+
+// envDesc names the active environment for table headers and journals.
+func (opt runOptions) envDesc() string {
+	if opt.env == nil {
+		return "constant"
+	}
+	if opt.env.Name() == "seasonal" {
+		return fmt.Sprintf("seasonal (seed %d)", opt.envSeed)
+	}
+	return fmt.Sprintf("%s (%s)", opt.env.Name(), opt.env.Fingerprint())
+}
+
+// printEnvReport renders the facility-environment summary: the sampled
+// cold-side/wet-bulb ranges, the heating season's extent, and the heat-reuse
+// and storage accounting per trace x scheme. pairs follows labels' order.
+func printEnvReport(out io.Writer, labels []string, pairs [][2]*core.Result, opt runOptions) {
+	fmt.Fprintln(out)
+	fmt.Fprintf(out, "Facility environment — %s:\n", opt.envDesc())
+	fmt.Fprintf(out, "%-12s %-8s %-12s %-12s %-10s %-11s %-9s %-11s %-11s %-9s\n",
+		"trace", "scheme", "cold_c", "wetbulb_c", "heat_intv", "reuse_kwh", "rev_usd", "sto_in_kwh", "sto_out_kwh", "final_wh")
+	for i, label := range labels {
+		for si, name := range [2]string{"orig", "lb"} {
+			r := pairs[i][si]
+			if r == nil {
+				continue
+			}
+			e := r.Env
+			fmt.Fprintf(out, "%-12s %-8s %-12s %-12s %-10d %-11.3f %-9.2f %-11.3f %-11.3f %-9.1f\n",
+				label, name,
+				fmt.Sprintf("%.1f..%.1f", float64(e.MinColdSide), float64(e.MaxColdSide)),
+				fmt.Sprintf("%.1f..%.1f", float64(e.MinWetBulb), float64(e.MaxWetBulb)),
+				e.HeatingIntervals,
+				float64(r.ReusedHeat), float64(r.ReuseRevenue),
+				float64(r.StorageStored), float64(r.StorageDelivered), r.StorageFinalWh)
+		}
+	}
 }
 
 // writeToFile creates path, runs fn against it, and surfaces the first

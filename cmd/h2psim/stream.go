@@ -109,11 +109,21 @@ func journalRecorder(opt runOptions, sp streamSpec, scheme sched.Scheme) *obs.Ru
 			Seed:                  opt.seed,
 			FaultSeed:             opt.faultSeed,
 			Streaming:             true,
+			HeatReuse:             opt.reuse,
+			StorageWh:             opt.storageWh,
 		},
 		Env: hostEnv(),
 	}
 	if !opt.faults.Empty() {
 		m.Config.FaultPlan = opt.faults.String()
+	}
+	if opt.env != nil {
+		m.Config.EnvKind = opt.env.Name()
+		if opt.env.Name() == "seasonal" {
+			m.Config.EnvDetail = fmt.Sprintf("seed=%d", opt.envSeed)
+		} else {
+			m.Config.EnvDetail = opt.env.Fingerprint()
+		}
 	}
 	rr := obs.NewRunRecorder(opt.rec, m, 0)
 	if !opt.faults.Empty() {
@@ -272,6 +282,7 @@ func runStreaming(ctx context.Context, out io.Writer, opt runOptions) error {
 	cfg.Telemetry = opt.telemetry
 	cfg.Faults = opt.faults
 	cfg.FaultSeed = opt.faultSeed
+	opt.applyEnv(&cfg)
 
 	fleet := core.NewFleet()
 	results := make(map[string][2]*core.Result)
@@ -504,5 +515,15 @@ func printStreamReport(out io.Writer, specs []streamSpec, results map[string][2]
 					f.SensorFallbacks, f.PumpDroops, f.StepRetries)
 			}
 		}
+	}
+
+	if opt.envActive() {
+		labels := make([]string, len(specs))
+		pairs := make([][2]*core.Result, len(specs))
+		for i, sp := range specs {
+			labels[i] = string(sp.class)
+			pairs[i] = results[sp.name]
+		}
+		printEnvReport(out, labels, pairs, opt)
 	}
 }

@@ -143,6 +143,9 @@ func printSummaries(w io.Writer, sums []*obs.RunSummary) {
 		if m.Config.FaultPlan != "" {
 			fmt.Fprintf(w, "  faults   plan=%s seed=%d\n", m.Config.FaultPlan, m.Config.FaultSeed)
 		}
+		if f := facilityLine(m.Config); f != "" {
+			fmt.Fprintf(w, "  facility %s\n", f)
+		}
 		fmt.Fprintf(w, "  env      %s %s/%s gomaxprocs=%d cpu=%s\n",
 			m.Env.GoVersion, m.Env.GOOS, m.Env.GOARCH, m.Env.GOMAXPROCS, orDash(m.Env.CPUModel))
 		if d := s.Done; d != nil {
@@ -165,6 +168,26 @@ func printSummaries(w io.Writer, sums []*obs.RunSummary) {
 			}
 		}
 	}
+}
+
+// facilityLine renders the manifest's facility-environment knobs, empty for
+// the constant default so pre-environment journals print unchanged.
+func facilityLine(c obs.RunConfig) string {
+	var parts []string
+	if c.EnvKind != "" {
+		p := "env=" + c.EnvKind
+		if c.EnvDetail != "" {
+			p += " (" + c.EnvDetail + ")"
+		}
+		parts = append(parts, p)
+	}
+	if c.HeatReuse {
+		parts = append(parts, "heat_reuse=on")
+	}
+	if c.StorageWh > 0 {
+		parts = append(parts, fmt.Sprintf("storage=%.0fWh", c.StorageWh))
+	}
+	return strings.Join(parts, " ")
 }
 
 // runStatus condenses a summary's table cells.

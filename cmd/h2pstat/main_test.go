@@ -74,6 +74,28 @@ func TestPrintSummaries(t *testing.T) {
 	}
 }
 
+// TestFacilityEnvLine pins the facility line: absent for constant-default
+// manifests, one compact line when any environment knob is on.
+func TestFacilityEnvLine(t *testing.T) {
+	if got := facilityLine(obs.RunConfig{}); got != "" {
+		t.Errorf("constant default rendered %q, want empty", got)
+	}
+	cfg := obs.RunConfig{EnvKind: "seasonal", EnvDetail: "seed=7", HeatReuse: true, StorageWh: 200}
+	want := "env=seasonal (seed=7) heat_reuse=on storage=200Wh"
+	if got := facilityLine(cfg); got != want {
+		t.Errorf("facility line = %q, want %q", got, want)
+	}
+
+	s := doneSummary()
+	s.Manifest.Config.EnvKind = "profile"
+	s.Manifest.Config.EnvDetail = "profile:v1:abc"
+	var buf strings.Builder
+	printSummaries(&buf, []*obs.RunSummary{s})
+	if !strings.Contains(buf.String(), "facility env=profile (profile:v1:abc)") {
+		t.Errorf("summary output missing facility line:\n%s", buf.String())
+	}
+}
+
 func TestRunStatus(t *testing.T) {
 	if status, done, avg, _ := runStatus(doneSummary()); status != "done" || done != "100/100" || avg != "4.321" {
 		t.Errorf("done summary status = %s %s %s", status, done, avg)

@@ -59,7 +59,24 @@ type Checkpoint struct {
 	TEGEnergy        float64      `json:"teg_energy_kwh"`
 	CPUEnergy        float64      `json:"cpu_energy_kwh"`
 	PlantEnergy      float64      `json:"plant_energy_kwh"`
+	ReusedHeat       float64      `json:"reused_heat_kwh,omitempty"`
+	StorageStored    float64      `json:"storage_stored_kwh,omitempty"`
+	StorageDelivered float64      `json:"storage_delivered_kwh,omitempty"`
+	StorageSpilled   float64      `json:"storage_spilled_kwh,omitempty"`
 	Faults           FaultSummary `json:"faults"`
+
+	// EnvFingerprint pins the environment position: sources are pure
+	// functions of the interval index (see env.Source), so the fingerprint
+	// plus NextInterval is the complete environment state. Resume rejects a
+	// mismatched fingerprint — continuing under a different environment would
+	// silently splice two different climates into one run. Empty (a
+	// checkpoint predating the environment layer) skips the check.
+	EnvFingerprint string `json:"env_fingerprint,omitempty"`
+
+	// StorageWh is the buffer's per-element state of charge in [SC, Battery]
+	// order — the only storage state that crosses an interval boundary.
+	// Empty means the run had no buffer.
+	StorageWh []float64 `json:"storage_wh,omitempty"`
 
 	// Sensors is one snapshot per circulation, in circulation index order.
 	Sensors []hydro.SensorState `json:"sensors"`
@@ -99,6 +116,27 @@ func (cp *Checkpoint) ValidateFor(m trace.Meta, cfg Config, circulations int, ke
 	if keepSeries && len(cp.Series) != cp.NextInterval {
 		return fmt.Errorf("core: series retention requested but checkpoint holds %d of %d intervals"+
 			" (was the checkpointed run started without it?)", len(cp.Series), cp.NextInterval)
+	}
+	if cp.EnvFingerprint != "" {
+		if fp := cfg.EnvSource().Fingerprint(); cp.EnvFingerprint != fp {
+			return fmt.Errorf("core: checkpoint was taken under environment %q, engine runs %q",
+				cp.EnvFingerprint, fp)
+		}
+	}
+	if cfg.Storage == nil {
+		if len(cp.StorageWh) != 0 {
+			return fmt.Errorf("core: checkpoint carries a storage buffer, engine runs without one")
+		}
+	} else {
+		if len(cp.StorageWh) != 2 {
+			return fmt.Errorf("core: storage configured but checkpoint holds %d element states, want 2"+
+				" (was the checkpointed run started without storage?)", len(cp.StorageWh))
+		}
+		for i, capWh := range []float64{cfg.Storage.SC.CapacityWh, cfg.Storage.Battery.CapacityWh} {
+			if wh := cp.StorageWh[i]; wh != wh || wh < 0 || wh > capWh {
+				return fmt.Errorf("core: checkpoint element %d holds %g Wh outside [0, %g]", i, wh, capWh)
+			}
+		}
 	}
 	return nil
 }

@@ -5,7 +5,9 @@ import (
 	"time"
 
 	"github.com/h2p-sim/h2p/internal/chiller"
+	"github.com/h2p-sim/h2p/internal/env"
 	"github.com/h2p-sim/h2p/internal/fault"
+	"github.com/h2p-sim/h2p/internal/heatreuse"
 	"github.com/h2p-sim/h2p/internal/hydro"
 	"github.com/h2p-sim/h2p/internal/sched"
 	"github.com/h2p-sim/h2p/internal/units"
@@ -35,7 +37,14 @@ type Circulation struct {
 	pump       hydro.Pump
 	maxFlow    units.LitersPerHour
 	hxApproach units.Celsius
-	wetBulb    units.Celsius
+	// env is the facility environment: each step samples the interval's
+	// wet-bulb, TEG cold side and reuse demand from it. The source is a pure
+	// function of the interval index and read-only, so concurrent
+	// circulations share it freely.
+	env env.Source
+	// reuse, when non-nil, takes the demand fraction of the rejected heat
+	// off the plant's hands each interval.
+	reuse *heatreuse.Sink
 
 	// inj is the engine's fault injector; nil (the fault-free default) keeps
 	// every Step bit-identical to an engine with no fault layer at all.
@@ -60,7 +69,7 @@ type Circulation struct {
 // newCirculation wires one circulation from the engine's configuration. The
 // pump is built (and implicitly validated) once here rather than once per
 // control interval.
-func newCirculation(index, lo, hi int, cfg Config, ctl *sched.Controller, plant chiller.Plant, met *engineMetrics, inj *fault.Injector) Circulation {
+func newCirculation(index, lo, hi int, cfg Config, ctl *sched.Controller, plant chiller.Plant, src env.Source, met *engineMetrics, inj *fault.Injector) Circulation {
 	return Circulation{
 		Index:        index,
 		Lo:           lo,
@@ -69,6 +78,8 @@ func newCirculation(index, lo, hi int, cfg Config, ctl *sched.Controller, plant 
 		ctl:          ctl,
 		serialDecide: cfg.DisableBatch,
 		plant:        plant,
+		env:          src,
+		reuse:        cfg.Reuse,
 		met:          met,
 		inj:          inj,
 		sensor: hydro.LastGoodSensor{MaxStale: inj.MaxSensorStale()},
@@ -79,7 +90,6 @@ func newCirculation(index, lo, hi int, cfg Config, ctl *sched.Controller, plant 
 		},
 		maxFlow:    cfg.PumpMaxFlow,
 		hxApproach: cfg.HXApproach,
-		wetBulb:    cfg.WetBulb,
 	}
 }
 
@@ -107,6 +117,9 @@ type CirculationInterval struct {
 	// TowerPower and ChillerPower are the facility plant draws dispatched
 	// for the circulation's heat.
 	TowerPower, ChillerPower units.Watts
+	// ReusedHeat is the thermal power the reuse sink absorbed before plant
+	// dispatch — zero without a configured sink.
+	ReusedHeat units.Watts
 
 	// Fault accounting — all zero in a fault-free run.
 	//
@@ -205,17 +218,18 @@ func (c *Circulation) stepOnce(col []float64, interval, attempt int) (Circulatio
 		return CirculationInterval{}, fmt.Errorf("circulation %d interval %d attempt %d: %w",
 			c.Index, interval, attempt, fault.ErrInjected)
 	}
+	smp := c.env.At(interval)
 	var d sched.Decision
 	var err error
 	if c.serialDecide {
-		d, err = c.ctl.DecideSerial(col[c.Lo:c.Hi], c.scheme, &c.scratch)
+		d, err = c.ctl.DecideSerialCold(col[c.Lo:c.Hi], c.scheme, smp.ColdSide, &c.scratch)
 	} else {
-		d, err = c.ctl.DecideInto(col[c.Lo:c.Hi], c.scheme, &c.scratch)
+		d, err = c.ctl.DecideIntoCold(col[c.Lo:c.Hi], c.scheme, smp.ColdSide, &c.scratch)
 	}
 	if err != nil {
 		return CirculationInterval{}, err
 	}
-	return c.finish(interval, t0, d)
+	return c.finish(interval, t0, d, smp)
 }
 
 // finishOnce is one stepWithDecision attempt: stepOnce with the decision
@@ -229,13 +243,18 @@ func (c *Circulation) finishOnce(interval, attempt int, d *sched.Decision) (Circ
 		return CirculationInterval{}, fmt.Errorf("circulation %d interval %d attempt %d: %w",
 			c.Index, interval, attempt, fault.ErrInjected)
 	}
-	return c.finish(interval, t0, *d)
+	// Re-sampling here (rather than passing the batch kernel's sample down)
+	// keeps the signatures stable; the source is pure, so the sample is
+	// identical to the one the decision was made against.
+	return c.finish(interval, t0, *d, c.env.At(interval))
 }
 
 // finish turns a scheme decision into the circulation's interval
-// contribution: TEG harvest, pump power, plant dispatch and the fault
-// accounting. It is the shared tail of the serial and batched step paths.
-func (c *Circulation) finish(interval int, t0 time.Time, d sched.Decision) (CirculationInterval, error) {
+// contribution: TEG harvest, pump power, heat reuse, plant dispatch and the
+// fault accounting. It is the shared tail of the serial and batched step
+// paths. smp is the interval's environment sample — the same one the
+// decision was evaluated against.
+func (c *Circulation) finish(interval int, t0 time.Time, d sched.Decision, smp env.Sample) (CirculationInterval, error) {
 	ci := CirculationInterval{
 		CPUPower:   d.TotalCPUPower(),
 		Inlet:      d.Setting.Inlet,
@@ -261,8 +280,8 @@ func (c *Circulation) finish(interval int, t0 time.Time, d sched.Decision) (Circ
 		// first-order under Original (servers share one setting; the hottest
 		// server dominates the ratio).
 		droopOutlet := c.ctl.Space.OutletTemp(d.PlaneU, realized, d.Setting.Inlet)
-		healthy := c.ctl.PowerAt(d.Setting, d.PlaneU)
-		drooped := c.ctl.PowerAt(sched.Setting{Flow: realized, Inlet: d.Setting.Inlet}, d.PlaneU)
+		healthy := c.ctl.PowerAtCold(d.Setting, d.PlaneU, smp.ColdSide)
+		drooped := c.ctl.PowerAtCold(sched.Setting{Flow: realized, Inlet: d.Setting.Inlet}, d.PlaneU, smp.ColdSide)
 		if healthy > 0 {
 			ci.TEGPower *= units.Watts(float64(drooped) / float64(healthy))
 		}
@@ -287,8 +306,16 @@ func (c *Circulation) finish(interval int, t0 time.Time, d sched.Decision) (Circ
 		stuck := c.inj.SensorStuck(interval, c.Index)
 		sensedOutlet, ci.SensorStatus = c.sensor.Read(meanOutlet, stuck)
 	}
+	// Heat reuse competes with the plant for the rejected heat: the sink
+	// absorbs the demand fraction (when the physical outlet carries enough
+	// grade) and the tower/chiller only dispatch for the remainder. A nil
+	// sink leaves heat — and the dispatch arithmetic — untouched.
+	if c.reuse != nil {
+		ci.ReusedHeat = c.reuse.Absorb(heat, meanOutlet, smp.HeatDemand)
+		heat -= ci.ReusedHeat
+	}
 	target := d.Setting.Inlet - c.hxApproach
-	ci.TowerPower, ci.ChillerPower = c.plant.Dispatch(heat, sensedOutlet, target, c.wetBulb)
+	ci.TowerPower, ci.ChillerPower = c.plant.Dispatch(heat, sensedOutlet, target, smp.WetBulb)
 	if ci.OpenTEG > 0 || ci.DegradedTEG > 0 || ci.PumpDrooped || ci.SensorStatus != hydro.SensorFresh {
 		c.met.observeFault(c.Index, faultObs{
 			openTEG:        ci.OpenTEG,

@@ -40,11 +40,14 @@ import (
 
 	"github.com/h2p-sim/h2p/internal/chiller"
 	"github.com/h2p-sim/h2p/internal/cpu"
+	"github.com/h2p-sim/h2p/internal/env"
 	"github.com/h2p-sim/h2p/internal/fault"
+	"github.com/h2p-sim/h2p/internal/heatreuse"
 	"github.com/h2p-sim/h2p/internal/hydro"
 	"github.com/h2p-sim/h2p/internal/lookup"
 	"github.com/h2p-sim/h2p/internal/sched"
 	"github.com/h2p-sim/h2p/internal/stats"
+	"github.com/h2p-sim/h2p/internal/storage"
 	"github.com/h2p-sim/h2p/internal/teg"
 	"github.com/h2p-sim/h2p/internal/telemetry"
 	"github.com/h2p-sim/h2p/internal/trace"
@@ -68,6 +71,25 @@ type Config struct {
 	ColdSource units.Celsius
 	// WetBulb is the ambient wet-bulb temperature for plant dispatch.
 	WetBulb units.Celsius
+	// Env, when non-nil, is the facility environment source: per-interval
+	// ambient wet-bulb, TEG cold-side temperature and heat-reuse demand.
+	// nil — the default — behaves exactly like env.NewConstant(WetBulb,
+	// ColdSource): every interval sees the two constants above and no reuse
+	// demand, bit-identical to an engine predating the environment layer.
+	Env env.Source
+	// Reuse, when non-nil, diverts the demand fraction of each circulation's
+	// rejected heat to a district-heating sink before plant dispatch, so the
+	// tower and chiller only serve the remainder. nil is the no-reuse plant.
+	Reuse *heatreuse.Sink
+	// Storage, when non-nil, buffers the datacenter's harvested TEG power
+	// through a hybrid SC+battery element sized by the spec: each interval
+	// the aggregator charges the surplus over the plant draw and discharges
+	// against the deficit. nil is the buffer-free plant.
+	Storage *storage.BufferSpec
+	// Tower and Chiller override the facility plant models; nil uses
+	// chiller.DefaultTower / chiller.Default. See Config.Plant.
+	Tower   *chiller.CoolingTower
+	Chiller *chiller.Chiller
 	// HXApproach is the CDU heat-exchanger approach: the facility water
 	// must be this much colder than the TCS inlet target.
 	HXApproach units.Celsius
@@ -148,10 +170,50 @@ func (c Config) Validate() error {
 	if c.DecisionQuantum < 0 {
 		return errors.New("core: DecisionQuantum must be non-negative")
 	}
+	if v, ok := c.Env.(interface{ Validate() error }); ok {
+		if err := v.Validate(); err != nil {
+			return err
+		}
+	}
+	if err := c.Reuse.Validate(); err != nil {
+		return err
+	}
+	if c.Storage != nil {
+		if err := c.Storage.Validate(); err != nil {
+			return err
+		}
+	}
 	if err := c.Faults.Validate(); err != nil {
 		return err
 	}
 	return c.Spec.Validate()
+}
+
+// EnvSource resolves the run's environment: Env when set, otherwise the
+// constant source built from the WetBulb and ColdSource fields. The two are
+// interchangeable — an explicit env.NewConstant(WetBulb, ColdSource) and the
+// nil default produce identical samples and the same fingerprint, so
+// checkpoints resume across the spelling.
+func (c Config) EnvSource() env.Source {
+	if c.Env != nil {
+		return c.Env
+	}
+	return env.NewConstant(c.WetBulb, c.ColdSource)
+}
+
+// Plant is the configuration's facility-plant constructor — the one place
+// the engine (and through it h2psim and the serve handler) builds the
+// tower+chiller pair, so every layer dispatches against the same models.
+// nil overrides mean the package defaults.
+func (c Config) Plant() chiller.Plant {
+	p := chiller.Plant{Tower: chiller.DefaultTower(), Chiller: chiller.Default()}
+	if c.Tower != nil {
+		p.Tower = *c.Tower
+	}
+	if c.Chiller != nil {
+		p.Chiller = *c.Chiller
+	}
+	return p
 }
 
 // workers resolves the effective worker count through the shared
@@ -210,6 +272,21 @@ type IntervalResult struct {
 	// TowerPower and ChillerPower are the facility plant draws.
 	TowerPower, ChillerPower units.Watts
 
+	// Environment at this interval, stamped by the Aggregator from the run's
+	// environment source (the constant default stamps its fixed values).
+	ColdSide, WetBulb units.Celsius
+	// HeatDemand is the interval's heat-reuse demand signal in [0, 1].
+	HeatDemand float64
+	// ReusedHeat is the thermal power diverted to the reuse sink instead of
+	// the cooling plant — zero without a configured sink.
+	ReusedHeat units.Watts
+
+	// Storage accounting — all zero without a configured buffer. Stored,
+	// Spilled and Discharged are the interval's buffer flows; SoC is the
+	// buffer's state of charge at the interval boundary.
+	StorageStoredW, StorageSpilledW, StorageDischargedW units.Watts
+	StorageSoCWh                                        float64
+
 	// Fault accounting — all zero in a fault-free run.
 	//
 	// DegradedCirculations counts circulations excluded from this
@@ -252,9 +329,40 @@ type Result struct {
 	CPUEnergy          units.KilowattHours
 	PlantEnergy        units.KilowattHours // pumps + tower + chiller
 
+	// Env summarizes the run's facility environment.
+	Env EnvSummary
+	// Heat-reuse accounting — zero without a configured sink. ReusedHeat is
+	// thermal energy sold to the sink; ReuseRevenue prices it at the sink's
+	// tariff.
+	ReusedHeat   units.KilowattHours
+	ReuseRevenue units.USD
+	// Storage accounting — zero without a configured buffer. StorageStored /
+	// StorageDelivered / StorageSpilled are the buffer's lifetime flows;
+	// StorageFinalWh is its state of charge after the last interval.
+	StorageStored    units.KilowattHours
+	StorageDelivered units.KilowattHours
+	StorageSpilled   units.KilowattHours
+	StorageFinalWh   float64
+
 	// Faults summarizes injected-fault handling across the run; the zero
 	// value means a fault-free plant.
 	Faults FaultSummary
+}
+
+// EnvSummary describes the environment a run was evaluated under: the source
+// name plus the ranges its samples spanned. Finalize computes the ranges by
+// scanning the pure source over the run's intervals, so a resumed run reports
+// the same summary as an uninterrupted one.
+type EnvSummary struct {
+	// Name identifies the source ("constant", "seasonal", "profile").
+	Name string
+	// Cold-side and wet-bulb ranges over the run's intervals.
+	MinColdSide, MaxColdSide units.Celsius
+	MinWetBulb, MaxWetBulb   units.Celsius
+	// MeanHeatDemand averages the demand signal; HeatingIntervals counts
+	// intervals with demand > 0.
+	MeanHeatDemand   float64
+	HeatingIntervals int
 }
 
 // FaultSummary aggregates the run's fault accounting.
@@ -296,6 +404,9 @@ type Engine struct {
 	cfg        Config
 	controller *sched.Controller
 	plant      chiller.Plant
+	// env is cfg.EnvSource(), resolved once so every circulation and the
+	// aggregator sample the same source instance.
+	env env.Source
 	// met instruments the interval loop; nil when cfg.Telemetry is nil.
 	met *engineMetrics
 	// inj is cfg.Faults compiled against cfg.FaultSeed; nil when the plan
@@ -341,10 +452,8 @@ func newEngineWithSpace(cfg Config, space *lookup.Space) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Engine{cfg: cfg, controller: ctl, plant: chiller.Plant{
-		Tower:   chiller.DefaultTower(),
-		Chiller: chiller.Default(),
-	}, met: newEngineMetrics(cfg.Telemetry), inj: inj}, nil
+	return &Engine{cfg: cfg, controller: ctl, plant: cfg.Plant(),
+		env: cfg.EnvSource(), met: newEngineMetrics(cfg.Telemetry), inj: inj}, nil
 }
 
 // Controller exposes the engine's cooling controller (used by benches and
@@ -365,7 +474,7 @@ func (e *Engine) circulationsRange(nServers, cLo, cHi int) []Circulation {
 	circs := make([]Circulation, 0, cHi-cLo)
 	for ci := cLo; ci < cHi; ci++ {
 		lo, hi := e.cfg.CirculationSpan(nServers, ci)
-		circs = append(circs, newCirculation(ci, lo, hi, e.cfg, e.controller, e.plant, e.met, e.inj))
+		circs = append(circs, newCirculation(ci, lo, hi, e.cfg, e.controller, e.plant, e.env, e.met, e.inj))
 	}
 	return circs
 }
@@ -450,7 +559,10 @@ func stepBlock(circs []Circulation, lo, hi int, col []float64, interval int, ws 
 		errs[lo+k] = nil
 	}
 	c0 := &circs[lo]
-	if err := c0.ctl.DecideBatch(col, ws.ranges, c0.scheme, &ws.bs, ws.scrs, ws.decs); err != nil {
+	// The environment is a pure function of the interval and shared by every
+	// circulation, so one sample serves the whole block's decisions.
+	smp := c0.env.At(interval)
+	if err := c0.ctl.DecideBatchCold(col, ws.ranges, c0.scheme, smp.ColdSide, &ws.bs, ws.scrs, ws.decs); err != nil {
 		if c0.inj != nil {
 			for k := 0; k < n; k++ {
 				parts[lo+k], errs[lo+k] = circs[lo+k].Step(col, interval)
@@ -557,6 +669,7 @@ func mergeInterval(col []float64, parts []CirculationInterval) IntervalResult {
 		ir.PumpPower += p.PumpPower
 		ir.TowerPower += p.TowerPower
 		ir.ChillerPower += p.ChillerPower
+		ir.ReusedHeat += p.ReusedHeat
 
 		ir.HealthyTEGServers += p.TEGServers
 		ir.OpenTEGModules += p.OpenTEG

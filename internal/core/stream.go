@@ -98,7 +98,7 @@ func (e *Engine) RunSourceContext(ctx context.Context, src trace.Source, opts *R
 	// legacy path summed its retained series in — so no floating-point sum is
 	// ever reassociated. The Aggregator is shared with the sharded merger
 	// (internal/shard), which is what keeps the two paths bit-identical.
-	agg := NewAggregator(meta, e.cfg.Scheme, keepSeries)
+	agg := NewAggregator(meta, e.cfg, keepSeries)
 	var obs RunObserver
 	if opts != nil && opts.Observer != nil {
 		obs = opts.Observer

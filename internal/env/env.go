@@ -1,0 +1,82 @@
+// Package env models the facility environment a warm water-cooled
+// datacenter operates in: the ambient wet-bulb temperature the cooling
+// plant rejects heat against, the natural-water temperature feeding the TEG
+// cold side, and the district-heating demand competing for the waste-heat
+// stream.
+//
+// The paper evaluates against a fixed environment (20 °C cold side, 18 °C
+// wet bulb); this package turns those constants into a pluggable, per-
+// interval signal so seasonal and diurnal scenarios — the axis the paper's
+// climate-independence argument actually turns on — can drive the same
+// engine. Every Source is a pure function of the interval index: given the
+// same construction parameters it returns bit-identical samples on every
+// call, which is what lets checkpointed runs resume exactly (the checkpoint
+// only needs the source's Fingerprint and the next interval).
+package env
+
+import (
+	"fmt"
+
+	"github.com/h2p-sim/h2p/internal/units"
+)
+
+// Sample is the facility environment over one control interval.
+type Sample struct {
+	// WetBulb is the ambient wet-bulb temperature the cooling tower
+	// rejects against.
+	WetBulb units.Celsius
+	// ColdSide is the TEG cold-side water temperature (the natural water
+	// source of Sec. III).
+	ColdSide units.Celsius
+	// HeatDemand is the district-heating demand signal in [0, 1]: the
+	// fraction of the datacenter's rejected heat the heat-reuse sink can
+	// absorb this interval. 0 — the year-round value of the constant
+	// environment — means no reuse customer exists.
+	HeatDemand float64
+}
+
+// Source supplies the environment for every interval of a run.
+//
+// Implementations must be pure functions of the interval index (and their
+// immutable construction parameters): At must be safe for concurrent use
+// and must return bit-identical samples for the same index on every call.
+// That contract is what keeps parallel engines deterministic and resumed
+// runs bit-identical to uninterrupted ones.
+type Source interface {
+	// At returns the environment for interval i (i >= 0).
+	At(i int) Sample
+	// Fingerprint is a stable identity string covering every parameter
+	// that influences At. Two sources with equal fingerprints produce
+	// equal samples at every interval; checkpoints and run manifests
+	// record it so resume and result provenance stay exact.
+	Fingerprint() string
+	// Name is the short kind label ("constant", "seasonal", "profile")
+	// used in reports and request schemas.
+	Name() string
+}
+
+// Constant is the paper's fixed environment: every interval sees the same
+// sample. The zero value is a 0 °C / 0 °C / no-demand environment; use
+// NewConstant for the engine's defaults.
+type Constant struct {
+	Sample Sample
+}
+
+// NewConstant returns the fixed environment at the given temperatures with
+// no heat-reuse demand — the historical engine behavior.
+func NewConstant(wetBulb, coldSide units.Celsius) Constant {
+	return Constant{Sample: Sample{WetBulb: wetBulb, ColdSide: coldSide}}
+}
+
+// At returns the fixed sample regardless of interval.
+func (c Constant) At(int) Sample { return c.Sample }
+
+// Name reports the source kind.
+func (c Constant) Name() string { return "constant" }
+
+// Fingerprint is value-based: two Constants built from the same
+// temperatures are interchangeable, however they were constructed.
+func (c Constant) Fingerprint() string {
+	return fmt.Sprintf("constant:wb=%g,cold=%g,demand=%g",
+		float64(c.Sample.WetBulb), float64(c.Sample.ColdSide), c.Sample.HeatDemand)
+}

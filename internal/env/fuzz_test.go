@@ -1,0 +1,51 @@
+package env
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzEnvProfile hardens the profile reader: whatever bytes arrive, the
+// parser either rejects them or yields a profile whose every indexed sample
+// is finite, in range, and stable — and whose fingerprint is reproducible
+// from a second parse of the same bytes.
+func FuzzEnvProfile(f *testing.F) {
+	f.Add([]byte(`{"name":"x","repeat":true,"samples":[{"wet_bulb_c":5,"cold_side_c":8,"heat_demand":0.9}]}`))
+	f.Add([]byte(`{"samples":[{"wet_bulb_c":18,"cold_side_c":20},{"wet_bulb_c":-10,"cold_side_c":2,"heat_demand":1}]}`))
+	f.Add([]byte(`{"samples":[]}`))
+	f.Add([]byte(`{"samples":[{"wet_bulb_c":1e999,"cold_side_c":8}]}`))
+	f.Add([]byte(`{"samples":[{"wet_bulb_c":5,"cold_side_c":8}]} trailing`))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(``))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := ParseProfile(data)
+		if err != nil {
+			return
+		}
+		if p.Len() <= 0 || p.Len() > maxProfileSamples {
+			t.Fatalf("accepted profile with %d samples", p.Len())
+		}
+		for _, i := range []int{0, 1, p.Len() - 1, p.Len(), 3 * p.Len(), 1 << 20} {
+			s := p.At(i)
+			for _, v := range []float64{float64(s.WetBulb), float64(s.ColdSide)} {
+				if math.IsNaN(v) || v < minProfileTemp || v > maxProfileTemp {
+					t.Fatalf("At(%d) temperature %v out of range", i, v)
+				}
+			}
+			if math.IsNaN(s.HeatDemand) || s.HeatDemand < 0 || s.HeatDemand > 1 {
+				t.Fatalf("At(%d) demand %v out of range", i, s.HeatDemand)
+			}
+			if s != p.At(i) {
+				t.Fatalf("At(%d) not stable", i)
+			}
+		}
+		p2, err := ParseProfile(data)
+		if err != nil {
+			t.Fatalf("re-parse of accepted bytes failed: %v", err)
+		}
+		if p.Fingerprint() != p2.Fingerprint() {
+			t.Fatalf("fingerprint not reproducible: %q vs %q", p.Fingerprint(), p2.Fingerprint())
+		}
+	})
+}

@@ -259,8 +259,8 @@ func TestAblationTables(t *testing.T) {
 
 func TestRegistry(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 32 {
-		t.Errorf("registered experiments = %d, want 32", len(ids))
+	if len(ids) != 33 {
+		t.Errorf("registered experiments = %d, want 33", len(ids))
 	}
 	if _, err := Run("nope", smallParams()); err == nil {
 		t.Error("unknown id should error")

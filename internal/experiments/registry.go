@@ -42,6 +42,7 @@ var registry = map[string]Runner{
 	"aging":     func(EvalParams) (*Table, error) { return AgingAnalysis() },
 	"dc-bus":    func(EvalParams) (*Table, error) { return DCBus() },
 	"coolant":   func(EvalParams) (*Table, error) { return CoolantChoice() },
+	"seasonal":  SeasonalYear,
 	"skus":      SKUGenerality,
 	"stability": ControlStability,
 	"faults":    FaultSweep,

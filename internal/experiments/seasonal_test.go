@@ -1,0 +1,38 @@
+package experiments
+
+import "testing"
+
+func TestSeasonalYearTable(t *testing.T) {
+	tab, err := SeasonalYear(EvalParams{Servers: 20, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 5 {
+		t.Fatalf("rows = %d, want 4 quarters + year", len(tab.Rows))
+	}
+	// Winter compounds: the colder sink harvests more and the heating season
+	// sells heat; midsummer has no demand at all.
+	if cellFloat(t, tab, 0, 4) <= cellFloat(t, tab, 2, 4) {
+		t.Error("winter lb harvest not above summer")
+	}
+	if cellFloat(t, tab, 0, 6) <= 0 {
+		t.Error("no heat reused in winter")
+	}
+	if cellFloat(t, tab, 2, 6) != 0 {
+		t.Error("heat reused in midsummer, outside the heating season")
+	}
+	// Revenue tracks reuse and never goes negative.
+	for r := 0; r < 5; r++ {
+		if cellFloat(t, tab, r, 7) < 0 {
+			t.Errorf("row %d: negative reuse revenue", r)
+		}
+	}
+	// The year row's reuse accounting equals the quarters' sum.
+	var sum float64
+	for q := 0; q < 4; q++ {
+		sum += cellFloat(t, tab, q, 6)
+	}
+	if year := cellFloat(t, tab, 4, 6); year < sum*0.99 || year > sum*1.01 {
+		t.Errorf("year reuse %.1f kWh vs quarter sum %.1f", year, sum)
+	}
+}

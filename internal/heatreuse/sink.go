@@ -1,0 +1,66 @@
+package heatreuse
+
+import (
+	"errors"
+	"math"
+
+	"github.com/h2p-sim/h2p/internal/units"
+)
+
+// Sink is the per-interval face of district heating: where the annualized
+// Outcome model in this package prices a whole deployment, a Sink sits
+// inside the engine's energy balance and competes with TEG harvesting one
+// control interval at a time. Each interval the facility environment
+// (internal/env) reports a demand signal; the sink absorbs that fraction of
+// the rejected heat — provided the coolant is warm enough to sell — and the
+// cooling plant only dispatches for the remainder.
+type Sink struct {
+	// MinGrade is the coolant grade below which the district system cannot
+	// accept the stream (ASHRAE W5's >45 °C heat-recovery guidance, the
+	// same floor DistrictHeating applies).
+	MinGrade units.Celsius
+	// HeatPrice is the sale tariff in $/kWh(thermal).
+	HeatPrice units.USD
+}
+
+// DefaultSink returns the district-heating sink at the package's standard
+// economics: the 45 °C recovery grade and the $0.03/kWh heat tariff.
+func DefaultSink() *Sink {
+	return &Sink{MinGrade: 45, HeatPrice: 0.03}
+}
+
+// Validate reports parameter errors.
+func (s *Sink) Validate() error {
+	if s == nil {
+		return nil
+	}
+	if math.IsNaN(float64(s.MinGrade)) || math.IsInf(float64(s.MinGrade), 0) {
+		return errors.New("heatreuse: MinGrade must be finite")
+	}
+	if math.IsNaN(float64(s.HeatPrice)) || s.HeatPrice < 0 {
+		return errors.New("heatreuse: HeatPrice must be non-negative")
+	}
+	return nil
+}
+
+// Absorb returns the heat the sink takes off the stream this interval: the
+// demand fraction of the rejected heat, clamped to [0, heat], and exactly
+// zero when there is no demand (outside the heating season) or the stream
+// is below the recovery grade. A nil sink absorbs nothing.
+func (s *Sink) Absorb(heat units.Watts, outlet units.Celsius, demand float64) units.Watts {
+	if s == nil || heat <= 0 || demand <= 0 || outlet < s.MinGrade {
+		return 0
+	}
+	if demand > 1 {
+		demand = 1
+	}
+	return heat * units.Watts(demand)
+}
+
+// Revenue prices an amount of sold thermal energy.
+func (s *Sink) Revenue(kwhThermal units.KilowattHours) units.USD {
+	if s == nil || kwhThermal <= 0 {
+		return 0
+	}
+	return units.USD(float64(kwhThermal) * float64(s.HeatPrice))
+}

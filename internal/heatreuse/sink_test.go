@@ -1,0 +1,78 @@
+package heatreuse
+
+import (
+	"math"
+	"testing"
+
+	"github.com/h2p-sim/h2p/internal/units"
+)
+
+// TestSinkRevenueNonNegativeAndSeasonGated pins the satellite property:
+// heat-reuse revenue is never negative, and is exactly zero whenever the
+// demand signal says the heating season is off.
+func TestSinkRevenueNonNegativeAndSeasonGated(t *testing.T) {
+	s := DefaultSink()
+	for _, demand := range []float64{-1, 0, 0.001, 0.5, 1, 2} {
+		for _, outlet := range []units.Celsius{30, 44.999, 45, 54, 70} {
+			for _, heat := range []units.Watts{0, 100, 30000} {
+				absorbed := s.Absorb(heat, outlet, demand)
+				if absorbed < 0 {
+					t.Fatalf("Absorb(%v, %v, %v) = %v < 0", heat, outlet, demand, absorbed)
+				}
+				if absorbed > heat {
+					t.Fatalf("Absorb(%v, %v, %v) = %v exceeds the stream", heat, outlet, demand, absorbed)
+				}
+				if demand <= 0 && absorbed != 0 {
+					t.Fatalf("demand %v (season off) but absorbed %v", demand, absorbed)
+				}
+				if outlet < s.MinGrade && absorbed != 0 {
+					t.Fatalf("outlet %v below grade but absorbed %v", outlet, absorbed)
+				}
+				rev := s.Revenue(units.EnergyOver(absorbed, 300).KilowattHours())
+				if rev < 0 {
+					t.Fatalf("revenue %v < 0", rev)
+				}
+				if absorbed == 0 && rev != 0 {
+					t.Fatalf("no heat sold but revenue %v", rev)
+				}
+			}
+		}
+	}
+}
+
+func TestSinkDemandClamped(t *testing.T) {
+	s := DefaultSink()
+	if got := s.Absorb(1000, 54, 2); got != 1000 {
+		t.Fatalf("demand 2 should clamp to the full stream, got %v", got)
+	}
+	if got := s.Absorb(1000, 54, 0.25); got != 250 {
+		t.Fatalf("demand 0.25 of 1000 W = %v, want 250", got)
+	}
+}
+
+func TestSinkNilSafe(t *testing.T) {
+	var s *Sink
+	if err := s.Validate(); err != nil {
+		t.Fatalf("nil sink must validate: %v", err)
+	}
+	if got := s.Absorb(1000, 54, 1); got != 0 {
+		t.Fatalf("nil sink absorbed %v", got)
+	}
+	if got := s.Revenue(10); got != 0 {
+		t.Fatalf("nil sink earned %v", got)
+	}
+}
+
+func TestSinkValidate(t *testing.T) {
+	bad := &Sink{MinGrade: units.Celsius(math.NaN()), HeatPrice: 0.03}
+	if bad.Validate() == nil {
+		t.Fatal("NaN MinGrade accepted")
+	}
+	bad = &Sink{MinGrade: 45, HeatPrice: -1}
+	if bad.Validate() == nil {
+		t.Fatal("negative HeatPrice accepted")
+	}
+	if err := DefaultSink().Validate(); err != nil {
+		t.Fatalf("default sink invalid: %v", err)
+	}
+}

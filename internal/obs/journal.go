@@ -53,6 +53,14 @@ type RunConfig struct {
 	FaultPlan             string  `json:"fault_plan,omitempty"`
 	FaultSeed             int64   `json:"fault_seed,omitempty"`
 	Streaming             bool    `json:"streaming,omitempty"`
+	// Facility environment (all omitempty: the constant default leaves the
+	// canonical JSON — and so the config hash — byte-identical to a journal
+	// predating the environment layer). EnvKind names the source
+	// ("seasonal", "profile"); EnvDetail carries its seed or fingerprint.
+	EnvKind   string  `json:"env_kind,omitempty"`
+	EnvDetail string  `json:"env_detail,omitempty"`
+	HeatReuse bool    `json:"heat_reuse,omitempty"`
+	StorageWh float64 `json:"storage_wh,omitempty"`
 }
 
 // Manifest is a run's provenance record, written once at run start (and

@@ -150,6 +150,15 @@ func (bs *BatchScratch) growServers(n int) {
 // valid, the rest are unspecified. The three slice arguments must all be
 // len(ranges); each scratch must be non-nil.
 func (c *Controller) DecideBatch(col []float64, ranges []Range, scheme Scheme, bs *BatchScratch, scratches []*Scratch, out []Decision) error {
+	return c.DecideBatchCold(col, ranges, scheme, c.ColdSource, bs, scratches, out)
+}
+
+// DecideBatchCold is DecideBatch against an explicit cold-side temperature —
+// the per-interval value of the facility environment. The cold side joins
+// the plane in the decision-cache key, so a cached decision is always the
+// one an uncached scan at that cold side would make, and runs whose
+// environment is pinned at the default are bit-identical to DecideBatch.
+func (c *Controller) DecideBatchCold(col []float64, ranges []Range, scheme Scheme, cold units.Celsius, bs *BatchScratch, scratches []*Scratch, out []Decision) error {
 	if len(scratches) != len(ranges) || len(out) != len(ranges) {
 		return fmt.Errorf("sched: DecideBatch buffers: %d ranges, %d scratches, %d decisions", len(ranges), len(scratches), len(out))
 	}
@@ -169,7 +178,7 @@ func (c *Controller) DecideBatch(col []float64, ranges []Range, scheme Scheme, b
 		// No precomputed power curve (controller assembled without
 		// NewController): decide group-by-group through the scalar path.
 		for g, r := range ranges {
-			d, err := c.DecideSerial(col[r.Lo:r.Hi], scheme, scratches[g])
+			d, err := c.DecideSerialCold(col[r.Lo:r.Hi], scheme, cold, scratches[g])
 			if err != nil {
 				return GroupError{Group: g, Err: err}
 			}
@@ -207,10 +216,11 @@ func (c *Controller) DecideBatch(col []float64, ranges []Range, scheme Scheme, b
 	slices.Sort(bs.uniq)
 	bs.uniq = slices.Compact(bs.uniq)
 	bs.growUnique(len(bs.uniq))
+	cb := math.Float64bits(float64(cold))
 	bs.missPlane = bs.missPlane[:0]
 	bs.missIdx = bs.missIdx[:0]
 	for j, key := range bs.uniq {
-		if setting, power, cell, ok := c.cache.load(key); ok {
+		if setting, power, cell, ok := c.cache.load(key, cb); ok {
 			bs.published[j] = true
 			bs.uSetting[j], bs.uPower[j], bs.uCell[j] = setting, power, cell
 		} else {
@@ -225,7 +235,7 @@ func (c *Controller) DecideBatch(col []float64, ranges []Range, scheme Scheme, b
 	// strictly-greater argmax picks the exact setting the serial two-pass
 	// scan picks.
 	if len(bs.missPlane) > 0 {
-		if err := c.scanMisses(bs); err != nil {
+		if err := c.scanMisses(bs, cold); err != nil {
 			// Attribute the scan failure to the lowest group holding a
 			// missed key, matching the serial "first circulation to decide
 			// this plane fails" behavior.
@@ -256,7 +266,7 @@ func (c *Controller) DecideBatch(col []float64, ranges []Range, scheme Scheme, b
 			if err := bs.uErr[j]; err != nil {
 				return GroupError{Group: g, Err: err}
 			}
-			c.cache.store(key, bs.uSetting[j], bs.uPower[j], bs.uCell[j])
+			c.cache.store(key, cb, bs.uSetting[j], bs.uPower[j], bs.uCell[j])
 			c.inserts.AddHint(hint, 1)
 			bs.published[j] = true
 		} else {
@@ -281,7 +291,7 @@ func (c *Controller) DecideBatch(col []float64, ranges []Range, scheme Scheme, b
 			// Balancing makes every server identical: evaluate once and
 			// broadcast, exactly as the serial path does.
 			u := sc.eff[0]
-			pw := c.PowerAt(d.Setting, u)
+			pw := c.PowerAtCold(d.Setting, u, cold)
 			cp := spec.Power(u)
 			for i := range sc.eff {
 				d.PerServerPower[i] = pw
@@ -299,7 +309,7 @@ func (c *Controller) DecideBatch(col []float64, ranges []Range, scheme Scheme, b
 			c.Space.LocateColumn(sc.eff, &bs.loc)
 			bs.growServers(n)
 			c.Space.BatchEval(cell, &bs.loc, bs.cpuT, bs.outT)
-			c.curve.powerAtColumn(cell, bs.outT, d.PerServerPower)
+			c.curve.powerAtColumn(cell, bs.outT, d.PerServerPower, float64(cold))
 			for i := range sc.eff {
 				d.PerServerCPUPower[i] = spec.Power(sc.eff[i])
 				if t := units.Celsius(bs.cpuT[i]); t > d.MaxCPUTemp {
@@ -335,10 +345,10 @@ func (bs *BatchScratch) missKeysView() []uint64 {
 // empty slab fall back to the full below-band sweep, exactly like the serial
 // second pass. Membership, blend arithmetic, argmax order and the
 // curve-evaluation telemetry all replicate the scalar scan bit for bit.
-func (c *Controller) scanMisses(bs *BatchScratch) error {
+func (c *Controller) scanMisses(bs *BatchScratch, cold units.Celsius) error {
 	if c.Band <= 0 {
 		for m, j := range bs.missIdx {
-			_, _, _, err := c.choose(bs.missPlane[m])
+			_, _, _, err := c.choose(bs.missPlane[m], cold)
 			bs.uErr[j] = err
 		}
 		return nil
@@ -364,7 +374,7 @@ func (c *Controller) scanMisses(bs *BatchScratch) error {
 			bs.uErr[j] = errNoSafeSetting(u)
 			continue
 		}
-		bestP, bestCell := c.curve.argmaxColumn(bs.candCell, bs.candOut, n)
+		bestP, bestCell := c.curve.argmaxColumn(bs.candCell, bs.candOut, n, float64(cold))
 		flow, inlet := c.Space.CellSetting(int(bestCell))
 		bs.uSetting[j] = Setting{Flow: flow, Inlet: inlet}
 		bs.uPower[j] = bestP

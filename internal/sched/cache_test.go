@@ -13,7 +13,8 @@ import (
 // then load, including keys that collide into one bucket.
 func TestDecisionCacheRoundTrip(t *testing.T) {
 	var dc decisionCache
-	if _, _, _, ok := dc.load(42); ok {
+	cold := math.Float64bits(20)
+	if _, _, _, ok := dc.load(42, cold); ok {
 		t.Fatal("empty cache should miss")
 	}
 	keys := make([]uint64, 0, 64)
@@ -21,10 +22,10 @@ func TestDecisionCacheRoundTrip(t *testing.T) {
 		keys = append(keys, math.Float64bits(float64(i)/64))
 	}
 	for i, k := range keys {
-		dc.store(k, Setting{Flow: units.LitersPerHour(i), Inlet: units.Celsius(i)}, units.Watts(i), int32(i))
+		dc.store(k, cold, Setting{Flow: units.LitersPerHour(i), Inlet: units.Celsius(i)}, units.Watts(i), int32(i))
 	}
 	for i, k := range keys {
-		s, p, cell, ok := dc.load(k)
+		s, p, cell, ok := dc.load(k, cold)
 		if !ok {
 			t.Fatalf("key %d lost", i)
 		}
@@ -37,13 +38,14 @@ func TestDecisionCacheRoundTrip(t *testing.T) {
 // TestDecisionCacheCollisionChain forces two distinct keys into the same
 // bucket and checks both survive on the chain.
 func TestDecisionCacheCollisionChain(t *testing.T) {
+	cold := math.Float64bits(20)
 	base := math.Float64bits(0.5)
-	target := bucketOf(base)
+	target := cacheBucket(base, cold)
 	var collider uint64
 	found := false
 	for i := uint64(1); i < 1<<20; i++ {
 		k := base + i
-		if bucketOf(k) == target {
+		if cacheBucket(k, cold) == target {
 			collider, found = k, true
 			break
 		}
@@ -52,13 +54,39 @@ func TestDecisionCacheCollisionChain(t *testing.T) {
 		t.Fatal("no colliding key found in 2^20 probes")
 	}
 	var dc decisionCache
-	dc.store(base, Setting{Flow: 1}, 1, 1)
-	dc.store(collider, Setting{Flow: 2}, 2, 2)
-	if s, _, _, ok := dc.load(base); !ok || s.Flow != 1 {
+	dc.store(base, cold, Setting{Flow: 1}, 1, 1)
+	dc.store(collider, cold, Setting{Flow: 2}, 2, 2)
+	if s, _, _, ok := dc.load(base, cold); !ok || s.Flow != 1 {
 		t.Errorf("base key lost after collision: %+v %v", s, ok)
 	}
-	if s, _, _, ok := dc.load(collider); !ok || s.Flow != 2 {
+	if s, _, _, ok := dc.load(collider, cold); !ok || s.Flow != 2 {
 		t.Errorf("colliding key lost: %+v %v", s, ok)
+	}
+}
+
+// TestDecisionCacheColdSeparation pins the environment seam: the same plane
+// cached against two cold sides holds two independent entries, so a seasonal
+// run can never serve a decision made under a different cold-side
+// temperature.
+func TestDecisionCacheColdSeparation(t *testing.T) {
+	var dc decisionCache
+	key := math.Float64bits(0.5)
+	c20 := math.Float64bits(20)
+	c14 := math.Float64bits(14)
+	dc.store(key, c20, Setting{Flow: 1}, 1, 1)
+	if _, _, _, ok := dc.load(key, c14); ok {
+		t.Fatal("entry stored at cold=20 served for cold=14")
+	}
+	dc.store(key, c14, Setting{Flow: 2}, 2, 2)
+	if s, _, _, ok := dc.load(key, c20); !ok || s.Flow != 1 {
+		t.Errorf("cold=20 entry lost: %+v %v", s, ok)
+	}
+	if s, _, _, ok := dc.load(key, c14); !ok || s.Flow != 2 {
+		t.Errorf("cold=14 entry lost: %+v %v", s, ok)
+	}
+	// keys() reports the plane once, not once per cold.
+	if ks := dc.keys(); len(ks) != 1 || ks[0] != key {
+		t.Errorf("keys() = %v, want [%v]", ks, key)
 	}
 }
 
@@ -66,19 +94,20 @@ func TestDecisionCacheCollisionChain(t *testing.T) {
 // losing racers re-check the chain instead of stacking duplicates.
 func TestDecisionCacheDuplicateStore(t *testing.T) {
 	var dc decisionCache
+	cold := math.Float64bits(20)
 	key := math.Float64bits(0.25)
-	dc.store(key, Setting{Flow: 7}, 7, 7)
-	dc.store(key, Setting{Flow: 8}, 8, 8) // must be ignored: values are pure functions of the key
+	dc.store(key, cold, Setting{Flow: 7}, 7, 7)
+	dc.store(key, cold, Setting{Flow: 8}, 8, 8) // must be ignored: values are pure functions of the key
 	n := 0
-	for e := dc.buckets[bucketOf(key)].Load(); e != nil; e = e.next {
-		if e.key == key {
+	for e := dc.buckets[cacheBucket(key, cold)].Load(); e != nil; e = e.next {
+		if e.key == key && e.cold == cold {
 			n++
 		}
 	}
 	if n != 1 {
 		t.Errorf("key appears %d times on the chain, want 1", n)
 	}
-	if s, _, _, _ := dc.load(key); s.Flow != 7 {
+	if s, _, _, _ := dc.load(key, cold); s.Flow != 7 {
 		t.Errorf("first published value must win, got flow %v", s.Flow)
 	}
 }
@@ -88,6 +117,7 @@ func TestDecisionCacheDuplicateStore(t *testing.T) {
 // afterwards with its first-published value intact.
 func TestDecisionCacheConcurrentStores(t *testing.T) {
 	var dc decisionCache
+	cold := math.Float64bits(20)
 	const goroutines = 8
 	const perG = 500
 	var wg sync.WaitGroup
@@ -98,8 +128,8 @@ func TestDecisionCacheConcurrentStores(t *testing.T) {
 			for i := 0; i < perG; i++ {
 				// Overlapping key ranges force CAS races on shared buckets.
 				k := math.Float64bits(float64(i%257) / 257)
-				dc.store(k, Setting{Flow: units.LitersPerHour(i % 257)}, units.Watts(i%257), int32(i%257))
-				if s, _, _, ok := dc.load(k); !ok || int(s.Flow) != i%257 {
+				dc.store(k, cold, Setting{Flow: units.LitersPerHour(i % 257)}, units.Watts(i%257), int32(i%257))
+				if s, _, _, ok := dc.load(k, cold); !ok || int(s.Flow) != i%257 {
 					t.Errorf("g%d: key %d corrupted: %+v %v", g, i%257, s, ok)
 					return
 				}

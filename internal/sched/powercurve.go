@@ -9,16 +9,18 @@ import (
 )
 
 // powerCurve is the TEG module's power-vs-outlet-temperature curve,
-// precomputed once per controller. The cold source is fixed for a
-// controller's lifetime, so a candidate's module output depends only on its
-// outlet temperature and — through the optional flow derating — its flow
-// cell. The seed evaluated teg.Module.MaxPower per candidate, which pays two
-// math.Exp calls (the derating factor) for every one of the ~1.4k candidate
-// cells on every cache miss; the curve hoists the per-flow factors and the
-// Eq. 6 quadratic coefficients so the scan is a handful of multiply-adds per
-// candidate, bit-identical to the module path.
+// precomputed once per controller. A candidate's module output depends only
+// on its outlet temperature, the interval's cold-side temperature and —
+// through the optional flow derating — its flow cell. The seed evaluated
+// teg.Module.MaxPower per candidate, which pays two math.Exp calls (the
+// derating factor) for every one of the ~1.4k candidate cells on every cache
+// miss; the curve hoists the per-flow factors and the Eq. 6 quadratic
+// coefficients so the scan is a handful of multiply-adds per candidate,
+// bit-identical to the module path. The cold side is a per-call argument
+// (the pluggable environment varies it by interval); cold carries the
+// controller's fixed default.
 type powerCurve struct {
-	cold    float64    // TEG cold-side temperature, °C
+	cold    float64    // default TEG cold-side temperature, °C (Controller.ColdSource)
 	n       float64    // TEGs in series (Eq. 7 scales per-device power by n)
 	fit     [3]float64 // Eq. 6 quadratic: fit[0] + fit[1]*x + fit[2]*x*x
 	ni      int        // inlet-axis length: candidate cell -> flow index
@@ -55,8 +57,8 @@ func newPowerCurve(space *lookup.Space, module *teg.Module, cold units.Celsius) 
 // multiplying by a precomputed factor equals Module.effectiveDeltaT
 // (a factor of exactly 1.0 is the IEEE identity), and the quadratic is
 // evaluated in MaxPowerEmpirical's order.
-func (pc *powerCurve) powerAt(cell int, outlet units.Celsius) units.Watts {
-	dT := float64(outlet) - pc.cold
+func (pc *powerCurve) powerAt(cell int, outlet units.Celsius, cold float64) units.Watts {
+	dT := float64(outlet) - cold
 	if dT <= 0 {
 		return 0
 	}
@@ -74,9 +76,9 @@ func (pc *powerCurve) powerAt(cell int, outlet units.Celsius) units.Watts {
 // ascending cell order). The fit coefficients and cold-side temperature are
 // hoisted; the per-element operation sequence is powerAt's, so the winning
 // power is bit-identical to the scalar fold.
-func (pc *powerCurve) argmaxColumn(cells []int32, outs []float64, n int) (units.Watts, int32) {
+func (pc *powerCurve) argmaxColumn(cells []int32, outs []float64, n int, cold float64) (units.Watts, int32) {
 	f0, f1, f2 := pc.fit[0], pc.fit[1], pc.fit[2]
-	cold, scale := pc.cold, pc.n
+	scale := pc.n
 	bestP := units.Watts(-1)
 	bestCell := int32(0)
 	for i := 0; i < n; i++ {
@@ -100,10 +102,10 @@ func (pc *powerCurve) argmaxColumn(cells []int32, outs []float64, n int) (units.
 // cell: the per-cell derating factor and the fit coefficients are hoisted out
 // of the loop, with the identical per-element operation sequence, so every
 // output is bit-identical to the scalar call.
-func (pc *powerCurve) powerAtColumn(cell int, outs []float64, dst []units.Watts) {
+func (pc *powerCurve) powerAtColumn(cell int, outs []float64, dst []units.Watts, cold float64) {
 	factor := pc.factors[cell/pc.ni]
 	f0, f1, f2 := pc.fit[0], pc.fit[1], pc.fit[2]
-	cold, n := pc.cold, pc.n
+	n := pc.n
 	for i, out := range outs {
 		dT := out - cold
 		if dT <= 0 {

@@ -51,7 +51,10 @@ type Controller struct {
 	Space *lookup.Space
 	// Module is the per-server TEG module whose output is maximized.
 	Module *teg.Module
-	// ColdSource is the TEG cold-side water temperature (~20 °C).
+	// ColdSource is the default TEG cold-side water temperature (~20 °C):
+	// the value the cold-agnostic entry points (Choose, PowerAt, Decide*)
+	// evaluate against. The *Cold variants take the interval's cold side
+	// explicitly — the pluggable environment (internal/env) varies it.
 	ColdSource units.Celsius
 	// TSafe is the CPU safe operating temperature (Fig. 13: 62 °C).
 	TSafe units.Celsius
@@ -183,10 +186,17 @@ func NewController(space *lookup.Space, module *teg.Module, cold units.Celsius) 
 
 // PowerAt returns the TEG module output of a server running at utilization u
 // under the given cooling setting: the outlet temperature from the look-up
-// space drives the module against the cold source (Eqs. 2 and 7).
+// space drives the module against the default cold source (Eqs. 2 and 7).
 func (c *Controller) PowerAt(s Setting, u float64) units.Watts {
+	return c.PowerAtCold(s, u, c.ColdSource)
+}
+
+// PowerAtCold is PowerAt against an explicit cold-side temperature — the
+// per-interval value of the facility environment. PowerAtCold(s, u,
+// c.ColdSource) is bit-identical to PowerAt(s, u).
+func (c *Controller) PowerAtCold(s Setting, u float64, cold units.Celsius) units.Watts {
 	outlet := c.Space.OutletTemp(u, s.Flow, s.Inlet)
-	dT := outlet - c.ColdSource
+	dT := outlet - cold
 	if dT <= 0 {
 		return 0
 	}
@@ -213,7 +223,15 @@ func (c *Controller) PowerAt(s Setting, u float64) units.Watts {
 // plus a chain walk — so concurrent workers never serialize on a warm
 // controller.
 func (c *Controller) Choose(planeU float64) (Setting, units.Watts, error) {
-	setting, power, _, err := c.chooseCached(planeU)
+	return c.ChooseCold(planeU, c.ColdSource)
+}
+
+// ChooseCold is Choose against an explicit cold-side temperature. Outcomes
+// are memoized per (quantized plane, cold) pair, so decisions made under
+// different interval environments never alias: a cached decision is always
+// exactly the one an uncached scan at that cold side would make.
+func (c *Controller) ChooseCold(planeU float64, cold units.Celsius) (Setting, units.Watts, error) {
+	setting, power, _, err := c.chooseCached(planeU, cold)
 	return setting, power, err
 }
 
@@ -225,24 +243,25 @@ func errUtilizationOutsideUnit(planeU float64) error {
 
 // chooseCached is Choose plus the winning candidate's flat cell index, which
 // the batch per-server kernel indexes the flattened stencils with.
-func (c *Controller) chooseCached(planeU float64) (Setting, units.Watts, int32, error) {
+func (c *Controller) chooseCached(planeU float64, cold units.Celsius) (Setting, units.Watts, int32, error) {
 	if planeU < 0 || planeU > 1 {
 		return Setting{}, 0, 0, errUtilizationOutsideUnit(planeU)
 	}
 	planeU = c.quantizePlane(planeU)
 	key := math.Float64bits(planeU)
+	cb := math.Float64bits(float64(cold))
 	hint := bucketOf(key)
 	c.calls.AddHint(hint, 1)
-	if setting, power, cell, ok := c.cache.load(key); ok {
+	if setting, power, cell, ok := c.cache.load(key, cb); ok {
 		c.hits.AddHint(hint, 1)
 		c.observeChoice(hint, setting)
 		return setting, power, cell, nil
 	}
-	setting, power, cell, err := c.choose(planeU)
+	setting, power, cell, err := c.choose(planeU, cold)
 	if err != nil {
 		return Setting{}, 0, 0, err
 	}
-	c.cache.store(key, setting, power, cell)
+	c.cache.store(key, cb, setting, power, cell)
 	c.inserts.AddHint(hint, 1)
 	c.observeChoice(hint, setting)
 	return setting, power, cell, nil
@@ -254,7 +273,7 @@ func (c *Controller) chooseCached(planeU float64) (Setting, units.Watts, int32, 
 // fuse into one allocation-free scan. The visit order matches the seed's
 // PlaneIntersection order and the power evaluation is bit-identical, so the
 // chosen setting never drifts from the slice-based implementation.
-func (c *Controller) choose(planeU float64) (Setting, units.Watts, int32, error) {
+func (c *Controller) choose(planeU float64, cold units.Celsius) (Setting, units.Watts, int32, error) {
 	best := Setting{}
 	bestP := units.Watts(-1)
 	bestCell := int32(0)
@@ -263,7 +282,7 @@ func (c *Controller) choose(planeU float64) (Setting, units.Watts, int32, error)
 	err := c.Space.VisitPlaneIntersection(planeU, c.TSafe, c.Band, func(cell int, p lookup.Point) bool {
 		found = true
 		evals++
-		if pw := c.candidatePower(cell, p); pw > bestP {
+		if pw := c.candidatePower(cell, p, cold); pw > bestP {
 			best, bestP, bestCell = Setting{Flow: p.Flow, Inlet: p.Inlet}, pw, int32(cell)
 		}
 		return true
@@ -280,7 +299,7 @@ func (c *Controller) choose(planeU float64) (Setting, units.Watts, int32, error)
 			if p.CPUTemp <= c.TSafe+c.Band {
 				found = true
 				evals++
-				if pw := c.candidatePower(cell, p); pw > bestP {
+				if pw := c.candidatePower(cell, p, cold); pw > bestP {
 					best, bestP, bestCell = Setting{Flow: p.Flow, Inlet: p.Inlet}, pw, int32(cell)
 				}
 			}
@@ -307,13 +326,13 @@ func errNoSafeSetting(planeU float64) error {
 
 // candidatePower returns the TEG module output of a streamed candidate,
 // through the precomputed curve when available. Both paths produce the same
-// bits as PowerAt on the candidate's setting: the streamed Outlet equals
+// bits as PowerAtCold on the candidate's setting: the streamed Outlet equals
 // the interpolated OutletTemp on grid-aligned cells.
-func (c *Controller) candidatePower(cell int, p lookup.Point) units.Watts {
+func (c *Controller) candidatePower(cell int, p lookup.Point, cold units.Celsius) units.Watts {
 	if c.curve != nil {
-		return c.curve.powerAt(cell, p.Outlet)
+		return c.curve.powerAt(cell, p.Outlet, float64(cold))
 	}
-	dT := p.Outlet - c.ColdSource
+	dT := p.Outlet - cold
 	if dT <= 0 {
 		return 0
 	}
@@ -437,14 +456,19 @@ func (c *Controller) Decide(us []float64, scheme Scheme) (Decision, error) {
 // column kernel is the one decision implementation — and stays bit-identical
 // to the scalar reference path DecideSerial.
 func (c *Controller) DecideInto(us []float64, scheme Scheme, sc *Scratch) (Decision, error) {
+	return c.DecideIntoCold(us, scheme, c.ColdSource, sc)
+}
+
+// DecideIntoCold is DecideInto against an explicit cold-side temperature.
+func (c *Controller) DecideIntoCold(us []float64, scheme Scheme, cold units.Celsius, sc *Scratch) (Decision, error) {
 	if c.curve == nil {
 		// A controller assembled without NewController has no precomputed
 		// power curve; the batch kernels require it, the scalar path does not.
-		return c.DecideSerial(us, scheme, sc)
+		return c.DecideSerialCold(us, scheme, cold, sc)
 	}
 	sc.rng[0] = Range{Lo: 0, Hi: len(us)}
 	sc.self[0] = sc
-	if err := c.DecideBatch(us, sc.rng[:], scheme, &sc.bs, sc.self[:], sc.dec[:]); err != nil {
+	if err := c.DecideBatchCold(us, sc.rng[:], scheme, cold, &sc.bs, sc.self[:], sc.dec[:]); err != nil {
 		var ge GroupError
 		if errors.As(err, &ge) {
 			return Decision{}, ge.Err
@@ -460,11 +484,19 @@ func (c *Controller) DecideInto(us []float64, scheme Scheme, sc *Scratch) (Decis
 // to it — it is the referee of the equivalence suites and the fallback for
 // controllers assembled without NewController.
 func (c *Controller) DecideSerial(us []float64, scheme Scheme, sc *Scratch) (Decision, error) {
+	return c.DecideSerialCold(us, scheme, c.ColdSource, sc)
+}
+
+// DecideSerialCold is DecideSerial against an explicit cold-side
+// temperature: the per-interval environment's value flows into the plane
+// choice and every per-server power evaluation, through the exact scalar
+// operation sequence.
+func (c *Controller) DecideSerialCold(us []float64, scheme Scheme, cold units.Celsius, sc *Scratch) (Decision, error) {
 	planeU, err := PlaneUtilization(us, scheme)
 	if err != nil {
 		return Decision{}, err
 	}
-	setting, _, err := c.Choose(planeU)
+	setting, _, err := c.ChooseCold(planeU, cold)
 	if err != nil {
 		return Decision{}, err
 	}
@@ -486,7 +518,7 @@ func (c *Controller) DecideSerial(us []float64, scheme Scheme, sc *Scratch) (Dec
 		// trilinear lookups per server. eff[i] are all the same value, so the
 		// broadcast is bit-identical to the per-server loop below.
 		u := sc.eff[0]
-		pw := c.PowerAt(setting, u)
+		pw := c.PowerAtCold(setting, u, cold)
 		cp := spec.Power(u)
 		for i := range sc.eff {
 			d.PerServerPower[i] = pw
@@ -498,7 +530,7 @@ func (c *Controller) DecideSerial(us []float64, scheme Scheme, sc *Scratch) (Dec
 		return d, nil
 	}
 	for i, u := range sc.eff {
-		d.PerServerPower[i] = c.PowerAt(setting, u)
+		d.PerServerPower[i] = c.PowerAtCold(setting, u, cold)
 		d.PerServerCPUPower[i] = spec.Power(u)
 		if t := c.Space.CPUTemp(u, setting.Flow, setting.Inlet); t > d.MaxCPUTemp {
 			d.MaxCPUTemp = t

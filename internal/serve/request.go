@@ -25,9 +25,12 @@ import (
 	"time"
 
 	"github.com/h2p-sim/h2p/internal/core"
+	"github.com/h2p-sim/h2p/internal/env"
 	"github.com/h2p-sim/h2p/internal/fault"
+	"github.com/h2p-sim/h2p/internal/heatreuse"
 	"github.com/h2p-sim/h2p/internal/obs"
 	"github.com/h2p-sim/h2p/internal/sched"
+	"github.com/h2p-sim/h2p/internal/storage"
 	"github.com/h2p-sim/h2p/internal/trace"
 )
 
@@ -99,10 +102,73 @@ type RunRequest struct {
 	FaultSeed int64  `json:"fault_seed,omitempty"`
 	// KeepSeries retains the per-interval series in the result JSON.
 	KeepSeries bool `json:"keep_series,omitempty"`
+	// Environment selects the facility environment; nil is the constant
+	// default (bit-identical to requests predating the block).
+	Environment *EnvSpec `json:"environment,omitempty"`
 
 	// scheme/faults carry the validated forms; populated by Validate.
 	scheme sched.Scheme
 	faults *fault.Plan
+}
+
+// EnvSpec is the optional "environment" block of a run request: the facility
+// environment source plus the heat-reuse and storage knobs. Profile files
+// are CLI-only — the server never reads client-named files, the same policy
+// as fault plans — so the only kinds here are the self-contained ones.
+type EnvSpec struct {
+	// Kind selects the source: "constant" (the engine default) or
+	// "seasonal" (diurnal + annual sinusoids with seeded jitter). Empty
+	// means constant.
+	Kind string `json:"kind,omitempty"`
+	// Seed seeds the seasonal jitter stream; ignored for constant.
+	Seed int64 `json:"seed,omitempty"`
+	// Reuse enables the district-heating sink at its default economics
+	// (45 °C minimum grade, $0.03/kWh thermal).
+	Reuse bool `json:"reuse,omitempty"`
+	// StorageWh, when positive, buffers harvested power through a hybrid
+	// SC+battery sized to this total capacity.
+	StorageWh float64 `json:"storage_wh,omitempty"`
+}
+
+// Validate checks the environment block.
+func (e *EnvSpec) Validate() error {
+	if e == nil {
+		return nil
+	}
+	switch strings.ToLower(strings.TrimSpace(e.Kind)) {
+	case "", "constant", "seasonal":
+	default:
+		return fmt.Errorf("serve: environment kind %q (want constant or seasonal; profiles are CLI-only)", e.Kind)
+	}
+	if e.Seed < 0 {
+		return errors.New("serve: environment seed must be non-negative")
+	}
+	if math.IsNaN(e.StorageWh) || math.IsInf(e.StorageWh, 0) || e.StorageWh < 0 {
+		return errors.New("serve: storage_wh must be finite and non-negative")
+	}
+	return nil
+}
+
+// seasonal reports whether the block asks for the seasonal source.
+func (e *EnvSpec) seasonal() bool {
+	return e != nil && strings.EqualFold(strings.TrimSpace(e.Kind), "seasonal")
+}
+
+// apply wires the block into an engine configuration.
+func (e *EnvSpec) apply(cfg *core.Config) {
+	if e == nil {
+		return
+	}
+	if e.seasonal() {
+		cfg.Env = env.DefaultSeasonal(uint64(e.Seed))
+	}
+	if e.Reuse {
+		cfg.Reuse = heatreuse.DefaultSink()
+	}
+	if e.StorageWh > 0 {
+		spec := storage.BufferForCapacity(e.StorageWh)
+		cfg.Storage = &spec
+	}
 }
 
 // SweepRequest is the POST /api/v1/sweeps body: a base run request expanded
@@ -279,7 +345,7 @@ func (r *RunRequest) Validate() error {
 	if r.FaultSeed < 0 {
 		return errors.New("serve: fault_seed must be non-negative")
 	}
-	return nil
+	return r.Environment.Validate()
 }
 
 // Validate checks the sweep's base and axes; every expanded run must itself
@@ -411,6 +477,7 @@ func (r *RunRequest) EngineConfig() core.Config {
 	cfg.DecisionQuantum = r.Quantum
 	cfg.Faults = r.faults
 	cfg.FaultSeed = r.faultSeed()
+	r.Environment.apply(&cfg)
 	return cfg
 }
 
@@ -423,9 +490,9 @@ func (r *RunRequest) faultSeed() int64 {
 }
 
 // Manifest assembles the run's obs manifest — the same record shape h2psim
-// journals, so server-born runs summarize, tail and hash like CLI runs. env
-// is captured once per process by the server.
-func (r *RunRequest) Manifest(runID string, meta trace.Meta, env obs.Environment) obs.Manifest {
+// journals, so server-born runs summarize, tail and hash like CLI runs.
+// hostEnv is captured once per process by the server.
+func (r *RunRequest) Manifest(runID string, meta trace.Meta, hostEnv obs.Environment) obs.Manifest {
 	m := obs.Manifest{
 		RunID:           runID,
 		Trace:           meta.Name,
@@ -443,11 +510,21 @@ func (r *RunRequest) Manifest(runID string, meta trace.Meta, env obs.Environment
 			Seed:                  r.Trace.Seed,
 			Streaming:             true,
 		},
-		Env: env,
+		Env: hostEnv,
 	}
 	if !r.faults.Empty() {
 		m.Config.FaultPlan = r.faults.String()
 		m.Config.FaultSeed = r.faultSeed()
+	}
+	if e := r.Environment; e != nil {
+		// Additive-only: a constant block with no reuse or storage writes no
+		// fields, so its hash matches the block-free request.
+		if e.seasonal() {
+			m.Config.EnvKind = "seasonal"
+			m.Config.EnvDetail = fmt.Sprintf("seed=%d", e.Seed)
+		}
+		m.Config.HeatReuse = e.Reuse
+		m.Config.StorageWh = e.StorageWh
 	}
 	m.ConfigHash = m.Hash()
 	return m

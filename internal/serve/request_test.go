@@ -3,6 +3,7 @@ package serve
 import (
 	"bytes"
 	"errors"
+	"math"
 	"strings"
 	"testing"
 
@@ -50,6 +51,11 @@ func TestParseRunRequestRejects(t *testing.T) {
 		{"fault plan path", `{"trace":{"class":"drastic","servers":10},"scheme":"lb","fault_plan":"plans/evil.json"}`, "file path"},
 		{"fault plan json suffix", `{"trace":{"class":"drastic","servers":10},"scheme":"lb","fault_plan":"evil.json"}`, "file path"},
 		{"negative fault seed", `{"trace":{"class":"drastic","servers":10},"scheme":"lb","fault_seed":-3}`, "fault_seed"},
+		{"env profile kind", `{"trace":{"class":"drastic","servers":10},"scheme":"lb","environment":{"kind":"profile"}}`, "CLI-only"},
+		{"env unknown kind", `{"trace":{"class":"drastic","servers":10},"scheme":"lb","environment":{"kind":"mars"}}`, "environment kind"},
+		{"env negative seed", `{"trace":{"class":"drastic","servers":10},"scheme":"lb","environment":{"kind":"seasonal","seed":-1}}`, "environment seed"},
+		{"env negative storage", `{"trace":{"class":"drastic","servers":10},"scheme":"lb","environment":{"storage_wh":-5}}`, "storage_wh"},
+		{"env unknown field", `{"trace":{"class":"drastic","servers":10},"scheme":"lb","environment":{"profile":"/etc/passwd"}}`, "unknown field"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -164,4 +170,53 @@ func FuzzParseRunRequest(f *testing.F) {
 			t.Fatalf("accepted request produced invalid engine config: %v\ninput: %q", err, data)
 		}
 	})
+}
+
+// TestEnvironmentBlock pins the environment block's wiring: a seasonal
+// request shapes the engine config, a constant block hashes identically to
+// no block at all, and a seasonal block moves the hash.
+func TestEnvironmentBlock(t *testing.T) {
+	req, err := parse(t, `{"trace":{"class":"drastic","servers":10},"scheme":"lb",
+		"environment":{"kind":"seasonal","seed":9,"reuse":true,"storage_wh":100}}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := req.EngineConfig()
+	if cfg.Env == nil || cfg.Env.Name() != "seasonal" {
+		t.Fatalf("seasonal request built env %v", cfg.Env)
+	}
+	if cfg.Reuse == nil {
+		t.Fatal("reuse sink not wired")
+	}
+	if cfg.Storage == nil {
+		t.Fatal("storage spec not wired")
+	}
+	if got := cfg.Storage.SC.CapacityWh + cfg.Storage.Battery.CapacityWh; math.Abs(got-100) > 1e-9 {
+		t.Fatalf("storage capacity = %g Wh, want 100", got)
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	meta, err := req.Trace.Meta("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bare, err := parse(t, `{"trace":{"class":"drastic","servers":10},"scheme":"lb"}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	constant, err := parse(t, `{"trace":{"class":"drastic","servers":10},"scheme":"lb","environment":{"kind":"constant"}}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bareHash := bare.Manifest("r", meta, envForTest()).ConfigHash
+	constHash := constant.Manifest("r", meta, envForTest()).ConfigHash
+	seasonalHash := req.Manifest("r", meta, envForTest()).ConfigHash
+	if bareHash != constHash {
+		t.Errorf("constant environment block moved the config hash: %s vs %s", constHash, bareHash)
+	}
+	if bareHash == seasonalHash {
+		t.Error("seasonal environment block did not move the config hash")
+	}
 }

@@ -1,0 +1,114 @@
+package shard
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/h2p-sim/h2p/internal/core"
+	"github.com/h2p-sim/h2p/internal/env"
+	"github.com/h2p-sim/h2p/internal/heatreuse"
+	"github.com/h2p-sim/h2p/internal/sched"
+	"github.com/h2p-sim/h2p/internal/storage"
+	"github.com/h2p-sim/h2p/internal/trace"
+)
+
+// TestShardedConstantEnvBitIdentical closes the environment layer's
+// equivalence matrix over shard counts: an explicit constant source must
+// reproduce the nil-Env default bit for bit through the sharded pipeline,
+// and both must match the unsharded referee.
+func TestShardedConstantEnvBitIdentical(t *testing.T) {
+	const servers, seed = 60, 19
+	for i, gcfg := range trace.CanonicalConfigs(servers) {
+		genSeed := trace.CanonicalSeed(seed, i)
+		for _, scheme := range equivSchemes {
+			base := shardConfig(scheme)
+			explicit := base
+			explicit.Env = env.NewConstant(base.WetBulb, base.ColdSource)
+			want := unshardedRun(t, base, gcfg, genSeed, &core.RunOptions{KeepSeries: true})
+			for _, shards := range equivShards {
+				got := shardedRun(t, explicit, gcfg, genSeed, &Options{Shards: shards, KeepSeries: true})
+				if !reflect.DeepEqual(want, got) {
+					t.Errorf("%s/%s shards=%d: sharded constant-env result differs from unsharded default",
+						gcfg.Class, scheme, shards)
+				}
+			}
+		}
+	}
+}
+
+// TestShardedSeasonalMatchesUnsharded extends the shard equivalence pin to
+// the full environment stack — seasonal source, reuse sink and storage
+// buffer. The environment is a pure function of the interval and the buffer
+// folds in the merged aggregator, so shard count must not move a bit.
+func TestShardedSeasonalMatchesUnsharded(t *testing.T) {
+	const servers, seed = 60, 29
+	gcfg := trace.DrasticConfig(servers)
+	genSeed := trace.CanonicalSeed(seed, 0)
+	for _, scheme := range equivSchemes {
+		cfg := shardConfig(scheme)
+		s := env.DefaultSeasonal(7)
+		s.IntervalsPerDay = 48
+		cfg.Env = s
+		cfg.Reuse = heatreuse.DefaultSink()
+		spec := storage.ServerBufferSpec().Scale(4)
+		cfg.Storage = &spec
+
+		want := unshardedRun(t, cfg, gcfg, genSeed, &core.RunOptions{KeepSeries: true})
+		if want.ReusedHeat <= 0 || want.StorageStored <= 0 {
+			t.Fatalf("%s: seasonal stack inert (reuse %v, stored %v)", scheme, want.ReusedHeat, want.StorageStored)
+		}
+		for _, shards := range equivShards {
+			got := shardedRun(t, cfg, gcfg, genSeed, &Options{Shards: shards, KeepSeries: true})
+			if !reflect.DeepEqual(want, got) {
+				t.Errorf("%s shards=%d: sharded seasonal result differs from unsharded", scheme, shards)
+			}
+		}
+	}
+}
+
+// TestShardedSeasonalResume pins the sharded checkpoint path under the
+// environment stack: a sharded seasonal run halted mid-run resumes — from
+// its own checkpoint, at a different shard count — bit-identically.
+func TestShardedSeasonalResume(t *testing.T) {
+	const servers, seed, haltAfter = 60, 5, 70
+	gcfg := trace.DrasticConfig(servers)
+	genSeed := trace.CanonicalSeed(seed, 0)
+	cfg := shardConfig(sched.LoadBalance)
+	s := env.DefaultSeasonal(3)
+	s.IntervalsPerDay = 48
+	cfg.Env = s
+	cfg.Reuse = heatreuse.DefaultSink()
+	spec := storage.ServerBufferSpec().Scale(4)
+	cfg.Storage = &spec
+
+	full := shardedRun(t, cfg, gcfg, genSeed, &Options{Shards: 4, KeepSeries: true})
+
+	var cp *Checkpoint
+	src, err := trace.NewGeneratorSource(gcfg, genSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunSource(cfg, src, &Options{
+		Shards:     4,
+		KeepSeries: true,
+		HaltAfter:  haltAfter,
+		Checkpoint: &CheckpointOptions{Write: func(c *Checkpoint) error { cp = c; return nil }},
+	}); err != core.ErrHalted {
+		t.Fatalf("err = %v, want ErrHalted", err)
+	}
+	if cp == nil || cp.Merged.EnvFingerprint == "" || len(cp.Merged.StorageWh) != 2 {
+		t.Fatalf("checkpoint missing environment state: %+v", cp)
+	}
+
+	resumeSrc, err := trace.NewGeneratorSource(gcfg, genSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := RunSource(cfg, resumeSrc, &Options{Shards: 4, KeepSeries: true, Resume: cp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(full, resumed) {
+		t.Error("resumed sharded seasonal run differs from uninterrupted one")
+	}
+}

@@ -180,7 +180,7 @@ func Run(ctx context.Context, fleet *core.Fleet, cfg core.Config, src trace.Sour
 	timed := met != nil || stats != nil
 
 	keepSeries := opts != nil && opts.KeepSeries
-	agg := core.NewAggregator(meta, cfg.Scheme, keepSeries)
+	agg := core.NewAggregator(meta, cfg, keepSeries)
 	start := 0
 	if opts != nil && opts.Resume != nil {
 		cp := opts.Resume

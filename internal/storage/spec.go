@@ -1,0 +1,126 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ElementSpec declaratively sizes one storage element, so run
+// configurations can carry storage without sharing mutable state: the
+// engine's aggregator builds a fresh element per run from the spec.
+type ElementSpec struct {
+	CapacityWh    float64
+	MaxChargeW    float64
+	MaxDischargeW float64
+	Efficiency    float64
+}
+
+// scale returns the spec multiplied by n (fleet sizing).
+func (e ElementSpec) scale(n float64) ElementSpec {
+	e.CapacityWh *= n
+	e.MaxChargeW *= n
+	e.MaxDischargeW *= n
+	return e
+}
+
+func (e ElementSpec) validate() error {
+	for _, v := range []float64{e.CapacityWh, e.MaxChargeW, e.MaxDischargeW, e.Efficiency} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return errors.New("storage: spec values must be finite")
+		}
+	}
+	if e.CapacityWh <= 0 {
+		return errors.New("storage: capacity must be positive")
+	}
+	if e.MaxChargeW <= 0 || e.MaxDischargeW <= 0 {
+		return errors.New("storage: rate limits must be positive")
+	}
+	if e.Efficiency <= 0 || e.Efficiency > 1 {
+		return errors.New("storage: efficiency must be in (0, 1]")
+	}
+	return nil
+}
+
+// BufferSpec sizes a hybrid SC+battery buffer. The zero value is invalid;
+// start from ServerBufferSpec and Scale.
+type BufferSpec struct {
+	SC, Battery ElementSpec
+}
+
+// ServerBufferSpec is the per-server hybrid sizing NewServerBuffer wires:
+// a fast 93 %-efficient super-capacitor bank in front of a larger 80 %
+// battery.
+func ServerBufferSpec() BufferSpec {
+	return BufferSpec{
+		SC:      ElementSpec{CapacityWh: 1.5, MaxChargeW: 50, MaxDischargeW: 50, Efficiency: 0.93},
+		Battery: ElementSpec{CapacityWh: 20, MaxChargeW: 5, MaxDischargeW: 5, Efficiency: 0.80},
+	}
+}
+
+// BufferForCapacity sizes a hybrid buffer to a total capacity in Wh, keeping
+// the server buffer's SC:battery proportions and W-per-Wh rate ratios — the
+// constructor behind the CLI's -storage-wh flag and the serve API's
+// storage_wh field.
+func BufferForCapacity(wh float64) BufferSpec {
+	s := ServerBufferSpec()
+	return s.Scale(wh / (s.SC.CapacityWh + s.Battery.CapacityWh))
+}
+
+// Scale multiplies capacities and rate limits by n — the fleet-level buffer
+// for n servers keeps each element's efficiency.
+func (s BufferSpec) Scale(n float64) BufferSpec {
+	s.SC = s.SC.scale(n)
+	s.Battery = s.Battery.scale(n)
+	return s
+}
+
+// Validate reports sizing errors.
+func (s BufferSpec) Validate() error {
+	if err := s.SC.validate(); err != nil {
+		return fmt.Errorf("%w (supercap)", err)
+	}
+	if err := s.Battery.validate(); err != nil {
+		return fmt.Errorf("%w (battery)", err)
+	}
+	return nil
+}
+
+// Build instantiates an empty buffer from the spec.
+func (s BufferSpec) Build() (*HybridBuffer, error) {
+	sc, err := NewElement("supercap", s.SC.CapacityWh, s.SC.MaxChargeW, s.SC.MaxDischargeW, s.SC.Efficiency)
+	if err != nil {
+		return nil, err
+	}
+	batt, err := NewElement("battery", s.Battery.CapacityWh, s.Battery.MaxChargeW, s.Battery.MaxDischargeW, s.Battery.Efficiency)
+	if err != nil {
+		return nil, err
+	}
+	return &HybridBuffer{SC: sc, Battery: batt}, nil
+}
+
+// SetStoredWh restores an element's state of charge — the checkpoint/resume
+// seam. The value must be within [0, CapacityWh].
+func (e *Element) SetStoredWh(wh float64) error {
+	if math.IsNaN(wh) || wh < 0 || wh > e.CapacityWh {
+		return fmt.Errorf("storage: stored %g Wh outside [0, %g]", wh, e.CapacityWh)
+	}
+	e.storedWh = wh
+	return nil
+}
+
+// StateWh freezes the buffer's per-element charge in [SC, Battery] order.
+func (b *HybridBuffer) StateWh() []float64 {
+	return []float64{b.SC.StoredWh(), b.Battery.StoredWh()}
+}
+
+// RestoreWh resumes the buffer from a StateWh snapshot.
+func (b *HybridBuffer) RestoreWh(state []float64) error {
+	if len(state) != 2 {
+		return fmt.Errorf("storage: buffer snapshot has %d elements, want 2", len(state))
+	}
+	if err := b.SC.SetStoredWh(state[0]); err != nil {
+		return err
+	}
+	return b.Battery.SetStoredWh(state[1])
+}

@@ -1,0 +1,127 @@
+package storage
+
+import (
+	"math"
+	"testing"
+
+	"github.com/h2p-sim/h2p/internal/units"
+)
+
+func TestBufferSpecBuildMatchesServerBuffer(t *testing.T) {
+	built, err := ServerBufferSpec().Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := NewServerBuffer()
+	if built.SC.CapacityWh != ref.SC.CapacityWh || built.SC.Efficiency != ref.SC.Efficiency ||
+		built.Battery.CapacityWh != ref.Battery.CapacityWh || built.Battery.Efficiency != ref.Battery.Efficiency {
+		t.Fatalf("ServerBufferSpec().Build() = %+v/%+v, want the NewServerBuffer sizing %+v/%+v",
+			built.SC, built.Battery, ref.SC, ref.Battery)
+	}
+}
+
+func TestBufferSpecScale(t *testing.T) {
+	s := ServerBufferSpec().Scale(120)
+	if s.SC.CapacityWh != 1.5*120 || s.Battery.MaxChargeW != 5*120 {
+		t.Fatalf("scaled spec wrong: %+v", s)
+	}
+	if s.SC.Efficiency != 0.93 || s.Battery.Efficiency != 0.80 {
+		t.Fatalf("scaling must not touch efficiency: %+v", s)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("scaled spec invalid: %v", err)
+	}
+}
+
+func TestBufferSpecValidate(t *testing.T) {
+	cases := []func(*BufferSpec){
+		func(s *BufferSpec) { s.SC.CapacityWh = 0 },
+		func(s *BufferSpec) { s.Battery.CapacityWh = math.NaN() },
+		func(s *BufferSpec) { s.SC.MaxChargeW = -1 },
+		func(s *BufferSpec) { s.Battery.Efficiency = 1.2 },
+		func(s *BufferSpec) { s.SC.Efficiency = 0 },
+	}
+	for i, mutate := range cases {
+		s := ServerBufferSpec()
+		mutate(&s)
+		if s.Validate() == nil {
+			t.Fatalf("case %d: invalid spec accepted: %+v", i, s)
+		}
+	}
+	if err := ServerBufferSpec().Validate(); err != nil {
+		t.Fatalf("default spec invalid: %v", err)
+	}
+}
+
+func TestBufferStateRoundTrip(t *testing.T) {
+	b, err := ServerBufferSpec().Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Step(40, 0, 0.25); err != nil {
+		t.Fatal(err)
+	}
+	state := b.StateWh()
+	restored, err := ServerBufferSpec().Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.RestoreWh(state); err != nil {
+		t.Fatal(err)
+	}
+	if restored.SC.StoredWh() != b.SC.StoredWh() || restored.Battery.StoredWh() != b.Battery.StoredWh() {
+		t.Fatalf("restore drifted: %v vs %v", restored.StateWh(), state)
+	}
+	if restored.RestoreWh([]float64{1}) == nil {
+		t.Fatal("short snapshot accepted")
+	}
+	if restored.RestoreWh([]float64{-1, 0}) == nil {
+		t.Fatal("negative charge accepted")
+	}
+	if restored.RestoreWh([]float64{0, 1e9}) == nil {
+		t.Fatal("overfull charge accepted")
+	}
+}
+
+// TestStorageNeverCreatesEnergy pins the satellite conservation property
+// across a deterministic pseudo-random schedule of charge/discharge steps:
+// the energy a buffer ever delivers plus what it still holds can never
+// exceed the energy that was pushed into it.
+func TestStorageNeverCreatesEnergy(t *testing.T) {
+	b, err := ServerBufferSpec().Scale(4).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := uint64(0x5eed)
+	next := func() float64 {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		return float64(rng>>11) / float64(1<<53)
+	}
+	var inWh, outWh float64
+	const dtHours = 300.0 / 3600.0
+	for i := 0; i < 5000; i++ {
+		gen := units.Watts(next() * 120)
+		dem := units.Watts(next() * 120)
+		r, err := b.Step(gen, dem, dtHours)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inWh += float64(r.Stored) * dtHours
+		outWh += float64(r.FromBuffer) * dtHours
+		if outWh+b.StoredWh() > inWh+1e-9 {
+			t.Fatalf("step %d: delivered %g Wh + held %g Wh exceeds input %g Wh",
+				i, outWh, b.StoredWh(), inWh)
+		}
+		if math.Abs(float64(r.Direct+r.Stored+r.Spilled-gen)) > 1e-9 {
+			t.Fatalf("step %d: generation split %v+%v+%v != %v", i, r.Direct, r.Stored, r.Spilled, gen)
+		}
+	}
+	if outWh == 0 || inWh == 0 {
+		t.Fatal("schedule never exercised the buffer")
+	}
+	// Round-trip losses must be real: with 80-93 % efficient elements the
+	// buffer cannot return everything it was fed.
+	if outWh+b.StoredWh() >= inWh {
+		t.Fatalf("lossless round trip: out %g + held %g >= in %g", outWh, b.StoredWh(), inWh)
+	}
+}
